@@ -1,0 +1,56 @@
+// Ablation: kernel consolidation (Ravi et al. [6]). The paper argues its
+// delayed binding and deferred memory operations make consolidation easy to
+// integrate; this bench quantifies the integration: the same short-job
+// multi-tenant batch on devices that serialize kernels (CUDA 3.2, 1 slot)
+// vs. devices that co-run two kernels with 25% interference.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void Consolidation(benchmark::State& state, int slots) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 90;
+  u64 consolidated = 0;
+  for (auto _ : state) {
+    auto gpus = paper_node_gpus();
+    for (auto& spec : gpus) {
+      spec.max_concurrent_kernels = slots;
+      spec.consolidation_interference = 0.25;
+    }
+    NodeEnv env(gpus, sharing_config(4));
+    report_outcome(state,
+                   env.run_gpuvm(no_verify(workloads::BatchRunner::random_batch(
+                       workloads::short_running_names(), jobs, seed++))));
+    consolidated = 0;
+    for (GpuId id : env.machine_.all_gpus()) {
+      consolidated += env.machine_.gpu(id)->stats().consolidated_kernels;
+    }
+  }
+  state.counters["consolidated_kernels"] = static_cast<double>(consolidated);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (int slots : {1, 2}) {
+    for (int jobs : {16, 32}) {
+      const std::string label = std::string("Consolidation/") +
+                                (slots == 1 ? "serialized_kernels" : "coscheduled_kernels");
+      benchmark::RegisterBenchmark(label.c_str(),
+                                   [slots](benchmark::State& state) {
+                                     Consolidation(state, slots);
+                                   })
+          ->Args({jobs})
+          ->ArgNames({"jobs"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(3);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: transfer deferral (section 4.5). "Data transfers preceding the
+// first kernel call ... can be deferred without incurring performance
+// losses. After the first kernel call ... deferring or not deferring" trades
+// computation/communication overlap against swap overhead. Runs the MM-L
+// sharing workload (swap-heavy) and a BS-L batch (transfer-heavy, swap-free)
+// under both configurations.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void AblationDefer(benchmark::State& state, const char* workload, bool defer) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 70;
+  u64 swaps = 0;
+  for (auto _ : state) {
+    core::RuntimeConfig config = sharing_config(4);
+    config.defer_transfers = defer;
+    NodeEnv env(paper_node_gpus(), config);
+    std::vector<workloads::JobSpec> batch;
+    for (int i = 0; i < jobs; ++i) {
+      batch.push_back({workload, workload == std::string("MM-L") ? 1.0 : 0.0,
+                       seed * 100 + static_cast<u64>(i), false});
+    }
+    ++seed;
+    report_outcome(state, env.run_gpuvm(batch));
+    const auto mem = env.runtime_->memory().stats();
+    swaps = mem.inter_app_swaps + mem.intra_app_swaps;
+    state.counters["bulk_transfers"] = static_cast<double>(mem.bulk_transfers);
+  }
+  state.counters["swaps"] = static_cast<double>(swaps);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (const char* workload : {"MM-L", "BS-L"}) {
+    for (bool defer : {true, false}) {
+      std::string label = std::string("AblationDefer/") + workload + "/" +
+                          (defer ? "deferred" : "eager");
+      benchmark::RegisterBenchmark(label.c_str(),
+                                   [workload, defer](benchmark::State& state) {
+                                     AblationDefer(state, workload, defer);
+                                   })
+          ->Args({12})
+          ->ArgNames({"jobs"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: scheduling policies (section 2, "Configurable Scheduling").
+// A mixed batch of short and long jobs contends for limited vGPUs; the
+// dispatcher runs under FCFS, shortest-job-first (using the frontend's
+// profiling hints) and credit-based fair sharing. SJF should improve the
+// *average* job time (short jobs overtake long ones) while total time stays
+// comparable.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+std::vector<workloads::JobSpec> mixed_batch(u64 seed) {
+  std::vector<workloads::JobSpec> jobs;
+  // 12 short jobs + 6 long jobs, interleaved so FCFS arrival order is bad
+  // for the short ones.
+  const auto shorts = workloads::short_running_names();
+  Rng rng(seed);
+  for (int i = 0; i < 18; ++i) {
+    workloads::JobSpec spec;
+    if (i % 3 == 0) {
+      spec.workload = "BS-L";
+    } else {
+      spec.workload = shorts[rng.below(shorts.size())];
+    }
+    spec.seed = seed * 100 + static_cast<u64>(i);
+    spec.verify = false;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+void AblationSched(benchmark::State& state, core::PolicyKind policy) {
+  u64 seed = 80;
+  for (auto _ : state) {
+    core::RuntimeConfig config = sharing_config(2);
+    config.policy = policy;
+    NodeEnv env({sim::tesla_c2050(bench_params())}, config);
+    report_outcome(state, env.run_gpuvm(mixed_batch(seed++)));
+  }
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  const int runs = bench_runs();
+  const std::pair<const char*, gpuvm::core::PolicyKind> policies[] = {
+      {"AblationSched/fcfs", gpuvm::core::PolicyKind::Fcfs},
+      {"AblationSched/sjf", gpuvm::core::PolicyKind::ShortestJobFirst},
+      {"AblationSched/credit", gpuvm::core::PolicyKind::CreditBased},
+  };
+  for (const auto& [label, policy] : policies) {
+    benchmark::RegisterBenchmark(label,
+                                 [policy](benchmark::State& state) {
+                                   AblationSched(state, policy);
+                                 })
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond)
+        ->Iterations(runs);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Section 1's motivating observation: "the maximum number of application
+// threads supported by the CUDA runtime in the absence of conflicting
+// memory requirements is eight" (Tesla C2050). Sweeps concurrent client
+// counts on the bare runtime and reports how many obtained a context, and
+// contrasts it with gpuvm, which admits them all by multiplexing onto vGPUs.
+#include "bench_common.hpp"
+
+#include "core/frontend.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void CtxLimitCuda(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  int admitted = 0;
+  for (auto _ : state) {
+    NodeEnv env({sim::tesla_c2050(bench_params())});
+    admitted = 0;
+    std::vector<ClientId> ids;
+    const vt::StopWatch watch(env.dom_);
+    for (int i = 0; i < clients; ++i) {
+      const ClientId c = env.rt_->create_client();
+      ids.push_back(c);
+      if (env.rt_->malloc(c, 1024).has_value()) ++admitted;
+    }
+    state.SetIterationTime(std::max(watch.elapsed_seconds(), 1e-9));
+    for (ClientId c : ids) env.rt_->destroy_client(c);
+  }
+  state.counters["admitted"] = admitted;
+  state.counters["rejected"] = clients - admitted;
+}
+
+void CtxLimitGpuvm(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  int admitted = 0;
+  for (auto _ : state) {
+    NodeEnv env({sim::tesla_c2050(bench_params())}, sharing_config(4));
+    admitted = 0;
+    std::vector<std::unique_ptr<core::FrontendApi>> apis;
+    const vt::StopWatch watch(env.dom_);
+    for (int i = 0; i < clients; ++i) {
+      apis.push_back(std::make_unique<core::FrontendApi>(env.runtime_->connect()));
+      if (apis.back()->connected() && apis.back()->malloc(1024).has_value()) ++admitted;
+    }
+    state.SetIterationTime(std::max(watch.elapsed_seconds(), 1e-9));
+  }
+  state.counters["admitted"] = admitted;
+  state.counters["rejected"] = clients - admitted;
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (int clients : {4, 8, 9, 16, 32}) {
+    benchmark::RegisterBenchmark("CtxLimit/CUDA_runtime", CtxLimitCuda)
+        ->Args({clients})
+        ->ArgNames({"clients"})
+        ->UseManualTime()
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("CtxLimit/gpuvm", CtxLimitGpuvm)
+        ->Args({clients})
+        ->ArgNames({"clients"})
+        ->UseManualTime()
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 10: two-node cluster with TORQUE -- short-running jobs, no
+// conflicting memory requirements. Reports Total and Avg execution time for
+// 16/32/48 jobs under: serialized execution (1 vGPU/device), GPU sharing
+// (4 vGPUs/device), and sharing + inter-node offloading. The paper: sharing
+// gains up to 28% over serialized; offloading adds up to another 18%.
+#include "bench_cluster_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void Fig10(benchmark::State& state, ClusterSetting setting) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 50;
+  ClusterRun run;
+  for (auto _ : state) {
+    const auto batch = no_verify(
+        workloads::BatchRunner::random_batch(workloads::short_running_names(), jobs, seed++));
+    run = run_cluster_batch(setting, batch);
+    state.SetIterationTime(run.batch.total_seconds);
+  }
+  state.counters["avg_job_s"] = run.batch.avg_seconds;
+  state.counters["offloaded"] = static_cast<double>(run.offloaded);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  const int runs = bench_runs();
+  for (ClusterSetting setting :
+       {ClusterSetting::Serialized, ClusterSetting::Sharing, ClusterSetting::SharingOffload}) {
+    for (int jobs : {16, 32, 48}) {
+      benchmark::RegisterBenchmark((std::string("Fig10/") + to_string(setting)).c_str(),
+                                   [setting](benchmark::State& state) {
+                                     Fig10(state, setting);
+                                   })
+          ->Args({jobs})
+          ->ArgNames({"jobs"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(runs);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 11: two-node cluster with TORQUE -- long-running jobs with
+// conflicting memory requirements (BS-L / MM-L at 25/75). Reports Total and
+// Avg for 16/32/48 jobs under serialized, sharing, and sharing+offloading.
+// The paper: sharing increases throughput up to 50% despite swap overhead;
+// offloading accelerates the unbalanced cluster further.
+#include "bench_cluster_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void Fig11(benchmark::State& state, ClusterSetting setting) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 60;
+  ClusterRun run;
+  for (auto _ : state) {
+    // 25/75 BS-L/MM-L distribution, MM-L with CPU fraction 1.
+    run = run_cluster_batch(setting, mixed_long_batch(jobs, 75, 1.0, seed++));
+    state.SetIterationTime(run.batch.total_seconds);
+  }
+  state.counters["avg_job_s"] = run.batch.avg_seconds;
+  state.counters["offloaded"] = static_cast<double>(run.offloaded);
+  state.counters["swaps"] = static_cast<double>(run.swaps);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (ClusterSetting setting :
+       {ClusterSetting::Serialized, ClusterSetting::Sharing, ClusterSetting::SharingOffload}) {
+    for (int jobs : {16, 32, 48}) {
+      benchmark::RegisterBenchmark((std::string("Fig11/") + to_string(setting)).c_str(),
+                                   [setting](benchmark::State& state) {
+                                     Fig11(state, setting);
+                                   })
+          ->Args({jobs})
+          ->ArgNames({"jobs"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

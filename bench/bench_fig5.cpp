@@ -1,0 +1,62 @@
+// Figure 5: framework overhead. A node with one Tesla C2050 runs 1-8
+// concurrent short-running jobs (random draws from Table 2) on the bare
+// CUDA runtime and on gpuvm with 1, 2, 4 and 8 vGPUs. The bare runtime is
+// the lower bound; gpuvm approaches it as vGPUs (sharing) increase, with a
+// worst-case overhead around 10%.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+std::vector<workloads::JobSpec> draw(int jobs, u64 seed) {
+  return no_verify(
+      workloads::BatchRunner::random_batch(workloads::short_running_names(), jobs, seed));
+}
+
+void Fig5Cuda(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 1;
+  for (auto _ : state) {
+    NodeEnv env({sim::tesla_c2050(bench_params())});
+    report_outcome(state, env.run_direct(draw(jobs, seed++)));
+  }
+}
+
+void Fig5Gpuvm(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int vgpus = static_cast<int>(state.range(1));
+  u64 seed = 1;
+  for (auto _ : state) {
+    NodeEnv env({sim::tesla_c2050(bench_params())}, sharing_config(vgpus));
+    report_outcome(state, env.run_gpuvm(draw(jobs, seed++)));
+  }
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  const int runs = bench_runs();
+  for (int jobs : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("Fig5/CUDA_runtime", Fig5Cuda)
+        ->Args({jobs})
+        ->ArgNames({"jobs"})
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond)
+        ->Iterations(runs);
+  }
+  for (int vgpus : {1, 2, 4, 8}) {
+    for (int jobs : {1, 2, 4, 8}) {
+      benchmark::RegisterBenchmark("Fig5/gpuvm", Fig5Gpuvm)
+          ->Args({jobs, vgpus})
+          ->ArgNames({"jobs", "vgpus"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(runs);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6: benefits of GPU sharing. The full paper node (2x Tesla C2050 +
+// 1x Tesla C1060) runs 8-48 concurrent short jobs under gpuvm with 1, 2 and
+// 4 vGPUs per device; the bare CUDA runtime appears only up to 8 jobs (it
+// "cannot handle more than eight concurrent jobs stably"). More sharing =
+// better total time, saturating around 4 vGPUs.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+std::vector<workloads::JobSpec> draw(int jobs, u64 seed) {
+  return no_verify(
+      workloads::BatchRunner::random_batch(workloads::short_running_names(), jobs, seed));
+}
+
+void Fig6Cuda(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  u64 seed = 10;
+  for (auto _ : state) {
+    NodeEnv env(paper_node_gpus());
+    report_outcome(state, env.run_direct(draw(jobs, seed++)));
+  }
+}
+
+void Fig6Gpuvm(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int vgpus = static_cast<int>(state.range(1));
+  u64 seed = 10;
+  for (auto _ : state) {
+    NodeEnv env(paper_node_gpus(), sharing_config(vgpus));
+    report_outcome(state, env.run_gpuvm(draw(jobs, seed++)));
+  }
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  const int runs = bench_runs();
+  // Bare CUDA handles at most 8 concurrent jobs.
+  benchmark::RegisterBenchmark("Fig6/CUDA_runtime", Fig6Cuda)
+      ->Args({8})
+      ->ArgNames({"jobs"})
+      ->UseManualTime()
+      ->Unit(benchmark::kSecond)
+      ->Iterations(runs);
+  for (int vgpus : {1, 2, 4}) {
+    for (int jobs : {8, 16, 32, 48}) {
+      benchmark::RegisterBenchmark("Fig6/gpuvm", Fig6Gpuvm)
+          ->Args({jobs, vgpus})
+          ->ArgNames({"jobs", "vgpus"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(runs);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

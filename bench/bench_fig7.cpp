@@ -1,0 +1,55 @@
+// Figure 7: conflicting memory needs -- effect of swapping. 36 MM-L jobs
+// (each footprint ~1.2 GB; >2 per C2050 conflict) run on the 3-GPU node
+// while the fraction of CPU work varies from 0 to 2. Serialized execution
+// (1 vGPU) grows linearly with the CPU fraction; GPU sharing (4 vGPUs)
+// stays roughly flat because swapping hides the CPU-driven latency. The
+// swap counter annotates each bar like the numbers atop the paper's.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+constexpr int kJobs = 36;
+
+std::vector<workloads::JobSpec> mml_batch(double cpu_fraction, u64 seed) {
+  std::vector<workloads::JobSpec> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back({"MM-L", cpu_fraction, seed * 100 + static_cast<u64>(i), false});
+  }
+  return jobs;
+}
+
+void Fig7(benchmark::State& state) {
+  const double cpu_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const int vgpus = static_cast<int>(state.range(1));
+  u64 seed = 20;
+  u64 swaps = 0;
+  for (auto _ : state) {
+    NodeEnv env(paper_node_gpus(), sharing_config(vgpus));
+    report_outcome(state, env.run_gpuvm(mml_batch(cpu_fraction, seed++)));
+    const auto mem = env.runtime_->memory().stats();
+    swaps = mem.inter_app_swaps + mem.intra_app_swaps;
+  }
+  state.counters["swaps"] = static_cast<double>(swaps);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (int vgpus : {1, 4}) {
+    for (int cpu_pct : {0, 50, 100, 150, 200}) {
+      const char* label = vgpus == 1 ? "Fig7/serialized_1vGPU" : "Fig7/sharing_4vGPUs";
+      benchmark::RegisterBenchmark(label, Fig7)
+          ->Args({cpu_pct, vgpus})
+          ->ArgNames({"cpu_frac_pct", "vgpus"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: workload composition. 36 long jobs mixing BS-L (GPU-intensive,
+// short CPU phases, smaller footprint) and MM-L (CPU fraction 1, large
+// footprint) at ratios from 100/0 to 0/100 BS-L/MM-L, on the 3-GPU node.
+// The gain from sharing grows as MM-L dominates; at the BS-L-heavy 75/25
+// mix, swap overhead can make sharing slightly slower than serialized.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+constexpr int kJobs = 36;
+
+void Fig8(benchmark::State& state) {
+  const int mml_percent = static_cast<int>(state.range(0));
+  const int vgpus = static_cast<int>(state.range(1));
+  u64 seed = 30;
+  u64 swaps = 0;
+  for (auto _ : state) {
+    NodeEnv env(paper_node_gpus(), sharing_config(vgpus));
+    report_outcome(state,
+                   env.run_gpuvm(mixed_long_batch(kJobs, mml_percent, 1.0, seed++)));
+    const auto mem = env.runtime_->memory().stats();
+    swaps = mem.inter_app_swaps + mem.intra_app_swaps;
+  }
+  state.counters["swaps"] = static_cast<double>(swaps);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (int vgpus : {1, 4}) {
+    // Paper axis: fraction BlackScholes/Matmul = 100/0 ... 0/100.
+    for (int mml_percent : {0, 25, 50, 75, 100}) {
+      const char* label = vgpus == 1 ? "Fig8/serialized_1vGPU" : "Fig8/sharing_4vGPUs";
+      benchmark::RegisterBenchmark(label, Fig8)
+          ->Args({mml_percent, vgpus})
+          ->ArgNames({"matmul_pct", "vgpus"})
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9: load balancing through dynamic binding. An unbalanced node
+// (two fast Tesla C2050s, one slow Quadro 2000) runs 12/24/36 MM-S jobs
+// with CPU fraction 0 and 1, with and without migration-based load
+// balancing. Migrating jobs from the slow to the fast GPUs as they become
+// idle improves the batch, especially for small batches of jobs with CPU
+// phases; the migration counter annotates each bar.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+std::vector<workloads::JobSpec> mms_batch(int count, double cpu_fraction, u64 seed) {
+  std::vector<workloads::JobSpec> jobs;
+  for (int i = 0; i < count; ++i) {
+    jobs.push_back({"MM-S", cpu_fraction, seed * 100 + static_cast<u64>(i), false});
+  }
+  return jobs;
+}
+
+void Fig9(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const double cpu_fraction = static_cast<double>(state.range(1));
+  const bool balance = state.range(2) != 0;
+  u64 seed = 40;
+  u64 migrations = 0;
+  for (auto _ : state) {
+    core::RuntimeConfig config = sharing_config(4);
+    config.enable_migration = balance;
+    NodeEnv env(unbalanced_node_gpus(), config);
+    report_outcome(state, env.run_gpuvm(mms_batch(jobs, cpu_fraction, seed++)));
+    migrations = env.runtime_->scheduler().stats().migrations;
+  }
+  state.counters["migrations"] = static_cast<double>(migrations);
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using namespace gpuvm::bench;
+  for (int cpu : {0, 1}) {
+    for (int balance : {0, 1}) {
+      for (int jobs : {12, 24, 36}) {
+        const char* label = balance != 0 ? "Fig9/load_balancing" : "Fig9/no_load_balancing";
+        benchmark::RegisterBenchmark(label, Fig9)
+            ->Args({jobs, cpu, balance})
+            ->ArgNames({"jobs", "cpu_frac", "lb"})
+            ->UseManualTime()
+            ->Unit(benchmark::kSecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

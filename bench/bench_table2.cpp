@@ -1,0 +1,47 @@
+// Table 2: the benchmark programs. Runs each application once, alone, on a
+// Tesla C2050 and reports its modeled runtime and kernel-call count. The
+// paper's bands: short-running 3-5 s, long-running 30-90 s.
+#include "bench_common.hpp"
+
+namespace gpuvm::bench {
+namespace {
+
+void Table2App(benchmark::State& state, const std::string& name, double cpu_fraction) {
+  const workloads::Workload* app = workloads::find_workload(name);
+  for (auto _ : state) {
+    NodeEnv env({sim::tesla_c2050(bench_params())});
+    core::DirectApi api(*env.rt_);
+    workloads::AppContext ctx;
+    ctx.dom = &env.dom_;
+    ctx.api = &api;
+    ctx.params = env.machine_.params();
+    ctx.cpu_fraction = cpu_fraction;
+    ctx.verify = false;
+    const vt::StopWatch watch(env.dom_);
+    const auto result = app->run(ctx);
+    state.SetIterationTime(watch.elapsed_seconds());
+    state.counters["kernel_calls"] = result.kernel_launches;
+    if (!result.success()) state.counters["FAILED"] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace gpuvm::bench
+
+int main(int argc, char** argv) {
+  using gpuvm::bench::Table2App;
+  for (const std::string& name : gpuvm::workloads::all_workload_names()) {
+    const double cpu_fraction =
+        (name == "MM-S" || name == "MM-L") ? 1.0 : 0.0;  // mid-range CPU phase
+    benchmark::RegisterBenchmark(("Table2/" + name).c_str(),
+                                 [name, cpu_fraction](benchmark::State& state) {
+                                   Table2App(state, name, cpu_fraction);
+                                 })
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Multi-tenancy demo: the paper's headline scenario (Figure 1).
+//
+// Three applications share one GPU whose memory cannot hold all of their
+// footprints at once. On the bare CUDA runtime this workload dies with
+// cudaErrorMemoryAllocation; under gpuvm, the virtual-memory layer swaps
+// idle applications' data to host memory during their CPU phases and every
+// job completes with correct results. The demo runs both configurations
+// and prints what happened.
+//
+//   ./examples/multi_tenant_node
+#include <cstdio>
+#include <vector>
+
+#include "core/direct_api.hpp"
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "cudart/cudart.hpp"
+#include "sim/machine.hpp"
+
+using namespace gpuvm;
+
+namespace {
+
+constexpr u64 kFloats = 120 * 1024;  // ~480 KiB per app, 3 apps, 1 MiB GPU
+
+void add_kernel(sim::SimMachine& machine) {
+  sim::KernelDef def;
+  def.name = "iterate";
+  def.body = [](sim::KernelExecContext& ctx) {
+    for (auto& v : ctx.buffer<float>(0)) v += 1.0f;
+    return Status::Ok;
+  };
+  def.cost = sim::per_thread_cost(4.0, 8.0);
+  machine.kernels().add(def);
+}
+
+/// One tenant: iterate a kernel over a private buffer with CPU phases in
+/// between, then verify the data survived all the swapping.
+bool run_tenant(vt::Domain& dom, core::GpuApi& api, int id) {
+  if (!ok(api.register_kernels({"iterate"}))) return false;
+  auto buf = api.malloc(kFloats * sizeof(float));
+  if (!buf) {
+    std::printf("  tenant %d: malloc failed: %s\n", id, to_string(buf.status()));
+    return false;
+  }
+  std::vector<float> data(kFloats, static_cast<float>(id));
+  if (!ok(api.copy_in(buf.value(), data))) return false;
+
+  constexpr int kIters = 40;
+  for (int i = 0; i < kIters; ++i) {
+    const Status s = api.launch("iterate", {{kFloats / 256, 1, 1}, {256, 1, 1}},
+                                {sim::KernelArg::dev(buf.value())});
+    if (!ok(s)) {
+      std::printf("  tenant %d: launch %d failed: %s\n", id, i, to_string(s));
+      return false;
+    }
+    dom.sleep_for(vt::from_millis(20));  // CPU phase: post-process on the host
+  }
+
+  std::vector<float> out(kFloats);
+  if (!ok(api.copy_out(out, buf.value()))) return false;
+  for (float v : out) {
+    if (v != static_cast<float>(id) + kIters) {
+      std::printf("  tenant %d: WRONG DATA after swapping!\n", id);
+      return false;
+    }
+  }
+  std::printf("  tenant %d: finished, data intact\n", id);
+  return ok(api.free(buf.value()));
+}
+
+}  // namespace
+
+int main() {
+  vt::Domain dom;
+  vt::AttachGuard attach(dom);
+  sim::SimParams params{1};  // unscaled sizes, tiny test GPU
+  sim::SimMachine machine(dom, params);
+  machine.add_gpu(sim::test_gpu(1 << 20));
+  add_kernel(machine);
+  cudart::CudaRt cuda(machine, cudart::CudaRtConfig{4 * 1024, 8});
+
+  std::printf("=== bare CUDA runtime: 3 tenants x 480 KiB on a 1 MiB GPU ===\n");
+  {
+    int failures = 0;
+    dom.hold();
+    std::vector<vt::Thread> tenants;
+    for (int id = 1; id <= 3; ++id) {
+      tenants.emplace_back(dom, [&, id] {
+        core::DirectApi api(cuda);
+        if (!run_tenant(dom, api, id)) ++failures;
+      });
+    }
+    dom.unhold();
+    tenants.clear();
+    std::printf("bare runtime: %d of 3 tenants failed (no virtual memory)\n\n", failures);
+  }
+
+  std::printf("=== gpuvm: same workload through the runtime daemon ===\n");
+  {
+    core::Runtime daemon(cuda);
+    int failures = 0;
+    dom.hold();
+    std::vector<vt::Thread> tenants;
+    for (int id = 1; id <= 3; ++id) {
+      tenants.emplace_back(dom, [&, id] {
+        core::FrontendApi api(daemon.connect());
+        if (!run_tenant(dom, api, id)) ++failures;
+      });
+    }
+    dom.unhold();
+    tenants.clear();
+
+    const auto mem = daemon.memory().stats();
+    std::printf("gpuvm: %d of 3 tenants failed\n", failures);
+    std::printf("inter-app swaps: %llu, swapped entries: %llu, swap traffic: %llu KiB\n",
+                static_cast<unsigned long long>(mem.inter_app_swaps),
+                static_cast<unsigned long long>(mem.swapped_entries),
+                static_cast<unsigned long long>(mem.swap_bytes / 1024));
+    return failures == 0 ? 0 : 1;
+  }
+}

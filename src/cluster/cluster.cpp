@@ -1,0 +1,44 @@
+#include "cluster/cluster.hpp"
+
+namespace gpuvm::cluster {
+
+Cluster::Cluster(vt::Domain& dom, sim::SimParams params, const std::vector<NodeSpec>& specs,
+                 core::RuntimeConfig runtime_config, cudart::CudaRtConfig cudart_config)
+    : dom_(&dom) {
+  u64 next = 1;
+  for (const NodeSpec& spec : specs) {
+    nodes_.push_back(std::make_unique<Node>(NodeId{next}, spec.name, dom, params, spec.gpus,
+                                            runtime_config, cudart_config));
+    ++next;
+  }
+}
+
+void Cluster::register_kernel(const sim::KernelDef& def) {
+  for (const auto& node : nodes_) node->machine().kernels().add(def);
+}
+
+void Cluster::enable_offloading(transport::ChannelCosts link) {
+  // Each node sheds to the next node (ring): with two nodes this is the
+  // paper's pairwise offload; with more it avoids offload storms.
+  if (nodes_.size() < 2) return;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    Node* peer = nodes_[(i + 1) % nodes_.size()].get();
+    nodes_[i]->runtime().set_offload_peer(
+        [peer, link] { return peer->runtime().connect_with(link); });
+  }
+}
+
+std::vector<Node*> Cluster::node_pointers() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+u64 Cluster::total_offloaded() const {
+  u64 total = 0;
+  for (const auto& node : nodes_) total += node->runtime().stats().offloaded_connections;
+  return total;
+}
+
+}  // namespace gpuvm::cluster

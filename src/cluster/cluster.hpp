@@ -1,0 +1,53 @@
+// Cluster: builds a multi-node deployment and wires inter-node offloading.
+//
+// Mirrors the paper's testbed topology helpers: nodes with heterogeneous
+// GPU sets, a head-node batch scheduler, kernel registration replicated on
+// every node, and (optionally) offload links between the node daemons over
+// a modeled cluster interconnect.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/torque.hpp"
+
+namespace gpuvm::cluster {
+
+struct NodeSpec {
+  std::string name;
+  std::vector<sim::GpuSpec> gpus;
+};
+
+class Cluster {
+ public:
+  /// Builds `specs.size()` nodes, each running the gpuvm daemon with
+  /// `runtime_config`.
+  Cluster(vt::Domain& dom, sim::SimParams params, const std::vector<NodeSpec>& specs,
+          core::RuntimeConfig runtime_config, cudart::CudaRtConfig cudart_config = {});
+
+  /// Registers a kernel implementation on every node (device code is
+  /// available cluster-wide, as compiled binaries would be).
+  void register_kernel(const sim::KernelDef& def);
+
+  /// Connects every node's daemon to every other as offload peers over a
+  /// modeled cluster link. Offloading also requires the runtime config to
+  /// carry a non-negative offload_threshold.
+  void enable_offloading(
+      transport::ChannelCosts link = transport::ChannelCosts::cluster_link());
+
+  size_t size() const { return nodes_.size(); }
+  Node& node(size_t i) { return *nodes_.at(i); }
+  std::vector<Node*> node_pointers();
+  vt::Domain& domain() { return *dom_; }
+
+  /// Aggregate offload count across nodes (Figure 10/11 annotations).
+  u64 total_offloaded() const;
+
+ private:
+  vt::Domain* dom_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace gpuvm::cluster

@@ -1,0 +1,42 @@
+// Node: one compute node of the heterogeneous cluster.
+//
+// Bundles the per-node stack of Figure 2: simulated GPUs (SimMachine), the
+// CUDA driver/runtime (CudaRt) and the gpuvm daemon (Runtime), which is
+// "replicated on each node and schedules library calls originated by
+// applications on the available GPUs".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "cudart/cudart.hpp"
+#include "sim/machine.hpp"
+
+namespace gpuvm::cluster {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, vt::Domain& dom, sim::SimParams params,
+       const std::vector<sim::GpuSpec>& gpus, core::RuntimeConfig runtime_config,
+       cudart::CudaRtConfig cudart_config = {});
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  sim::SimMachine& machine() { return machine_; }
+  cudart::CudaRt& cuda() { return *cudart_; }
+  core::Runtime& runtime() { return *runtime_; }
+
+  int gpu_count() const { return static_cast<int>(machine_.gpus().size()); }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  sim::SimMachine machine_;
+  std::unique_ptr<cudart::CudaRt> cudart_;
+  std::unique_ptr<core::Runtime> runtime_;
+};
+
+}  // namespace gpuvm::cluster

@@ -1,0 +1,101 @@
+#include "cluster/torque.hpp"
+
+#include "common/log.hpp"
+#include "core/direct_api.hpp"
+
+namespace gpuvm::cluster {
+
+TorqueScheduler::TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode)
+    : dom_(&dom), nodes_(std::move(nodes)), mode_(mode), tokens_cv_(dom) {
+  tokens_.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (int g = 0; g < nodes_[i]->gpu_count(); ++g) tokens_[i].push_back(g);
+  }
+}
+
+void TorqueScheduler::submit(Job job) {
+  std::scoped_lock lock(mu_);
+  if (!job.id.valid()) job.id = JobId{next_job_++};
+  queue_.push_back(std::move(job));
+}
+
+BatchResult TorqueScheduler::run_to_completion() {
+  std::vector<Job> jobs;
+  {
+    std::scoped_lock lock(mu_);
+    jobs.swap(queue_);
+  }
+
+  BatchResult result;
+  result.jobs.resize(jobs.size());
+  std::mutex results_mu;
+  const vt::TimePoint batch_start = dom_->now();
+
+  {
+    // Join order matters: the hold must release before the workers join
+    // (declared after them, destroyed first), or the clock could never
+    // advance for the threads being joined.
+    std::vector<vt::Thread> workers;
+    vt::HoldGuard hold(*dom_);  // common virtual start for the whole batch
+    workers.reserve(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      workers.emplace_back(*dom_, [this, &jobs, &result, &results_mu, batch_start, j] {
+        Job& job = jobs[j];
+        const vt::TimePoint submit = dom_->now();
+        size_t node_index = 0;
+        int gpu_index = 0;
+        if (mode_ == Mode::GpuAware) {
+          // Hold at the head node until some node has a free GPU: bare
+          // TORQUE "serializes the execution of concurrent jobs by
+          // enqueuing them on the head node and submitting them to the
+          // compute nodes only when a GPU becomes available".
+          std::unique_lock lk(mu_);
+          tokens_cv_.wait(lk, [&] {
+            for (size_t n = 0; n < tokens_.size(); ++n) {
+              if (!tokens_[n].empty()) {
+                node_index = n;
+                return true;
+              }
+            }
+            return false;
+          });
+          gpu_index = tokens_[node_index].back();
+          tokens_[node_index].pop_back();
+        } else {
+          std::scoped_lock lk(mu_);
+          node_index = next_node_;
+          next_node_ = (next_node_ + 1) % nodes_.size();
+        }
+
+        Node* node = nodes_[node_index];
+        if (mode_ == Mode::GpuAware) {
+          {
+            core::DirectApi api(node->cuda());
+            (void)api.set_device(gpu_index);
+            job.body(api);
+          }  // context torn down before the GPU is handed back
+          std::scoped_lock lk(mu_);
+          tokens_[node_index].push_back(gpu_index);
+          tokens_cv_.notify_all();
+        } else {
+          core::ConnectOptions options;
+          options.job_cost_hint_seconds = job.cost_hint_seconds;
+          core::FrontendApi api(node->runtime().connect(), options);
+          job.body(api);
+        }
+
+        const double seconds = vt::to_seconds(dom_->now() - submit);
+        std::scoped_lock lk(results_mu);
+        result.jobs[j] = JobResult{job.id, seconds, node->id()};
+      });
+    }
+  }  // join all job threads
+
+  result.total_seconds = vt::to_seconds(dom_->now() - batch_start);
+  double sum = 0.0;
+  for (const JobResult& r : result.jobs) sum += r.seconds;
+  result.avg_seconds = result.jobs.empty() ? 0.0 : sum / static_cast<double>(result.jobs.size());
+  return result;
+}
+
+}  // namespace gpuvm::cluster

@@ -1,0 +1,76 @@
+// TorqueScheduler: a PBS-style cluster-level batch scheduler.
+//
+// The coarse-grained half of the paper's two-level scheduling: jobs are
+// submitted at a head node and dispatched to compute nodes. Two dispatch
+// disciplines model the paper's cluster experiments (section 5.4):
+//   - GpuAware: bare TORQUE on the CUDA runtime. The scheduler knows each
+//     node's GPU count, treats GPUs as consumable job slots, and holds jobs
+//     at the head node until a GPU frees up (serialized execution, no
+//     sharing). Jobs talk to the node's CUDA runtime directly.
+//   - Oblivious: TORQUE stacked on the gpuvm runtime with the GPUs hidden
+//     from it. Jobs are divided equally (round-robin) between the nodes and
+//     dispatched immediately; the per-node gpuvm daemons handle sharing --
+//     and, when enabled, shed overload to peer nodes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "core/frontend.hpp"
+#include "core/gpu_api.hpp"
+
+namespace gpuvm::cluster {
+
+/// One batch job: the application body runs on the compute node's CPUs and
+/// issues GPU work through the provided GpuApi.
+struct Job {
+  JobId id{};
+  std::string name;
+  std::function<void(core::GpuApi&)> body;
+  /// Profiling hint forwarded to the node runtime (shortest-job-first).
+  double cost_hint_seconds = 0.0;
+};
+
+struct JobResult {
+  JobId id{};
+  double seconds = 0.0;  ///< virtual time from dispatch to completion
+  NodeId node{};
+};
+
+struct BatchResult {
+  double total_seconds = 0.0;  ///< first submit to last completion (makespan)
+  double avg_seconds = 0.0;    ///< mean per-job time including queuing
+  std::vector<JobResult> jobs;
+};
+
+class TorqueScheduler {
+ public:
+  enum class Mode { GpuAware, Oblivious };
+
+  TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode);
+
+  void submit(Job job);
+
+  /// Dispatches all queued jobs and blocks until every one finished.
+  BatchResult run_to_completion();
+
+ private:
+  vt::Domain* dom_;
+  std::vector<Node*> nodes_;
+  Mode mode_;
+
+  std::mutex mu_;
+  vt::ConditionVariable tokens_cv_;
+  std::vector<Job> queue_;
+  /// GpuAware mode: free device indices per node (a job occupies one whole
+  /// GPU for its lifetime, like a TORQUE GPU resource).
+  std::vector<std::vector<int>> tokens_;
+  size_t next_node_ = 0;  // Oblivious round robin
+  u64 next_job_ = 1;
+};
+
+}  // namespace gpuvm::cluster

@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace gpuvm::log {
+namespace {
+
+Level level_from_env() {
+  const char* env = std::getenv("GPUVM_LOG");
+  if (env == nullptr) return Level::Warn;
+  if (std::strcmp(env, "error") == 0) return Level::Error;
+  if (std::strcmp(env, "warn") == 0) return Level::Warn;
+  if (std::strcmp(env, "info") == 0) return Level::Info;
+  if (std::strcmp(env, "debug") == 0) return Level::Debug;
+  if (std::strcmp(env, "trace") == 0) return Level::Trace;
+  return Level::Warn;
+}
+
+std::atomic<Level>& level_storage() {
+  static std::atomic<Level> lvl{level_from_env()};
+  return lvl;
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "ERROR";
+    case Level::Warn: return "WARN ";
+    case Level::Info: return "INFO ";
+    case Level::Debug: return "DEBUG";
+    case Level::Trace: return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { level_storage().store(lvl, std::memory_order_relaxed); }
+
+void emitf(Level lvl, const char* fmt, ...) {
+  static std::mutex mu;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  using namespace std::chrono;
+  const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+  std::scoped_lock lock(mu);
+  std::fprintf(stderr, "[%12lld] [%s] [t%05zu] %s\n", static_cast<long long>(now), tag(lvl), tid,
+               body);
+}
+
+}  // namespace gpuvm::log

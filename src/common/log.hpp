@@ -1,0 +1,40 @@
+// Thread-safe leveled logging (printf-style; toolchain lacks std::format).
+//
+// Log level is controlled programmatically (set_log_level) or via the
+// GPUVM_LOG environment variable (error|warn|info|debug|trace). Logging is
+// off by default above Warn so tests and benches stay quiet.
+#pragma once
+
+#include <string_view>
+
+namespace gpuvm::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+Level level();
+void set_level(Level lvl);
+
+inline bool enabled(Level lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+/// Emit one formatted line (with timestamp, level tag and thread id) if
+/// `lvl` is enabled.
+void emitf(Level lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define GPUVM_LOG_WRAPPER(name, lvl)                                       \
+  template <typename... Args>                                              \
+  void name(const char* fmt, Args... args) {                               \
+    if (enabled(lvl)) emitf(lvl, fmt, args...);                            \
+  }                                                                        \
+  inline void name(const char* msg) {                                      \
+    if (enabled(lvl)) emitf(lvl, "%s", msg);                               \
+  }
+
+GPUVM_LOG_WRAPPER(error, Level::Error)
+GPUVM_LOG_WRAPPER(warn, Level::Warn)
+GPUVM_LOG_WRAPPER(info, Level::Info)
+GPUVM_LOG_WRAPPER(debug, Level::Debug)
+GPUVM_LOG_WRAPPER(trace, Level::Trace)
+
+#undef GPUVM_LOG_WRAPPER
+
+}  // namespace gpuvm::log

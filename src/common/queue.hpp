@@ -1,0 +1,79 @@
+// Virtual-time-aware unbounded MPMC queue.
+//
+// The building block for connection queues and message channels: producers
+// and consumers may be any attached threads; a blocked pop counts as "idle"
+// toward the domain's quiescence detection so the virtual clock keeps
+// advancing while consumers wait.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/vt.hpp"
+
+namespace gpuvm {
+
+template <typename T>
+class VtQueue {
+ public:
+  explicit VtQueue(vt::Domain& dom) : cv_(dom) {}
+
+  /// Push an item; wakes one blocked consumer. Returns false if the queue
+  /// has been closed (the item is dropped).
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed.
+  /// Returns nullopt only on close-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Close the queue: pending items remain poppable, new pushes are
+  /// rejected, blocked consumers wake (receiving remaining items, then
+  /// nullopt).
+  void close() {
+    std::unique_lock lk(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::unique_lock lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  vt::ConditionVariable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gpuvm

@@ -1,0 +1,67 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// Used for workload data initialization and randomized property tests;
+// std::mt19937 is avoided for speed and to keep sequences stable across
+// standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace gpuvm {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+inline u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5eed5eed5eed5eedULL) {
+    u64 sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<u64>::max(); }
+
+  result_type operator()() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return (*this)() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) { return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1))); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 s_[4];
+};
+
+}  // namespace gpuvm

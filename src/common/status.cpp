@@ -1,0 +1,29 @@
+#include "common/status.hpp"
+
+namespace gpuvm {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "Ok";
+    case Status::ErrorMemoryAllocation: return "ErrorMemoryAllocation";
+    case Status::ErrorInvalidValue: return "ErrorInvalidValue";
+    case Status::ErrorInvalidDevicePointer: return "ErrorInvalidDevicePointer";
+    case Status::ErrorInvalidDevice: return "ErrorInvalidDevice";
+    case Status::ErrorLaunchFailure: return "ErrorLaunchFailure";
+    case Status::ErrorDeviceUnavailable: return "ErrorDeviceUnavailable";
+    case Status::ErrorTooManyContexts: return "ErrorTooManyContexts";
+    case Status::ErrorInvalidConfiguration: return "ErrorInvalidConfiguration";
+    case Status::ErrorUnknownSymbol: return "ErrorUnknownSymbol";
+    case Status::ErrorNoVirtualAddress: return "ErrorNoVirtualAddress";
+    case Status::ErrorSwapAllocation: return "ErrorSwapAllocation";
+    case Status::ErrorNoValidPte: return "ErrorNoValidPte";
+    case Status::ErrorSwapSizeMismatch: return "ErrorSwapSizeMismatch";
+    case Status::ErrorConnectionClosed: return "ErrorConnectionClosed";
+    case Status::ErrorProtocol: return "ErrorProtocol";
+    case Status::ErrorCheckpointNotFound: return "ErrorCheckpointNotFound";
+    case Status::ErrorNotSupported: return "ErrorNotSupported";
+  }
+  return "Status(?)";
+}
+
+}  // namespace gpuvm

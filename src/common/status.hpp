@@ -1,0 +1,81 @@
+// Error codes and a lightweight Result<T> used throughout gpuvm.
+//
+// The Status enumeration mirrors the subset of cudaError_t the paper's
+// runtime deals with, plus runtime-level errors the memory manager can
+// return without touching the device (Table 1 of the paper).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpuvm {
+
+enum class Status : int {
+  Ok = 0,
+  // CUDA-runtime level errors (simulated cudart).
+  ErrorMemoryAllocation,       // cudaErrorMemoryAllocation: device OOM
+  ErrorInvalidValue,           // bad argument
+  ErrorInvalidDevicePointer,   // pointer not from this device / freed
+  ErrorInvalidDevice,          // no such device / device removed
+  ErrorLaunchFailure,          // kernel faulted
+  ErrorDeviceUnavailable,      // device failed or was hot-removed
+  ErrorTooManyContexts,        // context ceiling reached (observed limit: 8)
+  ErrorInvalidConfiguration,   // bad launch configuration
+  ErrorUnknownSymbol,          // launch of an unregistered function
+  // Runtime (gpuvm daemon) level errors, detected before the device is
+  // touched -- see "Errors returned by the runtime" in Table 1.
+  ErrorNoVirtualAddress,       // a virtual address cannot be assigned
+  ErrorSwapAllocation,         // swap memory cannot be allocated
+  ErrorNoValidPte,             // no valid page-table entry for the pointer
+  ErrorSwapSizeMismatch,       // copy beyond the bounds of the allocation
+  ErrorConnectionClosed,       // transport failure
+  ErrorProtocol,               // malformed message
+  ErrorCheckpointNotFound,     // restore from a non-existent checkpoint
+  ErrorNotSupported,
+};
+
+/// Human-readable name for diagnostics and logs.
+const char* to_string(Status s);
+
+inline bool ok(Status s) { return s == Status::Ok; }
+
+/// Minimal expected-style result. Holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status error) : data_(error) {         // NOLINT(google-explicit-constructor)
+    assert(error != Status::Ok && "use the value constructor for success");
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  Status status() const {
+    return has_value() ? Status::Ok : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace gpuvm

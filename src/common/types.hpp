@@ -1,0 +1,61 @@
+// Basic integer aliases and strongly-typed identifiers shared across gpuvm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gpuvm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A simulated device address. Device pointers never alias host memory;
+/// they are offsets into a per-device virtual address range tagged with the
+/// owning device so stale cross-device use is detectable.
+using DevicePtr = u64;
+
+/// A runtime-assigned virtual address handed to applications in place of a
+/// device pointer (the core of the paper's virtual-memory abstraction).
+using VirtualPtr = u64;
+
+inline constexpr DevicePtr kNullDevicePtr = 0;
+inline constexpr VirtualPtr kNullVirtualPtr = 0;
+
+/// Strongly typed id: distinct Tag types produce incompatible ids.
+template <typename Tag>
+struct Id {
+  u64 value = 0;
+
+  constexpr bool valid() const { return value != 0; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct GpuTag {};
+struct NodeTag {};
+struct ContextTag {};
+struct ConnectionTag {};
+struct ClientTag {};
+struct JobTag {};
+
+using GpuId = Id<GpuTag>;
+using NodeId = Id<NodeTag>;
+using ContextId = Id<ContextTag>;
+using ConnectionId = Id<ConnectionTag>;
+using ClientId = Id<ClientTag>;
+using JobId = Id<JobTag>;
+
+}  // namespace gpuvm
+
+namespace std {
+template <typename Tag>
+struct hash<gpuvm::Id<Tag>> {
+  size_t operator()(gpuvm::Id<Tag> id) const noexcept {
+    return std::hash<gpuvm::u64>{}(id.value);
+  }
+};
+}  // namespace std

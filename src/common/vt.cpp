@@ -1,0 +1,205 @@
+#include "common/vt.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gpuvm::vt {
+
+namespace {
+thread_local Domain* tl_current_domain = nullptr;
+}  // namespace
+
+Domain* Domain::current() { return tl_current_domain; }
+
+Domain::Domain(Mode mode, double real_scale)
+    : mode_(mode), real_scale_(real_scale), real_start_(std::chrono::steady_clock::now()) {}
+
+Domain::~Domain() {
+  std::scoped_lock lock(mu_);
+  if (attached_ != 0) {
+    log::error("vt::Domain destroyed with %d threads still attached", attached_);
+  }
+  assert(attached_ == 0 && "all vt threads must detach before Domain teardown");
+}
+
+TimePoint Domain::now() const {
+  if (mode_ == Mode::ScaledReal) {
+    const auto real = std::chrono::steady_clock::now() - real_start_;
+    return TimePoint{static_cast<std::int64_t>(
+        static_cast<double>(std::chrono::duration_cast<Duration>(real).count()) / real_scale_)};
+  }
+  std::scoped_lock lock(mu_);
+  return now_;
+}
+
+void Domain::attach_current_thread() {
+  tl_current_domain = this;
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  ++attached_;
+  ++running_;
+}
+
+void Domain::detach_current_thread() {
+  tl_current_domain = nullptr;
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  --attached_;
+  --running_;
+  maybe_advance_locked();
+}
+
+int Domain::attached_threads() const {
+  if (mode_ == Mode::ScaledReal) return 0;
+  std::scoped_lock lock(mu_);
+  return attached_;
+}
+
+void Domain::sleep_for(Duration d) {
+  if (d <= Duration::zero()) return;
+  if (mode_ == Mode::ScaledReal) {
+    const auto real_ns = static_cast<std::int64_t>(static_cast<double>(d.count()) * real_scale_);
+    std::this_thread::sleep_for(std::chrono::nanoseconds{std::max<std::int64_t>(real_ns, 0)});
+    return;
+  }
+  std::unique_lock lock(mu_);
+  sleep_until_locked(lock, now_ + d);
+}
+
+void Domain::sleep_until(TimePoint t) {
+  if (mode_ == Mode::ScaledReal) {
+    const TimePoint current = now();
+    if (t > current) sleep_for(t - current);
+    return;
+  }
+  std::unique_lock lock(mu_);
+  sleep_until_locked(lock, t);
+}
+
+void Domain::sleep_until_locked(std::unique_lock<std::mutex>& lock, TimePoint t) {
+  assert(lock.owns_lock());
+  if (t <= now_) return;
+  Sleeper sleeper;
+  sleeper.deadline = t;
+  const auto it = sleepers_.emplace(t, &sleeper);
+  --running_;
+  maybe_advance_locked();
+  sleeper.wake.wait(lock, [&] { return sleeper.due; });
+  sleepers_.erase(it);
+  ++running_;
+  assert(wakes_in_flight_ > 0);
+  --wakes_in_flight_;
+}
+
+void Domain::hold() {
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  ++holds_;
+}
+
+void Domain::unhold() {
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  --holds_;
+  maybe_advance_locked();
+}
+
+void Domain::maybe_advance_locked() {
+  if (running_ != 0 || holds_ != 0 || wakes_in_flight_ != 0 || sleepers_.empty()) return;
+  // Quiescent: jump the clock to the earliest deadline and wake every
+  // sleeper that is now due. Woken sleepers count as wakes in flight until
+  // they resume, so the clock cannot skip past them.
+  now_ = std::max(now_, sleepers_.begin()->first);
+  for (auto it = sleepers_.begin(); it != sleepers_.end() && it->first <= now_; ++it) {
+    if (it->second->due) continue;
+    it->second->due = true;
+    ++wakes_in_flight_;
+    it->second->wake.notify_one();
+  }
+}
+
+void Domain::idle_begin() {
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  --running_;
+  maybe_advance_locked();
+}
+
+void Domain::idle_end(int consumed_wakes) {
+  if (mode_ == Mode::ScaledReal) return;
+  std::scoped_lock lock(mu_);
+  ++running_;
+  wakes_in_flight_ -= std::min(consumed_wakes, wakes_in_flight_);
+}
+
+void Domain::note_wakes(int count) {
+  if (mode_ == Mode::ScaledReal || count <= 0) return;
+  std::scoped_lock lock(mu_);
+  wakes_in_flight_ += count;
+}
+
+std::string Domain::debug_state() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream out;
+  out << "vt::Domain{now=" << now_.count() << "ns attached=" << attached_
+      << " running=" << running_ << " wakes_in_flight=" << wakes_in_flight_
+      << " sleepers=" << sleepers_.size();
+  if (!sleepers_.empty()) out << " next_deadline=" << sleepers_.begin()->first.count() << "ns";
+  out << "}";
+  return out.str();
+}
+
+void Thread::join() {
+  IdleGuard idle;
+  impl_.join();
+}
+
+IdleGuard::IdleGuard() : dom_(Domain::current()) {
+  if (dom_ != nullptr) dom_->idle_begin();
+}
+
+IdleGuard::~IdleGuard() {
+  if (dom_ != nullptr) dom_->idle_end(0);
+}
+
+void ConditionVariable::notify_one() {
+  // Caller holds the waiters' mutex (required convention, see vt.hpp). A
+  // signal to a cv with no parked waiters is a no-op for wake accounting,
+  // and redundant signals to the same parked waiter collapse -- mirroring
+  // what the OS futex does -- hence the cap at waiters_.
+  const int before = tokens_;
+  tokens_ = std::min(tokens_ + 1, waiters_);
+  dom_->note_wakes(tokens_ - before);
+  cv_.notify_one();
+}
+
+void ConditionVariable::notify_all() {
+  const int before = tokens_;
+  tokens_ = waiters_;
+  dom_->note_wakes(tokens_ - before);
+  cv_.notify_all();
+}
+
+void ConditionVariable::wait_once(std::unique_lock<std::mutex>& lk) {
+  assert(lk.owns_lock());
+  ++waiters_;
+  dom_->idle_begin();
+  cv_.wait(lk);
+  // lk is held again: settle the token books for this departure.
+  --waiters_;
+  int consumed = 0;
+  if (tokens_ > 0) {
+    --tokens_;
+    consumed = 1;
+  }
+  if (tokens_ > waiters_) {  // waiter left with undelivered tokens outstanding
+    consumed += tokens_ - waiters_;
+    tokens_ = waiters_;
+  }
+  dom_->idle_end(consumed);
+}
+
+}  // namespace gpuvm::vt

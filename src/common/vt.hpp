@@ -1,0 +1,299 @@
+// Virtual-time threading substrate.
+//
+// gpuvm simulates the latencies of GPU kernels, PCIe transfers, network hops
+// and CPU phases. Running those latencies as wall-clock sleeps would make
+// the paper's experiments (tens of minutes of modeled time) impractically
+// slow and would let harness overhead pollute the measurements, so all
+// modeled delays run against a *virtual clock* owned by a vt::Domain.
+//
+// Model: a set of OS threads attach to a Domain. At any instant each
+// attached thread is in exactly one of three states:
+//   - running:  executing real code (takes zero virtual time),
+//   - sleeping: inside Domain::sleep_for/sleep_until (takes virtual time),
+//   - idle:     blocked in a vt::ConditionVariable wait (waiting for another
+//               thread's notification; takes however long that takes).
+// The clock advances conservatively: only when no thread is running and no
+// notification is still in flight does the Domain jump the clock to the
+// earliest pending deadline and wake the corresponding sleepers. This is a
+// quiescence-based conservative discrete-event advance; virtual durations
+// are exact regardless of host load, and a simulation runs at CPU speed.
+//
+// A Domain can instead run in ScaledReal mode, where sleeps map to real
+// nanosleep calls scaled by a factor; this is used as a cross-check that the
+// virtual clock does not distort experiment shapes.
+//
+// Threads must attach before using vt primitives (see vt::Thread, which is
+// a jthread-like RAII wrapper that attaches on entry). Blocking on anything
+// other than vt primitives while attached stalls the clock for everyone, so
+// domain code must use vt::ConditionVariable instead of std::condition_variable.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace gpuvm::vt {
+
+/// Virtual durations/time points are nanosecond counts since domain start.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = Duration;
+
+inline constexpr TimePoint kTimeZero{0};
+
+constexpr Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+constexpr Duration from_millis(double ms) {
+  return Duration{static_cast<std::int64_t>(ms * 1e6)};
+}
+constexpr Duration from_micros(double us) {
+  return Duration{static_cast<std::int64_t>(us * 1e3)};
+}
+constexpr double to_seconds(Duration d) { return static_cast<double>(d.count()) * 1e-9; }
+
+enum class Mode {
+  Virtual,     ///< discrete-event clock, no real sleeping
+  ScaledReal,  ///< real sleeps scaled by Domain::real_scale (sanity mode)
+};
+
+class ConditionVariable;
+
+class Domain {
+ public:
+  explicit Domain(Mode mode = Mode::Virtual, double real_scale = 1e-3);
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  Mode mode() const { return mode_; }
+
+  /// Current virtual time.
+  TimePoint now() const;
+
+  /// Block the calling (attached) thread for `d` of virtual time.
+  void sleep_for(Duration d);
+  /// Block the calling (attached) thread until virtual time `t`.
+  void sleep_until(TimePoint t);
+
+  /// Threads must attach before sleeping or waiting on vt condition
+  /// variables, and detach before exiting. Prefer vt::Thread.
+  void attach_current_thread();
+  void detach_current_thread();
+
+  /// While at least one hold is outstanding the clock cannot advance.
+  /// Use (via HoldGuard) around batch thread spawns so that all workers
+  /// observe the same virtual start time; without it an early worker's
+  /// sleep could advance the clock before its siblings exist.
+  void hold();
+  void unhold();
+
+  /// Number of currently attached threads (diagnostics).
+  int attached_threads() const;
+
+  /// Domain the calling thread is attached to, or nullptr.
+  static Domain* current();
+
+  /// Dump scheduler state to the log (diagnosing a stuck simulation).
+  std::string debug_state() const;
+
+ private:
+  friend class ConditionVariable;
+  friend class IdleGuard;
+
+  struct Sleeper {
+    TimePoint deadline;
+    std::condition_variable wake;
+    bool due = false;  // set by the advancing thread before notifying
+  };
+
+  // All fields below are guarded by mu_.
+  mutable std::mutex mu_;
+  Mode mode_;
+  double real_scale_;
+  std::chrono::steady_clock::time_point real_start_;
+  TimePoint now_{0};
+  int attached_ = 0;
+  int running_ = 0;            // attached threads not sleeping and not idle
+  int holds_ = 0;              // outstanding hold() calls block advances
+  int wakes_in_flight_ = 0;    // sleepers marked due but not yet resumed,
+                               // plus cv notifications not yet consumed
+  std::multimap<TimePoint, Sleeper*> sleepers_;
+
+  void sleep_until_locked(std::unique_lock<std::mutex>& lock, TimePoint t);
+
+  // Called with mu_ held. If the domain is quiescent, advances the clock to
+  // the earliest deadline and marks/wakes the due sleepers.
+  void maybe_advance_locked();
+
+  // ConditionVariable integration: a thread entering an idle wait leaves the
+  // running set (and can trigger an advance); notifications register an
+  // in-flight wake so the clock cannot advance past a pending wakeup.
+  void idle_begin();
+  void idle_end(int consumed_wakes);
+  void note_wakes(int count);
+};
+
+/// Condition variable whose waits count as "idle" (not "running") toward the
+/// domain's quiescence detection. Interface mirrors std::condition_variable
+/// but every wait must name the Domain. Waiting threads must be attached.
+///
+/// REQUIRED CONVENTION (stricter than std): notify_one/notify_all must be
+/// called *while holding the same mutex the waiters pass to wait()*, after
+/// mutating the predicate under that mutex. The domain counts undelivered
+/// wake "tokens" (capped by the number of parked waiters, exactly mirroring
+/// how an OS collapses redundant signals); tokens in flight pin the virtual
+/// clock so it cannot advance past a wakeup that is still being delivered.
+/// The cap arithmetic is only exact when notifications and waiter bookkeeping
+/// are serialized by that one mutex.
+class ConditionVariable {
+ public:
+  explicit ConditionVariable(Domain& dom) : dom_(&dom) {}
+
+  ConditionVariable(const ConditionVariable&) = delete;
+  ConditionVariable& operator=(const ConditionVariable&) = delete;
+
+  void notify_one();
+  void notify_all();
+
+  template <typename Pred>
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred) {
+    while (!pred()) wait_once(lk);
+  }
+
+  /// Wait with a virtual-time timeout; returns pred() at exit (like
+  /// std::condition_variable::wait_for). Implemented by polling in virtual
+  /// time (quantum = timeout/16, at least 200us virtual) rather than by
+  /// notification, so it is suitable for retry/backoff loops, not for
+  /// latency-critical handoffs.
+  template <typename Pred>
+  bool wait_for(std::unique_lock<std::mutex>& lk, Duration timeout, Pred pred) {
+    const TimePoint deadline = dom_->now() + timeout;
+    const Duration quantum = std::max(timeout / 16, from_micros(200));
+    while (!pred()) {
+      const TimePoint current = dom_->now();
+      if (current >= deadline) return pred();
+      lk.unlock();
+      dom_->sleep_for(std::min(quantum, deadline - current));
+      lk.lock();
+    }
+    return true;
+  }
+
+ private:
+  // One blocking episode: marks the thread idle, waits for a notification.
+  void wait_once(std::unique_lock<std::mutex>& lk);
+
+  Domain* dom_;
+  std::condition_variable cv_;
+  // Guarded by the waiters' mutex (see the convention above).
+  int waiters_ = 0;  // threads parked in wait_once
+  int tokens_ = 0;   // undelivered wake tokens; invariant: tokens_ <= waiters_
+};
+
+/// RAII thread that attaches to a Domain for its whole body and joins on
+/// destruction (CP.25: prefer joining threads). The constructor returns
+/// only after the new thread has attached, so a spawner holding the domain
+/// (HoldGuard) can guarantee a common virtual start time for a batch.
+class Thread {
+ public:
+  Thread() = default;
+
+  template <typename Fn>
+  Thread(Domain& dom, Fn&& fn) {
+    std::promise<void> attached;
+    auto attached_future = attached.get_future();
+    impl_ = std::thread(
+        [&dom, started = std::move(attached), fn = std::forward<Fn>(fn)]() mutable {
+          dom.attach_current_thread();
+          started.set_value();
+          struct Detach {
+            Domain* d;
+            ~Detach() { d->detach_current_thread(); }
+          } guard{&dom};
+          fn();
+        });
+    attached_future.wait();
+  }
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+
+  ~Thread() {
+    if (impl_.joinable()) join();
+  }
+
+  bool joinable() const { return impl_.joinable(); }
+
+  /// Joins; if the calling thread is itself attached to a domain, it is
+  /// marked idle for the duration so the virtual clock keeps advancing for
+  /// the thread being joined.
+  void join();
+
+ private:
+  std::thread impl_;
+};
+
+/// Marks the calling (attached) thread idle for the guard's lifetime. Wrap
+/// any blocking call on a non-vt primitive (futures, std::thread::join,
+/// real sockets) so the block does not stall the virtual clock.
+class IdleGuard {
+ public:
+  IdleGuard();  // applies to Domain::current(); no-op when unattached
+  ~IdleGuard();
+  IdleGuard(const IdleGuard&) = delete;
+  IdleGuard& operator=(const IdleGuard&) = delete;
+
+ private:
+  Domain* dom_;
+};
+
+/// RAII guard for Domain::hold/unhold.
+class HoldGuard {
+ public:
+  explicit HoldGuard(Domain& dom) : dom_(&dom) { dom_->hold(); }
+  ~HoldGuard() { dom_->unhold(); }
+  HoldGuard(const HoldGuard&) = delete;
+  HoldGuard& operator=(const HoldGuard&) = delete;
+
+ private:
+  Domain* dom_;
+};
+
+/// Attaches the calling thread for the lifetime of the guard. Used by main
+/// threads (tests, benches) that interact with a simulation.
+class AttachGuard {
+ public:
+  explicit AttachGuard(Domain& dom) : dom_(&dom) { dom_->attach_current_thread(); }
+  ~AttachGuard() { dom_->detach_current_thread(); }
+  AttachGuard(const AttachGuard&) = delete;
+  AttachGuard& operator=(const AttachGuard&) = delete;
+
+ private:
+  Domain* dom_;
+};
+
+/// Measures elapsed virtual time.
+class StopWatch {
+ public:
+  explicit StopWatch(const Domain& dom) : dom_(&dom), start_(dom.now()) {}
+  Duration elapsed() const { return dom_->now() - start_; }
+  double elapsed_seconds() const { return to_seconds(elapsed()); }
+  void reset() { start_ = dom_->now(); }
+
+ private:
+  const Domain* dom_;
+  TimePoint start_;
+};
+
+}  // namespace gpuvm::vt

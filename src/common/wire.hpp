@@ -1,0 +1,120 @@
+// Binary serialization for the interposition wire protocol.
+//
+// The paper's prototype marshals CUDA calls over gVirtuS AF_UNIX sockets;
+// gpuvm keeps that split honest by encoding every frontend<->daemon and
+// node<->node message through this little-endian, length-prefixed format,
+// whichever transport carries the bytes.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace gpuvm {
+
+/// Append-only encoder.
+class WireWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* bytes = reinterpret_cast<const u8*>(&value);
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+  }
+
+  void put_bytes(std::span<const u8> bytes) {
+    put<u64>(bytes.size());
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void put_string(std::string_view s) {
+    put_bytes({reinterpret_cast<const u8*>(s.data()), s.size()});
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put<u64>(v.size());
+    const auto* bytes = reinterpret_cast<const u8*>(v.data());
+    buf_.insert(buf_.end(), bytes, bytes + v.size() * sizeof(T));
+  }
+
+  const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+/// Cursor-based decoder. All getters report malformed input through ok();
+/// once a read fails every later read returns default values.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const u8> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T value{};
+    if (!take(sizeof(T))) return value;
+    std::memcpy(&value, data_.data() + pos_ - sizeof(T), sizeof(T));
+    return value;
+  }
+
+  std::vector<u8> get_bytes() {
+    const u64 n = get<u64>();
+    std::vector<u8> out;
+    if (!take(n)) return out;
+    out.assign(data_.begin() + static_cast<long>(pos_ - n), data_.begin() + static_cast<long>(pos_));
+    return out;
+  }
+
+  std::string get_string() {
+    const auto raw = get_bytes();
+    return std::string(raw.begin(), raw.end());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const u64 n = get<u64>();
+    std::vector<T> out;
+    if (!take(n * sizeof(T))) return out;
+    out.resize(n);
+    std::memcpy(out.data(), data_.data() + pos_ - n * sizeof(T), n * sizeof(T));
+    return out;
+  }
+
+  /// Borrow `n` raw bytes without copying (valid while the backing buffer
+  /// lives). Used for bulk data payloads.
+  std::span<const u8> get_span() {
+    const u64 n = get<u64>();
+    if (!take(n)) return {};
+    return data_.subspan(pos_ - n, n);
+  }
+
+ private:
+  bool take(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const u8> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace gpuvm

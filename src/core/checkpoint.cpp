@@ -1,0 +1,13 @@
+#include "core/checkpoint.hpp"
+
+namespace gpuvm::core {
+
+Result<std::vector<u8>> serialize_context(MemoryManager& mm, ContextId ctx) {
+  return mm.export_image(ctx);
+}
+
+Status restore_context(MemoryManager& mm, ContextId ctx, std::span<const u8> image) {
+  return mm.import_image(ctx, image);
+}
+
+}  // namespace gpuvm::core

@@ -1,0 +1,41 @@
+// Serializable context checkpoints.
+//
+// The paper combines its runtime with BLCR so that contexts survive a full
+// node restart (section 4.6): "Our mechanism can be combined with BLCR in
+// order to enable these mechanisms also after a full restart of a node."
+// The gpuvm equivalent: a context's complete memory-manager state -- every
+// page-table entry's metadata, nested-reference table and swap-area bytes --
+// serializes to a flat image that can be restored into a fresh context on
+// any node (the same one after a restart, or a different one for cross-node
+// job migration). Because the swap area is the authoritative copy after a
+// checkpoint() sync, no device state needs capturing, and -- unlike NVCR --
+// restoring replays no allocation history: entries simply re-materialize on
+// demand at the next kernel launch.
+//
+// Image layout (little-endian, versioned):
+//   u32 magic, u32 version, u64 entry_count,
+//   per entry: virtual_ptr, size, flags, nested refs, swap bytes.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/memory_manager.hpp"
+
+namespace gpuvm::core {
+
+/// Serializes `ctx`'s memory state. The caller must hold the context's
+/// ContextLock (or otherwise guarantee quiescence) and should have run
+/// MemoryManager::checkpoint first so the swap area is current; entries
+/// still dirty on device are synced (costed) as part of serialization.
+Result<std::vector<u8>> serialize_context(MemoryManager& mm, ContextId ctx);
+
+/// Restores an image into `ctx` (a fresh context previously registered via
+/// MemoryManager::add_context). Existing entries of `ctx` are replaced.
+/// Virtual addresses are preserved exactly, so pointers the application
+/// captured before the checkpoint stay valid after restore -- including
+/// pointers stored inside registered nested structures.
+Status restore_context(MemoryManager& mm, ContextId ctx, std::span<const u8> image);
+
+}  // namespace gpuvm::core

@@ -1,0 +1,79 @@
+#include "core/direct_api.hpp"
+
+namespace gpuvm::core {
+
+DirectApi::DirectApi(cudart::CudaRt& rt) : rt_(&rt), client_(rt.create_client()) {}
+
+DirectApi::~DirectApi() { rt_->destroy_client(client_); }
+
+int DirectApi::device_count() { return rt_->get_device_count(); }
+
+Status DirectApi::set_device(int index) { return rt_->set_device(client_, index); }
+
+Status DirectApi::register_kernels(const std::vector<std::string>& names) {
+  if (module_ == 0) {
+    auto module = rt_->register_fat_binary(client_);
+    if (!module) return module.status();
+    module_ = module.value();
+  }
+  for (const auto& name : names) {
+    if (handles_.count(name) != 0) continue;
+    const u64 handle = next_handle_++;
+    if (const Status s = rt_->register_function(client_, module_, handle, name); !ok(s)) return s;
+    handles_[name] = handle;
+  }
+  return Status::Ok;
+}
+
+Result<VirtualPtr> DirectApi::malloc(u64 size) {
+  auto r = rt_->malloc(client_, size);
+  if (!r) return r.status();
+  return static_cast<VirtualPtr>(r.value());
+}
+
+Status DirectApi::free(VirtualPtr ptr) { return rt_->free(client_, ptr); }
+
+Status DirectApi::memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) {
+  return rt_->memcpy_h2d(client_, dst, src);
+}
+
+Status DirectApi::memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) {
+  return rt_->memcpy_d2h(client_, dst, src, size);
+}
+
+Status DirectApi::memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) {
+  return rt_->memcpy_d2d(client_, dst, src, size);
+}
+
+Result<VirtualPtr> DirectApi::malloc_pitch(u64 width, u64 height, u64* pitch) {
+  auto r = rt_->malloc_pitch(client_, width, height, pitch);
+  if (!r) return r.status();
+  return static_cast<VirtualPtr>(r.value());
+}
+
+Status DirectApi::memcpy2d_h2d(VirtualPtr dst, u64 dpitch, std::span<const std::byte> src,
+                               u64 spitch, u64 width, u64 height) {
+  return rt_->memcpy2d_h2d(client_, dst, dpitch, src, spitch, width, height);
+}
+
+Status DirectApi::memcpy2d_d2h(std::span<std::byte> dst, u64 dpitch, VirtualPtr src, u64 spitch,
+                               u64 width, u64 height) {
+  return rt_->memcpy2d_d2h(client_, dst, dpitch, src, spitch, width, height);
+}
+
+Status DirectApi::launch(const std::string& kernel, const sim::LaunchConfig& config,
+                         const std::vector<sim::KernelArg>& args) {
+  const auto it = handles_.find(kernel);
+  if (it == handles_.end()) return Status::ErrorUnknownSymbol;
+  if (const Status s = rt_->configure_call(client_, config); !ok(s)) return s;
+  for (const auto& arg : args) {
+    if (const Status s = rt_->setup_argument(client_, arg); !ok(s)) return s;
+  }
+  return rt_->launch(client_, it->second);
+}
+
+Status DirectApi::synchronize() { return rt_->device_synchronize(client_); }
+
+Status DirectApi::get_last_error() { return rt_->get_last_error(client_); }
+
+}  // namespace gpuvm::core

@@ -1,0 +1,52 @@
+// DirectApi: GpuApi over the bare simulated CUDA runtime.
+//
+// This is the paper's baseline configuration: applications talk straight to
+// the CUDA runtime with no interposition, no virtual memory and no sharing
+// support. One DirectApi per application thread (it owns a CUDA client).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/gpu_api.hpp"
+#include "cudart/cudart.hpp"
+
+namespace gpuvm::core {
+
+class DirectApi : public GpuApi {
+ public:
+  explicit DirectApi(cudart::CudaRt& rt);
+  ~DirectApi() override;
+
+  DirectApi(const DirectApi&) = delete;
+  DirectApi& operator=(const DirectApi&) = delete;
+
+  int device_count() override;
+  Status set_device(int index) override;
+  Status register_kernels(const std::vector<std::string>& names) override;
+  Result<VirtualPtr> malloc(u64 size) override;
+  Status free(VirtualPtr ptr) override;
+  Status memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) override;
+  Status memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) override;
+  Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) override;
+  Result<VirtualPtr> malloc_pitch(u64 width, u64 height, u64* pitch) override;
+  Status memcpy2d_h2d(VirtualPtr dst, u64 dpitch, std::span<const std::byte> src, u64 spitch,
+                      u64 width, u64 height) override;
+  Status memcpy2d_d2h(std::span<std::byte> dst, u64 dpitch, VirtualPtr src, u64 spitch,
+                      u64 width, u64 height) override;
+  Status launch(const std::string& kernel, const sim::LaunchConfig& config,
+                const std::vector<sim::KernelArg>& args) override;
+  Status synchronize() override;
+  Status get_last_error() override;
+
+  ClientId client() const { return client_; }
+
+ private:
+  cudart::CudaRt* rt_;
+  ClientId client_;
+  u64 module_ = 0;
+  u64 next_handle_ = 0x1000;
+  std::map<std::string, u64> handles_;
+};
+
+}  // namespace gpuvm::core

@@ -1,0 +1,70 @@
+// FrontendApi: the interposition frontend library.
+//
+// The client half of the paper's API-remoting split: every GpuApi call is
+// marshaled into a wire message and shipped to the runtime daemon over the
+// connection's channel; the reply carries the status (and data for reads).
+// One FrontendApi per application thread == one connection == one context
+// in the daemon, preserving the CUDA-3.2 thread/context correspondence.
+#pragma once
+
+#include <memory>
+
+#include "core/gpu_api.hpp"
+#include "transport/channel.hpp"
+
+namespace gpuvm::core {
+
+/// Optional information the frontend declares when connecting.
+struct ConnectOptions {
+  /// Estimated total GPU seconds (profiling hint for shortest-job-first
+  /// scheduling). <= 0 means unknown.
+  double job_cost_hint_seconds = 0.0;
+  /// CUDA 4.0 semantics (paper section 4.8): threads carrying the same
+  /// nonzero application id share one daemon context -- same virtual
+  /// address space, same device binding -- so they can share device data.
+  u64 application_id = 0;
+  /// QoS deadline in modeled seconds since daemon start (<= 0 = none);
+  /// consumed by the DeadlineAware scheduling policy.
+  double deadline_seconds = 0.0;
+};
+
+class FrontendApi : public GpuApi {
+ public:
+  /// Takes ownership of the client end of a connection to a daemon.
+  explicit FrontendApi(std::unique_ptr<transport::MessageChannel> channel,
+                       ConnectOptions options = {});
+  ~FrontendApi() override;
+
+  FrontendApi(const FrontendApi&) = delete;
+  FrontendApi& operator=(const FrontendApi&) = delete;
+
+  /// True once the Hello handshake succeeded.
+  bool connected() const { return connection_.valid(); }
+  ConnectionId connection_id() const { return connection_; }
+
+  int device_count() override;
+  Status set_device(int index) override;
+  Status register_kernels(const std::vector<std::string>& names) override;
+  Result<VirtualPtr> malloc(u64 size) override;
+  Status free(VirtualPtr ptr) override;
+  Status memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) override;
+  Status memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) override;
+  Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) override;
+  Status launch(const std::string& kernel, const sim::LaunchConfig& config,
+                const std::vector<sim::KernelArg>& args) override;
+  Status synchronize() override;
+  Status get_last_error() override;
+  Status register_nested(VirtualPtr parent, const std::vector<NestedRef>& refs) override;
+  Status checkpoint() override;
+
+ private:
+  /// Sends one request and blocks for its reply (the CUDA calls modeled
+  /// here are synchronous).
+  Result<transport::Message> roundtrip(transport::Opcode op, std::vector<u8> payload);
+  Status simple_call(transport::Opcode op, std::vector<u8> payload);
+
+  std::unique_ptr<transport::MessageChannel> channel_;
+  ConnectionId connection_{};
+};
+
+}  // namespace gpuvm::core

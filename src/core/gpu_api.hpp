@@ -1,0 +1,122 @@
+// GpuApi: the call surface a GPU application sees.
+//
+// Workloads are written once against this interface and run unchanged on
+// either backend:
+//   - DirectApi  -> the bare simulated CUDA runtime (the paper's baseline);
+//   - FrontendApi -> the gpuvm interposition frontend, which marshals every
+//     call to the runtime daemon (the paper's system).
+// Pointers returned by malloc() are opaque: device pointers under DirectApi,
+// runtime-generated virtual addresses under FrontendApi. Pointer arithmetic
+// within an allocation is allowed (apps index into buffers), which both
+// backends support.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/kernels.hpp"
+
+namespace gpuvm::core {
+
+/// One registered pointer slot inside a nested data structure: the 8 bytes
+/// at `offset` within the parent allocation hold a pointer to `target`.
+/// Apps with nested structures must declare them (paper section 1: "we also
+/// support pointer nesting by requiring the programmer to register nested
+/// data structures using our runtime API").
+struct NestedRef {
+  u64 offset = 0;
+  VirtualPtr target = kNullVirtualPtr;
+
+  friend bool operator==(const NestedRef&, const NestedRef&) = default;
+};
+
+class GpuApi {
+ public:
+  virtual ~GpuApi() = default;
+
+  // ---- Device management ---------------------------------------------------
+  /// Number of visible devices. The gpuvm daemon reports virtual GPUs here,
+  /// hiding the physical topology.
+  virtual int device_count() = 0;
+  /// Explicit device selection. The gpuvm daemon ignores it by design.
+  virtual Status set_device(int index) = 0;
+
+  // ---- Registration ----------------------------------------------------------
+  /// Registers the kernel symbols this application will launch (stands in
+  /// for the __cudaRegisterFatBinary/Function sequence the CUDA toolchain
+  /// emits before main()).
+  virtual Status register_kernels(const std::vector<std::string>& names) = 0;
+
+  // ---- Memory ----------------------------------------------------------------
+  virtual Result<VirtualPtr> malloc(u64 size) = 0;
+  virtual Status free(VirtualPtr ptr) = 0;
+  virtual Status memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) = 0;
+  virtual Status memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) = 0;
+  virtual Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) = 0;
+
+  /// cudaMallocPitch: rows padded to 256-byte alignment.
+  virtual Result<VirtualPtr> malloc_pitch(u64 width, u64 height, u64* pitch) {
+    const u64 row = (width + 255) / 256 * 256;
+    if (pitch != nullptr) *pitch = row;
+    return malloc(row * height);
+  }
+  /// cudaMemcpy2D host->device: `height` rows of `width` bytes; source rows
+  /// spaced `spitch` apart, destination rows `dpitch` apart. The generic
+  /// implementation issues one copy per row; the runtime coalesces them
+  /// into a single bulk transfer at materialization.
+  virtual Status memcpy2d_h2d(VirtualPtr dst, u64 dpitch, std::span<const std::byte> src,
+                              u64 spitch, u64 width, u64 height) {
+    if (width > spitch || width > dpitch || src.size() < spitch * height) {
+      return Status::ErrorInvalidValue;
+    }
+    for (u64 row = 0; row < height; ++row) {
+      const Status s = memcpy_h2d(dst + row * dpitch, src.subspan(row * spitch, width));
+      if (!ok(s)) return s;
+    }
+    return Status::Ok;
+  }
+  virtual Status memcpy2d_d2h(std::span<std::byte> dst, u64 dpitch, VirtualPtr src, u64 spitch,
+                              u64 width, u64 height) {
+    if (width > spitch || width > dpitch || dst.size() < dpitch * height) {
+      return Status::ErrorInvalidValue;
+    }
+    for (u64 row = 0; row < height; ++row) {
+      const Status s = memcpy_d2h(dst.subspan(row * dpitch, width), src + row * spitch, width);
+      if (!ok(s)) return s;
+    }
+    return Status::Ok;
+  }
+
+  // ---- Execution --------------------------------------------------------------
+  /// Launches a registered kernel. DevPtr arguments carry pointers obtained
+  /// from this API (base or interior).
+  virtual Status launch(const std::string& kernel, const sim::LaunchConfig& config,
+                        const std::vector<sim::KernelArg>& args) = 0;
+  virtual Status synchronize() = 0;
+  virtual Status get_last_error() = 0;
+
+  // ---- gpuvm runtime extensions ------------------------------------------------
+  /// Declares pointer slots within `parent` (no-op capability gate on the
+  /// bare runtime: returns ErrorNotSupported).
+  virtual Status register_nested(VirtualPtr parent, const std::vector<NestedRef>& refs) {
+    (void)parent;
+    (void)refs;
+    return Status::ErrorNotSupported;
+  }
+  /// Explicit checkpoint of all device state to host.
+  virtual Status checkpoint() { return Status::ErrorNotSupported; }
+
+  // Convenience typed helpers -----------------------------------------------
+  Status copy_in(VirtualPtr dst, const auto& container) {
+    return memcpy_h2d(dst, std::as_bytes(std::span(container)));
+  }
+  Status copy_out(auto& container, VirtualPtr src) {
+    auto bytes = std::as_writable_bytes(std::span(container));
+    return memcpy_d2h(bytes, src, bytes.size());
+  }
+};
+
+}  // namespace gpuvm::core

@@ -1,0 +1,635 @@
+#include "core/memory_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/wire.hpp"
+
+namespace gpuvm::core {
+
+MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {}
+
+void MemoryManager::add_context(ContextId ctx) {
+  std::scoped_lock lock(mu_);
+  contexts_.emplace(ctx, std::make_shared<CtxMem>());
+}
+
+void MemoryManager::remove_context(ContextId ctx) {
+  CtxMemPtr mem;
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = contexts_.find(ctx);
+    if (it == contexts_.end()) return;
+    mem = it->second;
+    contexts_.erase(it);
+  }
+  // Free device allocations; swap buffers die with the map. Uncosted free
+  // path (like a process teardown).
+  for (auto& [vptr, pte] : mem->entries) {
+    if (pte->is_allocated) (void)rt_->free(pte->owner_client, pte->device_ptr);
+  }
+}
+
+MemoryManager::CtxMemPtr MemoryManager::find(ContextId ctx) const {
+  std::scoped_lock lock(mu_);
+  const auto it = contexts_.find(ctx);
+  return it == contexts_.end() ? nullptr : it->second;
+}
+
+PageTableEntry* MemoryManager::locate(CtxMem& mem, VirtualPtr ptr, u64* offset) {
+  if (ptr == kNullVirtualPtr || mem.entries.empty()) return nullptr;
+  auto it = mem.entries.upper_bound(ptr);
+  if (it == mem.entries.begin()) return nullptr;
+  --it;
+  PageTableEntry* pte = it->second.get();
+  if (ptr < pte->virtual_ptr || ptr >= pte->virtual_ptr + pte->size) return nullptr;
+  *offset = ptr - pte->virtual_ptr;
+  return pte;
+}
+
+Result<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  if (size == 0) return Status::ErrorInvalidValue;
+
+  auto pte = std::make_unique<PageTableEntry>();
+  pte->size = size;
+  try {
+    pte->swap.resize(size);  // the swap area backs every allocation
+  } catch (const std::bad_alloc&) {
+    return Status::ErrorSwapAllocation;
+  }
+
+  VirtualPtr vptr;
+  {
+    std::scoped_lock lock(mu_);
+    // Virtual addresses are aligned and spaced so interior arithmetic never
+    // crosses into a neighbouring allocation.
+    va_next_ = (va_next_ + 255) / 256 * 256;
+    vptr = va_next_;
+    va_next_ += std::max<u64>(size, 256) + 256;
+    if (va_next_ < vptr) return Status::ErrorNoVirtualAddress;  // wrapped
+  }
+  pte->virtual_ptr = vptr;
+  mem->entries.emplace(vptr, std::move(pte));
+  mem->total_bytes.fetch_add(size, std::memory_order_relaxed);
+  return vptr;
+}
+
+Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const std::byte> src,
+                                  std::optional<ClientId> bound_client) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  u64 offset = 0;
+  PageTableEntry* pte = locate(*mem, dst, &offset);
+  if (pte == nullptr) return Status::ErrorNoValidPte;
+  if (offset + src.size() > pte->size) {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.bounds_rejections;
+    return Status::ErrorSwapSizeMismatch;  // caught before reaching the GPU
+  }
+
+  const bool eager = !config_.defer_transfers && bound_client.has_value() && pte->is_allocated;
+  if (eager) {
+    // Eager configuration: ship straight to the device (costed), keep the
+    // swap copy in sync so later swaps are cheap reads.
+    const Status s = rt_->memcpy_h2d(*bound_client, pte->device_ptr + offset, src);
+    if (!ok(s)) return s;
+    std::memcpy(pte->swap.data() + offset, src.data(), src.size());
+    pte->to_copy_2_dev = false;
+    pte->to_copy_2_swap = false;
+    return Status::Ok;
+  }
+
+  // Deferred configuration (Table 1: "Move data to swap"): repeated writes
+  // into one entry coalesce into a single bulk transfer at launch. A
+  // *partial* write to an entry whose authoritative copy is dirty on the
+  // device must pull the device copy into swap first -- otherwise the next
+  // bulk transfer would overwrite the untouched part of the device data
+  // with stale swap bytes.
+  const bool partial = offset != 0 || src.size() != pte->size;
+  if (partial && pte->to_copy_2_swap) {
+    if (const Status s = sync_to_swap(*pte); !ok(s)) return s;
+  }
+  std::memcpy(pte->swap.data() + offset, src.data(), src.size());
+  pte->to_copy_2_dev = true;
+  pte->to_copy_2_swap = false;
+  return Status::Ok;
+}
+
+Status MemoryManager::sync_to_swap(PageTableEntry& pte) {
+  if (!pte.to_copy_2_swap) return Status::Ok;
+  if (!pte.is_allocated) return Status::ErrorNoValidPte;
+  const Status s = rt_->memcpy_d2h(pte.owner_client, pte.swap, pte.device_ptr, pte.size);
+  if (!ok(s)) {
+    if (s == Status::ErrorDeviceUnavailable) {
+      // Device died with the only up-to-date copy: recover to the last
+      // swap-consistent state (the implicit checkpoint).
+      pte.to_copy_2_swap = false;
+      pte.to_copy_2_dev = true;
+      return s;
+    }
+    return s;
+  }
+  pte.to_copy_2_swap = false;
+  return Status::Ok;
+}
+
+Status MemoryManager::on_copy_d2h(ContextId ctx, std::span<std::byte> dst, VirtualPtr src,
+                                  u64 size) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  u64 offset = 0;
+  PageTableEntry* pte = locate(*mem, src, &offset);
+  if (pte == nullptr) return Status::ErrorNoValidPte;
+  if (offset + size > pte->size || dst.size() < size) {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.bounds_rejections;
+    return Status::ErrorSwapSizeMismatch;
+  }
+  // Table 1: "If (PTE.toCopy2Swap) cudaMemcpyDH" -- sync then serve from swap.
+  if (const Status s = sync_to_swap(*pte); !ok(s)) return s;
+  if (pte->to_copy_2_swap) return Status::ErrorNoValidPte;  // unreachable guard
+  // Nested parents keep virtual pointers in their swap image; serve those.
+  if (!pte->nested.empty()) rewrite_nested_to_virtual(*mem, *pte);
+  std::memcpy(dst.data(), pte->swap.data() + offset, size);
+  return Status::Ok;
+}
+
+Status MemoryManager::on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src, u64 size) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  u64 src_off = 0;
+  u64 dst_off = 0;
+  PageTableEntry* spte = locate(*mem, src, &src_off);
+  PageTableEntry* dpte = locate(*mem, dst, &dst_off);
+  if (spte == nullptr || dpte == nullptr) return Status::ErrorNoValidPte;
+  if (src_off + size > spte->size || dst_off + size > dpte->size) {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.bounds_rejections;
+    return Status::ErrorSwapSizeMismatch;
+  }
+  // Resolve the source's authoritative copy into swap, then stage the
+  // destination write there: a deferred device-to-device copy costs no
+  // device work at all unless either side was dirty on device (the
+  // destination must sync too when the write is partial -- same stale-swap
+  // hazard as partial host writes).
+  if (const Status s = sync_to_swap(*spte); !ok(s)) return s;
+  const bool partial = dst_off != 0 || size != dpte->size;
+  if (partial && dpte->to_copy_2_swap) {
+    if (const Status s = sync_to_swap(*dpte); !ok(s)) return s;
+  }
+  std::memmove(dpte->swap.data() + dst_off, spte->swap.data() + src_off, size);
+  dpte->to_copy_2_dev = true;
+  dpte->to_copy_2_swap = false;
+  return Status::Ok;
+}
+
+Status MemoryManager::on_free(ContextId ctx, VirtualPtr ptr) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  const auto it = mem->entries.find(ptr);  // frees must name the base address
+  if (it == mem->entries.end()) return Status::ErrorNoValidPte;
+  PageTableEntry* pte = it->second.get();
+  if (pte->is_allocated) {
+    // Table 1: "If (PTE.isAllocated) cudaFree".
+    (void)rt_->free(pte->owner_client, pte->device_ptr);
+    mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
+    if (mem->resident_bytes.load(std::memory_order_relaxed) == 0) {
+      mem->resident_gpu.store(0, std::memory_order_relaxed);
+    }
+  }
+  mem->total_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
+  mem->entries.erase(it);
+  return Status::Ok;
+}
+
+Status MemoryManager::register_nested(ContextId ctx, VirtualPtr parent,
+                                      const std::vector<NestedRef>& refs) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  u64 offset = 0;
+  PageTableEntry* pte = locate(*mem, parent, &offset);
+  if (pte == nullptr || offset != 0) return Status::ErrorNoValidPte;
+  for (const NestedRef& ref : refs) {
+    if (ref.offset + sizeof(u64) > pte->size) return Status::ErrorSwapSizeMismatch;
+    u64 child_off = 0;
+    PageTableEntry* child = locate(*mem, ref.target, &child_off);
+    if (child == nullptr || child_off != 0) return Status::ErrorNoValidPte;
+    child->is_nested_member = true;
+  }
+  pte->nested = refs;
+  // The swap image stores the virtual pointers (position independent).
+  for (const NestedRef& ref : refs) {
+    std::memcpy(pte->swap.data() + ref.offset, &ref.target, sizeof(u64));
+  }
+  pte->to_copy_2_dev = true;
+  return Status::Ok;
+}
+
+std::vector<PageTableEntry*> MemoryManager::nested_closure(CtxMem& mem,
+                                                           std::vector<PageTableEntry*> roots) {
+  std::vector<PageTableEntry*> ordered;
+  std::set<PageTableEntry*> visited;
+  // Children-first depth-first order so parents are patched after children
+  // are placed.
+  std::function<void(PageTableEntry*)> visit = [&](PageTableEntry* pte) {
+    if (!visited.insert(pte).second) return;
+    for (const NestedRef& ref : pte->nested) {
+      u64 off = 0;
+      if (PageTableEntry* child = locate(mem, ref.target, &off)) visit(child);
+    }
+    ordered.push_back(pte);
+  };
+  for (PageTableEntry* root : roots) visit(root);
+  return ordered;
+}
+
+Status MemoryManager::patch_nested_on_device(CtxMem& mem, PageTableEntry& pte) {
+  for (const NestedRef& ref : pte.nested) {
+    u64 off = 0;
+    PageTableEntry* child = locate(mem, ref.target, &off);
+    if (child == nullptr || !child->is_allocated) return Status::ErrorNoValidPte;
+    sim::SimGpu* gpu = rt_->machine().gpu(GpuId{pte.resident_gpu});
+    if (gpu == nullptr) return Status::ErrorInvalidDevice;
+    const u64 dev_target = child->device_ptr;
+    const Status s = gpu->poke(pte.device_ptr + ref.offset,
+                               std::as_bytes(std::span(&dev_target, 1)));
+    if (!ok(s)) return s;
+  }
+  return Status::Ok;
+}
+
+void MemoryManager::rewrite_nested_to_virtual(CtxMem& mem, PageTableEntry& pte) {
+  (void)mem;
+  for (const NestedRef& ref : pte.nested) {
+    std::memcpy(pte.swap.data() + ref.offset, &ref.target, sizeof(u64));
+  }
+}
+
+Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
+  if (!pte.is_allocated) return Status::Ok;
+  const Status sync = sync_to_swap(pte);  // costed writeback when dirty
+  if (!pte.nested.empty()) rewrite_nested_to_virtual(mem, pte);
+  (void)rt_->free(pte.owner_client, pte.device_ptr);
+  pte.is_allocated = false;
+  pte.device_ptr = kNullDevicePtr;
+  pte.to_copy_2_dev = true;  // next use re-materializes from swap
+  mem.resident_bytes.fetch_sub(pte.size, std::memory_order_relaxed);
+  if (mem.resident_bytes.load(std::memory_order_relaxed) == 0) {
+    mem.resident_gpu.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.swapped_entries;
+    stats_.swap_bytes += pte.size;
+  }
+  return sync == Status::ErrorDeviceUnavailable ? Status::Ok : sync;
+}
+
+MemoryManager::PrepareResult MemoryManager::prepare_launch(
+    ContextId ctx, GpuId gpu, ClientId client, const std::vector<sim::KernelArg>& args) {
+  PrepareResult result;
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) {
+    result.error = Status::ErrorNoValidPte;
+    return result;
+  }
+  const vt::TimePoint now_stamp = rt_->machine().domain().now();
+  mem->last_use_ns.store(now_stamp.count(), std::memory_order_relaxed);
+
+  // Resolve referenced entries and their offsets.
+  struct Ref {
+    PageTableEntry* pte;
+    u64 offset;
+  };
+  std::vector<Ref> refs(args.size(), {nullptr, 0});
+  std::vector<PageTableEntry*> roots;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].kind != sim::KernelArg::Kind::DevPtr) continue;
+    if (args[i].bits == 0) continue;  // null pointer passes through
+    u64 offset = 0;
+    PageTableEntry* pte = locate(*mem, args[i].as_ptr(), &offset);
+    if (pte == nullptr) {
+      result.error = Status::ErrorNoValidPte;
+      return result;
+    }
+    refs[i] = {pte, offset};
+    roots.push_back(pte);
+  }
+  std::vector<PageTableEntry*> closure = nested_closure(*mem, std::move(roots));
+  const std::set<PageTableEntry*> needed(closure.begin(), closure.end());
+
+  bool counted_intra = false;
+  for (PageTableEntry* pte : closure) {
+    // Stragglers resident on a different (or dead) device migrate -- via a
+    // direct GPU-to-GPU copy in CUDA 4 mode, through the swap area
+    // otherwise.
+    if (pte->is_allocated) {
+      if (GpuId{pte->resident_gpu} != gpu) {
+        if (config_.direct_peer_transfers && try_peer_move(*mem, *pte, gpu, client)) {
+          pte->last_use = now_stamp;
+          continue;
+        }
+        (void)swap_entry(*mem, *pte);
+      } else {
+        sim::SimGpu* dev = rt_->machine().gpu(gpu);
+        if (dev == nullptr || !dev->healthy()) {
+          on_device_lost(ctx, gpu);
+        }
+      }
+    }
+    while (!pte->is_allocated) {
+      // An entry larger than the whole device can never be materialized:
+      // fail hard instead of asking the caller to retry forever.
+      const sim::SimGpu* dev = rt_->machine().gpu(gpu);
+      if (dev == nullptr ||
+          pte->size + rt_->context_reservation_bytes() > dev->capacity_bytes()) {
+        result.error = Status::ErrorMemoryAllocation;
+        return result;
+      }
+      auto dptr = rt_->malloc(client, pte->size);
+      if (dptr) {
+        pte->device_ptr = dptr.value();
+        pte->owner_client = client;
+        pte->resident_gpu = gpu;
+        pte->is_allocated = true;
+        mem->resident_bytes.fetch_add(pte->size, std::memory_order_relaxed);
+        mem->resident_gpu.store(gpu.value, std::memory_order_relaxed);
+        break;
+      }
+      if (dptr.status() != Status::ErrorMemoryAllocation) {
+        result.error = dptr.status();
+        return result;
+      }
+      // Intra-application swap: evict this context's own resident entries
+      // that this launch does not reference (LRU first). This is what lets
+      // a single app exceed device capacity (section 4.5's matmul example).
+      PageTableEntry* victim = nullptr;
+      for (auto& [vptr, candidate] : mem->entries) {
+        if (!candidate->is_allocated || needed.count(candidate.get()) != 0) continue;
+        if (GpuId{candidate->resident_gpu} != gpu) continue;
+        if (victim == nullptr || candidate->last_use < victim->last_use) {
+          victim = candidate.get();
+        }
+      }
+      if (victim == nullptr) {
+        result.outcome = PrepareOutcome::WouldBlock;
+        result.needed_bytes = pte->size;
+        return result;
+      }
+      (void)swap_entry(*mem, *victim);
+      if (!counted_intra) {
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.intra_app_swaps;
+        counted_intra = true;
+      }
+    }
+    pte->last_use = now_stamp;
+  }
+
+  // Bulk transfers for deferred data, then nested pointer patching
+  // (children were materialized first).
+  for (PageTableEntry* pte : closure) {
+    if (pte->to_copy_2_dev) {
+      const Status s = rt_->memcpy_h2d(pte->owner_client, pte->device_ptr, pte->swap);
+      if (!ok(s)) {
+        result.error = s;
+        return result;
+      }
+      pte->to_copy_2_dev = false;
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.bulk_transfers;
+    }
+  }
+  for (PageTableEntry* pte : closure) {
+    if (pte->nested.empty()) continue;
+    if (const Status s = patch_nested_on_device(*mem, *pte); !ok(s)) {
+      result.error = s;
+      return result;
+    }
+  }
+  // Pessimistic dirty marking: any referenced entry may be written by the
+  // kernel (Figure 4's assumption; finer handling would need read-only
+  // parameter information).
+  for (PageTableEntry* pte : closure) pte->to_copy_2_swap = true;
+
+  result.translated.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (refs[i].pte == nullptr) {
+      result.translated.push_back(args[i]);
+    } else {
+      result.translated.push_back(
+          sim::KernelArg::dev(refs[i].pte->device_ptr + refs[i].offset));
+    }
+  }
+  result.outcome = PrepareOutcome::Ready;
+  result.error = Status::Ok;
+  return result;
+}
+
+bool MemoryManager::try_peer_move(CtxMem& mem, PageTableEntry& pte, GpuId gpu,
+                                  ClientId client) {
+  sim::SimGpu* src_dev = rt_->machine().gpu(GpuId{pte.resident_gpu});
+  sim::SimGpu* dst_dev = rt_->machine().gpu(gpu);
+  if (src_dev == nullptr || dst_dev == nullptr || !src_dev->healthy() || !dst_dev->healthy()) {
+    return false;
+  }
+  auto dptr = rt_->malloc(client, pte.size);
+  if (!dptr) return false;  // destination full: fall back to the swap path
+  if (!ok(rt_->memcpy_peer(client, dptr.value(), pte.device_ptr, pte.size))) {
+    (void)rt_->free(client, dptr.value());
+    return false;
+  }
+  (void)rt_->free(pte.owner_client, pte.device_ptr);
+  pte.device_ptr = dptr.value();
+  pte.owner_client = client;
+  pte.resident_gpu = gpu;
+  // Dirty state is unchanged: the device copy moved devices; the swap copy
+  // is exactly as (in)valid as before.
+  mem.resident_gpu.store(gpu.value, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.peer_copies;
+  }
+  return true;
+}
+
+Status MemoryManager::swap_context(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  Status first_error = Status::Ok;
+  for (auto& [vptr, pte] : mem->entries) {
+    if (!pte->is_allocated) continue;
+    const Status s = swap_entry(*mem, *pte);
+    if (!ok(s) && ok(first_error)) first_error = s;
+  }
+  return first_error;
+}
+
+Status MemoryManager::checkpoint(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  for (auto& [vptr, pte] : mem->entries) {
+    if (const Status s = sync_to_swap(*pte); !ok(s)) return s;
+    if (!pte->nested.empty()) rewrite_nested_to_virtual(*mem, *pte);
+  }
+  return Status::Ok;
+}
+
+void MemoryManager::on_device_lost(ContextId ctx, GpuId gpu) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return;
+  for (auto& [vptr, pte] : mem->entries) {
+    if (!pte->is_allocated || GpuId{pte->resident_gpu} != gpu) continue;
+    pte->is_allocated = false;
+    pte->device_ptr = kNullDevicePtr;
+    pte->to_copy_2_dev = true;   // recover from the swap copy
+    pte->to_copy_2_swap = false; // device-only data since the last
+                                 // checkpoint is lost
+    mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
+  }
+  if (mem->resident_bytes.load(std::memory_order_relaxed) == 0) {
+    mem->resident_gpu.store(0, std::memory_order_relaxed);
+  }
+}
+
+u64 MemoryManager::resident_bytes(ContextId ctx, GpuId gpu) const {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return 0;
+  if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) return 0;
+  return mem->resident_bytes.load(std::memory_order_relaxed);
+}
+
+std::optional<GpuId> MemoryManager::residency(ContextId ctx) const {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return std::nullopt;
+  const u64 gpu = mem->resident_gpu.load(std::memory_order_relaxed);
+  if (gpu == 0) return std::nullopt;
+  return GpuId{gpu};
+}
+
+u64 MemoryManager::mem_usage(ContextId ctx) const {
+  CtxMemPtr mem = find(ctx);
+  return mem == nullptr ? 0 : mem->total_bytes.load(std::memory_order_relaxed);
+}
+
+std::vector<ContextId> MemoryManager::victim_candidates(GpuId gpu, u64 needed,
+                                                        ContextId requester) const {
+  struct Candidate {
+    ContextId ctx;
+    i64 last_use;
+  };
+  std::vector<Candidate> found;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& [ctx, mem] : contexts_) {
+      if (ctx == requester) continue;
+      if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) continue;
+      if (mem->resident_bytes.load(std::memory_order_relaxed) < needed) continue;
+      found.push_back({ctx, mem->last_use_ns.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Candidate& a, const Candidate& b) { return a.last_use < b.last_use; });
+  std::vector<ContextId> out;
+  out.reserve(found.size());
+  for (const Candidate& c : found) out.push_back(c.ctx);
+  return out;
+}
+
+namespace {
+constexpr u32 kImageMagic = 0x6d766367;  // "gcvm"
+constexpr u32 kImageVersion = 1;
+}  // namespace
+
+Result<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  // Make the swap area authoritative (costed writeback of dirty entries).
+  if (const Status s = checkpoint(ctx); !ok(s)) return s;
+
+  WireWriter w;
+  w.put<u32>(kImageMagic);
+  w.put<u32>(kImageVersion);
+  w.put<u64>(mem->entries.size());
+  for (const auto& [vptr, pte] : mem->entries) {
+    w.put<u64>(pte->virtual_ptr);
+    w.put<u64>(pte->size);
+    w.put<u8>(static_cast<u8>(pte->type));
+    w.put<u8>(pte->is_nested_member ? 1 : 0);
+    w.put<u64>(pte->nested.size());
+    for (const NestedRef& ref : pte->nested) {
+      w.put<u64>(ref.offset);
+      w.put<u64>(ref.target);
+    }
+    w.put_bytes({reinterpret_cast<const u8*>(pte->swap.data()), pte->swap.size()});
+  }
+  return w.take();
+}
+
+Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  WireReader r(image);
+  if (r.get<u32>() != kImageMagic || r.get<u32>() != kImageVersion) {
+    return Status::ErrorCheckpointNotFound;
+  }
+  const u64 count = r.get<u64>();
+  std::map<VirtualPtr, std::unique_ptr<PageTableEntry>> restored;
+  u64 total_bytes = 0;
+  u64 max_vptr_end = 0;
+  for (u64 i = 0; i < count && r.ok(); ++i) {
+    auto pte = std::make_unique<PageTableEntry>();
+    pte->virtual_ptr = r.get<u64>();
+    pte->size = r.get<u64>();
+    pte->type = static_cast<EntryType>(r.get<u8>());
+    pte->is_nested_member = r.get<u8>() != 0;
+    const u64 refs = r.get<u64>();
+    for (u64 j = 0; j < refs && r.ok(); ++j) {
+      NestedRef ref;
+      ref.offset = r.get<u64>();
+      ref.target = r.get<u64>();
+      pte->nested.push_back(ref);
+    }
+    const auto bytes = r.get_span();
+    if (!r.ok() || bytes.size() != pte->size) return Status::ErrorCheckpointNotFound;
+    pte->swap.assign(reinterpret_cast<const std::byte*>(bytes.data()),
+                     reinterpret_cast<const std::byte*>(bytes.data() + bytes.size()));
+    pte->to_copy_2_dev = true;  // materialize from swap on next use
+    total_bytes += pte->size;
+    max_vptr_end = std::max(max_vptr_end, pte->virtual_ptr + pte->size);
+    const VirtualPtr key = pte->virtual_ptr;
+    restored.emplace(key, std::move(pte));
+  }
+  if (!r.ok() || restored.size() != count) return Status::ErrorCheckpointNotFound;
+
+  // Drop any current state (device + swap), then install the image.
+  for (auto& [vptr, pte] : mem->entries) {
+    if (pte->is_allocated) (void)rt_->free(pte->owner_client, pte->device_ptr);
+  }
+  mem->entries = std::move(restored);
+  mem->total_bytes.store(total_bytes, std::memory_order_relaxed);
+  mem->resident_bytes.store(0, std::memory_order_relaxed);
+  mem->resident_gpu.store(0, std::memory_order_relaxed);
+
+  // Future allocations must not collide with restored virtual addresses.
+  std::scoped_lock lock(mu_);
+  va_next_ = std::max(va_next_, (max_vptr_end + 511) / 256 * 256);
+  return Status::Ok;
+}
+
+void MemoryManager::count_inter_app_swap() {
+  std::scoped_lock lock(stats_mu_);
+  ++stats_.inter_app_swaps;
+}
+
+MemStats MemoryManager::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace gpuvm::core

@@ -1,0 +1,226 @@
+// MemoryManager: the virtual-memory abstraction for GPUs.
+//
+// The central contribution of the paper. Two ideas (section 4.5): (1)
+// applications never see device addresses -- they see runtime-generated
+// virtual addresses; (2) data lives in host memory (the swap area) and
+// moves to the device only on demand, making host memory a lower level of
+// the memory hierarchy.
+//
+// Every allocation is a PageTableEntry carrying the three pointers
+// (virtual, swap, device) and the three flags (isAllocated, toCopy2Dev,
+// toCopy2Swap) whose transitions follow Figure 4 of the paper:
+//
+//     malloc            -> (F,F,F)   entry exists, nothing staged
+//     copyHD (deferred) -> (F,T,F)   data staged in swap, device stale
+//     launch            -> (T,F,T)   allocated+copied, device copy dirty
+//     copyHD when bound -> (T,T,F)/(T,F,T) deferred/eager configurations
+//     copyDH            -> device synced to swap first when dirty
+//     swap              -> (F,T,F)   device freed, swap holds the data
+//
+// Deferral enables: executing malloc/copyHD with no device at all (delayed
+// binding), coalescing multiple host writes into one bulk transfer, intra-
+// and inter-application swapping, and detection of out-of-bounds operations
+// before they reach the device (Table 1's runtime-level errors).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "common/vt.hpp"
+#include "core/gpu_api.hpp"
+#include "cudart/cudart.hpp"
+
+namespace gpuvm::core {
+
+enum class EntryType : u8 { Linear = 0, Pitched = 1 };
+
+struct PageTableEntry {
+  VirtualPtr virtual_ptr = kNullVirtualPtr;
+  std::vector<std::byte> swap;  ///< swap_ptr: host copy of the data
+  DevicePtr device_ptr = kNullDevicePtr;
+  u64 size = 0;
+
+  bool is_allocated = false;  ///< device_ptr holds a live device allocation
+  bool to_copy_2_dev = false; ///< authoritative data only in swap
+  bool to_copy_2_swap = false;///< authoritative data only on device
+
+  EntryType type = EntryType::Linear;
+  /// Pointer slots within this entry (registered nested structure).
+  std::vector<NestedRef> nested;
+  bool is_nested_member = false;
+
+  /// Device bookkeeping when allocated.
+  GpuId resident_gpu{};
+  ClientId owner_client{};  ///< cudart client that owns device_ptr
+
+  vt::TimePoint last_use{};
+};
+
+/// Counters for the experiments (Figures 7-9 annotate swap counts).
+struct MemStats {
+  u64 intra_app_swaps = 0;   ///< launch-triggered evictions of own entries
+  u64 inter_app_swaps = 0;   ///< whole-context evictions for another app
+  u64 swapped_entries = 0;   ///< individual PTEs written back + freed
+  u64 swap_bytes = 0;
+  u64 bulk_transfers = 0;    ///< coalesced host->device materializations
+  u64 bounds_rejections = 0; ///< bad ops stopped before touching the device
+  u64 peer_copies = 0;       ///< direct GPU-to-GPU migrations (CUDA 4 mode)
+};
+
+class MemoryManager {
+ public:
+  struct Config {
+    /// Defer host->device transfers until kernel launch (the paper's
+    /// default experimental configuration). When false, copies go straight
+    /// to the device once the entry is materialized (overlap-friendly,
+    /// higher swap cost).
+    bool defer_transfers = true;
+    /// CUDA 4.0 mode (paper section 4.8): migrate entries between healthy
+    /// devices with a direct GPU-to-GPU copy instead of a swap round trip
+    /// ("faster thread-to-GPU remapping").
+    bool direct_peer_transfers = false;
+  };
+
+  explicit MemoryManager(cudart::CudaRt& rt) : MemoryManager(rt, Config{true}) {}
+  MemoryManager(cudart::CudaRt& rt, Config config);
+
+  // ---- Context lifecycle ---------------------------------------------------
+  void add_context(ContextId ctx);
+  /// Frees everything the context still holds (device + swap).
+  void remove_context(ContextId ctx);
+
+  // ---- Table-1 operations (caller holds the context's ContextLock) --------
+  Result<VirtualPtr> on_malloc(ContextId ctx, u64 size);
+  /// `bound_client`: the vGPU client this context is currently bound to, if
+  /// any -- enables the eager (non-deferred) configuration.
+  Status on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const std::byte> src,
+                     std::optional<ClientId> bound_client);
+  Status on_copy_d2h(ContextId ctx, std::span<std::byte> dst, VirtualPtr src, u64 size);
+  Status on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src, u64 size);
+  Status on_free(ContextId ctx, VirtualPtr ptr);
+  Status register_nested(ContextId ctx, VirtualPtr parent, const std::vector<NestedRef>& refs);
+
+  // ---- Launch-time materialization ----------------------------------------
+  enum class PrepareOutcome {
+    Ready,       ///< all referenced entries resident; `translated` valid
+    WouldBlock,  ///< device memory exhausted and no local eviction possible:
+                 ///< the caller should run inter-app swap or unbind+retry
+    Error,       ///< a hard error (see `error`)
+  };
+
+  struct PrepareResult {
+    PrepareOutcome outcome = PrepareOutcome::Error;
+    Status error = Status::Ok;
+    u64 needed_bytes = 0;  ///< on WouldBlock: size of the failed allocation
+    std::vector<sim::KernelArg> translated;  ///< virtual -> device pointers
+  };
+
+  /// Materializes every page-table entry referenced by `args` on the GPU
+  /// behind `client` (allocate on demand, bulk-copy deferred data, patch
+  /// nested pointers, evict own idle entries on OOM) and translates the
+  /// pointer arguments. Marks referenced entries device-dirty.
+  PrepareResult prepare_launch(ContextId ctx, GpuId gpu, ClientId client,
+                               const std::vector<sim::KernelArg>& args);
+
+  // ---- Swapping / checkpoint ------------------------------------------------
+  /// Writes back and frees every resident entry of `ctx` (inter-application
+  /// swap victim path, migration, and the paper's Swap internal call).
+  /// Caller holds the victim's ContextLock.
+  Status swap_context(ContextId ctx);
+
+  /// Synchronizes all dirty entries to swap but keeps them resident:
+  /// afterwards the swap area is a consistent checkpoint.
+  Status checkpoint(ContextId ctx);
+
+  /// Serializes the context's full memory state (PTE metadata, nested
+  /// references, swap bytes) into a flat image; syncs dirty entries first.
+  /// See core/checkpoint.hpp. Caller holds the ContextLock.
+  Result<std::vector<u8>> export_image(ContextId ctx);
+
+  /// Replaces the context's memory state with a previously exported image.
+  /// Virtual addresses are preserved; device residency starts empty (data
+  /// re-materializes from swap on the next launch).
+  Status import_image(ContextId ctx, std::span<const u8> image);
+
+  /// Marks every entry resident on `gpu` as lost: data recovers from the
+  /// swap copy (the implicit checkpoint) at next materialization. Caller
+  /// holds the context's ContextLock.
+  void on_device_lost(ContextId ctx, GpuId gpu);
+
+  // ---- Queries (thread-safe, no context lock needed) ------------------------
+  /// Bytes of `ctx` data currently resident on `gpu`.
+  u64 resident_bytes(ContextId ctx, GpuId gpu) const;
+  /// GPU where this context has resident data (unique by construction), if any.
+  std::optional<GpuId> residency(ContextId ctx) const;
+  /// Total allocation footprint of the context (MemUsage in the paper).
+  u64 mem_usage(ContextId ctx) const;
+  /// Contexts other than `requester` with at least `needed` resident bytes
+  /// on `gpu` -- inter-application swap victim candidates, LRU first.
+  std::vector<ContextId> victim_candidates(GpuId gpu, u64 needed, ContextId requester) const;
+
+  /// Called by the runtime when an inter-application swap victim was
+  /// evicted (the memory manager performs the eviction via swap_context but
+  /// cannot tell why it was asked).
+  void count_inter_app_swap();
+
+  MemStats stats() const;
+  Config config() const { return config_; }
+  void set_defer_transfers(bool defer) { config_.defer_transfers = defer; }
+
+ private:
+  struct CtxMem {
+    std::map<VirtualPtr, std::unique_ptr<PageTableEntry>> entries;
+    std::atomic<u64> total_bytes{0};
+    std::atomic<u64> resident_bytes{0};
+    std::atomic<u64> resident_gpu{0};  // GpuId.value; 0 = none
+    std::atomic<i64> last_use_ns{0};
+  };
+
+  using CtxMemPtr = std::shared_ptr<CtxMem>;
+
+  CtxMemPtr find(ContextId ctx) const;
+
+  /// Locates the entry containing `ptr` (interior pointers allowed);
+  /// returns the entry and the offset within it.
+  static PageTableEntry* locate(CtxMem& mem, VirtualPtr ptr, u64* offset);
+
+  /// Ensures the device copy is synced into swap (costed d2h when dirty).
+  Status sync_to_swap(PageTableEntry& pte);
+
+  /// Writes back (if dirty) and frees the device allocation. Updates
+  /// accounting. The paper's `Swap` internal call, for one entry.
+  Status swap_entry(CtxMem& mem, PageTableEntry& pte);
+
+  /// CUDA 4 direct migration of one resident entry to `gpu`; false on any
+  /// obstacle (caller falls back to the swap path).
+  bool try_peer_move(CtxMem& mem, PageTableEntry& pte, GpuId gpu, ClientId client);
+
+  /// After device->swap writeback of a nested parent, the swap image must
+  /// hold virtual (position-independent) pointers again.
+  void rewrite_nested_to_virtual(CtxMem& mem, PageTableEntry& pte);
+  /// After materialization, pointer slots on the device must hold the
+  /// children's device addresses.
+  Status patch_nested_on_device(CtxMem& mem, PageTableEntry& pte);
+
+  /// Transitive closure over nested references, children first.
+  static std::vector<PageTableEntry*> nested_closure(CtxMem& mem,
+                                                     std::vector<PageTableEntry*> roots);
+
+  cudart::CudaRt* rt_;
+  Config config_;
+
+  mutable std::mutex mu_;  // guards contexts_ map and va_next_ only
+  std::map<ContextId, CtxMemPtr> contexts_;
+  u64 va_next_ = 1ull << 48;
+
+  mutable std::mutex stats_mu_;
+  MemStats stats_;
+};
+
+}  // namespace gpuvm::core

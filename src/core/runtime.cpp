@@ -1,0 +1,602 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hpp"
+#include "common/wire.hpp"
+
+namespace gpuvm::core {
+
+using transport::Message;
+using transport::Opcode;
+
+Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
+    : rt_(&rt),
+      config_(config),
+      mm_(std::make_unique<MemoryManager>(
+          rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics})),
+      scheduler_(std::make_unique<Scheduler>(
+          rt, *mm_,
+          Scheduler::Config{config.vgpus_per_device, config.policy, config.enable_migration})),
+      drained_cv_(rt.machine().domain()) {
+  // vGPUs for the devices installed at startup.
+  const auto all = rt_->machine().all_gpus();
+  for (size_t i = 0; i < all.size(); ++i) {
+    const sim::SimGpu* dev = rt_->machine().gpu(all[i]);
+    if (dev != nullptr && dev->healthy()) {
+      scheduler_->add_device(static_cast<int>(i), all[i]);
+    }
+  }
+  rt_->machine().subscribe(
+      [this](sim::TopologyEvent event, GpuId gpu) { on_topology_event(event, gpu); });
+}
+
+Runtime::~Runtime() {
+  std::vector<vt::Thread> threads;
+  {
+    std::unique_lock lk(mu_);
+    shutting_down_ = true;
+    threads.swap(threads_);
+  }
+  // Connection threads exit when their channels close (clients closing) or
+  // have already finished; joining happens via vt::Thread destructors.
+  threads.clear();
+}
+
+void Runtime::on_topology_event(sim::TopologyEvent event, GpuId gpu) {
+  switch (event) {
+    case sim::TopologyEvent::GpuAdded: {
+      const auto all = rt_->machine().all_gpus();
+      const auto it = std::find(all.begin(), all.end(), gpu);
+      if (it != all.end()) {
+        scheduler_->add_device(static_cast<int>(it - all.begin()), gpu);
+        log::info("runtime: GPU %llu added, vGPUs spawned",
+                  static_cast<unsigned long long>(gpu.value));
+      }
+      break;
+    }
+    case sim::TopologyEvent::GpuRemoved:
+    case sim::TopologyEvent::GpuFailed:
+      scheduler_->remove_device(gpu);
+      log::info("runtime: GPU %llu lost, contexts will recover onto surviving devices",
+                static_cast<unsigned long long>(gpu.value));
+      break;
+  }
+}
+
+std::unique_ptr<transport::MessageChannel> Runtime::connect() {
+  return connect_with(config_.frontend_costs);
+}
+
+std::unique_ptr<transport::MessageChannel> Runtime::connect_with(
+    transport::ChannelCosts costs) {
+  auto [client_end, server_end] = transport::make_local_pair(rt_->machine().domain(), costs);
+  serve_channel(std::move(server_end));
+  return std::move(client_end);
+}
+
+void Runtime::serve_channel(std::unique_ptr<transport::MessageChannel> channel) {
+  std::unique_lock lk(mu_);
+  if (shutting_down_) {
+    channel->close();
+    return;
+  }
+  ++open_connections_;
+  {
+    std::scoped_lock slock(stats_mu_);
+    ++stats_.connections;
+  }
+  threads_.emplace_back(rt_->machine().domain(),
+                        [this, ch = std::shared_ptr<transport::MessageChannel>(
+                                   std::move(channel))]() mutable {
+                          connection_loop(*ch);
+                          ch->close();
+                          std::unique_lock lk2(mu_);
+                          --open_connections_;
+                          drained_cv_.notify_all();
+                        });
+}
+
+void Runtime::set_offload_peer(
+    std::function<std::unique_ptr<transport::MessageChannel>()> factory) {
+  std::unique_lock lk(mu_);
+  peer_factory_ = std::move(factory);
+}
+
+int Runtime::load() const {
+  int active = 0;
+  {
+    std::unique_lock lk(mu_);
+    active = static_cast<int>(contexts_.size());
+  }
+  return std::max(scheduler_->waiting_count(), active - scheduler_->vgpu_count());
+}
+
+RuntimeStats Runtime::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+void Runtime::drain() {
+  std::unique_lock lk(mu_);
+  drained_cv_.wait(lk, [&] { return open_connections_ == 0; });
+}
+
+std::shared_ptr<Context> Runtime::find_context(ContextId id) {
+  std::unique_lock lk(mu_);
+  const auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second;
+}
+
+void Runtime::connection_loop(transport::MessageChannel& channel) {
+  auto hello = channel.receive();
+  if (!hello.has_value() || hello->op != Opcode::Hello) return;
+  double cost_hint = 0.0;
+  bool forwarded = false;
+  u64 app_id = 0;
+  double deadline = 0.0;
+  {
+    WireReader r(hello->payload);
+    cost_hint = r.get<double>();
+    if (r.remaining() > 0) forwarded = r.get<u8>() != 0;
+    if (r.remaining() > 0) app_id = r.get<u64>();
+    if (r.remaining() > 0) deadline = r.get<double>();
+  }
+
+  // Inter-node offloading: if this node is overloaded and a peer exists,
+  // the whole connection is proxied there (section 4.7). Only the CUDA
+  // calls move; the application's CPU phases stay where the job runs. A
+  // connection already forwarded from a peer is never shed again
+  // (prevents offload ping-pong between mutually overloaded nodes).
+  std::function<std::unique_ptr<transport::MessageChannel>()> factory;
+  {
+    std::unique_lock lk(mu_);
+    factory = peer_factory_;
+  }
+  if (!forwarded && factory && config_.offload_threshold >= 0 &&
+      load() >= config_.offload_threshold) {
+    auto peer = factory();
+    if (peer != nullptr) {
+      {
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.offloaded_connections;
+      }
+      transport::Message fwd = *hello;
+      WireWriter w;
+      w.put<double>(cost_hint);
+      w.put<u8>(1);
+      w.put<u64>(app_id);
+      w.put<double>(deadline);
+      fwd.payload = w.take();
+      if (peer->send(std::move(fwd))) {
+        if (auto reply = peer->receive(); reply.has_value()) {
+          channel.send(std::move(*reply));
+          offload_proxy_loop(channel, *peer);
+        }
+      }
+      peer->close();
+      return;
+    }
+  }
+
+  // Local servicing: create the context -- or, in CUDA 4 mode, join the
+  // application's shared context ("all threads belonging to the same
+  // application are mapped onto the same CUDA context", section 4.8).
+  std::shared_ptr<Context> ctx;
+  const bool shared = config_.cuda4_semantics && app_id != 0;
+  bool fresh = true;
+  {
+    std::unique_lock lk(mu_);
+    if (shared) {
+      const auto it = app_contexts_.find(app_id);
+      if (it != app_contexts_.end()) {
+        ctx = it->second;
+        ctx->connection_refs.fetch_add(1, std::memory_order_acq_rel);
+        fresh = false;
+      }
+    }
+    if (ctx == nullptr) {
+      const ContextId id{next_context_++};
+      ctx = std::make_shared<Context>(id, rt_->machine().domain());
+      contexts_.emplace(id, ctx);
+      if (shared) app_contexts_.emplace(app_id, ctx);
+    }
+  }
+  if (fresh) {
+    mm_->add_context(ctx->id);
+    ctx->arrival = rt_->machine().domain().now();
+    ctx->job_cost_hint_seconds = cost_hint;
+    ctx->deadline_seconds = deadline;
+    ctx->app_id = app_id;
+    ctx->state.store(ContextState::Detached, std::memory_order_release);
+    // Shared contexts have several channels; the idle probe used by
+    // inter-application swap only applies to exclusive contexts.
+    if (!shared) ctx->channel.store(&channel, std::memory_order_release);
+  }
+  {
+    WireWriter w;
+    w.put<u64>(ctx->id.value);
+    channel.send(transport::make_reply(hello->connection, Status::Ok, w.take()));
+  }
+
+  while (auto msg = channel.receive()) {
+    if (msg->op == Opcode::Goodbye) {
+      channel.send(transport::make_reply(msg->connection, Status::Ok));
+      break;
+    }
+    channel.send(handle(*ctx, channel, *msg));
+  }
+
+  // Teardown: the last connection of the context releases its binding and
+  // frees its memory (a shared CUDA 4 context outlives individual threads).
+  if (ctx->connection_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    scheduler_->release(*ctx);
+    {
+      std::scoped_lock ctx_lock(ctx->lock);
+      ctx->channel.store(nullptr, std::memory_order_release);
+      mm_->remove_context(ctx->id);
+    }
+    ctx->state.store(ContextState::Done, std::memory_order_release);
+    std::unique_lock lk(mu_);
+    contexts_.erase(ctx->id);
+    if (shared) app_contexts_.erase(app_id);
+  }
+}
+
+void Runtime::offload_proxy_loop(transport::MessageChannel& client,
+                                 transport::MessageChannel& peer) {
+  // Strict request/reply protocol: relay one message at a time.
+  while (auto msg = client.receive()) {
+    const bool was_goodbye = msg->op == Opcode::Goodbye;
+    if (!peer.send(std::move(*msg))) break;
+    auto reply = peer.receive();
+    if (!reply.has_value()) break;
+    client.send(std::move(*reply));
+    if (was_goodbye) break;
+  }
+}
+
+Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const Message& msg) {
+  WireReader r(msg.payload);
+  const ConnectionId conn = msg.connection;
+  auto reply = [&](Status s, std::vector<u8> payload = {}) {
+    if (!ok(s)) ctx.last_error = s;
+    return transport::make_reply(conn, s, std::move(payload));
+  };
+
+  switch (msg.op) {
+    // ---- Registration: issued eagerly, before any binding exists. -----------
+    case Opcode::RegisterFatBinary: {
+      const u64 module = ctx.next_module++;
+      ctx.modules.insert(module);
+      ctx.last_call = "registerFatBinary";
+      WireWriter w;
+      w.put<u64>(module);
+      return reply(Status::Ok, w.take());
+    }
+    case Opcode::UnregisterFatBinary: {
+      const u64 module = r.get<u64>();
+      return reply(ctx.modules.erase(module) != 0 ? Status::Ok : Status::ErrorInvalidValue);
+    }
+    case Opcode::RegisterFunction: {
+      const u64 module = r.get<u64>();
+      const u64 handle = r.get<u64>();
+      const std::string name = r.get_string();
+      if (!r.ok() || ctx.modules.count(module) == 0) return reply(Status::ErrorInvalidValue);
+      ctx.functions[handle] = name;
+      ctx.last_call = "registerFunction:" + name;
+      return reply(Status::Ok);
+    }
+    case Opcode::RegisterVar:
+    case Opcode::RegisterTexture:
+      return reply(Status::Ok);
+
+    // ---- Device management: overridden to hide the hardware (sec. 4.3). -----
+    case Opcode::GetDeviceCount: {
+      WireWriter w;
+      w.put<i32>(scheduler_->vgpu_count());  // virtual, not physical, GPUs
+      return reply(Status::Ok, w.take());
+    }
+    case Opcode::SetDevice:
+      // Ignored by design: the runtime owns the application-to-GPU mapping.
+      return reply(Status::Ok);
+    case Opcode::GetDevice: {
+      WireWriter w;
+      w.put<i32>(0);
+      return reply(Status::Ok, w.take());
+    }
+
+    // ---- Memory: virtual addresses only, via the memory manager. ------------
+    case Opcode::Malloc: {
+      const u64 size = r.get<u64>();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "malloc";
+      auto vptr = mm_->on_malloc(ctx.id, size);
+      if (!vptr) return reply(vptr.status());
+      WireWriter w;
+      w.put<u64>(vptr.value());
+      return reply(Status::Ok, w.take());
+    }
+    case Opcode::Free: {
+      const u64 ptr = r.get<u64>();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "free";
+      return reply(mm_->on_free(ctx.id, ptr));
+    }
+    case Opcode::MemcpyH2D: {
+      const u64 dst = r.get<u64>();
+      const auto data = r.get_span();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "memcpyH2D";
+      std::optional<ClientId> bound;
+      if (auto binding = scheduler_->binding_of(ctx.id)) bound = binding->client;
+      return reply(mm_->on_copy_h2d(ctx.id, dst,
+                                    std::as_bytes(std::span(data.data(), data.size())), bound));
+    }
+    case Opcode::MemcpyD2H: {
+      const u64 src = r.get<u64>();
+      const u64 size = r.get<u64>();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::vector<u8> out(size);
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "memcpyD2H";
+      const Status s = mm_->on_copy_d2h(
+          ctx.id, std::as_writable_bytes(std::span(out.data(), out.size())), src, size);
+      if (!ok(s)) return reply(s);
+      WireWriter w;
+      w.put_bytes(out);
+      return reply(Status::Ok, w.take());
+    }
+    case Opcode::MemcpyD2D: {
+      const u64 dst = r.get<u64>();
+      const u64 src = r.get<u64>();
+      const u64 size = r.get<u64>();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "memcpyD2D";
+      return reply(mm_->on_copy_d2d(ctx.id, dst, src, size));
+    }
+    case Opcode::RegisterNested: {
+      const u64 parent = r.get<u64>();
+      const u64 count = r.get<u64>();
+      std::vector<NestedRef> refs;
+      refs.reserve(count);
+      for (u64 i = 0; i < count && r.ok(); ++i) {
+        NestedRef ref;
+        ref.offset = r.get<u64>();
+        ref.target = r.get<u64>();
+        refs.push_back(ref);
+      }
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      std::scoped_lock ctx_lock(ctx.lock);
+      return reply(mm_->register_nested(ctx.id, parent, refs));
+    }
+    case Opcode::Checkpoint: {
+      std::scoped_lock ctx_lock(ctx.lock);
+      ctx.last_call = "checkpoint";
+      return reply(mm_->checkpoint(ctx.id));
+    }
+
+    // ---- Execution -----------------------------------------------------------
+    case Opcode::ConfigureCall: {
+      ctx.pending_config = r.get<sim::LaunchConfig>();
+      ctx.pending_args.clear();
+      return reply(r.ok() ? Status::Ok : Status::ErrorProtocol);
+    }
+    case Opcode::SetupArgument: {
+      if (!ctx.pending_config.has_value()) return reply(Status::ErrorInvalidConfiguration);
+      sim::KernelArg arg;
+      arg.kind = static_cast<sim::KernelArg::Kind>(r.get<u8>());
+      arg.bits = r.get<u64>();
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      ctx.pending_args.push_back(arg);
+      return reply(Status::Ok);
+    }
+    case Opcode::Launch: {
+      const std::string name = r.get_string();
+      const auto config = r.get<sim::LaunchConfig>();
+      const u64 argc = r.get<u64>();
+      std::vector<sim::KernelArg> args;
+      args.reserve(argc);
+      for (u64 i = 0; i < argc && r.ok(); ++i) {
+        sim::KernelArg arg;
+        arg.kind = static_cast<sim::KernelArg::Kind>(r.get<u8>());
+        arg.bits = r.get<u64>();
+        args.push_back(arg);
+      }
+      if (!r.ok()) return reply(Status::ErrorProtocol);
+      ctx.last_call = "launch:" + name;
+      return reply(do_launch(ctx, channel, name, config, args));
+    }
+    case Opcode::Synchronize: {
+      ctx.last_call = "synchronize";
+      if (auto binding = scheduler_->binding_of(ctx.id)) {
+        return reply(rt_->device_synchronize(binding->client));
+      }
+      return reply(Status::Ok);
+    }
+    case Opcode::GetLastError: {
+      const Status s = ctx.last_error;
+      ctx.last_error = Status::Ok;
+      return transport::make_reply(conn, s);
+    }
+    default:
+      return reply(Status::ErrorProtocol);
+  }
+}
+
+bool Runtime::evict_one_victim(GpuId gpu, u64 needed, ContextId requester) {
+  // Inter-application swap (section 4.5): ask one co-resident application
+  // holding enough memory to vacate the device. Only applications in a CPU
+  // phase (unbound) accept; a busy or locked victim refuses, and if freeing
+  // the memory would take multiple victims we do not swap at all.
+  for (ContextId vid : mm_->victim_candidates(gpu, needed, requester)) {
+    auto victim = find_context(vid);
+    if (victim == nullptr || victim->pinned) continue;
+    if (!victim->lock.try_lock()) continue;  // mid-call: refuses; never block
+    // Under the victim's lock its servicing thread cannot start a new call,
+    // so "bound but idle" is stable. A victim accepts when it is not in the
+    // middle of a GPU phase: either unbound, or bound with no pending
+    // requests on its connection (a CPU phase).
+    bool accepts = !scheduler_->context_bound(vid);
+    if (!accepts) {
+      transport::MessageChannel* victim_channel =
+          victim->channel.load(std::memory_order_acquire);
+      accepts = victim_channel != nullptr && !victim_channel->pending();
+    }
+    if (accepts) {
+      (void)mm_->swap_context(vid);
+      mm_->count_inter_app_swap();
+      scheduler_->release(*victim);  // "temporarily unbound from the GPU"
+      victim->lock.unlock();
+      log::debug("inter-app swap: evicted ctx %llu from gpu %llu",
+                 static_cast<unsigned long long>(vid.value),
+                 static_cast<unsigned long long>(gpu.value));
+      return true;
+    }
+    victim->lock.unlock();
+  }
+  return false;
+}
+
+Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
+                          const std::string& name, const sim::LaunchConfig& config,
+                          const std::vector<sim::KernelArg>& args) {
+  // The dispatcher validated registrations long before binding; a launch of
+  // an unregistered symbol never reaches the device.
+  const bool registered =
+      std::any_of(ctx.functions.begin(), ctx.functions.end(),
+                  [&](const auto& kv) { return kv.second == name; });
+  if (!registered) return Status::ErrorUnknownSymbol;
+  const auto def = rt_->machine().kernels().find(name);
+  if (def == nullptr) return Status::ErrorUnknownSymbol;
+  if (def->uses_device_malloc && !ctx.pinned) {
+    // In-kernel allocation detected: the paper excludes such applications
+    // from sharing and dynamic scheduling -- pin to a dedicated vGPU.
+    ctx.pinned = true;
+    log::info("ctx %llu uses in-kernel malloc: pinned to its vGPU",
+              static_cast<unsigned long long>(ctx.id.value));
+  }
+
+  vt::Domain& dom = rt_->machine().domain();
+  {
+    std::scoped_lock slock(stats_mu_);
+    ++stats_.launches;
+  }
+
+  int recovery_attempts = 0;
+  for (;;) {
+    // Delayed/dynamic binding: a vGPU is held only for the duration of the
+    // GPU phase. acquire() is idempotent when already bound.
+    auto acquired = scheduler_->acquire(ctx);
+    if (!acquired) return acquired.status();
+    const Scheduler::Binding binding = acquired.value();
+    if (binding.recovered_from_failure) {
+      std::scoped_lock slock(stats_mu_);
+      ++stats_.recoveries;
+    }
+
+    enum class Next { Done, RebindAfterFailure, BackoffRetry };
+    Next next = Next::Done;
+    Status result = Status::Ok;
+    {
+      std::scoped_lock ctx_lock(ctx.lock);
+      auto prep = mm_->prepare_launch(ctx.id, binding.gpu, binding.client, args);
+      switch (prep.outcome) {
+        case MemoryManager::PrepareOutcome::WouldBlock: {
+          if (evict_one_victim(binding.gpu, prep.needed_bytes, ctx.id)) {
+            next = Next::RebindAfterFailure;  // stay bound; loop retries prepare
+            result = Status::Ok;
+            break;
+          }
+          next = Next::BackoffRetry;
+          break;
+        }
+        case MemoryManager::PrepareOutcome::Error: {
+          if (prep.error == Status::ErrorDeviceUnavailable) {
+            mm_->on_device_lost(ctx.id, binding.gpu);
+            next = Next::RebindAfterFailure;
+            ++recovery_attempts;
+          } else {
+            return prep.error;
+          }
+          break;
+        }
+        case MemoryManager::PrepareOutcome::Ready: {
+          vt::StopWatch watch(dom);
+          result = rt_->launch_by_name(binding.client, name, config, prep.translated);
+          const double elapsed = watch.elapsed_seconds();
+          if (result == Status::ErrorDeviceUnavailable) {
+            // GPU died under us: roll residency back to the swap copies and
+            // replay on a surviving device ("resilient to GPU failures").
+            mm_->on_device_lost(ctx.id, binding.gpu);
+            next = Next::RebindAfterFailure;
+            ++recovery_attempts;
+            std::scoped_lock slock(stats_mu_);
+            ++stats_.recoveries;
+            break;
+          }
+          ctx.gpu_time_used_seconds += elapsed;
+          if (config_.auto_checkpoint_after_kernel_seconds > 0.0 &&
+              elapsed >= config_.auto_checkpoint_after_kernel_seconds) {
+            // Automatic checkpoint after long kernels bounds the restart
+            // penalty of a later failure (section 4.6).
+            (void)mm_->checkpoint(ctx.id);
+            std::scoped_lock slock(stats_mu_);
+            ++stats_.auto_checkpoints;
+          }
+          next = Next::Done;
+          break;
+        }
+      }
+    }
+
+    switch (next) {
+      case Next::Done: {
+        // A vGPU is held for the application's lifetime (Figure 7: with one
+        // vGPU, execution is strictly serialized even across CPU phases).
+        // The only voluntary release is migration: the application is in a
+        // CPU phase and a strictly faster device sits idle (Figure 9).
+        // Involuntary unbinding happens through inter-application swap.
+        if (!ctx.pinned && !channel.pending() && scheduler_->faster_gpu_idle(binding.gpu)) {
+          scheduler_->release(ctx);
+        }
+        return result;
+      }
+      case Next::RebindAfterFailure: {
+        if (recovery_attempts > config_.max_recovery_attempts) {
+          ctx.state.store(ContextState::Failed, std::memory_order_release);
+          return Status::ErrorDeviceUnavailable;
+        }
+        // Either an eviction freed memory (stay bound and retry), or the
+        // device died (binding is stale; acquire() re-binds elsewhere).
+        continue;
+      }
+      case Next::BackoffRetry: {
+        // Nobody honored the swap request: the calling application unbinds
+        // from the virtual GPU and retries later (section 4.5). Releasing
+        // its own partial materialization keeps a backing-off job from
+        // hogging memory it cannot yet use (and from deadlocking against
+        // another partial holder); the retry pace is matched to kernel
+        // durations, not a busy spin.
+        {
+          std::scoped_lock ctx_lock(ctx.lock);
+          (void)mm_->swap_context(ctx.id);
+        }
+        scheduler_->release(ctx);
+        {
+          std::scoped_lock slock(stats_mu_);
+          ++stats_.swap_retry_backoffs;
+        }
+        dom.sleep_for(vt::from_millis(400));
+        continue;
+      }
+    }
+  }
+}
+
+}  // namespace gpuvm::core

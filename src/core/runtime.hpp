@@ -1,0 +1,148 @@
+// Runtime: the gpuvm node daemon.
+//
+// The stand-alone process of the paper (Figure 3): a connection manager
+// accepts one connection per application thread; dispatcher logic services
+// the CUDA calls -- registration eagerly, device management overridden,
+// memory operations through the MemoryManager in terms of virtual
+// addresses only -- and delays application-to-vGPU binding until the first
+// kernel launch. Virtual GPUs time-share the physical devices; the memory
+// manager provides intra-/inter-application swap; failed contexts recover
+// onto surviving devices; overload can be shed to a peer node daemon
+// (inter-node offloading).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "core/context.hpp"
+#include "core/memory_manager.hpp"
+#include "core/scheduler.hpp"
+#include "cudart/cudart.hpp"
+#include "transport/channel.hpp"
+
+namespace gpuvm::core {
+
+struct RuntimeConfig {
+  int vgpus_per_device = 4;
+  PolicyKind policy = PolicyKind::Fcfs;
+  bool defer_transfers = true;
+  bool enable_migration = false;
+
+  /// Node load (contexts waiting for a vGPU) above which newly arriving
+  /// connections are offloaded to the peer node. <0 disables offloading.
+  int offload_threshold = -1;
+
+  /// Auto-checkpoint after any kernel whose execution took at least this
+  /// long (0 disables). Bounds the restart penalty after a GPU failure.
+  double auto_checkpoint_after_kernel_seconds = 0.0;
+
+  /// Cost model of the frontend<->daemon hop for connect() channels.
+  transport::ChannelCosts frontend_costs = transport::ChannelCosts::local_socket();
+
+  /// Attempts to re-run a context's device call on another GPU after a
+  /// device failure before giving up.
+  int max_recovery_attempts = 3;
+
+  /// CUDA 4.0 semantics (paper section 4.8): connections carrying the same
+  /// application id share one context (shared data, same device), and
+  /// cross-device migration uses direct GPU-to-GPU transfers.
+  bool cuda4_semantics = false;
+};
+
+struct RuntimeStats {
+  u64 connections = 0;
+  u64 offloaded_connections = 0;
+  u64 launches = 0;
+  u64 recoveries = 0;        ///< device calls replayed after a GPU failure
+  u64 auto_checkpoints = 0;
+  u64 swap_retry_backoffs = 0;  ///< launch attempts that unbound and retried
+};
+
+class Runtime {
+ public:
+  Runtime(cudart::CudaRt& rt, RuntimeConfig config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Creates a connected frontend endpoint (in-process transport with
+  /// socket-like costs) and starts serving its peer.
+  std::unique_ptr<transport::MessageChannel> connect();
+
+  /// Same, with an explicit channel cost model (inter-node links pay
+  /// network latency/bandwidth instead of local-socket costs).
+  std::unique_ptr<transport::MessageChannel> connect_with(transport::ChannelCosts costs);
+
+  /// Serves an externally created channel (unix-socket server, peer node).
+  void serve_channel(std::unique_ptr<transport::MessageChannel> channel);
+
+  /// Wires up inter-node offloading: `peer_factory` opens a channel to the
+  /// peer daemon. Connections arriving while load >= offload_threshold are
+  /// proxied there (their CUDA calls execute remotely; CPU phases stay with
+  /// the application).
+  void set_offload_peer(std::function<std::unique_ptr<transport::MessageChannel>()> factory);
+
+  /// Offload load metric: pending work beyond this node's capacity --
+  /// contexts blocked waiting for a vGPU, or active local connections in
+  /// excess of the vGPU count (the paper gates dispatch on the length of
+  /// the pending-connections list).
+  int load() const;
+
+  MemoryManager& memory() { return *mm_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  cudart::CudaRt& cudart() { return *rt_; }
+  RuntimeStats stats() const;
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Blocks until all currently-open connections have finished (used by
+  /// tests and the batch harness between phases).
+  void drain();
+
+ private:
+  void connection_loop(transport::MessageChannel& channel);
+  void offload_proxy_loop(transport::MessageChannel& client,
+                          transport::MessageChannel& peer);
+
+  /// Dispatches one application message; returns the reply.
+  transport::Message handle(Context& ctx, transport::MessageChannel& channel,
+                            const transport::Message& msg);
+
+  Status do_launch(Context& ctx, transport::MessageChannel& channel, const std::string& name,
+                   const sim::LaunchConfig& config, const std::vector<sim::KernelArg>& args);
+
+  /// Inter-application swap: evicts one unbound victim with enough resident
+  /// bytes on `gpu`. Returns true if a victim was swapped.
+  bool evict_one_victim(GpuId gpu, u64 needed, ContextId requester);
+
+  void on_topology_event(sim::TopologyEvent event, GpuId gpu);
+
+  std::shared_ptr<Context> find_context(ContextId id);
+
+  cudart::CudaRt* rt_;
+  RuntimeConfig config_;
+  std::unique_ptr<MemoryManager> mm_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  mutable std::mutex mu_;
+  u64 next_context_ = 1;
+  std::map<ContextId, std::shared_ptr<Context>> contexts_;
+  std::map<u64, std::shared_ptr<Context>> app_contexts_;  // CUDA 4 mode
+  std::vector<vt::Thread> threads_;
+  int open_connections_ = 0;
+  vt::ConditionVariable drained_cv_;
+  bool shutting_down_ = false;
+
+  std::function<std::unique_ptr<transport::MessageChannel>()> peer_factory_;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+};
+
+}  // namespace gpuvm::core

@@ -1,0 +1,258 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace gpuvm::core {
+
+Scheduler::Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config)
+    : rt_(&rt), mm_(&mm), config_(config), cv_(rt.machine().domain()) {}
+
+Scheduler::~Scheduler() {
+  for (const auto& slot : slots_) rt_->destroy_client(slot->client);
+}
+
+void Scheduler::add_device(int device_index, GpuId gpu) {
+  const sim::SimGpu* dev = rt_->machine().gpu(gpu);
+  const double speed = dev != nullptr ? dev->spec().compute_power() : 0.0;
+  std::unique_lock lk(mu_);
+  for (int i = 0; i < config_.vgpus_per_device; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->index = static_cast<int>(slots_.size());
+    slot->gpu = gpu;
+    slot->device_index = device_index;
+    slot->speed = speed;
+    // One cudaSetDevice at startup statically binds the vGPU's CUDA client
+    // to its physical device (paper section 4.4).
+    slot->client = rt_->create_client();
+    (void)rt_->set_device(slot->client, device_index);
+    slots_.push_back(std::move(slot));
+  }
+  match_locked();
+}
+
+void Scheduler::remove_device(GpuId gpu) {
+  std::unique_lock lk(mu_);
+  for (const auto& slot : slots_) {
+    if (slot->gpu == gpu) slot->alive = false;
+  }
+  // Waiters whose only eligible device died must re-evaluate; bound
+  // contexts discover the failure through their next device call.
+  match_locked();
+}
+
+double Scheduler::priority_of(const Context& ctx) const {
+  switch (config_.policy) {
+    case PolicyKind::Fcfs:
+      return static_cast<double>(ctx.arrival.count());
+    case PolicyKind::ShortestJobFirst:
+      // Unknown hints (<= 0) schedule after every profiled job.
+      return ctx.job_cost_hint_seconds > 0.0 ? ctx.job_cost_hint_seconds
+                                             : std::numeric_limits<double>::max();
+    case PolicyKind::CreditBased:
+      // Fair sharing: contexts that consumed the least GPU time first;
+      // explicit credits act as a bonus.
+      return ctx.gpu_time_used_seconds - ctx.credits;
+    case PolicyKind::DeadlineAware:
+      // Earliest deadline first; contexts without a deadline yield to any
+      // context that has one.
+      return ctx.deadline_seconds > 0.0 ? ctx.deadline_seconds
+                                        : std::numeric_limits<double>::max();
+  }
+  return 0.0;
+}
+
+Scheduler::Slot* Scheduler::pick_slot_locked(Context& ctx, bool* migrated) {
+  *migrated = false;
+  const std::optional<GpuId> residency = mm_->residency(ctx.id);
+  const bool residency_alive =
+      residency.has_value() && [&] {
+        const sim::SimGpu* dev = rt_->machine().gpu(*residency);
+        return dev != nullptr && dev->healthy();
+      }();
+
+  // Free slots per GPU and current load.
+  std::map<GpuId, int> load;
+  std::map<GpuId, Slot*> free_slot;
+  std::map<GpuId, double> speed;
+  for (const auto& slot : slots_) {
+    if (!slot->alive) continue;
+    speed[slot->gpu] = slot->speed;
+    if (slot->bound.valid()) {
+      ++load[slot->gpu];
+    } else if (free_slot.count(slot->gpu) == 0) {
+      free_slot[slot->gpu] = slot.get();
+      load.try_emplace(slot->gpu, 0);
+    }
+  }
+  if (free_slot.empty()) return nullptr;
+
+  if (residency_alive) {
+    // Migration first: an idle, strictly faster device beats staying home
+    // (the paper migrates running jobs from slow to fast GPUs as the fast
+    // ones become idle). Only ever slow->fast, so no ping-pong.
+    if (config_.enable_migration) {
+      Slot* best = nullptr;
+      for (const auto& [gpu, slot] : free_slot) {
+        if (speed[gpu] <= speed[*residency]) continue;
+        if (best == nullptr || speed[gpu] > best->speed) best = slot;
+      }
+      if (best != nullptr) {
+        *migrated = true;
+        return best;
+      }
+    }
+    // Affinity: the context's data is resident there; rebinding elsewhere
+    // costs a full swap-out/swap-in cycle.
+    const auto it = free_slot.find(*residency);
+    if (it != free_slot.end()) return it->second;
+    return nullptr;  // wait for our device
+  }
+
+  // No residency (or the device died -- data recovers from swap anywhere):
+  // balance load across devices, preferring the least-loaded, breaking
+  // ties toward the faster device.
+  Slot* best = nullptr;
+  int best_load = 0;
+  for (const auto& [gpu, slot] : free_slot) {
+    const int gpu_load = load[gpu];
+    if (best == nullptr || gpu_load < best_load ||
+        (gpu_load == best_load && slot->speed > best->speed)) {
+      best = slot;
+      best_load = gpu_load;
+    }
+  }
+  if (best != nullptr && residency.has_value() && !residency_alive) *migrated = true;
+  return best;
+}
+
+void Scheduler::match_locked() {
+  // Greedy policy-priority matching: highest-priority waiter first, each
+  // takes its preferred free slot if one exists. A waiter whose preferred
+  // device is busy does not block lower-priority waiters that can use a
+  // different device (no head-of-line blocking across devices).
+  std::vector<Waiter*> order = waiting_;
+  std::sort(order.begin(), order.end(), [&](const Waiter* a, const Waiter* b) {
+    return priority_of(*a->ctx) < priority_of(*b->ctx);
+  });
+  const bool any_alive =
+      std::any_of(slots_.begin(), slots_.end(), [](const auto& s) { return s->alive; });
+  bool granted_any = false;
+  for (Waiter* waiter : order) {
+    if (waiter->granted.has_value() || waiter->hopeless) continue;
+    if (!any_alive) {
+      waiter->hopeless = true;
+      granted_any = true;  // wake it so it can fail
+      continue;
+    }
+    bool migrated = false;
+    Slot* slot = pick_slot_locked(*waiter->ctx, &migrated);
+    if (slot == nullptr) continue;
+    slot->bound = waiter->ctx->id;
+    bindings_[waiter->ctx->id] = slot;
+    waiter->granted = Binding{slot->index, slot->gpu, slot->client, migrated};
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
+  std::unique_lock lk(mu_);
+  bool recovered = false;
+  if (const auto it = bindings_.find(ctx.id); it != bindings_.end()) {
+    Slot* slot = it->second;
+    if (slot->alive) return Binding{slot->index, slot->gpu, slot->client, false, false};
+    // Bound to a dead device: drop the stale binding and re-acquire.
+    slot->bound = ContextId{};
+    bindings_.erase(it);
+    recovered = true;
+  }
+
+  Waiter waiter{&ctx, std::nullopt, false};
+  waiting_.push_back(&waiter);
+  ctx.state.store(ContextState::Waiting, std::memory_order_release);
+  match_locked();
+  cv_.wait(lk, [&] { return waiter.granted.has_value() || waiter.hopeless; });
+  waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &waiter));
+  if (waiter.hopeless) {
+    ctx.state.store(ContextState::Failed, std::memory_order_release);
+    return Status::ErrorDeviceUnavailable;
+  }
+  ctx.state.store(ContextState::Assigned, std::memory_order_release);
+  ++stats_.binds;
+  if (waiter.granted->migrated && !recovered) ++stats_.migrations;
+  waiter.granted->recovered_from_failure = recovered;
+  return *waiter.granted;
+}
+
+void Scheduler::release(Context& ctx) {
+  std::unique_lock lk(mu_);
+  const auto it = bindings_.find(ctx.id);
+  if (it == bindings_.end()) return;
+  it->second->bound = ContextId{};
+  bindings_.erase(it);
+  ctx.state.store(ContextState::Detached, std::memory_order_release);
+  ++stats_.unbinds;
+  match_locked();
+}
+
+std::optional<Scheduler::Binding> Scheduler::binding_of(ContextId ctx) const {
+  std::unique_lock lk(mu_);
+  const auto it = bindings_.find(ctx);
+  if (it == bindings_.end()) return std::nullopt;
+  return Binding{it->second->index, it->second->gpu, it->second->client, false, false};
+}
+
+bool Scheduler::context_bound(ContextId ctx) const {
+  std::unique_lock lk(mu_);
+  return bindings_.count(ctx) != 0;
+}
+
+int Scheduler::vgpu_count() const {
+  std::unique_lock lk(mu_);
+  return static_cast<int>(
+      std::count_if(slots_.begin(), slots_.end(), [](const auto& s) { return s->alive; }));
+}
+
+int Scheduler::waiting_count() const {
+  std::unique_lock lk(mu_);
+  return static_cast<int>(waiting_.size());
+}
+
+bool Scheduler::has_waiters() const { return waiting_count() > 0; }
+
+std::map<GpuId, int> Scheduler::load_by_gpu() const {
+  std::unique_lock lk(mu_);
+  std::map<GpuId, int> load;
+  for (const auto& slot : slots_) {
+    if (!slot->alive) continue;
+    load.try_emplace(slot->gpu, 0);
+    if (slot->bound.valid()) ++load[slot->gpu];
+  }
+  return load;
+}
+
+bool Scheduler::faster_gpu_idle(GpuId current) const {
+  if (!config_.enable_migration) return false;
+  std::unique_lock lk(mu_);
+  double current_speed = 0.0;
+  for (const auto& slot : slots_) {
+    if (slot->gpu == current) {
+      current_speed = slot->speed;
+      break;
+    }
+  }
+  for (const auto& slot : slots_) {
+    if (slot->alive && !slot->bound.valid() && slot->speed > current_speed) return true;
+  }
+  return false;
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::unique_lock lk(mu_);
+  return stats_;
+}
+
+}  // namespace gpuvm::core

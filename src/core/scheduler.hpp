@@ -1,0 +1,144 @@
+// Scheduler: virtual GPUs and application-to-vGPU binding.
+//
+// Each physical GPU carries a configurable number of virtual GPUs (paper
+// section 4.4). A vGPU owns a CUDA client pinned to its device with a
+// single cudaSetDevice at startup, so the CUDA runtime sees exactly
+// #vGPUs contexts regardless of how many applications come and go --
+// this is what keeps the CUDA runtime from being overloaded (its observed
+// limit is eight concurrent contexts).
+//
+// Binding is *dynamic*: a context acquires a vGPU at each kernel launch
+// burst and releases it during CPU phases, enabling time-sharing, inter-
+// application swap, migration between devices of different speeds, and
+// recovery from device failure. The binding discipline is pluggable
+// (first-come-first-served, shortest-job-first, credit-based), satisfying
+// the paper's "configurable scheduling" objective.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "common/vt.hpp"
+#include "core/context.hpp"
+#include "core/memory_manager.hpp"
+#include "cudart/cudart.hpp"
+
+namespace gpuvm::core {
+
+enum class PolicyKind {
+  Fcfs,              ///< arrival order, round-robin across devices
+  ShortestJobFirst,  ///< by the frontend's job-cost hint (unknown = last)
+  CreditBased,       ///< least GPU time consumed first (fair sharing)
+  DeadlineAware,     ///< earliest QoS deadline first (paper section 2:
+                     ///< "expected quality of service requirements")
+};
+
+struct SchedulerStats {
+  u64 binds = 0;
+  u64 unbinds = 0;
+  u64 migrations = 0;  ///< bind moved a context's data to a different GPU
+};
+
+class Scheduler {
+ public:
+  struct Config {
+    int vgpus_per_device = 4;
+    PolicyKind policy = PolicyKind::Fcfs;
+    /// Allow re-binding a context whose data lives on a slower device to a
+    /// strictly faster idle device (Figure 9's load balancing).
+    bool enable_migration = false;
+  };
+
+  Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // ---- Topology -------------------------------------------------------------
+  /// Creates vGPUs for the device at `device_index` (cudart numbering).
+  void add_device(int device_index, GpuId gpu);
+  /// Marks the device's vGPUs dead and wakes waiters (failure / hot-remove).
+  void remove_device(GpuId gpu);
+
+  // ---- Binding ---------------------------------------------------------------
+  struct Binding {
+    int slot = -1;
+    GpuId gpu{};
+    ClientId client{};
+    bool migrated = false;  ///< context data must move from another device
+    /// This bind replaced a binding lost to a device failure/removal; the
+    /// context's state recovers from the swap area.
+    bool recovered_from_failure = false;
+  };
+
+  /// Blocks until `ctx` is bound to a vGPU (or no device remains at all).
+  /// Idempotent: returns the existing binding if already bound.
+  Result<Binding> acquire(Context& ctx);
+
+  /// Releases the context's vGPU (end of GPU phase); wakes waiters.
+  void release(Context& ctx);
+
+  std::optional<Binding> binding_of(ContextId ctx) const;
+  bool context_bound(ContextId ctx) const;
+
+  // ---- Introspection ----------------------------------------------------------
+  int vgpu_count() const;           ///< alive vGPUs (what apps see as devices)
+  int waiting_count() const;        ///< contexts blocked in acquire()
+  bool has_waiters() const;
+  /// Active bindings per GPU (load metric).
+  std::map<GpuId, int> load_by_gpu() const;
+
+  /// True when migration is enabled and a device strictly faster than
+  /// `current` has an idle vGPU -- the dispatcher's cue to unbind a job in
+  /// its CPU phase so it can migrate (Figure 9's load balancing).
+  bool faster_gpu_idle(GpuId current) const;
+  SchedulerStats stats() const;
+
+ private:
+  struct Slot {
+    int index = 0;
+    GpuId gpu{};
+    int device_index = 0;
+    ClientId client{};
+    double speed = 0.0;  ///< GpuSpec::compute_power of the device
+    bool alive = true;
+    ContextId bound{};
+  };
+
+  struct Waiter {
+    Context* ctx;
+    std::optional<Binding> granted;
+    bool hopeless = false;  // no alive slot can ever serve this context
+  };
+
+  /// Greedy assignment of free slots to waiters in policy-priority order.
+  /// Called with mu_ held whenever slots or the waiting set change.
+  void match_locked();
+
+  /// Priority key: smaller = scheduled earlier.
+  double priority_of(const Context& ctx) const;
+
+  /// Picks the slot a context should get, honoring residency affinity,
+  /// load balancing and (optionally) slow->fast migration. Returns nullptr
+  /// when nothing suitable is free.
+  Slot* pick_slot_locked(Context& ctx, bool* migrated);
+
+  cudart::CudaRt* rt_;
+  MemoryManager* mm_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  vt::ConditionVariable cv_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Waiter*> waiting_;
+  std::map<ContextId, Slot*> bindings_;
+  SchedulerStats stats_;
+};
+
+}  // namespace gpuvm::core

@@ -1,0 +1,100 @@
+#include "sim/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gpuvm::sim {
+
+AddressSpaceAllocator::AddressSpaceAllocator(u64 base, u64 capacity, u64 alignment)
+    : base_(base), capacity_(capacity), alignment_(alignment) {
+  assert(base_ % alignment_ == 0);
+  assert(capacity_ % alignment_ == 0);
+  if (capacity_ > 0) holes_.emplace(base_, capacity_);
+}
+
+std::optional<u64> AddressSpaceAllocator::allocate(u64 size) {
+  const u64 need = align_up(std::max<u64>(size, 1));
+  for (auto it = holes_.begin(); it != holes_.end(); ++it) {
+    if (it->second < need) continue;
+    const u64 addr = it->first;
+    const u64 hole_size = it->second;
+    holes_.erase(it);
+    if (hole_size > need) holes_.emplace(addr + need, hole_size - need);
+    live_.emplace(addr, need);
+    used_ += need;
+    return addr;
+  }
+  return std::nullopt;
+}
+
+bool AddressSpaceAllocator::release(u64 addr) {
+  const auto it = live_.find(addr);
+  if (it == live_.end()) return false;
+  u64 start = it->first;
+  u64 size = it->second;
+  live_.erase(it);
+  used_ -= size;
+
+  // Coalesce with the following hole.
+  const auto next = holes_.lower_bound(start);
+  if (next != holes_.end() && start + size == next->first) {
+    size += next->second;
+    holes_.erase(next);
+  }
+  // Coalesce with the preceding hole.
+  if (!holes_.empty()) {
+    auto prev = holes_.lower_bound(start);
+    if (prev != holes_.begin()) {
+      --prev;
+      if (prev->first + prev->second == start) {
+        start = prev->first;
+        size += prev->second;
+        holes_.erase(prev);
+      }
+    }
+  }
+  holes_.emplace(start, size);
+  return true;
+}
+
+std::optional<u64> AddressSpaceAllocator::allocation_size(u64 addr) const {
+  const auto it = live_.find(addr);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+u64 AddressSpaceAllocator::largest_free_block() const {
+  u64 best = 0;
+  for (const auto& [start, size] : holes_) best = std::max(best, size);
+  return best;
+}
+
+bool AddressSpaceAllocator::check_invariants() const {
+  u64 total_hole = 0;
+  u64 prev_end = 0;
+  bool first = true;
+  for (const auto& [start, size] : holes_) {
+    if (size == 0) return false;
+    if (start < base_ || start + size > base_ + capacity_) return false;
+    if (!first && start <= prev_end) return false;  // overlapping or adjacent (uncoalesced)
+    prev_end = start + size;
+    first = false;
+    total_hole += size;
+  }
+  u64 total_live = 0;
+  for (const auto& [start, size] : live_) {
+    if (start < base_ || start + size > base_ + capacity_) return false;
+    total_live += size;
+    // Live ranges must not intersect any hole.
+    auto it = holes_.upper_bound(start);
+    if (it != holes_.begin()) {
+      --it;
+      if (it->first + it->second > start) return false;
+    }
+    it = holes_.lower_bound(start);
+    if (it != holes_.end() && it->first < start + size) return false;
+  }
+  return total_hole + total_live == capacity_ && total_live == used_;
+}
+
+}  // namespace gpuvm::sim

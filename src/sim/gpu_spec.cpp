@@ -1,0 +1,88 @@
+#include "sim/gpu_spec.hpp"
+
+#include <algorithm>
+
+namespace gpuvm::sim {
+
+namespace {
+constexpr u64 kGiB = 1024ull * 1024ull * 1024ull;
+}
+
+GpuSpec tesla_c2050(const SimParams& params) {
+  GpuSpec spec;
+  spec.model = "Tesla C2050";
+  spec.sm_count = 14;
+  spec.cores_per_sm = 32;
+  spec.clock_ghz = 1.15;
+  spec.memory_bytes = params.scale_bytes(3 * kGiB);
+  // Peak SP is ~1030 GFLOPS; sustained application throughput ~1/3.
+  spec.effective_gflops = 345.0;
+  spec.mem_bandwidth_gbs = 110.0;  // 144 GB/s peak, ~75% sustained
+  spec.pcie_bandwidth_gbs = 5.5;   // PCIe 2.0 x16 with pinned-ish efficiency
+  spec.launch_overhead_us = 7.0;
+  spec.transfer_latency_us = 10.0;
+  return spec;
+}
+
+GpuSpec tesla_c1060(const SimParams& params) {
+  GpuSpec spec;
+  spec.model = "Tesla C1060";
+  spec.sm_count = 30;
+  spec.cores_per_sm = 8;
+  spec.clock_ghz = 1.30;
+  spec.memory_bytes = params.scale_bytes(4 * kGiB);
+  // Peak SP ~933 GFLOPS (0.9x of a C2050); sustained application
+  // throughput scales similarly on these workloads.
+  spec.effective_gflops = 280.0;
+  spec.mem_bandwidth_gbs = 75.0;   // 102 GB/s peak
+  spec.pcie_bandwidth_gbs = 5.0;
+  spec.launch_overhead_us = 9.0;
+  spec.transfer_latency_us = 12.0;
+  return spec;
+}
+
+GpuSpec quadro_2000(const SimParams& params) {
+  GpuSpec spec;
+  spec.model = "Quadro 2000";
+  spec.sm_count = 4;
+  spec.cores_per_sm = 48;
+  spec.clock_ghz = 1.25;
+  spec.memory_bytes = params.scale_bytes(1 * kGiB);
+  spec.effective_gflops = 160.0;   // 480 GFLOPS peak
+  spec.mem_bandwidth_gbs = 31.0;   // 41.6 GB/s peak
+  spec.pcie_bandwidth_gbs = 5.0;
+  spec.launch_overhead_us = 7.0;
+  spec.transfer_latency_us = 10.0;
+  return spec;
+}
+
+GpuSpec test_gpu(u64 memory_bytes) {
+  GpuSpec spec;
+  spec.model = "TestGPU";
+  spec.sm_count = 1;
+  spec.cores_per_sm = 32;
+  spec.clock_ghz = 1.0;
+  spec.memory_bytes = memory_bytes;
+  spec.effective_gflops = 100.0;
+  spec.mem_bandwidth_gbs = 50.0;
+  spec.pcie_bandwidth_gbs = 5.0;
+  spec.launch_overhead_us = 1.0;
+  spec.transfer_latency_us = 1.0;
+  return spec;
+}
+
+vt::Duration transfer_time(const GpuSpec& spec, const SimParams& params, u64 bytes) {
+  const double paper_bytes = static_cast<double>(bytes) * static_cast<double>(params.mem_scale);
+  const double seconds = paper_bytes / (spec.pcie_bandwidth_gbs * 1e9);
+  return vt::from_seconds(seconds) + vt::from_micros(spec.transfer_latency_us);
+}
+
+vt::Duration kernel_time(const GpuSpec& spec, const KernelCost& cost) {
+  const double compute_s = cost.flops / (spec.effective_gflops * 1e9);
+  const double memory_s = cost.dram_bytes / (spec.mem_bandwidth_gbs * 1e9);
+  // A kernel is limited by whichever resource it saturates.
+  const double seconds = std::max(compute_s, memory_s);
+  return vt::from_seconds(seconds) + vt::from_micros(spec.launch_overhead_us);
+}
+
+}  // namespace gpuvm::sim

@@ -1,0 +1,78 @@
+// Performance/capacity specifications of the simulated GPU models.
+//
+// The paper's testbed: two NVIDIA Tesla C2050s and one Tesla C1060 on the
+// main node, a Quadro 2000 for the unbalanced-node experiment, and another
+// C1060 on the second cluster node. Cards are modeled by the observable
+// quantities the runtime under study reacts to: device-memory capacity,
+// sustained compute rate, sustained memory bandwidth, and PCIe transfer
+// bandwidth. Rates are "effective" (sustained application-level) values,
+// roughly 1/3 of the peak numbers, which is what real codes achieve.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "common/vt.hpp"
+
+namespace gpuvm::sim {
+
+struct GpuSpec {
+  std::string model;
+  int sm_count = 0;
+  int cores_per_sm = 0;
+  double clock_ghz = 0.0;
+  u64 memory_bytes = 0;           ///< device memory capacity (already mem-scaled)
+  double effective_gflops = 0.0;  ///< sustained single-precision compute rate
+  double mem_bandwidth_gbs = 0.0; ///< sustained device-memory bandwidth
+  double pcie_bandwidth_gbs = 0.0;///< sustained host<->device transfer rate
+  double launch_overhead_us = 0.0;///< fixed per-kernel-launch latency
+  double transfer_latency_us = 0.0;///< fixed per-transfer latency
+
+  /// Kernel consolidation (Ravi et al. [6], which the paper's delayed
+  /// binding is designed to compose with): number of kernels the device
+  /// co-executes (1 = strict FCFS serialization, the CUDA 3.2 behaviour).
+  int max_concurrent_kernels = 1;
+  /// Relative slowdown each co-running kernel suffers per neighbour
+  /// (complementary kernels interfere less; 0.25 is a midpoint).
+  double consolidation_interference = 0.25;
+
+  /// Relative speed used by load-balancing policies (bigger = faster).
+  double compute_power() const { return effective_gflops; }
+};
+
+/// How the simulation scales paper-sized quantities down so that dozens of
+/// concurrent jobs fit in host RAM. Every byte count (device capacity and
+/// workload buffers) is divided by `mem_scale`; latency costing multiplies
+/// byte counts back up so modeled durations stay at paper scale.
+struct SimParams {
+  u64 mem_scale = 1024;
+
+  /// When false, kernel bodies are skipped: the simulation is pure
+  /// performance modeling (benchmarks); data correctness is not observable.
+  bool execute_kernel_bodies = true;
+
+  u64 scale_bytes(u64 paper_bytes) const { return paper_bytes / mem_scale; }
+};
+
+/// Factory functions for the paper's cards. `params.mem_scale` shrinks the
+/// device capacity; all rate figures stay at physical scale.
+GpuSpec tesla_c2050(const SimParams& params = {});
+GpuSpec tesla_c1060(const SimParams& params = {});
+GpuSpec quadro_2000(const SimParams& params = {});
+
+/// A deliberately tiny device for unit tests (1 MiB, fast rates, no scaling).
+GpuSpec test_gpu(u64 memory_bytes = 1u << 20);
+
+/// Modeled duration of a host<->device transfer of `bytes` *scaled* bytes
+/// (the paper-equivalent byte count is bytes * mem_scale).
+vt::Duration transfer_time(const GpuSpec& spec, const SimParams& params, u64 bytes);
+
+/// Modeled duration of a kernel with the given cost on this card.
+struct KernelCost {
+  double flops = 0.0;       ///< total floating-point work
+  double dram_bytes = 0.0;  ///< total device-memory traffic
+};
+
+vt::Duration kernel_time(const GpuSpec& spec, const KernelCost& cost);
+
+}  // namespace gpuvm::sim

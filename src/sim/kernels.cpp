@@ -1,0 +1,29 @@
+#include "sim/kernels.hpp"
+
+namespace gpuvm::sim {
+
+void KernelRegistry::add(KernelDef def) {
+  std::scoped_lock lock(mu_);
+  auto name = def.name;
+  defs_[name] = std::make_shared<const KernelDef>(std::move(def));
+}
+
+std::shared_ptr<const KernelDef> KernelRegistry::find(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : it->second;
+}
+
+size_t KernelRegistry::size() const {
+  std::scoped_lock lock(mu_);
+  return defs_.size();
+}
+
+KernelCostFn per_thread_cost(double flops_per_thread, double bytes_per_thread) {
+  return [=](const LaunchConfig& config, const std::vector<KernelArg>&) {
+    const double threads = static_cast<double>(config.total_threads());
+    return KernelCost{flops_per_thread * threads, bytes_per_thread * threads};
+  };
+}
+
+}  // namespace gpuvm::sim

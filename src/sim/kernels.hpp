@@ -1,0 +1,159 @@
+// Kernel model: launch geometry, arguments, bodies and cost functions.
+//
+// A simulated kernel has two independent halves:
+//   - a *body*: a host function that computes real results on the (scaled)
+//     device buffers, so that swap/migration/checkpoint correctness is
+//     verifiable end to end;
+//   - a *cost function*: maps the launch configuration (which carries the
+//     paper-scale problem geometry) to FLOPs and DRAM traffic, from which
+//     the device spec derives the modeled execution time.
+// Keeping them separate lets the simulation run paper-sized latencies over
+// memory-scaled data.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/gpu_spec.hpp"
+
+namespace gpuvm::sim {
+
+struct Dim3 {
+  u32 x = 1;
+  u32 y = 1;
+  u32 z = 1;
+
+  u64 total() const { return static_cast<u64>(x) * y * z; }
+  friend bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  u64 shared_mem_bytes = 0;
+
+  u64 total_threads() const { return grid.total() * block.total(); }
+};
+
+/// One marshaled kernel argument: a device pointer or a 64-bit scalar.
+struct KernelArg {
+  enum class Kind : u8 { DevPtr = 0, I64 = 1, F64 = 2 };
+
+  Kind kind = Kind::I64;
+  u64 bits = 0;
+
+  static KernelArg dev(DevicePtr p) { return {Kind::DevPtr, p}; }
+  static KernelArg i64v(i64 v) { return {Kind::I64, static_cast<u64>(v)}; }
+  static KernelArg f64v(double v) {
+    KernelArg a{Kind::F64, 0};
+    std::memcpy(&a.bits, &v, sizeof v);
+    return a;
+  }
+
+  DevicePtr as_ptr() const { return bits; }
+  i64 as_i64() const { return static_cast<i64>(bits); }
+  double as_f64() const {
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+};
+
+/// Resolved view a body receives: device-pointer args become writable byte
+/// spans into the device's backing store; scalars pass through.
+class KernelExecContext {
+ public:
+  using Resolver = std::function<std::span<std::byte>(DevicePtr)>;
+
+  KernelExecContext(const LaunchConfig& config, std::vector<KernelArg> args,
+                    std::vector<std::span<std::byte>> buffers, Resolver resolver = {})
+      : config_(config),
+        args_(std::move(args)),
+        buffers_(std::move(buffers)),
+        resolver_(std::move(resolver)) {}
+
+  const LaunchConfig& config() const { return config_; }
+  size_t arg_count() const { return args_.size(); }
+  const KernelArg& arg(size_t i) const { return args_.at(i); }
+
+  /// Backing bytes of argument i (must be a DevPtr argument). The span
+  /// starts at the pointed-to offset and extends to the end of the
+  /// allocation, so interior pointers work.
+  std::span<std::byte> bytes(size_t i) const { return buffers_.at(i); }
+
+  template <typename T>
+  std::span<T> buffer(size_t i) const {
+    auto raw = bytes(i);
+    return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+  i64 scalar_i64(size_t i) const { return args_.at(i).as_i64(); }
+  double scalar_f64(size_t i) const { return args_.at(i).as_f64(); }
+
+  /// Follows a raw device pointer read out of a buffer (nested data
+  /// structures). Empty span when the pointer is invalid.
+  std::span<std::byte> deref(DevicePtr ptr) const {
+    return resolver_ ? resolver_(ptr) : std::span<std::byte>{};
+  }
+
+  template <typename T>
+  std::span<T> deref_as(DevicePtr ptr) const {
+    auto raw = deref(ptr);
+    return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+ private:
+  LaunchConfig config_;
+  std::vector<KernelArg> args_;
+  std::vector<std::span<std::byte>> buffers_;  // empty span for scalar args
+  Resolver resolver_;
+};
+
+using KernelBody = std::function<Status(KernelExecContext&)>;
+using KernelCostFn =
+    std::function<KernelCost(const LaunchConfig&, const std::vector<KernelArg>&)>;
+
+/// Definition of a kernel implementation, keyed by symbol name.
+struct KernelDef {
+  std::string name;
+  KernelBody body;
+  KernelCostFn cost;
+  /// Kernel dereferences pointers stored inside device buffers. Such
+  /// structures must be registered with the runtime API (paper section 1).
+  bool uses_nested_pointers = false;
+  /// Kernel allocates device memory from device code (CUDA in-kernel
+  /// malloc). The paper excludes such applications from sharing and
+  /// dynamic scheduling; the runtime pins them.
+  bool uses_device_malloc = false;
+};
+
+/// Process-wide registry of kernel implementations, analogous to the pool
+/// of device code that fat binaries carry. Thread safe.
+class KernelRegistry {
+ public:
+  /// Registers (or replaces) a kernel implementation.
+  void add(KernelDef def);
+
+  /// Looks up by symbol name; nullptr if unknown.
+  std::shared_ptr<const KernelDef> find(const std::string& name) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const KernelDef>> defs_;
+};
+
+/// Convenience cost function: `flops_per_thread * threads` compute and
+/// `bytes_per_thread * threads` DRAM traffic, both from the launch geometry.
+KernelCostFn per_thread_cost(double flops_per_thread, double bytes_per_thread);
+
+}  // namespace gpuvm::sim

@@ -1,0 +1,268 @@
+#include "sim/sim_gpu.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace gpuvm::sim {
+
+namespace {
+// Device address spaces start at a nonzero base so 0 stays a null pointer;
+// each GPU gets a distinct base so cross-device pointer mixups are caught.
+constexpr u64 kAddressStride = 1ull << 40;
+}  // namespace
+
+SimGpu::SimGpu(GpuId id, GpuSpec spec, SimParams params, vt::Domain& dom)
+    : id_(id),
+      spec_(std::move(spec)),
+      params_(params),
+      dom_(&dom),
+      allocator_(kAddressStride * id.value, spec_.memory_bytes / 256 * 256),
+      compute_(dom),
+      copy_(dom) {}
+
+Status SimGpu::check_healthy_and_count() {
+  if (!healthy()) return Status::ErrorDeviceUnavailable;
+  i64 remaining = fail_countdown_.load(std::memory_order_relaxed);
+  if (remaining >= 0) {
+    remaining = fail_countdown_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (remaining < 0) {
+      inject_failure();
+      return Status::ErrorDeviceUnavailable;
+    }
+  }
+  return Status::Ok;
+}
+
+Result<DevicePtr> SimGpu::malloc(u64 size) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  std::scoped_lock lock(mem_mu_);
+  const auto addr = allocator_.allocate(size);
+  if (!addr.has_value()) return Status::ErrorMemoryAllocation;
+  auto block = std::make_unique<Block>();
+  block->data.resize(allocator_.allocation_size(*addr).value());
+  blocks_.emplace(*addr, std::move(block));
+  ++stats_.mallocs;
+  return *addr;
+}
+
+Status SimGpu::free(DevicePtr ptr) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  std::scoped_lock lock(mem_mu_);
+  if (!allocator_.release(ptr)) return Status::ErrorInvalidDevicePointer;
+  blocks_.erase(ptr);
+  ++stats_.frees;
+  return Status::Ok;
+}
+
+SimGpu::Block* SimGpu::locate_locked(DevicePtr addr, u64* offset) {
+  return const_cast<Block*>(std::as_const(*this).locate_locked(addr, offset));
+}
+
+const SimGpu::Block* SimGpu::locate_locked(DevicePtr addr, u64* offset) const {
+  auto it = blocks_.upper_bound(addr);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  const u64 start = it->first;
+  const u64 size = it->second->data.size();
+  if (addr < start || addr >= start + size) return nullptr;
+  *offset = addr - start;
+  return it->second.get();
+}
+
+Status SimGpu::copy_to_device(DevicePtr dst, std::span<const std::byte> src) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  {
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    Block* block = locate_locked(dst, &offset);
+    if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (offset + src.size() > block->data.size()) return Status::ErrorInvalidValue;
+    std::memcpy(block->data.data() + offset, src.data(), src.size());
+    stats_.bytes_to_device += src.size();
+  }
+  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, src.size())));
+  if (!healthy()) return Status::ErrorDeviceUnavailable;  // failed mid-transfer
+  return Status::Ok;
+}
+
+Status SimGpu::copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 size) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  if (dst.size() < size) return Status::ErrorInvalidValue;
+  {
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    const Block* block = locate_locked(src, &offset);
+    if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (offset + size > block->data.size()) return Status::ErrorInvalidValue;
+    std::memcpy(dst.data(), block->data.data() + offset, size);
+    stats_.bytes_from_device += size;
+  }
+  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, size)));
+  if (!healthy()) return Status::ErrorDeviceUnavailable;
+  return Status::Ok;
+}
+
+Status SimGpu::copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  {
+    std::scoped_lock lock(mem_mu_);
+    u64 src_off = 0;
+    u64 dst_off = 0;
+    const Block* sblock = locate_locked(src, &src_off);
+    Block* dblock = locate_locked(dst, &dst_off);
+    if (sblock == nullptr || dblock == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (src_off + size > sblock->data.size() || dst_off + size > dblock->data.size()) {
+      return Status::ErrorInvalidValue;
+    }
+    std::memmove(dblock->data.data() + dst_off, sblock->data.data() + src_off, size);
+  }
+  // On-device copies run at device-memory bandwidth (read + write).
+  const double seconds = 2.0 * static_cast<double>(size) *
+                         static_cast<double>(params_.mem_scale) /
+                         (spec_.mem_bandwidth_gbs * 1e9);
+  dom_->sleep_until(copy_.occupy(vt::from_seconds(seconds)));
+  if (!healthy()) return Status::ErrorDeviceUnavailable;
+  return Status::Ok;
+}
+
+Status SimGpu::copy_from_peer(DevicePtr dst, SimGpu& peer, DevicePtr src, u64 size) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  if (!peer.healthy()) return Status::ErrorDeviceUnavailable;
+  {
+    // Pull the bytes: read from the peer's backing, write into ours.
+    std::vector<std::byte> staging(size);
+    if (const Status s = peer.peek(staging, src, size); !ok(s)) return s;
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    Block* block = locate_locked(dst, &offset);
+    if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (offset + size > block->data.size()) return Status::ErrorInvalidValue;
+    std::memcpy(block->data.data() + offset, staging.data(), size);
+  }
+  // One DMA hop at PCIe speed (GPUDirect peer-to-peer), vs. two for a
+  // bounce through host memory.
+  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, size)));
+  if (!healthy()) return Status::ErrorDeviceUnavailable;
+  return Status::Ok;
+}
+
+Status SimGpu::peek(std::span<std::byte> dst, DevicePtr src, u64 size) const {
+  std::scoped_lock lock(mem_mu_);
+  u64 offset = 0;
+  const Block* block = locate_locked(src, &offset);
+  if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+  if (offset + size > block->data.size() || dst.size() < size) return Status::ErrorInvalidValue;
+  std::memcpy(dst.data(), block->data.data() + offset, size);
+  return Status::Ok;
+}
+
+Status SimGpu::poke(DevicePtr dst, std::span<const std::byte> src) {
+  std::scoped_lock lock(mem_mu_);
+  u64 offset = 0;
+  Block* block = locate_locked(dst, &offset);
+  if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+  if (offset + src.size() > block->data.size()) return Status::ErrorInvalidValue;
+  std::memcpy(block->data.data() + offset, src.data(), src.size());
+  return Status::Ok;
+}
+
+Status SimGpu::launch(const KernelDef& def, const LaunchConfig& config,
+                      const std::vector<KernelArg>& args) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  if (config.grid.total() == 0 || config.block.total() == 0 ||
+      config.block.total() > 1024) {
+    return Status::ErrorInvalidConfiguration;
+  }
+
+  // Resolve device-pointer arguments to backing spans.
+  std::vector<std::span<std::byte>> buffers(args.size());
+  {
+    std::scoped_lock lock(mem_mu_);
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].kind != KernelArg::Kind::DevPtr) continue;
+      u64 offset = 0;
+      Block* block = locate_locked(args[i].as_ptr(), &offset);
+      if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+      buffers[i] = std::span<std::byte>(block->data).subspan(offset);
+    }
+    ++stats_.kernels_launched;
+  }
+
+  // Execute the real math. Contexts never share allocations (isolation is
+  // what the runtime under test provides), so disjoint blocks make this
+  // safe to run outside mem_mu_ while other contexts allocate.
+  KernelExecContext::Resolver resolver = [this](DevicePtr ptr) -> std::span<std::byte> {
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    Block* block = locate_locked(ptr, &offset);
+    if (block == nullptr) return {};
+    return std::span<std::byte>(block->data).subspan(offset);
+  };
+  KernelExecContext ctx(config, args, std::move(buffers), std::move(resolver));
+  const Status body_status =
+      (def.body && params_.execute_kernel_bodies) ? def.body(ctx) : Status::Ok;
+  if (!ok(body_status)) {
+    std::scoped_lock lock(mem_mu_);
+    ++stats_.failed_ops;
+    return body_status;
+  }
+
+  const KernelCost cost = def.cost ? def.cost(config, args) : KernelCost{};
+  bool co_ran = false;
+  dom_->sleep_until(compute_.occupy(kernel_time(spec_, cost), spec_.max_concurrent_kernels,
+                                    spec_.consolidation_interference, &co_ran));
+  if (co_ran) {
+    std::scoped_lock lock(mem_mu_);
+    ++stats_.consolidated_kernels;
+  }
+  if (!healthy()) return Status::ErrorDeviceUnavailable;  // failed mid-kernel
+  return Status::Ok;
+}
+
+u64 SimGpu::free_bytes() const {
+  std::scoped_lock lock(mem_mu_);
+  return allocator_.free_bytes();
+}
+
+u64 SimGpu::used_bytes() const {
+  std::scoped_lock lock(mem_mu_);
+  return allocator_.used_bytes();
+}
+
+u64 SimGpu::largest_free_block() const {
+  std::scoped_lock lock(mem_mu_);
+  return allocator_.largest_free_block();
+}
+
+GpuStats SimGpu::stats() const {
+  GpuStats out;
+  {
+    std::scoped_lock lock(mem_mu_);
+    out = stats_;
+  }
+  out.compute_busy_seconds = vt::to_seconds(compute_.busy_total());
+  out.copy_busy_seconds = vt::to_seconds(copy_.busy_total());
+  return out;
+}
+
+bool SimGpu::valid_pointer(DevicePtr ptr) const {
+  std::scoped_lock lock(mem_mu_);
+  u64 offset = 0;
+  return locate_locked(ptr, &offset) != nullptr;
+}
+
+void SimGpu::inject_failure() {
+  failed_.store(true, std::memory_order_release);
+  log::info("GPU %llu (%s) failed", static_cast<unsigned long long>(id_.value),
+            spec_.model.c_str());
+}
+
+void SimGpu::fail_after_ops(u64 n) {
+  fail_countdown_.store(static_cast<i64>(n), std::memory_order_release);
+}
+
+void SimGpu::mark_removed() { failed_.store(true, std::memory_order_release); }
+
+}  // namespace gpuvm::sim

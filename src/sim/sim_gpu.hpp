@@ -1,0 +1,197 @@
+// SimGpu: a simulated GPU device.
+//
+// Stands in for the NVIDIA Fermi/GT200 cards of the paper's testbed. The
+// device exposes exactly the observables the runtime under study reacts to:
+//   - device-memory allocation with realistic fragmentation (first-fit
+//     address-space allocator) and capacity-based OOM,
+//   - host<->device transfers costed by PCIe bandwidth,
+//   - kernel execution costed by the card's sustained compute / memory
+//     rates, serialized FCFS on a single compute engine (CUDA 3.2 contexts
+//     time-share the device; concurrent kernel execution across contexts
+//     did not exist),
+//   - a copy engine that may overlap with the compute engine (Fermi DMA),
+//   - failure injection and hot removal for the fault-tolerance and
+//     dynamic-downgrade experiments.
+// Kernel bodies execute real host math over the backing bytes so data
+// correctness is observable end to end.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "common/vt.hpp"
+#include "sim/allocator.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/kernels.hpp"
+
+namespace gpuvm::sim {
+
+/// Counters exposed for tests and benchmark harnesses.
+struct GpuStats {
+  u64 mallocs = 0;
+  u64 frees = 0;
+  u64 kernels_launched = 0;
+  u64 consolidated_kernels = 0;  ///< launches that co-ran with another kernel
+  u64 bytes_to_device = 0;
+  u64 bytes_from_device = 0;
+  u64 failed_ops = 0;
+  /// Cumulative busy time of the engines (modeled seconds); divide by the
+  /// experiment duration for a utilization figure.
+  double compute_busy_seconds = 0.0;
+  double copy_busy_seconds = 0.0;
+};
+
+class SimGpu {
+ public:
+  SimGpu(GpuId id, GpuSpec spec, SimParams params, vt::Domain& dom);
+
+  GpuId id() const { return id_; }
+  const GpuSpec& spec() const { return spec_; }
+  const SimParams& params() const { return params_; }
+
+  // ---- Memory management -------------------------------------------------
+  Result<DevicePtr> malloc(u64 size);
+  Status free(DevicePtr ptr);
+
+  /// Transfer host->device. `dst` may point into the interior of an
+  /// allocation. Blocks the caller for the modeled PCIe time.
+  Status copy_to_device(DevicePtr dst, std::span<const std::byte> src);
+  /// Transfer device->host.
+  Status copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 size);
+  /// Device->device copy within this GPU.
+  Status copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size);
+
+  /// Direct GPU-to-GPU transfer (CUDA 4.0 peer access): pulls `size` bytes
+  /// from `src` on `peer` into `dst` on this device over one PCIe hop,
+  /// occupying this device's copy engine. Both devices must be healthy.
+  Status copy_from_peer(DevicePtr dst, SimGpu& peer, DevicePtr src, u64 size);
+
+  /// Zero-cost accessors used by the test harness to verify device state
+  /// without perturbing modeled time.
+  Status peek(std::span<std::byte> dst, DevicePtr src, u64 size) const;
+  Status poke(DevicePtr dst, std::span<const std::byte> src);
+
+  // ---- Execution ----------------------------------------------------------
+  /// Runs a kernel: resolves DevPtr args to backing spans, executes the
+  /// body, and occupies the compute engine for the modeled duration (FCFS
+  /// across callers). Blocks the caller until virtual completion.
+  Status launch(const KernelDef& def, const LaunchConfig& config,
+                const std::vector<KernelArg>& args);
+
+  // ---- Introspection ------------------------------------------------------
+  u64 capacity_bytes() const { return spec_.memory_bytes; }
+  u64 free_bytes() const;
+  u64 used_bytes() const;
+  u64 largest_free_block() const;
+  GpuStats stats() const;
+
+  /// True if `ptr` points within a live allocation.
+  bool valid_pointer(DevicePtr ptr) const;
+
+  // ---- Failure injection / lifecycle --------------------------------------
+  /// Marks the device failed: every subsequent operation returns
+  /// ErrorDeviceUnavailable. Mimics an ECC/driver fault.
+  void inject_failure();
+  /// Fails the device automatically after `n` further costed operations.
+  void fail_after_ops(u64 n);
+  /// Hot-removal: same observable effect as failure, different intent.
+  void mark_removed();
+  bool healthy() const { return !failed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Block {
+    std::vector<std::byte> data;
+  };
+
+  /// A resource occupied in virtual time. Callers compute their completion
+  /// time under the engine lock and then sleep until it. With slots == 1
+  /// reservations serialize FCFS (CUDA 3.2 cross-context behaviour); with
+  /// slots > 1 up to that many reservations co-run, each stretched by the
+  /// interference factor per co-runner at admission (kernel consolidation).
+  class Engine {
+   public:
+    explicit Engine(vt::Domain& dom) : dom_(&dom) {}
+
+    /// Reserves the engine for `dur`; returns the virtual completion time.
+    /// `co_ran` (optional) reports whether the reservation overlapped an
+    /// existing one.
+    vt::TimePoint occupy(vt::Duration dur, int slots = 1,
+                         double interference = 0.0, bool* co_ran = nullptr) {
+      std::scoped_lock lock(mu_);
+      const vt::TimePoint now = dom_->now();
+      // Drop windows that ended in the past.
+      windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                    [&](const Window& w) { return w.end <= now; }),
+                     windows_.end());
+      // Find the earliest admission time with a free slot.
+      vt::TimePoint start = now;
+      for (;;) {
+        int overlapping = 0;
+        vt::TimePoint earliest_end = vt::TimePoint::max();
+        for (const Window& w : windows_) {
+          if (w.start <= start && start < w.end) {
+            ++overlapping;
+            earliest_end = std::min(earliest_end, w.end);
+          }
+        }
+        if (overlapping < std::max(slots, 1)) {
+          const double stretch = 1.0 + interference * overlapping;
+          const auto stretched = vt::Duration{
+              static_cast<std::int64_t>(static_cast<double>(dur.count()) * stretch)};
+          windows_.push_back({start, start + stretched});
+          busy_ += stretched;
+          if (co_ran != nullptr) *co_ran = overlapping > 0;
+          return start + stretched;
+        }
+        start = earliest_end;
+      }
+    }
+
+    vt::Duration busy_total() const {
+      std::scoped_lock lock(mu_);
+      return busy_;
+    }
+
+   private:
+    struct Window {
+      vt::TimePoint start;
+      vt::TimePoint end;
+    };
+
+    mutable std::mutex mu_;
+    vt::Domain* dom_;
+    std::vector<Window> windows_;
+    vt::Duration busy_{};
+  };
+
+  // Locates the block containing `addr`; returns nullptr when invalid.
+  // Caller must hold mem_mu_.
+  Block* locate_locked(DevicePtr addr, u64* offset);
+  const Block* locate_locked(DevicePtr addr, u64* offset) const;
+
+  Status check_healthy_and_count();
+
+  GpuId id_;
+  GpuSpec spec_;
+  SimParams params_;
+  vt::Domain* dom_;
+
+  mutable std::mutex mem_mu_;   // guards allocator_, blocks_, stats_
+  AddressSpaceAllocator allocator_;
+  std::map<DevicePtr, std::unique_ptr<Block>> blocks_;
+  GpuStats stats_;
+
+  Engine compute_;
+  Engine copy_;
+
+  std::atomic<bool> failed_{false};
+  std::atomic<i64> fail_countdown_{-1};  // <0 = disabled
+};
+
+}  // namespace gpuvm::sim

@@ -1,0 +1,116 @@
+// gpuvm_run: client CLI -- runs a Table-2 workload against a gpuvmd daemon.
+//
+//   gpuvm_run --socket /tmp/gpuvm.sock --workload MM-L [--cpu-fraction 1.0]
+//             [--seed 7] [--jobs 4] [--no-verify] [--mem-scale 1024]
+//
+// Each job is one application thread with its own connection (the paper's
+// thread/connection/context correspondence). Exit code 0 iff every job
+// completed with verified results.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "transport/unix_socket.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gpuvm_run --socket PATH --workload NAME [--cpu-fraction F]\n"
+               "                 [--seed N] [--jobs N] [--no-verify] [--mem-scale N]\n"
+               "workloads: ");
+  for (const auto& name : gpuvm::workloads::all_workload_names()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  for (const auto& name : gpuvm::workloads::extended_workload_names()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpuvm;
+
+  std::string socket_path;
+  std::string workload_name;
+  double cpu_fraction = 0.0;
+  u64 seed = 1;
+  int jobs = 1;
+  bool verify = true;
+  sim::SimParams params;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--workload") workload_name = next();
+    else if (arg == "--cpu-fraction") cpu_fraction = std::atof(next());
+    else if (arg == "--seed") seed = static_cast<u64>(std::atoll(next()));
+    else if (arg == "--jobs") jobs = std::atoi(next());
+    else if (arg == "--no-verify") verify = false;
+    else if (arg == "--mem-scale") params.mem_scale = static_cast<u64>(std::atoll(next()));
+    else {
+      usage();
+      return 2;
+    }
+  }
+  const workloads::Workload* app = workloads::find_workload(workload_name);
+  if (app == nullptr) app = workloads::find_extended_workload(workload_name);
+  if (socket_path.empty() || app == nullptr) {
+    usage();
+    return 2;
+  }
+
+  // Client time flows in the same scaled-real mode as the daemon's.
+  vt::Domain dom(vt::Mode::ScaledReal, /*real_scale=*/1e-3);
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<vt::Thread> threads;
+    for (int j = 0; j < jobs; ++j) {
+      threads.emplace_back(dom, [&, j] {
+        auto channel = transport::unix_connect(socket_path);
+        if (!channel.has_value()) {
+          std::fprintf(stderr, "job %d: cannot connect to %s\n", j, socket_path.c_str());
+          failures.fetch_add(1);
+          return;
+        }
+        core::ConnectOptions options;
+        options.job_cost_hint_seconds = app->expected_gpu_seconds();
+        core::FrontendApi api(std::move(channel.value()), options);
+        if (!api.connected()) {
+          failures.fetch_add(1);
+          return;
+        }
+        workloads::AppContext ctx;
+        ctx.dom = &dom;
+        ctx.api = &api;
+        ctx.params = params;
+        ctx.seed = seed + static_cast<u64>(j);
+        ctx.cpu_fraction = cpu_fraction;
+        ctx.verify = verify;
+        const auto result = app->run(ctx);
+        if (!result.success()) {
+          std::fprintf(stderr, "job %d: %s (%s)\n", j, to_string(result.status),
+                       result.detail.c_str());
+          failures.fetch_add(1);
+        } else {
+          std::printf("job %d: %s ok, %d kernel launches\n", j, workload_name.c_str(),
+                      result.kernel_launches);
+        }
+      });
+    }
+  }
+  return failures.load() == 0 ? 0 : 1;
+}

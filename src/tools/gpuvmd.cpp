@@ -1,0 +1,161 @@
+// gpuvmd: the stand-alone gpuvm node daemon.
+//
+// Runs the runtime as its own process listening on an AF_UNIX socket -- the
+// deployment shape of the paper's prototype ("our runtime is a stand-alone
+// process"). Client processes (gpuvm_run, or anything speaking the wire
+// protocol) connect and issue CUDA calls. The daemon hosts the simulated
+// node: GPUs are configured on the command line.
+//
+//   gpuvmd --socket /tmp/gpuvm.sock --gpus c2050,c2050,c1060 \
+//          --vgpus 4 --policy fcfs [--migration] [--cuda4] [--mem-scale 1024]
+//
+// Stops on SIGINT/SIGTERM or when `--serve-seconds N` of wall time elapse.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "cudart/cudart.hpp"
+#include "sim/machine.hpp"
+#include "transport/unix_socket.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+gpuvm::sim::GpuSpec spec_by_name(const std::string& name, const gpuvm::sim::SimParams& params) {
+  if (name == "c2050") return gpuvm::sim::tesla_c2050(params);
+  if (name == "c1060") return gpuvm::sim::tesla_c1060(params);
+  if (name == "quadro2000") return gpuvm::sim::quadro_2000(params);
+  if (name == "test") return gpuvm::sim::test_gpu();
+  std::fprintf(stderr, "unknown GPU model '%s' (c2050|c1060|quadro2000|test)\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gpuvmd --socket PATH [--gpus LIST] [--vgpus N] "
+               "[--policy fcfs|sjf|credit|deadline] [--migration] [--cuda4]\n"
+               "              [--eager-transfers] [--mem-scale N] [--serve-seconds N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpuvm;
+
+  std::string socket_path;
+  std::string gpus = "c2050";
+  core::RuntimeConfig config;
+  sim::SimParams params;
+  int serve_seconds = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--gpus") {
+      gpus = next();
+    } else if (arg == "--vgpus") {
+      config.vgpus_per_device = std::atoi(next());
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "fcfs") config.policy = core::PolicyKind::Fcfs;
+      else if (p == "sjf") config.policy = core::PolicyKind::ShortestJobFirst;
+      else if (p == "credit") config.policy = core::PolicyKind::CreditBased;
+      else if (p == "deadline") config.policy = core::PolicyKind::DeadlineAware;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--migration") {
+      config.enable_migration = true;
+    } else if (arg == "--cuda4") {
+      config.cuda4_semantics = true;
+    } else if (arg == "--eager-transfers") {
+      config.defer_transfers = false;
+    } else if (arg == "--mem-scale") {
+      params.mem_scale = static_cast<u64>(std::atoll(next()));
+    } else if (arg == "--serve-seconds") {
+      serve_seconds = std::atoi(next());
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  // The daemon's simulation runs in scaled-real mode so remote clients and
+  // the daemon agree on the flow of time across process boundaries (the
+  // virtual-clock mode needs all threads in one process).
+  vt::Domain dom(vt::Mode::ScaledReal, /*real_scale=*/1e-3);
+  sim::SimMachine machine(dom, params);
+  for (const std::string& name : split(gpus, ',')) {
+    if (!name.empty()) machine.add_gpu(spec_by_name(name, params));
+  }
+  workloads::register_all_kernels(machine.kernels());
+  workloads::register_extended_kernels(machine.kernels());
+  cudart::CudaRt cuda(machine);
+  core::Runtime daemon(cuda, config);
+
+  auto server = transport::UnixSocketServer::listen(
+      socket_path, [&daemon](std::unique_ptr<transport::MessageChannel> channel) {
+        daemon.serve_channel(std::move(channel));
+      });
+  if (!server.has_value()) {
+    std::fprintf(stderr, "gpuvmd: cannot listen on %s\n", socket_path.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("gpuvmd: %d GPU(s), %d vGPU(s), listening on %s\n",
+              static_cast<int>(machine.gpus().size()), daemon.scheduler().vgpu_count(),
+              socket_path.c_str());
+  std::fflush(stdout);
+
+  int waited = 0;
+  while (g_stop == 0 && (serve_seconds == 0 || waited < serve_seconds)) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++waited;
+  }
+
+  server.value()->stop();
+  const auto stats = daemon.stats();
+  const auto mem = daemon.memory().stats();
+  std::printf("gpuvmd: served %llu connections, %llu launches, %llu swaps, shutting down\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.launches),
+              static_cast<unsigned long long>(mem.inter_app_swaps + mem.intra_app_swaps));
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "transport/channel.hpp"
+
+#include <deque>
+#include <mutex>
+
+namespace gpuvm::transport {
+
+namespace {
+
+/// State shared by both endpoints: one costed queue per direction.
+class Pipe {
+ public:
+  Pipe(vt::Domain& dom, ChannelCosts costs) : dom_(&dom), costs_(costs), cv_(dom) {}
+
+  bool send(Message msg) {
+    const vt::Duration transit = transit_time(msg);
+    std::unique_lock lk(mu_);
+    if (closed_) return false;
+    items_.push_back(Entry{std::move(msg), dom_->now() + transit});
+    cv_.notify_one();
+    return true;
+  }
+
+  std::optional<Message> receive() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    Entry entry = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    // Model transit: the message is visible only once its latency elapsed.
+    dom_->sleep_until(entry.deliver_at);
+    return std::move(entry.msg);
+  }
+
+  void close() {
+    std::unique_lock lk(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::unique_lock lk(mu_);
+    return closed_;
+  }
+
+  bool has_items() const {
+    std::unique_lock lk(mu_);
+    return !items_.empty();
+  }
+
+ private:
+  struct Entry {
+    Message msg;
+    vt::TimePoint deliver_at;
+  };
+
+  vt::Duration transit_time(const Message& msg) const {
+    vt::Duration t = costs_.latency;
+    if (costs_.bandwidth_gbps > 0.0) {
+      t += vt::from_seconds(static_cast<double>(msg.payload.size()) /
+                            (costs_.bandwidth_gbps * 1e9));
+    }
+    return t;
+  }
+
+  vt::Domain* dom_;
+  ChannelCosts costs_;
+  mutable std::mutex mu_;
+  vt::ConditionVariable cv_;
+  std::deque<Entry> items_;
+  bool closed_ = false;
+};
+
+class LocalEndpoint : public MessageChannel {
+ public:
+  LocalEndpoint(std::shared_ptr<Pipe> tx, std::shared_ptr<Pipe> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~LocalEndpoint() override { close(); }
+
+  bool send(Message msg) override { return tx_->send(std::move(msg)); }
+  std::optional<Message> receive() override { return rx_->receive(); }
+
+  void close() override {
+    tx_->close();
+    rx_->close();
+  }
+
+  bool closed() const override { return tx_->closed(); }
+
+  bool pending() const override { return rx_->has_items(); }
+
+ private:
+  std::shared_ptr<Pipe> tx_;
+  std::shared_ptr<Pipe> rx_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>> make_local_pair(
+    vt::Domain& dom, ChannelCosts costs) {
+  auto a_to_b = std::make_shared<Pipe>(dom, costs);
+  auto b_to_a = std::make_shared<Pipe>(dom, costs);
+  return {std::make_unique<LocalEndpoint>(a_to_b, b_to_a),
+          std::make_unique<LocalEndpoint>(b_to_a, a_to_b)};
+}
+
+}  // namespace gpuvm::transport

@@ -1,0 +1,57 @@
+// Duplex message channels connecting frontends, daemons and nodes.
+//
+// A MessageChannel is one endpoint of a connected pair. The in-process
+// implementation (make_local_pair) carries modeled latency and bandwidth so
+// that interception overhead (AF_UNIX hop, the paper's gVirtuS transport)
+// and inter-node links (TCP) cost virtual time like the real thing.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/vt.hpp"
+#include "transport/message.hpp"
+
+namespace gpuvm::transport {
+
+class MessageChannel {
+ public:
+  virtual ~MessageChannel() = default;
+
+  /// Sends a message to the peer. Returns false if the channel is closed.
+  virtual bool send(Message msg) = 0;
+
+  /// Blocks until a message arrives (nullopt when the peer closed and the
+  /// queue is drained).
+  virtual std::optional<Message> receive() = 0;
+
+  /// Closes both directions; blocked receivers wake.
+  virtual void close() = 0;
+
+  virtual bool closed() const = 0;
+
+  /// True when at least one message is already queued/readable. The daemon
+  /// uses this to detect an application's CPU phase (no pending requests).
+  virtual bool pending() const = 0;
+};
+
+struct ChannelCosts {
+  /// One-way delivery latency added to every message.
+  vt::Duration latency{};
+  /// Payload throughput; 0 = infinite.
+  double bandwidth_gbps = 0.0;
+
+  /// Cost profile of a local AF_UNIX interposition hop (gVirtuS-like).
+  static ChannelCosts local_socket() { return {vt::from_micros(20), 0.0}; }
+  /// Cost profile of a gigabit-Ethernet cluster link.
+  static ChannelCosts cluster_link() { return {vt::from_micros(80), 1.0}; }
+  /// Free channel (unit tests).
+  static ChannelCosts free() { return {}; }
+};
+
+/// Creates a connected in-process endpoint pair with the given cost model.
+std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>> make_local_pair(
+    vt::Domain& dom, ChannelCosts costs = ChannelCosts::free());
+
+}  // namespace gpuvm::transport

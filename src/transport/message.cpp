@@ -1,0 +1,75 @@
+#include "transport/message.hpp"
+
+#include <cstring>
+
+namespace gpuvm::transport {
+
+namespace {
+constexpr u32 kMagic = 0x6776764d;  // "gvvM"
+constexpr u64 kMaxFrameBytes = 1ull << 30;
+}  // namespace
+
+std::vector<u8> encode_frame(const Message& msg) {
+  WireWriter w;
+  w.put<u32>(kMagic);
+  w.put<u16>(static_cast<u16>(msg.op));
+  w.put<u64>(msg.connection.value);
+  w.put<u64>(msg.payload.size());
+  auto out = w.take();
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+bool FrameDecoder::feed(std::span<const u8> data, std::vector<Message>& out) {
+  if (poisoned_) return false;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  constexpr size_t kHeader = 4 + 2 + 8 + 8;
+  size_t pos = 0;
+  while (buf_.size() - pos >= kHeader) {
+    WireReader r(std::span<const u8>(buf_).subspan(pos));
+    const u32 magic = r.get<u32>();
+    const u16 op = r.get<u16>();
+    const u64 conn = r.get<u64>();
+    const u64 len = r.get<u64>();
+    if (magic != kMagic || len > kMaxFrameBytes) {
+      poisoned_ = true;
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - pos - kHeader < len) break;  // incomplete frame
+    Message msg;
+    msg.op = static_cast<Opcode>(op);
+    msg.connection = ConnectionId{conn};
+    msg.payload.assign(buf_.begin() + static_cast<long>(pos + kHeader),
+                       buf_.begin() + static_cast<long>(pos + kHeader + len));
+    out.push_back(std::move(msg));
+    pos += kHeader + len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos));
+  return true;
+}
+
+Message make_reply(ConnectionId conn, Status status, std::vector<u8> payload) {
+  Message msg;
+  msg.op = Opcode::Reply;
+  msg.connection = conn;
+  WireWriter w;
+  w.put<i32>(static_cast<i32>(status));
+  msg.payload = w.take();
+  msg.payload.insert(msg.payload.end(), payload.begin(), payload.end());
+  return msg;
+}
+
+Status reply_status(const Message& reply) {
+  WireReader r(reply.payload);
+  const i32 s = r.get<i32>();
+  if (!r.ok()) return Status::ErrorProtocol;
+  return static_cast<Status>(s);
+}
+
+std::span<const u8> reply_payload(const Message& reply) {
+  if (reply.payload.size() < sizeof(i32)) return {};
+  return std::span<const u8>(reply.payload).subspan(sizeof(i32));
+}
+
+}  // namespace gpuvm::transport

@@ -1,0 +1,84 @@
+// Wire message frames for the interposition protocol.
+//
+// Mirrors the gVirtuS design the paper builds on: the frontend library
+// intercepts CUDA calls and ships them as opcode + payload frames to the
+// runtime daemon, which replies with a status + payload frame. The same
+// frames travel node-to-node for inter-node offloading.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "common/wire.hpp"
+
+namespace gpuvm::transport {
+
+enum class Opcode : u16 {
+  // Connection control
+  Hello = 1,         ///< opens a connection (one per application thread)
+  Goodbye = 2,       ///< orderly teardown
+  // Registration (issued before any context exists)
+  RegisterFatBinary = 10,
+  UnregisterFatBinary = 11,
+  RegisterFunction = 12,
+  RegisterVar = 13,
+  RegisterTexture = 14,
+  // Device management
+  GetDeviceCount = 20,
+  SetDevice = 21,
+  GetDevice = 22,
+  // Memory
+  Malloc = 30,
+  Free = 31,
+  MemcpyH2D = 32,
+  MemcpyD2H = 33,
+  MemcpyD2D = 34,
+  // Execution
+  ConfigureCall = 40,
+  SetupArgument = 41,
+  Launch = 42,
+  Synchronize = 43,
+  GetLastError = 44,
+  // gpuvm runtime extensions
+  RegisterNested = 50,   ///< declare a nested data structure (paper's API)
+  Checkpoint = 51,       ///< explicit user checkpoint
+  // Inter-node offloading control
+  OffloadConnection = 60,
+  // Replies
+  Reply = 100,
+};
+
+struct Message {
+  Opcode op = Opcode::Reply;
+  ConnectionId connection{};
+  std::vector<u8> payload;
+};
+
+/// Encodes a message into a length-prefixed frame suitable for a byte
+/// stream (unix socket / TCP stand-in).
+std::vector<u8> encode_frame(const Message& msg);
+
+/// Incremental frame decoder for stream transports.
+class FrameDecoder {
+ public:
+  /// Feed raw bytes; complete messages are appended to `out`. Returns
+  /// false (and poisons the decoder) on a malformed frame.
+  bool feed(std::span<const u8> data, std::vector<Message>& out);
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::vector<u8> buf_;
+  bool poisoned_ = false;
+};
+
+/// Helpers for the common reply shape: status + optional payload.
+Message make_reply(ConnectionId conn, Status status, std::vector<u8> payload = {});
+Status reply_status(const Message& reply);
+/// Payload bytes after the leading status word.
+std::span<const u8> reply_payload(const Message& reply);
+
+}  // namespace gpuvm::transport

@@ -1,0 +1,77 @@
+#include "workloads/batch.hpp"
+
+#include <mutex>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace gpuvm::workloads {
+
+BatchOutcome BatchRunner::run(const std::vector<JobSpec>& jobs) {
+  BatchOutcome outcome;
+  outcome.per_job_seconds.resize(jobs.size(), 0.0);
+  std::mutex mu;
+  const vt::TimePoint start = dom_->now();
+
+  {
+    std::vector<vt::Thread> threads;
+    vt::HoldGuard hold(*dom_);
+    threads.reserve(jobs.size());
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      threads.emplace_back(*dom_, [this, &jobs, &outcome, &mu, start, j] {
+        const JobSpec& spec = jobs[j];
+        const Workload* app = find_workload(spec.workload);
+        if (app == nullptr) {
+          std::scoped_lock lock(mu);
+          ++outcome.jobs_failed;
+          return;
+        }
+        auto api = factory_(spec, app->expected_gpu_seconds());
+        AppContext ctx;
+        ctx.dom = dom_;
+        ctx.api = api.get();
+        ctx.params = params_;
+        ctx.seed = spec.seed;
+        ctx.cpu_fraction = spec.cpu_fraction;
+        ctx.verify = spec.verify;
+        const AppResult result = app->run(ctx);
+        const double seconds = vt::to_seconds(dom_->now() - start);
+        std::scoped_lock lock(mu);
+        outcome.per_job_seconds[j] = seconds;
+        if (!ok(result.status)) {
+          ++outcome.jobs_failed;
+          log::warn("job %s failed: %s (%s)", spec.workload.c_str(),
+                    to_string(result.status), result.detail.c_str());
+        } else if (!result.verified) {
+          ++outcome.jobs_unverified;
+          log::warn("job %s produced wrong results: %s", spec.workload.c_str(),
+                    result.detail.c_str());
+        }
+      });
+    }
+  }
+
+  outcome.total_seconds = vt::to_seconds(dom_->now() - start);
+  double sum = 0.0;
+  for (double s : outcome.per_job_seconds) sum += s;
+  outcome.avg_seconds =
+      jobs.empty() ? 0.0 : sum / static_cast<double>(outcome.per_job_seconds.size());
+  return outcome;
+}
+
+std::vector<JobSpec> BatchRunner::random_batch(const std::vector<std::string>& pool, int count,
+                                               u64 draw_seed, double cpu_fraction) {
+  Rng rng(draw_seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    JobSpec spec;
+    spec.workload = pool[rng.below(pool.size())];
+    spec.cpu_fraction = cpu_fraction;
+    spec.seed = draw_seed * 1000 + static_cast<u64>(i);
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+}  // namespace gpuvm::workloads

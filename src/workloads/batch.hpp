@@ -1,0 +1,62 @@
+// BatchRunner: concurrent job batches for the node-level experiments.
+//
+// Runs N jobs (each one application thread) concurrently against a chosen
+// backend and reports the metric used throughout section 5: "the overall
+// execution time for a batch of concurrent jobs (the time elapsed between
+// the first job starts and the last job finishes processing)", plus the
+// average per-job time and all runtime counters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gpu_api.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvm::workloads {
+
+struct JobSpec {
+  std::string workload;      ///< Table-2 short name
+  double cpu_fraction = 0.0; ///< MM-S/MM-L CPU-phase knob
+  u64 seed = 1;
+  bool verify = true;
+};
+
+struct BatchOutcome {
+  double total_seconds = 0.0;  ///< makespan
+  double avg_seconds = 0.0;    ///< mean per-job completion time
+  int jobs_failed = 0;
+  int jobs_unverified = 0;
+  std::vector<double> per_job_seconds;
+
+  bool all_good() const { return jobs_failed == 0 && jobs_unverified == 0; }
+};
+
+class BatchRunner {
+ public:
+  /// Creates a fresh per-job API endpoint (DirectApi on the bare runtime,
+  /// FrontendApi on gpuvm). Called on the job's own thread. The cost hint
+  /// lets frontends forward profiling info for shortest-job-first.
+  using ApiFactory =
+      std::function<std::unique_ptr<core::GpuApi>(const JobSpec&, double cost_hint_seconds)>;
+
+  BatchRunner(vt::Domain& dom, sim::SimParams params, ApiFactory factory)
+      : dom_(&dom), params_(params), factory_(std::move(factory)) {}
+
+  /// Runs all jobs concurrently (common virtual start time) to completion.
+  BatchOutcome run(const std::vector<JobSpec>& jobs);
+
+  /// Convenience: a batch of `count` jobs drawn uniformly at random (with
+  /// seed `draw_seed`) from `pool`.
+  static std::vector<JobSpec> random_batch(const std::vector<std::string>& pool, int count,
+                                           u64 draw_seed, double cpu_fraction = 0.0);
+
+ private:
+  vt::Domain* dom_;
+  sim::SimParams params_;
+  ApiFactory factory_;
+};
+
+}  // namespace gpuvm::workloads

@@ -1,0 +1,67 @@
+// GPU call tracing and replay.
+//
+// TracingApi wraps any GpuApi and records every call (with payloads) into a
+// compact binary trace; replay_trace re-issues a trace against another
+// backend. Uses:
+//   - capture a real application's call stream once, then replay it under
+//     different runtime configurations (the methodology behind
+//     trace-driven scheduling studies);
+//   - regression-test backend equivalence: a trace replayed on the bare
+//     runtime and through gpuvm must observe identical bytes;
+//   - ship reproducible workload descriptions smaller than the programs
+//     that generated them.
+//
+// Traces are self-contained: kernel registrations, launch geometry and
+// argument kinds are all recorded. Virtual pointers are stored as *indices*
+// into the trace's allocation table, so replay works regardless of the
+// addresses the replaying backend hands out.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/gpu_api.hpp"
+
+namespace gpuvm::workloads {
+
+struct ReplayResult {
+  Status status = Status::Ok;        ///< first non-Ok status, if any
+  u64 calls_replayed = 0;
+  /// Concatenated bytes of every device-to-host copy, in call order --
+  /// the observable behavior of the traced application.
+  std::vector<u8> observed;
+};
+
+/// Records all calls made through it, forwarding to the wrapped backend.
+class TracingApi : public core::GpuApi {
+ public:
+  explicit TracingApi(core::GpuApi& inner);
+
+  /// The serialized trace of everything recorded so far.
+  std::vector<u8> trace() const;
+
+  int device_count() override;
+  Status set_device(int index) override;
+  Status register_kernels(const std::vector<std::string>& names) override;
+  Result<VirtualPtr> malloc(u64 size) override;
+  Status free(VirtualPtr ptr) override;
+  Status memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) override;
+  Status memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) override;
+  Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) override;
+  Status launch(const std::string& kernel, const sim::LaunchConfig& config,
+                const std::vector<sim::KernelArg>& args) override;
+  Status synchronize() override;
+  Status get_last_error() override;
+  Status register_nested(VirtualPtr parent, const std::vector<core::NestedRef>& refs) override;
+  Status checkpoint() override;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Replays a trace against `api`. Device-to-host copy results are appended
+/// to ReplayResult::observed so traces can be compared across backends.
+ReplayResult replay_trace(core::GpuApi& api, std::span<const u8> trace);
+
+}  // namespace gpuvm::workloads

@@ -1,0 +1,94 @@
+// Workload framework: the paper's Table-2 benchmark programs.
+//
+// Each workload is written once against core::GpuApi and therefore runs
+// unchanged on the bare CUDA runtime (DirectApi) and through the gpuvm
+// frontend (FrontendApi) -- the apples-to-apples requirement of the
+// evaluation. A workload reproduces its program's *shape*: allocation
+// pattern, host<->device traffic, kernel-call count (Table 2, third
+// column), and CPU/GPU phase interleaving.
+//
+// Sizing model: buffer sizes are the paper's problem sizes divided by
+// SimParams::mem_scale, so capacity arithmetic against the (equally scaled)
+// device memories matches the paper exactly. Kernel *cost* functions carry
+// paper-scale work, calibrated so each application's GPU time on a Tesla
+// C2050 lands in the band Table 2 reports (short-running: 3-5 s;
+// long-running: 30-90 s). Kernel *bodies* compute real results on the
+// scaled buffers so that swapping, migration, checkpointing and recovery
+// are verified end to end -- every workload self-checks its output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/vt.hpp"
+#include "core/gpu_api.hpp"
+#include "sim/kernels.hpp"
+
+namespace gpuvm::workloads {
+
+struct AppContext {
+  vt::Domain* dom = nullptr;
+  core::GpuApi* api = nullptr;
+  /// Must match the device scaling of the machine the app runs on.
+  sim::SimParams params{};
+  u64 seed = 1;
+  /// Fraction of CPU work injected relative to each GPU burst (the paper's
+  /// "fraction of CPU code" knob, used by MM-S and MM-L; section 5.3.3).
+  double cpu_fraction = 0.0;
+  /// Self-check results (disable only in throughput microbenchmarks).
+  bool verify = true;
+};
+
+struct AppResult {
+  Status status = Status::Ok;
+  int kernel_launches = 0;
+  bool verified = true;
+  std::string detail;
+
+  bool success() const { return ok(status) && verified; }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Kernel symbols this program registers at startup.
+  virtual std::vector<std::string> kernels() const = 0;
+  /// Expected kernel-call count (Table 2, third column).
+  virtual int expected_kernel_calls() const = 0;
+  /// Approximate GPU seconds on a Tesla C2050 (SJF profiling hint).
+  virtual double expected_gpu_seconds() const = 0;
+  virtual bool long_running() const = 0;
+
+  virtual AppResult run(AppContext& ctx) const = 0;
+};
+
+/// Registers every workload's kernel implementations into `registry`
+/// (idempotent). Must run on each machine/node before jobs execute there.
+void register_all_kernels(sim::KernelRegistry& registry);
+
+/// Lookup by Table-2 short name (BP, BFS, HS, NW, SP, MT, PR, SC, BS-S, VA,
+/// MM-S, MM-L, BS-L). Returns nullptr for unknown names. Instances are
+/// stateless singletons.
+const Workload* find_workload(const std::string& name);
+
+std::vector<std::string> all_workload_names();
+std::vector<std::string> short_running_names();
+std::vector<std::string> long_running_names();
+
+/// CPU phase helper: models `seconds` of host computation (virtual sleep
+/// plus a touch of real arithmetic so the phase is not a pure no-op).
+void cpu_phase(AppContext& ctx, double seconds);
+
+// ---- Extended pool (apps_extended.cpp) -------------------------------------
+// Three more Rodinia-class applications (KM, LUD, SRAD) beyond Table 2,
+// for custom experiments; the reproduction benches never draw from these.
+void register_extended_kernels(sim::KernelRegistry& registry);
+const Workload* find_extended_workload(const std::string& name);
+std::vector<std::string> extended_workload_names();
+
+}  // namespace gpuvm::workloads

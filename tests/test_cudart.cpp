@@ -1,0 +1,269 @@
+// Tests for the simulated CUDA 3.2 runtime (cudart/cudart.hpp).
+#include "cudart/cudart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace gpuvm::cudart {
+namespace {
+
+
+class CudaRtTest : public ::testing::Test {
+ protected:
+  CudaRtTest() : guard_(dom_), machine_(dom_, sim::SimParams{1024}) {
+    // One mem-scaled Tesla C2050: 3 MiB capacity, 64 KiB context slab.
+    machine_.add_gpu(sim::tesla_c2050(machine_.params()));
+    rt_ = std::make_unique<CudaRt>(machine_);
+
+    sim::KernelDef def;
+    def.name = "fill7";
+    def.body = [](sim::KernelExecContext& ctx) {
+      for (auto& v : ctx.buffer<float>(0)) v = 7.0f;
+      return Status::Ok;
+    };
+    def.cost = sim::per_thread_cost(1.0, 4.0);
+    machine_.kernels().add(def);
+  }
+
+  vt::Domain dom_;
+  vt::AttachGuard guard_;
+  sim::SimMachine machine_;
+  std::unique_ptr<CudaRt> rt_;
+};
+
+TEST_F(CudaRtTest, ContextReservationMatchesPaperScale) {
+  // 64 MiB / 1024 = 64 KiB.
+  EXPECT_EQ(rt_->context_reservation_bytes(), 64u * 1024);
+}
+
+TEST_F(CudaRtTest, EightContextCeilingOnC2050) {
+  // The paper: "the maximum number of application threads supported by the
+  // CUDA runtime in the absence of conflicting memory requirements is
+  // eight" (Tesla C2050). Contexts are created lazily at first malloc.
+  std::vector<ClientId> clients;
+  for (int i = 0; i < 8; ++i) {
+    const ClientId c = rt_->create_client();
+    clients.push_back(c);
+    EXPECT_TRUE(rt_->malloc(c, 16).has_value()) << "context " << i;
+  }
+  EXPECT_EQ(rt_->contexts_on_device(0), 8);
+
+  const ClientId ninth = rt_->create_client();
+  auto result = rt_->malloc(ninth, 16);
+  EXPECT_EQ(result.status(), Status::ErrorTooManyContexts);
+
+  // Tearing one down admits a new context.
+  rt_->destroy_client(clients.back());
+  EXPECT_TRUE(rt_->malloc(ninth, 16).has_value());
+  EXPECT_EQ(rt_->contexts_on_device(0), 8);
+}
+
+TEST_F(CudaRtTest, AggregateOverCommitFailsWithoutVirtualMemory) {
+  // Two clients whose footprints fit individually but not together: the
+  // second allocation burst hits cudaErrorMemoryAllocation -- the failure
+  // mode gpuvm's memory manager exists to remove.
+  const ClientId a = rt_->create_client();
+  const ClientId b = rt_->create_client();
+  // Capacity 3 MiB; two context slabs of 64 KiB leave ~2.9 MiB.
+  ASSERT_TRUE(rt_->malloc(a, 1500 * 1024).has_value());
+  auto second = rt_->malloc(b, 1500 * 1024);
+  EXPECT_EQ(second.status(), Status::ErrorMemoryAllocation);
+  EXPECT_EQ(rt_->get_last_error(b), Status::ErrorMemoryAllocation);
+  EXPECT_EQ(rt_->get_last_error(b), Status::Ok);  // error is consumed
+}
+
+TEST_F(CudaRtTest, MemcpyAndKernelEndToEnd) {
+  const ClientId c = rt_->create_client();
+  auto ptr = rt_->malloc(c, 64 * sizeof(float));
+  ASSERT_TRUE(ptr.has_value());
+
+  std::vector<float> host(64);
+  std::iota(host.begin(), host.end(), 0.0f);
+  ASSERT_EQ(rt_->memcpy_h2d(c, ptr.value(), std::as_bytes(std::span(host))), Status::Ok);
+
+  auto module = rt_->register_fat_binary(c);
+  ASSERT_TRUE(module.has_value());
+  ASSERT_EQ(rt_->register_function(c, module.value(), 0x1000, "fill7"), Status::Ok);
+  ASSERT_EQ(rt_->configure_call(c, {{1, 1, 1}, {64, 1, 1}}), Status::Ok);
+  ASSERT_EQ(rt_->setup_argument(c, sim::KernelArg::dev(ptr.value())), Status::Ok);
+  ASSERT_EQ(rt_->launch(c, 0x1000), Status::Ok);
+
+  std::vector<float> out(64);
+  ASSERT_EQ(rt_->memcpy_d2h(c, std::as_writable_bytes(std::span(out)), ptr.value(),
+                            out.size() * sizeof(float)),
+            Status::Ok);
+  for (float v : out) EXPECT_EQ(v, 7.0f);
+}
+
+TEST_F(CudaRtTest, LaunchWithoutConfigureFails) {
+  const ClientId c = rt_->create_client();
+  auto module = rt_->register_fat_binary(c);
+  ASSERT_TRUE(module.has_value());
+  ASSERT_EQ(rt_->register_function(c, module.value(), 0x1, "fill7"), Status::Ok);
+  EXPECT_EQ(rt_->launch(c, 0x1), Status::ErrorInvalidConfiguration);
+  EXPECT_EQ(rt_->setup_argument(c, sim::KernelArg::i64v(1)), Status::ErrorInvalidConfiguration);
+}
+
+TEST_F(CudaRtTest, LaunchUnregisteredHandleFails) {
+  const ClientId c = rt_->create_client();
+  ASSERT_EQ(rt_->configure_call(c, {{1, 1, 1}, {32, 1, 1}}), Status::Ok);
+  EXPECT_EQ(rt_->launch(c, 0xdead), Status::ErrorUnknownSymbol);
+}
+
+TEST_F(CudaRtTest, LaunchUnknownKernelNameFails) {
+  const ClientId c = rt_->create_client();
+  auto module = rt_->register_fat_binary(c);
+  ASSERT_EQ(rt_->register_function(c, module.value(), 0x1, "no_such_kernel"), Status::Ok);
+  ASSERT_EQ(rt_->configure_call(c, {{1, 1, 1}, {32, 1, 1}}), Status::Ok);
+  EXPECT_EQ(rt_->launch(c, 0x1), Status::ErrorUnknownSymbol);
+}
+
+TEST_F(CudaRtTest, SetDeviceRejectedOnceContextActive) {
+  machine_.add_gpu(sim::tesla_c1060(machine_.params()));
+  const ClientId c = rt_->create_client();
+  EXPECT_EQ(rt_->set_device(c, 1), Status::Ok);   // before context: fine
+  EXPECT_EQ(rt_->set_device(c, 0), Status::Ok);
+  ASSERT_TRUE(rt_->malloc(c, 16).has_value());    // context on device 0
+  EXPECT_EQ(rt_->set_device(c, 1), Status::ErrorInvalidValue);
+  EXPECT_EQ(rt_->set_device(c, 0), Status::Ok);   // same device: allowed
+  EXPECT_EQ(rt_->context_device(c).value(), 0);
+}
+
+TEST_F(CudaRtTest, SetDeviceOutOfRangeFails) {
+  const ClientId c = rt_->create_client();
+  EXPECT_EQ(rt_->set_device(c, 5), Status::ErrorInvalidDevice);
+  EXPECT_EQ(rt_->set_device(c, -1), Status::ErrorInvalidDevice);
+}
+
+TEST_F(CudaRtTest, FreeForeignPointerRejected) {
+  const ClientId a = rt_->create_client();
+  const ClientId b = rt_->create_client();
+  auto ptr = rt_->malloc(a, 256);
+  ASSERT_TRUE(ptr.has_value());
+  EXPECT_EQ(rt_->free(b, ptr.value()), Status::ErrorInvalidDevicePointer);
+  EXPECT_EQ(rt_->free(a, ptr.value()), Status::Ok);
+  EXPECT_EQ(rt_->free(a, ptr.value()), Status::ErrorInvalidDevicePointer);
+}
+
+TEST_F(CudaRtTest, DestroyClientReleasesDeviceMemory) {
+  sim::SimGpu* gpu = machine_.gpu(machine_.all_gpus()[0]);
+  const u64 before = gpu->used_bytes();
+  const ClientId c = rt_->create_client();
+  ASSERT_TRUE(rt_->malloc(c, 512 * 1024).has_value());
+  EXPECT_GT(gpu->used_bytes(), before);
+  rt_->destroy_client(c);
+  EXPECT_EQ(gpu->used_bytes(), before);
+  EXPECT_EQ(rt_->contexts_on_device(0), 0);
+}
+
+TEST_F(CudaRtTest, DeviceFailurePropagates) {
+  const ClientId c = rt_->create_client();
+  auto ptr = rt_->malloc(c, 256);
+  ASSERT_TRUE(ptr.has_value());
+  machine_.fail_gpu(machine_.all_gpus()[0]);
+  std::vector<std::byte> buf(16);
+  EXPECT_EQ(rt_->memcpy_h2d(c, ptr.value(), buf), Status::ErrorDeviceUnavailable);
+  EXPECT_EQ(rt_->device_synchronize(c), Status::ErrorDeviceUnavailable);
+  EXPECT_EQ(rt_->malloc(c, 16).status(), Status::ErrorDeviceUnavailable);
+}
+
+TEST_F(CudaRtTest, MallocPitchPadsRows) {
+  const ClientId c = rt_->create_client();
+  u64 pitch = 0;
+  auto ptr = rt_->malloc_pitch(c, 100, 10, &pitch);
+  ASSERT_TRUE(ptr.has_value());
+  EXPECT_EQ(pitch, 256u);
+}
+
+TEST_F(CudaRtTest, PinnedFcfsServiceAcrossClients) {
+  // Two clients issue kernels concurrently on one device; the engine
+  // serializes them (CUDA 3.2 semantics: contexts time-share).
+  const ClientId a = rt_->create_client();
+  const ClientId b = rt_->create_client();
+  ASSERT_TRUE(rt_->malloc(a, 16).has_value());
+  ASSERT_TRUE(rt_->malloc(b, 16).has_value());
+
+  sim::KernelDef slow;
+  slow.name = "slow";
+  slow.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  slow.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{345e6, 0.0};  // 1ms on a C2050
+  };
+  machine_.kernels().add(slow);
+
+  vt::TimePoint end_a{};
+  vt::TimePoint end_b{};
+  {
+    dom_.hold();
+    vt::Thread ta(dom_, [&] {
+      EXPECT_EQ(rt_->launch_by_name(a, "slow", {{1, 1, 1}, {32, 1, 1}}, {}), Status::Ok);
+      end_a = dom_.now();
+    });
+    vt::Thread tb(dom_, [&] {
+      EXPECT_EQ(rt_->launch_by_name(b, "slow", {{1, 1, 1}, {32, 1, 1}}, {}), Status::Ok);
+      end_b = dom_.now();
+    });
+    dom_.unhold();
+  }
+  EXPECT_GE(std::max(end_a, end_b), vt::from_millis(2));
+}
+
+TEST_F(CudaRtTest, Memcpy2DRespectsPitches) {
+  const ClientId c = rt_->create_client();
+  u64 pitch = 0;
+  auto ptr = rt_->malloc_pitch(c, 100, 4, &pitch);
+  ASSERT_TRUE(ptr.has_value());
+  ASSERT_EQ(pitch, 256u);
+
+  std::vector<std::byte> src(100 * 4);
+  for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i % 250);
+  ASSERT_EQ(rt_->memcpy2d_h2d(c, ptr.value(), pitch, src, 100, 100, 4), Status::Ok);
+  std::vector<std::byte> dst(100 * 4, std::byte{0});
+  ASSERT_EQ(rt_->memcpy2d_d2h(c, dst, 100, ptr.value(), pitch, 100, 4), Status::Ok);
+  EXPECT_EQ(dst, src);
+
+  // width > pitch is invalid geometry.
+  EXPECT_EQ(rt_->memcpy2d_h2d(c, ptr.value(), 64, src, 100, 100, 4),
+            Status::ErrorInvalidValue);
+}
+
+TEST_F(CudaRtTest, MemcpyPeerMovesDataAcrossDevices) {
+  machine_.add_gpu(sim::tesla_c1060(machine_.params()));
+  const ClientId a = rt_->create_client();
+  ASSERT_EQ(rt_->set_device(a, 0), Status::Ok);
+  const ClientId b = rt_->create_client();
+  ASSERT_EQ(rt_->set_device(b, 1), Status::Ok);
+
+  auto src = rt_->malloc(a, 64);
+  auto dst = rt_->malloc(b, 64);
+  ASSERT_TRUE(src && dst);
+  std::vector<std::byte> data(64, std::byte{0x42});
+  ASSERT_EQ(rt_->memcpy_h2d(a, src.value(), data), Status::Ok);
+
+  ASSERT_EQ(rt_->memcpy_peer(b, dst.value(), src.value(), 64), Status::Ok);
+  std::vector<std::byte> out(64);
+  ASSERT_EQ(rt_->memcpy_d2h(b, out, dst.value(), 64), Status::Ok);
+  EXPECT_EQ(out, data);
+
+  // Unknown source address fails cleanly.
+  EXPECT_EQ(rt_->memcpy_peer(b, dst.value(), DevicePtr{0xdead}, 8),
+            Status::ErrorInvalidDevicePointer);
+}
+
+TEST_F(CudaRtTest, RegistrationDoesNotCreateContext) {
+  const ClientId c = rt_->create_client();
+  auto module = rt_->register_fat_binary(c);
+  ASSERT_TRUE(module.has_value());
+  ASSERT_EQ(rt_->register_function(c, module.value(), 0x1, "fill7"), Status::Ok);
+  ASSERT_EQ(rt_->register_var(c, module.value(), "coeffs", 64), Status::Ok);
+  ASSERT_EQ(rt_->register_texture(c, module.value(), "tex"), Status::Ok);
+  EXPECT_EQ(rt_->contexts_on_device(0), 0);  // still no device footprint
+  EXPECT_FALSE(rt_->context_device(c).has_value());
+}
+
+}  // namespace
+}  // namespace gpuvm::cudart

@@ -1,0 +1,63 @@
+// Unit tests for the device cost model (sim/gpu_spec.hpp): transfer and
+// kernel timing math, memory scaling, and the relative card characteristics
+// the experiments depend on.
+#include "sim/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpuvm::sim {
+namespace {
+
+TEST(GpuSpec, TransferTimeScalesWithBytesAndMemScale) {
+  const SimParams unit{1};
+  const GpuSpec spec = tesla_c2050(unit);
+  // 55 MB over 5.5 GB/s = 10 ms (+10 us latency).
+  const auto t = transfer_time(spec, unit, 55'000'000);
+  EXPECT_NEAR(vt::to_seconds(t), 0.010 + 10e-6, 1e-6);
+
+  // With mem_scale 1000, the same modeled duration needs 1000x fewer bytes.
+  const SimParams scaled{1000};
+  const auto t2 = transfer_time(spec, scaled, 55'000);
+  EXPECT_NEAR(vt::to_seconds(t2), 0.010 + 10e-6, 1e-6);
+}
+
+TEST(GpuSpec, KernelTimeTakesTheBindingResource) {
+  const GpuSpec spec = test_gpu();  // 100 GFLOPS, 50 GB/s
+  // Compute bound: 1e9 flops -> 10 ms.
+  EXPECT_NEAR(vt::to_seconds(kernel_time(spec, {1e9, 0.0})), 0.010 + 1e-6, 1e-6);
+  // Memory bound: 1e9 bytes at 50 GB/s = 20 ms > 10 ms of compute.
+  EXPECT_NEAR(vt::to_seconds(kernel_time(spec, {1e9, 1e9})), 0.020 + 1e-6, 1e-6);
+}
+
+TEST(GpuSpec, LaunchOverheadAlwaysApplies) {
+  const GpuSpec spec = test_gpu();
+  const auto t = kernel_time(spec, {0.0, 0.0});
+  EXPECT_EQ(t, vt::from_micros(spec.launch_overhead_us));
+}
+
+TEST(GpuSpec, PaperCardsOrderedBySpeedAndMemory) {
+  const SimParams params{1024};
+  const GpuSpec c2050 = tesla_c2050(params);
+  const GpuSpec c1060 = tesla_c1060(params);
+  const GpuSpec quadro = quadro_2000(params);
+  // Speeds: C2050 > C1060 > Quadro 2000 (drives Figures 6 and 9).
+  EXPECT_GT(c2050.compute_power(), c1060.compute_power());
+  EXPECT_GT(c1060.compute_power(), quadro.compute_power());
+  // Memories: C1060 4 GiB > C2050 3 GiB > Quadro 1 GiB (scaled).
+  EXPECT_GT(c1060.memory_bytes, c2050.memory_bytes);
+  EXPECT_GT(c2050.memory_bytes, quadro.memory_bytes);
+  // The C2050/C1060 speed ratio stays near the peak-rate ratio (~0.8-0.9),
+  // which Figure 6's balance depends on.
+  const double ratio = c1060.compute_power() / c2050.compute_power();
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(GpuSpec, ScaleBytesFloors) {
+  const SimParams params{1024};
+  EXPECT_EQ(params.scale_bytes(4096), 4u);
+  EXPECT_EQ(params.scale_bytes(1000), 0u);  // caller guards minimums
+}
+
+}  // namespace
+}  // namespace gpuvm::sim

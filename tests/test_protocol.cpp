@@ -1,0 +1,178 @@
+// Wire-protocol robustness: the daemon must survive malformed, truncated
+// and out-of-order messages from (potentially buggy or hostile) clients --
+// replying with protocol errors, never crashing or corrupting other
+// tenants. Drives the daemon through raw Message frames, below FrontendApi.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/wire.hpp"
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+#include "transport/channel.hpp"
+
+namespace gpuvm::core {
+namespace {
+
+using transport::Message;
+using transport::Opcode;
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() : guard_(dom_), machine_(dom_, sim::SimParams{1}) {
+    machine_.add_gpu(sim::test_gpu(1 << 20));
+    rt_ = std::make_unique<cudart::CudaRt>(machine_, cudart::CudaRtConfig{4 * 1024, 8});
+    runtime_ = std::make_unique<Runtime>(*rt_);
+  }
+
+  /// Opens a raw channel and completes the Hello handshake.
+  std::unique_ptr<transport::MessageChannel> connect_raw() {
+    auto channel = runtime_->connect();
+    WireWriter w;
+    w.put<double>(0.0);
+    w.put<u8>(0);
+    w.put<u64>(0);
+    w.put<double>(0.0);
+    Message hello;
+    hello.op = Opcode::Hello;
+    hello.payload = w.take();
+    EXPECT_TRUE(channel->send(std::move(hello)));
+    auto reply = channel->receive();
+    EXPECT_TRUE(reply.has_value());
+    EXPECT_EQ(transport::reply_status(*reply), Status::Ok);
+    return channel;
+  }
+
+  Status call(transport::MessageChannel& ch, Opcode op, std::vector<u8> payload) {
+    Message msg;
+    msg.op = op;
+    msg.payload = std::move(payload);
+    if (!ch.send(std::move(msg))) return Status::ErrorConnectionClosed;
+    auto reply = ch.receive();
+    if (!reply.has_value()) return Status::ErrorConnectionClosed;
+    return transport::reply_status(*reply);
+  }
+
+  vt::Domain dom_;
+  vt::AttachGuard guard_;
+  sim::SimMachine machine_;
+  std::unique_ptr<cudart::CudaRt> rt_;
+  std::unique_ptr<Runtime> runtime_;
+};
+
+TEST_F(ProtocolTest, TruncatedPayloadsYieldProtocolErrors) {
+  auto ch = connect_raw();
+  EXPECT_EQ(call(*ch, Opcode::Malloc, {}), Status::ErrorProtocol);           // missing size
+  EXPECT_EQ(call(*ch, Opcode::Free, {1, 2}), Status::ErrorProtocol);        // short u64
+  EXPECT_EQ(call(*ch, Opcode::MemcpyH2D, {0, 0, 0}), Status::ErrorProtocol);
+  EXPECT_EQ(call(*ch, Opcode::MemcpyD2H, {9}), Status::ErrorProtocol);
+  EXPECT_EQ(call(*ch, Opcode::Launch, {1}), Status::ErrorProtocol);
+  // The connection stays usable afterwards.
+  WireWriter w;
+  w.put<u64>(64);
+  EXPECT_EQ(call(*ch, Opcode::Malloc, w.take()), Status::Ok);
+}
+
+TEST_F(ProtocolTest, UnknownOpcodeRejected) {
+  auto ch = connect_raw();
+  Message msg;
+  msg.op = static_cast<Opcode>(250);
+  ASSERT_TRUE(ch->send(std::move(msg)));
+  auto reply = ch->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(transport::reply_status(*reply), Status::ErrorProtocol);
+}
+
+TEST_F(ProtocolTest, FirstMessageMustBeHello) {
+  auto channel = runtime_->connect();
+  Message msg;
+  msg.op = Opcode::Malloc;
+  WireWriter w;
+  w.put<u64>(64);
+  msg.payload = w.take();
+  ASSERT_TRUE(channel->send(std::move(msg)));
+  // The daemon drops the connection without a reply.
+  EXPECT_FALSE(channel->receive().has_value());
+}
+
+TEST_F(ProtocolTest, MalformedLengthPrefixInH2DIsSafe) {
+  auto ch = connect_raw();
+  WireWriter alloc;
+  alloc.put<u64>(64);
+  ASSERT_EQ(call(*ch, Opcode::Malloc, alloc.take()), Status::Ok);
+
+  // Claim 2^60 bytes of inline data but send 8.
+  WireWriter w;
+  w.put<u64>(0);                      // dst (invalid anyway)
+  w.put<u64>(1ull << 60);             // absurd length prefix
+  w.put<u64>(0xdeadbeef);             // only 8 bytes follow
+  EXPECT_EQ(call(*ch, Opcode::MemcpyH2D, w.take()), Status::ErrorProtocol);
+}
+
+TEST_F(ProtocolTest, SetupArgumentWithoutConfigureRejected) {
+  auto ch = connect_raw();
+  WireWriter w;
+  w.put<u8>(1);
+  w.put<u64>(7);
+  EXPECT_EQ(call(*ch, Opcode::SetupArgument, w.take()), Status::ErrorInvalidConfiguration);
+}
+
+TEST_F(ProtocolTest, RegisterFunctionNeedsValidModule) {
+  auto ch = connect_raw();
+  WireWriter w;
+  w.put<u64>(999);  // never-registered module
+  w.put<u64>(0x1);
+  w.put_string("anything");
+  EXPECT_EQ(call(*ch, Opcode::RegisterFunction, w.take()), Status::ErrorInvalidValue);
+}
+
+TEST_F(ProtocolTest, HostileClientDoesNotDisturbTenants) {
+  // A well-behaved tenant works while a hostile one sprays garbage.
+  sim::KernelDef addone;
+  addone.name = "p_addone";
+  addone.body = [](sim::KernelExecContext& kc) {
+    for (auto& v : kc.buffer<float>(0)) v += 1.0f;
+    return Status::Ok;
+  };
+  addone.cost = sim::per_thread_cost(1.0, 4.0);
+  machine_.kernels().add(addone);
+
+  auto hostile = connect_raw();
+  FrontendApi good(runtime_->connect());
+  ASSERT_EQ(good.register_kernels({"p_addone"}), Status::Ok);
+  auto buf = good.malloc(32 * sizeof(float));
+  ASSERT_TRUE(buf.has_value());
+  std::vector<float> data(32, 1.0f);
+  ASSERT_EQ(good.copy_in(buf.value(), data), Status::Ok);
+
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<u8> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<u8>(rng.below(256));
+    (void)call(*hostile, static_cast<Opcode>(rng.below(70)), std::move(junk));
+    if (i % 10 == 0) {
+      ASSERT_EQ(good.launch("p_addone", {{1, 1, 1}, {32, 1, 1}},
+                            {sim::KernelArg::dev(buf.value())}),
+                Status::Ok);
+    }
+  }
+  std::vector<float> out(32);
+  ASSERT_EQ(good.copy_out(out, buf.value()), Status::Ok);
+  for (float v : out) EXPECT_EQ(v, 6.0f);  // 5 launches
+}
+
+TEST_F(ProtocolTest, GoodbyeIsAcknowledgedAndCleansUp) {
+  auto ch = connect_raw();
+  WireWriter w;
+  w.put<u64>(4096);
+  ASSERT_EQ(call(*ch, Opcode::Malloc, w.take()), Status::Ok);
+  EXPECT_EQ(call(*ch, Opcode::Goodbye, {}), Status::Ok);
+  ch->close();
+  runtime_->drain();
+  EXPECT_EQ(machine_.gpu(machine_.all_gpus()[0])->used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gpuvm::core

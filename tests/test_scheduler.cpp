@@ -1,0 +1,368 @@
+// Unit tests for the vGPU scheduler (core/scheduler.hpp): slot creation,
+// policy ordering (FCFS / SJF / credit-based), residency affinity,
+// migration rules, and topology changes.
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace gpuvm::core {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : guard_(dom_), machine_(dom_, sim::SimParams{1}) {
+    rt_ = std::make_unique<cudart::CudaRt>(machine_, cudart::CudaRtConfig{4 * 1024, 8});
+    mm_ = std::make_unique<MemoryManager>(*rt_);
+  }
+
+  GpuId add_gpu(double gflops = 100.0) {
+    auto spec = sim::test_gpu(1 << 20);
+    spec.effective_gflops = gflops;
+    const GpuId id = machine_.add_gpu(spec);
+    return id;
+  }
+
+  std::unique_ptr<Scheduler> make(int vgpus, PolicyKind policy = PolicyKind::Fcfs,
+                                  bool migration = false) {
+    auto sched = std::make_unique<Scheduler>(*rt_, *mm_,
+                                             Scheduler::Config{vgpus, policy, migration});
+    const auto all = machine_.all_gpus();
+    for (size_t i = 0; i < all.size(); ++i) {
+      sched->add_device(static_cast<int>(i), all[i]);
+    }
+    return sched;
+  }
+
+  std::shared_ptr<Context> make_ctx(u64 id, double arrival_ms = 0.0, double hint = 0.0) {
+    auto ctx = std::make_shared<Context>(ContextId{id}, dom_);
+    ctx->arrival = vt::from_millis(arrival_ms);
+    ctx->job_cost_hint_seconds = hint;
+    mm_->add_context(ctx->id);
+    return ctx;
+  }
+
+  vt::Domain dom_;
+  vt::AttachGuard guard_;
+  sim::SimMachine machine_;
+  std::unique_ptr<cudart::CudaRt> rt_;
+  std::unique_ptr<MemoryManager> mm_;
+};
+
+TEST_F(SchedulerTest, SlotsPerDeviceAndVgpuCount) {
+  add_gpu();
+  add_gpu();
+  auto sched = make(4);
+  EXPECT_EQ(sched->vgpu_count(), 8);
+  sched->remove_device(machine_.all_gpus()[0]);
+  EXPECT_EQ(sched->vgpu_count(), 4);
+}
+
+TEST_F(SchedulerTest, AcquireIsIdempotentAndReleaseFrees) {
+  add_gpu();
+  auto sched = make(1);
+  auto ctx = make_ctx(1);
+  auto b1 = sched->acquire(*ctx);
+  ASSERT_TRUE(b1.has_value());
+  auto b2 = sched->acquire(*ctx);
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b1.value().slot, b2.value().slot);
+  EXPECT_TRUE(sched->context_bound(ctx->id));
+  sched->release(*ctx);
+  EXPECT_FALSE(sched->context_bound(ctx->id));
+  EXPECT_EQ(sched->stats().binds, 1u);  // idempotent re-acquire is not a bind
+  EXPECT_EQ(sched->stats().unbinds, 1u);
+}
+
+TEST_F(SchedulerTest, LoadBalancesAcrossDevices) {
+  add_gpu();
+  add_gpu();
+  add_gpu();
+  auto sched = make(2);
+  std::vector<std::shared_ptr<Context>> ctxs;
+  std::vector<GpuId> bound;
+  for (u64 i = 1; i <= 6; ++i) {
+    ctxs.push_back(make_ctx(i));
+    auto b = sched->acquire(*ctxs.back());
+    ASSERT_TRUE(b.has_value());
+    bound.push_back(b.value().gpu);
+  }
+  const auto load = sched->load_by_gpu();
+  for (const auto& [gpu, count] : load) EXPECT_EQ(count, 2) << gpu.value;
+}
+
+TEST_F(SchedulerTest, FcfsGrantsInArrivalOrder) {
+  add_gpu();
+  auto sched = make(1);
+  auto first = make_ctx(1, 0.0);
+  auto second = make_ctx(2, 1.0);
+  auto holder = make_ctx(3, 2.0);
+  ASSERT_TRUE(sched->acquire(*holder).has_value());  // occupy the only slot
+
+  std::vector<u64> order;
+  std::mutex order_mu;
+  {
+    dom_.hold();
+    vt::Thread t2(dom_, [&] {
+      auto b = sched->acquire(*second);
+      ASSERT_TRUE(b.has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(2);
+      }
+      sched->release(*second);
+    });
+    vt::Thread t1(dom_, [&] {
+      auto b = sched->acquire(*first);
+      ASSERT_TRUE(b.has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(1);
+      }
+      sched->release(*first);
+    });
+    vt::Thread releaser(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(5));
+      sched->release(*holder);
+    });
+    dom_.unhold();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // earlier arrival wins under FCFS
+}
+
+TEST_F(SchedulerTest, SjfPrefersShorterHints) {
+  add_gpu();
+  auto sched = make(1, PolicyKind::ShortestJobFirst);
+  auto holder = make_ctx(1, 0.0, 1.0);
+  auto long_job = make_ctx(2, 1.0, 100.0);
+  auto short_job = make_ctx(3, 2.0, 5.0);  // arrives later but is shorter
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+
+  std::vector<u64> order;
+  std::mutex order_mu;
+  {
+    dom_.hold();
+    vt::Thread tl(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*long_job).has_value());
+      std::scoped_lock lock(order_mu);
+      order.push_back(2);
+    });
+    vt::Thread ts(dom_, [&] {
+      dom_.sleep_for(vt::from_micros(10));  // ensure the long job waits first
+      ASSERT_TRUE(sched->acquire(*short_job).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(3);
+      }
+      sched->release(*short_job);
+    });
+    vt::Thread releaser(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(5));
+      sched->release(*holder);
+    });
+    dom_.unhold();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);  // SJF: the short job overtakes
+}
+
+TEST_F(SchedulerTest, CreditBasedFavorsLeastServedContext) {
+  add_gpu();
+  auto sched = make(1, PolicyKind::CreditBased);
+  auto holder = make_ctx(1);
+  auto heavy = make_ctx(2, 1.0);
+  heavy->gpu_time_used_seconds = 50.0;  // already consumed a lot
+  auto light = make_ctx(3, 2.0);
+  light->gpu_time_used_seconds = 1.0;
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+
+  std::vector<u64> order;
+  std::mutex order_mu;
+  {
+    dom_.hold();
+    vt::Thread th(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*heavy).has_value());
+      std::scoped_lock lock(order_mu);
+      order.push_back(2);
+    });
+    vt::Thread tl(dom_, [&] {
+      dom_.sleep_for(vt::from_micros(10));
+      ASSERT_TRUE(sched->acquire(*light).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(3);
+      }
+      sched->release(*light);
+    });
+    vt::Thread releaser(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(5));
+      sched->release(*holder);
+    });
+    dom_.unhold();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);  // fair sharing: least GPU time first
+}
+
+TEST_F(SchedulerTest, DeadlineAwarePrefersEarliestDeadline) {
+  add_gpu();
+  auto sched = make(1, PolicyKind::DeadlineAware);
+  auto holder = make_ctx(1);
+  auto relaxed = make_ctx(2, 1.0);
+  relaxed.get()->deadline_seconds = 100.0;
+  auto urgent = make_ctx(3, 2.0);
+  urgent.get()->deadline_seconds = 5.0;  // later arrival, earlier deadline
+  auto hopeless_deadline = make_ctx(4, 0.5);  // no deadline: always last
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+
+  std::vector<u64> order;
+  std::mutex order_mu;
+  {
+    dom_.hold();
+    vt::Thread tr(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*relaxed).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(2);
+      }
+      sched->release(*relaxed);
+    });
+    vt::Thread tn(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*hopeless_deadline).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(4);
+      }
+      sched->release(*hopeless_deadline);
+    });
+    vt::Thread tu(dom_, [&] {
+      dom_.sleep_for(vt::from_micros(10));
+      ASSERT_TRUE(sched->acquire(*urgent).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(3);
+      }
+      sched->release(*urgent);
+    });
+    vt::Thread releaser(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(5));
+      sched->release(*holder);
+    });
+    dom_.unhold();
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3u);  // earliest deadline first
+  EXPECT_EQ(order[2], 4u);  // no deadline yields to any deadline
+}
+
+TEST_F(SchedulerTest, ResidencyAffinityWinsOverLoadBalance) {
+  const GpuId g1 = add_gpu();
+  add_gpu();
+  auto sched = make(2);
+  auto ctx = make_ctx(1);
+
+  // Give the context resident data on g1.
+  ClientId client = rt_->create_client();
+  (void)rt_->set_device(client, 0);
+  auto p = mm_->on_malloc(ctx->id, 256);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(
+      mm_->prepare_launch(ctx->id, g1, client, {sim::KernelArg::dev(p.value())}).outcome,
+      MemoryManager::PrepareOutcome::Ready);
+
+  auto b = sched->acquire(*ctx);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b.value().gpu, g1);  // follows its data even though g2 is emptier
+  rt_->destroy_client(client);
+}
+
+TEST_F(SchedulerTest, MigrationOnlyToStrictlyFasterDevice) {
+  const GpuId fast = add_gpu(200.0);
+  const GpuId slow = add_gpu(50.0);
+  auto sched = make(1, PolicyKind::Fcfs, /*migration=*/true);
+
+  // Context with residency on the slow device.
+  auto ctx = make_ctx(1);
+  ClientId client = rt_->create_client();
+  (void)rt_->set_device(client, 1);
+  auto p = mm_->on_malloc(ctx->id, 256);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(
+      mm_->prepare_launch(ctx->id, slow, client, {sim::KernelArg::dev(p.value())}).outcome,
+      MemoryManager::PrepareOutcome::Ready);
+
+  // The fast device is idle: the bind migrates.
+  auto b = sched->acquire(*ctx);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b.value().gpu, fast);
+  EXPECT_TRUE(b.value().migrated);
+  EXPECT_EQ(sched->stats().migrations, 1u);
+  EXPECT_FALSE(sched->faster_gpu_idle(fast));  // nothing faster than fast
+  rt_->destroy_client(client);
+}
+
+TEST_F(SchedulerTest, NoMigrationWhenDisabled) {
+  add_gpu(200.0);
+  const GpuId slow = add_gpu(50.0);
+  auto sched = make(1, PolicyKind::Fcfs, /*migration=*/false);
+  auto ctx = make_ctx(1);
+  ClientId client = rt_->create_client();
+  (void)rt_->set_device(client, 1);
+  auto p = mm_->on_malloc(ctx->id, 256);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(
+      mm_->prepare_launch(ctx->id, slow, client, {sim::KernelArg::dev(p.value())}).outcome,
+      MemoryManager::PrepareOutcome::Ready);
+
+  auto b = sched->acquire(*ctx);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b.value().gpu, slow);  // stays home
+  EXPECT_FALSE(sched->faster_gpu_idle(slow));
+  rt_->destroy_client(client);
+}
+
+TEST_F(SchedulerTest, AllDevicesGoneFailsWaiters) {
+  const GpuId only = add_gpu();
+  auto sched = make(1);
+  auto holder = make_ctx(1);
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+  auto waiter = make_ctx(2);
+  Status result = Status::Ok;
+  {
+    dom_.hold();
+    vt::Thread tw(dom_, [&] { result = sched->acquire(*waiter).status(); });
+    vt::Thread tk(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(1));
+      sched->remove_device(only);
+    });
+    dom_.unhold();
+  }
+  EXPECT_EQ(result, Status::ErrorDeviceUnavailable);
+}
+
+TEST_F(SchedulerTest, HotAddUnblocksWaiters) {
+  add_gpu();
+  auto sched = make(1);
+  auto holder = make_ctx(1);
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+  auto waiter = make_ctx(2);
+  bool got = false;
+  {
+    dom_.hold();
+    vt::Thread tw(dom_, [&] { got = sched->acquire(*waiter).has_value(); });
+    vt::Thread ta(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(1));
+      const GpuId fresh = machine_.add_gpu(sim::test_gpu(1 << 20));
+      sched->add_device(static_cast<int>(machine_.all_gpus().size()) - 1, fresh);
+    });
+    dom_.unhold();
+  }
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace gpuvm::core

@@ -1,0 +1,186 @@
+// Tests for GPU call tracing and replay (workloads/trace.hpp).
+#include "workloads/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/direct_api.hpp"
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvm::workloads {
+namespace {
+
+struct Env {
+  Env() : guard(dom), machine(dom, sim::SimParams{1}) {
+    machine.add_gpu(sim::test_gpu(8 << 20));
+    register_all_kernels(machine.kernels());
+
+    sim::KernelDef addone;
+    addone.name = "t_addone";
+    addone.body = [](sim::KernelExecContext& kc) {
+      for (auto& v : kc.buffer<float>(0)) v += 1.0f;
+      return Status::Ok;
+    };
+    addone.cost = sim::per_thread_cost(1.0, 4.0);
+    machine.kernels().add(addone);
+
+    rt = std::make_unique<cudart::CudaRt>(machine, cudart::CudaRtConfig{4 * 1024, 8});
+    runtime = std::make_unique<core::Runtime>(*rt);
+  }
+
+  vt::Domain dom;
+  vt::AttachGuard guard;
+  sim::SimMachine machine;
+  std::unique_ptr<cudart::CudaRt> rt;
+  std::unique_ptr<core::Runtime> runtime;
+};
+
+/// A little hand-written application used as the recording source.
+void tiny_app(core::GpuApi& api) {
+  ASSERT_EQ(api.register_kernels({"t_addone"}), Status::Ok);
+  auto a = api.malloc(32 * sizeof(float));
+  auto b = api.malloc(32 * sizeof(float));
+  ASSERT_TRUE(a && b);
+  std::vector<float> data(32, 1.0f);
+  ASSERT_EQ(api.copy_in(a.value(), data), Status::Ok);
+  ASSERT_EQ(api.launch("t_addone", {{1, 1, 1}, {32, 1, 1}}, {sim::KernelArg::dev(a.value())}),
+            Status::Ok);
+  ASSERT_EQ(api.memcpy_d2d(b.value(), a.value(), 32 * sizeof(float)), Status::Ok);
+  ASSERT_EQ(api.launch("t_addone", {{1, 1, 1}, {32, 1, 1}}, {sim::KernelArg::dev(b.value())}),
+            Status::Ok);
+  std::vector<float> out(32);
+  ASSERT_EQ(api.copy_out(out, b.value()), Status::Ok);  // expect 3.0f
+  ASSERT_EQ(api.free(a.value()), Status::Ok);
+  std::vector<float> out2(32);
+  ASSERT_EQ(api.copy_out(out2, b.value()), Status::Ok);
+  ASSERT_EQ(api.free(b.value()), Status::Ok);
+}
+
+TEST(Trace, RecordOnDirectReplayOnGpuvmObservesSameBytes) {
+  Env env;
+  std::vector<u8> trace;
+  {
+    core::DirectApi direct(*env.rt);
+    TracingApi recorder(direct);
+    tiny_app(recorder);
+    trace = recorder.trace();
+  }
+  ASSERT_FALSE(trace.empty());
+
+  // Replay on the bare runtime and through the daemon: identical bytes.
+  ReplayResult on_direct;
+  {
+    core::DirectApi direct(*env.rt);
+    on_direct = replay_trace(direct, trace);
+  }
+  ReplayResult on_gpuvm;
+  {
+    core::FrontendApi api(env.runtime->connect());
+    on_gpuvm = replay_trace(api, trace);
+  }
+  EXPECT_EQ(on_direct.status, Status::Ok);
+  EXPECT_EQ(on_gpuvm.status, Status::Ok);
+  EXPECT_EQ(on_direct.calls_replayed, on_gpuvm.calls_replayed);
+  EXPECT_FALSE(on_direct.observed.empty());
+  EXPECT_EQ(on_direct.observed, on_gpuvm.observed);
+
+  // And the observed values are the expected 3.0f floats.
+  const float* floats = reinterpret_cast<const float*>(on_direct.observed.data());
+  EXPECT_EQ(floats[0], 3.0f);
+}
+
+TEST(Trace, ReplayIsAddressIndependent) {
+  Env env;
+  std::vector<u8> trace;
+  {
+    // Record through gpuvm (virtual addresses)...
+    core::FrontendApi api(env.runtime->connect());
+    TracingApi recorder(api);
+    tiny_app(recorder);
+    trace = recorder.trace();
+  }
+  // ...and replay on the bare runtime (device addresses): pointer values
+  // differ wildly, but index+offset references make the trace portable.
+  core::DirectApi direct(*env.rt);
+  const ReplayResult result = replay_trace(direct, trace);
+  EXPECT_EQ(result.status, Status::Ok);
+  const float* floats = reinterpret_cast<const float*>(result.observed.data());
+  EXPECT_EQ(floats[0], 3.0f);
+}
+
+TEST(Trace, WholeWorkloadRoundTrips) {
+  Env env;
+  std::vector<u8> trace;
+  {
+    core::DirectApi direct(*env.rt);
+    TracingApi recorder(direct);
+    AppContext ctx;
+    ctx.dom = &env.dom;
+    ctx.api = &recorder;
+    ctx.params = env.machine.params();
+    const auto result = find_workload("MT")->run(ctx);
+    ASSERT_TRUE(result.success()) << result.detail;
+    trace = recorder.trace();
+  }
+  core::FrontendApi api(env.runtime->connect());
+  const ReplayResult replayed = replay_trace(api, trace);
+  EXPECT_EQ(replayed.status, Status::Ok);
+  EXPECT_GT(replayed.calls_replayed, 800u);  // 816 launches + memory ops
+}
+
+TEST(Trace, CorruptTraceRejected) {
+  Env env;
+  core::DirectApi direct(*env.rt);
+  std::vector<u8> junk(32, 0x7f);
+  EXPECT_EQ(replay_trace(direct, junk).status, Status::ErrorProtocol);
+
+  std::vector<u8> empty;
+  EXPECT_EQ(replay_trace(direct, empty).status, Status::ErrorProtocol);
+}
+
+TEST(Trace, NestedStructuresRecorded) {
+  Env env;
+  sim::KernelDef gather;
+  gather.name = "t_gather";
+  gather.uses_nested_pointers = true;
+  gather.body = [](sim::KernelExecContext& kc) {
+    auto slots = kc.buffer<u64>(0);
+    auto dst = kc.deref_as<float>(DevicePtr{slots[0]});
+    if (dst.empty()) return Status::ErrorLaunchFailure;
+    dst[0] = 77.0f;
+    return Status::Ok;
+  };
+  gather.cost = sim::per_thread_cost(1.0, 8.0);
+  env.machine.kernels().add(gather);
+
+  std::vector<u8> trace;
+  {
+    core::FrontendApi api(env.runtime->connect());
+    TracingApi recorder(api);
+    ASSERT_EQ(recorder.register_kernels({"t_gather"}), Status::Ok);
+    auto child = recorder.malloc(16 * sizeof(float));
+    auto parent = recorder.malloc(sizeof(u64));
+    ASSERT_TRUE(child && parent);
+    ASSERT_EQ(recorder.register_nested(parent.value(), {{0, child.value()}}), Status::Ok);
+    ASSERT_EQ(recorder.launch("t_gather", {{1, 1, 1}, {16, 1, 1}},
+                              {sim::KernelArg::dev(parent.value())}),
+              Status::Ok);
+    std::vector<float> out(16);
+    ASSERT_EQ(recorder.copy_out(out, child.value()), Status::Ok);
+    EXPECT_EQ(out[0], 77.0f);
+    trace = recorder.trace();
+  }
+  // Replay through a second, fresh connection.
+  core::FrontendApi api(env.runtime->connect());
+  const ReplayResult replayed = replay_trace(api, trace);
+  EXPECT_EQ(replayed.status, Status::Ok);
+  const float* floats = reinterpret_cast<const float*>(replayed.observed.data());
+  EXPECT_EQ(floats[0], 77.0f);
+}
+
+}  // namespace
+}  // namespace gpuvm::workloads

@@ -1,0 +1,272 @@
+// Tests for message framing, local channels, and unix-socket transport.
+#include "transport/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "transport/unix_socket.hpp"
+
+namespace gpuvm::transport {
+namespace {
+
+Message make_msg(Opcode op, u64 conn, std::vector<u8> payload = {}) {
+  Message m;
+  m.op = op;
+  m.connection = ConnectionId{conn};
+  m.payload = std::move(payload);
+  return m;
+}
+
+TEST(Framing, EncodeDecodeRoundTrip) {
+  FrameDecoder dec;
+  std::vector<Message> out;
+  const auto frame = encode_frame(make_msg(Opcode::Malloc, 42, {1, 2, 3}));
+  ASSERT_TRUE(dec.feed(frame, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, Opcode::Malloc);
+  EXPECT_EQ(out[0].connection.value, 42u);
+  EXPECT_EQ(out[0].payload, (std::vector<u8>{1, 2, 3}));
+}
+
+TEST(Framing, HandlesSplitAndCoalescedFrames) {
+  FrameDecoder dec;
+  std::vector<Message> out;
+  auto f1 = encode_frame(make_msg(Opcode::Hello, 1));
+  auto f2 = encode_frame(make_msg(Opcode::Launch, 2, std::vector<u8>(1000, 9)));
+  std::vector<u8> stream;
+  stream.insert(stream.end(), f1.begin(), f1.end());
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  // Feed one byte at a time: no frame may be lost or duplicated.
+  for (u8 b : stream) ASSERT_TRUE(dec.feed(std::span<const u8>(&b, 1), out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].op, Opcode::Hello);
+  EXPECT_EQ(out[1].op, Opcode::Launch);
+  EXPECT_EQ(out[1].payload.size(), 1000u);
+}
+
+TEST(Framing, RejectsBadMagic) {
+  FrameDecoder dec;
+  std::vector<Message> out;
+  std::vector<u8> junk(64, 0xff);
+  EXPECT_FALSE(dec.feed(junk, out));
+  EXPECT_TRUE(dec.poisoned());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Framing, ReplyHelpersRoundTripStatus) {
+  WireWriter w;
+  w.put<u64>(0xabcd);
+  auto reply = make_reply(ConnectionId{7}, Status::ErrorMemoryAllocation, w.take());
+  EXPECT_EQ(reply_status(reply), Status::ErrorMemoryAllocation);
+  WireReader r(reply_payload(reply));
+  EXPECT_EQ(r.get<u64>(), 0xabcdu);
+}
+
+TEST(LocalChannel, BidirectionalSendReceive) {
+  vt::Domain dom;
+  auto [a, b] = make_local_pair(dom);
+  std::optional<Message> got_b;
+  std::optional<Message> got_a;
+  {
+    dom.hold();
+    vt::Thread tb(dom, [&, b = b.get()] {
+      got_b = b->receive();
+      b->send(make_msg(Opcode::Reply, 5));
+    });
+    vt::Thread ta(dom, [&, a = a.get()] {
+      a->send(make_msg(Opcode::Hello, 5));
+      got_a = a->receive();
+    });
+    dom.unhold();
+  }
+  ASSERT_TRUE(got_b.has_value());
+  EXPECT_EQ(got_b->op, Opcode::Hello);
+  ASSERT_TRUE(got_a.has_value());
+  EXPECT_EQ(got_a->op, Opcode::Reply);
+}
+
+TEST(LocalChannel, CloseWakesReceiver) {
+  vt::Domain dom;
+  std::atomic<bool> got_null{false};
+  auto [a, b] = make_local_pair(dom);
+  {
+    dom.hold();
+    vt::Thread rx(dom, [&, b = b.get()] { got_null = !b->receive().has_value(); });
+    vt::Thread closer(dom, [&, a = a.get()] {
+      dom.sleep_for(vt::from_millis(1));
+      a->close();
+    });
+    dom.unhold();
+  }
+  EXPECT_TRUE(got_null.load());
+  EXPECT_FALSE(a->send(make_msg(Opcode::Hello, 1)));
+}
+
+TEST(LocalChannel, LatencyCostsVirtualTime) {
+  vt::Domain dom;
+  auto [a, b] = make_local_pair(dom, ChannelCosts{vt::from_micros(100), 0.0});
+  vt::TimePoint delivered{};
+  {
+    dom.hold();
+    vt::Thread rx(dom, [&, b = b.get()] {
+      (void)b->receive();
+      delivered = dom.now();
+    });
+    vt::Thread tx(dom, [&, a = a.get()] { a->send(make_msg(Opcode::Hello, 1)); });
+    dom.unhold();
+  }
+  EXPECT_GE(delivered, vt::from_micros(100));
+  EXPECT_LT(delivered, vt::from_micros(120));
+}
+
+TEST(LocalChannel, BandwidthCostsScaleWithPayload) {
+  vt::Domain dom;
+  // 1 Gb/s... actually modeled as GB/s: 1e9 bytes/s.
+  auto [a, b] = make_local_pair(dom, ChannelCosts{vt::Duration::zero(), 1.0});
+  vt::TimePoint delivered{};
+  {
+    dom.hold();
+    vt::Thread rx(dom, [&, b = b.get()] {
+      (void)b->receive();
+      delivered = dom.now();
+    });
+    vt::Thread tx(dom, [&, a = a.get()] {
+      a->send(make_msg(Opcode::MemcpyH2D, 1, std::vector<u8>(1'000'000, 0)));
+    });
+    dom.unhold();
+  }
+  // 1 MB over 1 GB/s = 1 ms.
+  EXPECT_GE(delivered, vt::from_millis(1));
+  EXPECT_LT(delivered, vt::from_millis(1.2));
+}
+
+TEST(LocalChannel, ManyMessagesKeepOrder) {
+  vt::Domain dom;
+  auto [a, b] = make_local_pair(dom);
+  std::vector<u64> seen;
+  {
+    dom.hold();
+    vt::Thread rx(dom, [&, b = b.get()] {
+      while (auto m = b->receive()) {
+        if (m->op == Opcode::Goodbye) break;
+        seen.push_back(m->connection.value);
+      }
+    });
+    vt::Thread tx(dom, [&, a = a.get()] {
+      for (u64 i = 0; i < 500; ++i) a->send(make_msg(Opcode::SetupArgument, i));
+      a->send(make_msg(Opcode::Goodbye, 0));
+    });
+    dom.unhold();
+  }
+  ASSERT_EQ(seen.size(), 500u);
+  for (u64 i = 0; i < 500; ++i) EXPECT_EQ(seen[i], i);
+}
+
+class UnixSocketTest : public ::testing::Test {
+ protected:
+  std::string socket_path() {
+    return "/tmp/gpuvm_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff) + ".sock";
+  }
+};
+
+TEST_F(UnixSocketTest, EndToEndRequestReply) {
+  vt::Domain dom;
+  const std::string path = socket_path();
+
+  VtQueue<std::unique_ptr<MessageChannel>> accepted(dom);
+  auto server = UnixSocketServer::listen(
+      path, [&](std::unique_ptr<MessageChannel> ch) { accepted.push(std::move(ch)); });
+  ASSERT_TRUE(server.has_value());
+
+  std::optional<Message> client_got;
+  {
+    dom.hold();
+    vt::Thread server_side(dom, [&] {
+      auto ch = accepted.pop();
+      ASSERT_TRUE(ch.has_value());
+      auto msg = (*ch)->receive();
+      ASSERT_TRUE(msg.has_value());
+      EXPECT_EQ(msg->op, Opcode::Malloc);
+      WireReader r(msg->payload);
+      EXPECT_EQ(r.get<u64>(), 4096u);
+      WireWriter w;
+      w.put<u64>(0xdead0000);
+      (*ch)->send(make_reply(msg->connection, Status::Ok, w.take()));
+      (*ch)->close();
+    });
+    vt::Thread client_side(dom, [&] {
+      auto ch = unix_connect(path);
+      ASSERT_TRUE(ch.has_value());
+      WireWriter w;
+      w.put<u64>(4096);
+      Message m = make_msg(Opcode::Malloc, 1, w.take());
+      ASSERT_TRUE(ch.value()->send(std::move(m)));
+      client_got = ch.value()->receive();
+    });
+    dom.unhold();
+  }
+  server.value()->stop();
+  ASSERT_TRUE(client_got.has_value());
+  EXPECT_EQ(reply_status(*client_got), Status::Ok);
+  WireReader r(reply_payload(*client_got));
+  EXPECT_EQ(r.get<u64>(), 0xdead0000u);
+}
+
+TEST_F(UnixSocketTest, ConnectToMissingPathFails) {
+  auto ch = unix_connect("/tmp/gpuvm_nonexistent_9a7b.sock");
+  EXPECT_FALSE(ch.has_value());
+  EXPECT_EQ(ch.status(), Status::ErrorConnectionClosed);
+}
+
+TEST_F(UnixSocketTest, MultipleConcurrentClients) {
+  vt::Domain dom;
+  const std::string path = socket_path();
+  std::atomic<int> served{0};
+
+  std::vector<vt::Thread> handlers;
+  std::mutex handlers_mu;
+  auto server = UnixSocketServer::listen(path, [&](std::unique_ptr<MessageChannel> ch) {
+    std::scoped_lock lock(handlers_mu);
+    handlers.emplace_back(dom, [&served, ch = std::shared_ptr<MessageChannel>(std::move(ch))] {
+      while (auto msg = ch->receive()) {
+        ch->send(make_reply(msg->connection, Status::Ok));
+        served.fetch_add(1);
+      }
+    });
+  });
+  ASSERT_TRUE(server.has_value());
+
+  {
+    dom.hold();
+    std::vector<vt::Thread> clients;
+    for (int c = 0; c < 8; ++c) {
+      clients.emplace_back(dom, [&, c] {
+        auto ch = unix_connect(path);
+        ASSERT_TRUE(ch.has_value());
+        for (int i = 0; i < 20; ++i) {
+          ASSERT_TRUE(ch.value()->send(make_msg(Opcode::Synchronize, static_cast<u64>(c))));
+          auto reply = ch.value()->receive();
+          ASSERT_TRUE(reply.has_value());
+          EXPECT_EQ(reply_status(*reply), Status::Ok);
+        }
+        ch.value()->close();
+      });
+    }
+    dom.unhold();
+  }
+  server.value()->stop();
+  {
+    std::scoped_lock lock(handlers_mu);
+    handlers.clear();  // join handler threads
+  }
+  EXPECT_EQ(served.load(), 160);
+}
+
+}  // namespace
+}  // namespace gpuvm::transport

@@ -1,0 +1,59 @@
+// Tests for the extended workload pool (KM, LUD, SRAD): correctness on
+// both backends, like the Table-2 programs.
+#include <gtest/gtest.h>
+
+#include "core/direct_api.hpp"
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpuvm::workloads {
+namespace {
+
+class ExtendedWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtendedWorkload, RunsCorrectlyOnBothBackends) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  sim::SimMachine machine(dom, sim::SimParams{1024});
+  machine.add_gpu(sim::tesla_c2050(machine.params()));
+  register_extended_kernels(machine.kernels());
+  cudart::CudaRt rt(machine);
+  core::Runtime runtime(rt);
+
+  const Workload* app = find_extended_workload(GetParam());
+  ASSERT_NE(app, nullptr);
+
+  AppContext ctx;
+  ctx.dom = &dom;
+  ctx.params = machine.params();
+
+  core::DirectApi direct(rt);
+  ctx.api = &direct;
+  const vt::StopWatch watch(dom);
+  auto result = app->run(ctx);
+  EXPECT_TRUE(result.success()) << result.detail;
+  EXPECT_EQ(result.kernel_launches, app->expected_kernel_calls());
+  EXPECT_GT(watch.elapsed_seconds(), 2.0);
+  EXPECT_LT(watch.elapsed_seconds(), 8.0);
+
+  core::FrontendApi via_daemon(runtime.connect());
+  ctx.api = &via_daemon;
+  result = app->run(ctx);
+  EXPECT_TRUE(result.success()) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pool, ExtendedWorkload, ::testing::Values("KM", "LUD", "SRAD"));
+
+TEST(ExtendedPool, DisjointFromTable2) {
+  EXPECT_EQ(extended_workload_names().size(), 3u);
+  for (const auto& name : extended_workload_names()) {
+    EXPECT_EQ(find_workload(name), nullptr);  // not in the Table-2 catalog
+    EXPECT_NE(find_extended_workload(name), nullptr);
+  }
+  EXPECT_EQ(find_extended_workload("VA"), nullptr);
+}
+
+}  // namespace
+}  // namespace gpuvm::workloads
