@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_consolidation.dir/bench_ablation_consolidation.cpp.o"
+  "CMakeFiles/bench_ablation_consolidation.dir/bench_ablation_consolidation.cpp.o.d"
+  "bench_ablation_consolidation"
+  "bench_ablation_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_defer.dir/bench_ablation_defer.cpp.o"
+  "CMakeFiles/bench_ablation_defer.dir/bench_ablation_defer.cpp.o.d"
+  "bench_ablation_defer"
+  "bench_ablation_defer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_defer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

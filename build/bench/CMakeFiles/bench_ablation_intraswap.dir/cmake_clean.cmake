@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intraswap.dir/bench_ablation_intraswap.cpp.o"
+  "CMakeFiles/bench_ablation_intraswap.dir/bench_ablation_intraswap.cpp.o.d"
+  "bench_ablation_intraswap"
+  "bench_ablation_intraswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intraswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

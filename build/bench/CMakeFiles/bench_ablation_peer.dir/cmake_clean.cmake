@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_peer.dir/bench_ablation_peer.cpp.o"
+  "CMakeFiles/bench_ablation_peer.dir/bench_ablation_peer.cpp.o.d"
+  "bench_ablation_peer"
+  "bench_ablation_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

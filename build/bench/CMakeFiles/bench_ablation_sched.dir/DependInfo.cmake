@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_sched.cpp" "bench/CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_sched.dir/bench_ablation_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gpuvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gpuvm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/gpuvm_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gpuvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

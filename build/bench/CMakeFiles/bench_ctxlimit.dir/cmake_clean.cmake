@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctxlimit.dir/bench_ctxlimit.cpp.o"
+  "CMakeFiles/bench_ctxlimit.dir/bench_ctxlimit.cpp.o.d"
+  "bench_ctxlimit"
+  "bench_ctxlimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctxlimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

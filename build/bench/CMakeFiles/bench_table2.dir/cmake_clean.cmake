@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2.dir/bench_table2.cpp.o"
+  "CMakeFiles/bench_table2.dir/bench_table2.cpp.o.d"
+  "bench_table2"
+  "bench_table2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_offload.dir/cluster_offload.cpp.o"
+  "CMakeFiles/cluster_offload.dir/cluster_offload.cpp.o.d"
+  "cluster_offload"
+  "cluster_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuda4_shared_app.dir/cuda4_shared_app.cpp.o"
+  "CMakeFiles/cuda4_shared_app.dir/cuda4_shared_app.cpp.o.d"
+  "cuda4_shared_app"
+  "cuda4_shared_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuda4_shared_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cuda4_shared_app.
+# This may be replaced when dependencies are built.

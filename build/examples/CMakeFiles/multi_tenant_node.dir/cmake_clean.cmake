@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_node.dir/multi_tenant_node.cpp.o"
+  "CMakeFiles/multi_tenant_node.dir/multi_tenant_node.cpp.o.d"
+  "multi_tenant_node"
+  "multi_tenant_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

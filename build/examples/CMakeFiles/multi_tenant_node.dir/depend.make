@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_tenant_node.
+# This may be replaced when dependencies are built.

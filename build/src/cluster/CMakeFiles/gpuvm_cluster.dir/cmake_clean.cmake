@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/gpuvm_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/gpuvm_cluster.dir/node.cpp.o"
+  "CMakeFiles/gpuvm_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/gpuvm_cluster.dir/torque.cpp.o"
+  "CMakeFiles/gpuvm_cluster.dir/torque.cpp.o.d"
+  "libgpuvm_cluster.a"
+  "libgpuvm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_common.dir/log.cpp.o"
+  "CMakeFiles/gpuvm_common.dir/log.cpp.o.d"
+  "CMakeFiles/gpuvm_common.dir/status.cpp.o"
+  "CMakeFiles/gpuvm_common.dir/status.cpp.o.d"
+  "CMakeFiles/gpuvm_common.dir/vt.cpp.o"
+  "CMakeFiles/gpuvm_common.dir/vt.cpp.o.d"
+  "libgpuvm_common.a"
+  "libgpuvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

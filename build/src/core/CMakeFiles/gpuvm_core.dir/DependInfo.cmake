@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/gpuvm_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/direct_api.cpp" "src/core/CMakeFiles/gpuvm_core.dir/direct_api.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/direct_api.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/gpuvm_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/memory_manager.cpp" "src/core/CMakeFiles/gpuvm_core.dir/memory_manager.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/memory_manager.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/gpuvm_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/gpuvm_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/gpuvm_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudart/CMakeFiles/gpuvm_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/gpuvm_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpuvm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpuvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

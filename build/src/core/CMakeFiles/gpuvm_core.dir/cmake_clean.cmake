@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/gpuvm_core.dir/direct_api.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/direct_api.cpp.o.d"
+  "CMakeFiles/gpuvm_core.dir/frontend.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/gpuvm_core.dir/memory_manager.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/memory_manager.cpp.o.d"
+  "CMakeFiles/gpuvm_core.dir/runtime.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/gpuvm_core.dir/scheduler.cpp.o"
+  "CMakeFiles/gpuvm_core.dir/scheduler.cpp.o.d"
+  "libgpuvm_core.a"
+  "libgpuvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_cudart.dir/cudart.cpp.o"
+  "CMakeFiles/gpuvm_cudart.dir/cudart.cpp.o.d"
+  "libgpuvm_cudart.a"
+  "libgpuvm_cudart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/allocator.cpp" "src/sim/CMakeFiles/gpuvm_sim.dir/allocator.cpp.o" "gcc" "src/sim/CMakeFiles/gpuvm_sim.dir/allocator.cpp.o.d"
+  "/root/repo/src/sim/gpu_spec.cpp" "src/sim/CMakeFiles/gpuvm_sim.dir/gpu_spec.cpp.o" "gcc" "src/sim/CMakeFiles/gpuvm_sim.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/sim/kernels.cpp" "src/sim/CMakeFiles/gpuvm_sim.dir/kernels.cpp.o" "gcc" "src/sim/CMakeFiles/gpuvm_sim.dir/kernels.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/gpuvm_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/gpuvm_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/sim_gpu.cpp" "src/sim/CMakeFiles/gpuvm_sim.dir/sim_gpu.cpp.o" "gcc" "src/sim/CMakeFiles/gpuvm_sim.dir/sim_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpuvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_sim.dir/allocator.cpp.o"
+  "CMakeFiles/gpuvm_sim.dir/allocator.cpp.o.d"
+  "CMakeFiles/gpuvm_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/gpuvm_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/gpuvm_sim.dir/kernels.cpp.o"
+  "CMakeFiles/gpuvm_sim.dir/kernels.cpp.o.d"
+  "CMakeFiles/gpuvm_sim.dir/machine.cpp.o"
+  "CMakeFiles/gpuvm_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/gpuvm_sim.dir/sim_gpu.cpp.o"
+  "CMakeFiles/gpuvm_sim.dir/sim_gpu.cpp.o.d"
+  "libgpuvm_sim.a"
+  "libgpuvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuvm_sim.a"
+)

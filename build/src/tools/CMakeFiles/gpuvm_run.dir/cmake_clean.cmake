@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_run.dir/gpuvm_run.cpp.o"
+  "CMakeFiles/gpuvm_run.dir/gpuvm_run.cpp.o.d"
+  "gpuvm_run"
+  "gpuvm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

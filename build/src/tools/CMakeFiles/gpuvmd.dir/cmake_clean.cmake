@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvmd.dir/gpuvmd.cpp.o"
+  "CMakeFiles/gpuvmd.dir/gpuvmd.cpp.o.d"
+  "gpuvmd"
+  "gpuvmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_transport.dir/channel.cpp.o"
+  "CMakeFiles/gpuvm_transport.dir/channel.cpp.o.d"
+  "CMakeFiles/gpuvm_transport.dir/message.cpp.o"
+  "CMakeFiles/gpuvm_transport.dir/message.cpp.o.d"
+  "CMakeFiles/gpuvm_transport.dir/unix_socket.cpp.o"
+  "CMakeFiles/gpuvm_transport.dir/unix_socket.cpp.o.d"
+  "libgpuvm_transport.a"
+  "libgpuvm_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

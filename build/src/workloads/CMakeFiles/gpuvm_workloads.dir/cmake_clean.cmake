@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuvm_workloads.dir/apps.cpp.o"
+  "CMakeFiles/gpuvm_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/gpuvm_workloads.dir/apps_extended.cpp.o"
+  "CMakeFiles/gpuvm_workloads.dir/apps_extended.cpp.o.d"
+  "CMakeFiles/gpuvm_workloads.dir/batch.cpp.o"
+  "CMakeFiles/gpuvm_workloads.dir/batch.cpp.o.d"
+  "CMakeFiles/gpuvm_workloads.dir/trace.cpp.o"
+  "CMakeFiles/gpuvm_workloads.dir/trace.cpp.o.d"
+  "libgpuvm_workloads.a"
+  "libgpuvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

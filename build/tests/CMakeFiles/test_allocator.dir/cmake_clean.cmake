@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocator.dir/test_allocator.cpp.o"
+  "CMakeFiles/test_allocator.dir/test_allocator.cpp.o.d"
+  "test_allocator"
+  "test_allocator.pdb"
+  "test_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consolidation.dir/test_consolidation.cpp.o"
+  "CMakeFiles/test_consolidation.dir/test_consolidation.cpp.o.d"
+  "test_consolidation"
+  "test_consolidation.pdb"
+  "test_consolidation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuda4.dir/test_cuda4.cpp.o"
+  "CMakeFiles/test_cuda4.dir/test_cuda4.cpp.o.d"
+  "test_cuda4"
+  "test_cuda4.pdb"
+  "test_cuda4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuda4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

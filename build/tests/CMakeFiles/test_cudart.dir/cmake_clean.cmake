@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudart.dir/test_cudart.cpp.o"
+  "CMakeFiles/test_cudart.dir/test_cudart.cpp.o.d"
+  "test_cudart"
+  "test_cudart.pdb"
+  "test_cudart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_spec.dir/test_gpu_spec.cpp.o"
+  "CMakeFiles/test_gpu_spec.dir/test_gpu_spec.cpp.o.d"
+  "test_gpu_spec"
+  "test_gpu_spec.pdb"
+  "test_gpu_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_extra.dir/test_integration_extra.cpp.o"
+  "CMakeFiles/test_integration_extra.dir/test_integration_extra.cpp.o.d"
+  "test_integration_extra"
+  "test_integration_extra.pdb"
+  "test_integration_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

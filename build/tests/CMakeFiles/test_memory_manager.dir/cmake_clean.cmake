@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_manager.dir/test_memory_manager.cpp.o"
+  "CMakeFiles/test_memory_manager.dir/test_memory_manager.cpp.o.d"
+  "test_memory_manager"
+  "test_memory_manager.pdb"
+  "test_memory_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pinning_and_fuzz.dir/test_pinning_and_fuzz.cpp.o"
+  "CMakeFiles/test_pinning_and_fuzz.dir/test_pinning_and_fuzz.cpp.o.d"
+  "test_pinning_and_fuzz"
+  "test_pinning_and_fuzz.pdb"
+  "test_pinning_and_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pinning_and_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_gpu.dir/test_sim_gpu.cpp.o"
+  "CMakeFiles/test_sim_gpu.dir/test_sim_gpu.cpp.o.d"
+  "test_sim_gpu"
+  "test_sim_gpu.pdb"
+  "test_sim_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unix_runtime.dir/test_unix_runtime.cpp.o"
+  "CMakeFiles/test_unix_runtime.dir/test_unix_runtime.cpp.o.d"
+  "test_unix_runtime"
+  "test_unix_runtime.pdb"
+  "test_unix_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unix_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

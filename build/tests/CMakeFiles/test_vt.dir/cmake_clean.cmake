@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vt.dir/test_vt.cpp.o"
+  "CMakeFiles/test_vt.dir/test_vt.cpp.o.d"
+  "test_vt"
+  "test_vt.pdb"
+  "test_vt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

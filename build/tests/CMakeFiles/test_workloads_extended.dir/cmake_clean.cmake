@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_extended.dir/test_workloads_extended.cpp.o"
+  "CMakeFiles/test_workloads_extended.dir/test_workloads_extended.cpp.o.d"
+  "test_workloads_extended"
+  "test_workloads_extended.pdb"
+  "test_workloads_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
