@@ -24,11 +24,42 @@
 #include "core/frontend.hpp"
 #include "core/runtime.hpp"
 #include "cudart/cudart.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "workloads/batch.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpuvm::bench {
+
+/// Records a trace for one environment's lifetime when GPUVM_TRACE_OUT
+/// names a file; the Chrome JSON is written there on teardown (each env
+/// overwrites the file, so the last configuration's trace survives --
+/// run a single benchmark when capturing).
+class TraceSession {
+ public:
+  explicit TraceSession(vt::Domain& dom) {
+    const char* path = std::getenv("GPUVM_TRACE_OUT");
+    if (path == nullptr || *path == '\0') return;
+    path_ = path;
+    recorder_ = std::make_unique<obs::TraceRecorder>(dom);
+    recorder_->set_process_name(obs::kRuntimePid, "gpuvm runtime");
+    obs::set_tracer(recorder_.get());
+  }
+
+  ~TraceSession() {
+    if (recorder_ == nullptr) return;
+    obs::set_tracer(nullptr);
+    (void)recorder_->export_chrome_json_file(path_);
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
 
 inline int bench_runs() {
   if (const char* env = std::getenv("GPUVM_BENCH_RUNS")) {
@@ -49,7 +80,8 @@ inline sim::SimParams bench_params() {
 class NodeEnv {
  public:
   NodeEnv(const std::vector<sim::GpuSpec>& gpus, core::RuntimeConfig config)
-      : guard_(dom_), machine_(dom_, bench_params()) {
+      : guard_(dom_), trace_(dom_), machine_(dom_, bench_params()) {
+    obs::metrics().reset();  // per-run annotations, not cumulative
     for (const auto& spec : gpus) machine_.add_gpu(spec);
     workloads::register_all_kernels(machine_.kernels());
     rt_ = std::make_unique<cudart::CudaRt>(machine_);
@@ -58,7 +90,8 @@ class NodeEnv {
 
   /// Environment without the gpuvm daemon (bare CUDA runtime baseline).
   explicit NodeEnv(const std::vector<sim::GpuSpec>& gpus)
-      : guard_(dom_), machine_(dom_, bench_params()) {
+      : guard_(dom_), trace_(dom_), machine_(dom_, bench_params()) {
+    obs::metrics().reset();
     for (const auto& spec : gpus) machine_.add_gpu(spec);
     workloads::register_all_kernels(machine_.kernels());
     rt_ = std::make_unique<cudart::CudaRt>(machine_);
@@ -90,6 +123,7 @@ class NodeEnv {
 
   vt::Domain dom_;
   vt::AttachGuard guard_;
+  TraceSession trace_;  // before machine_: GPUs register track names on build
   sim::SimMachine machine_;
   std::unique_ptr<cudart::CudaRt> rt_;
   std::unique_ptr<core::Runtime> runtime_;
@@ -139,6 +173,19 @@ inline void report_outcome(benchmark::State& state, const workloads::BatchOutcom
   state.SetIterationTime(outcome.total_seconds);
   state.counters["avg_job_s"] = outcome.avg_seconds;
   if (!outcome.all_good()) state.counters["FAILED_JOBS"] = outcome.jobs_failed;
+}
+
+/// Annotates the benchmark with the run's registry metrics (the registry
+/// was reset when the NodeEnv was built, so values are per-run).
+inline void report_registry(benchmark::State& state, const NodeEnv& env) {
+  if (env.runtime_ != nullptr) env.runtime_->publish_metrics();
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  if (const auto* h = snap.find("sched.queue_wait_seconds")) {
+    state.counters["queue_wait_s"] = h->sum;
+  }
+  state.counters["swaps"] = snap.gauge_value("stats.mm.intra_app_swaps") +
+                            snap.gauge_value("stats.mm.inter_app_swaps");
+  state.counters["swap_MB"] = snap.gauge_value("stats.mm.swap_bytes") / 1048576.0;
 }
 
 }  // namespace gpuvm::bench

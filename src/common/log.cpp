@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/vt.hpp"
+
 namespace gpuvm::log {
 namespace {
 
@@ -53,12 +55,22 @@ void emitf(Level lvl, const char* fmt, ...) {
   std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
 
-  using namespace std::chrono;
-  const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+  // Threads attached to a vt::Domain stamp with the virtual clock (seconds of
+  // modeled time), so a log interleaves meaningfully with traces and modeled
+  // latencies; unattached threads fall back to the wall clock. now_relaxed()
+  // is lock-free: emitf may run while the domain lock is held (e.g. the
+  // leaked-thread diagnostic in ~Domain).
+  char stamp[32];
+  if (const vt::Domain* dom = vt::Domain::current()) {
+    std::snprintf(stamp, sizeof(stamp), "vt%12.6f", vt::to_seconds(dom->now_relaxed()));
+  } else {
+    using namespace std::chrono;
+    const auto now = duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+    std::snprintf(stamp, sizeof(stamp), "%12lld", static_cast<long long>(now));
+  }
   const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
   std::scoped_lock lock(mu);
-  std::fprintf(stderr, "[%12lld] [%s] [t%05zu] %s\n", static_cast<long long>(now), tag(lvl), tid,
-               body);
+  std::fprintf(stderr, "[%s] [%s] [t%05zu] %s\n", stamp, tag(lvl), tid, body);
 }
 
 }  // namespace gpuvm::log

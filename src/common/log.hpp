@@ -17,7 +17,8 @@ void set_level(Level lvl);
 inline bool enabled(Level lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
 
 /// Emit one formatted line (with timestamp, level tag and thread id) if
-/// `lvl` is enabled.
+/// `lvl` is enabled. Threads attached to a vt::Domain are stamped with the
+/// virtual clock ("vt <seconds>"); others with wall-clock microseconds.
 void emitf(Level lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 #define GPUVM_LOG_WRAPPER(name, lvl)                                       \

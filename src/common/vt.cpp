@@ -35,6 +35,11 @@ TimePoint Domain::now() const {
   return now_;
 }
 
+TimePoint Domain::now_relaxed() const {
+  if (mode_ == Mode::ScaledReal) return now();  // computed from the wall clock, no lock
+  return TimePoint{now_mirror_.load(std::memory_order_relaxed)};
+}
+
 void Domain::attach_current_thread() {
   tl_current_domain = this;
   if (mode_ == Mode::ScaledReal) return;
@@ -113,6 +118,7 @@ void Domain::maybe_advance_locked() {
   // sleeper that is now due. Woken sleepers count as wakes in flight until
   // they resume, so the clock cannot skip past them.
   now_ = std::max(now_, sleepers_.begin()->first);
+  now_mirror_.store(now_.count(), std::memory_order_relaxed);
   for (auto it = sleepers_.begin(); it != sleepers_.end() && it->first <= now_; ++it) {
     if (it->second->due) continue;
     it->second->due = true;

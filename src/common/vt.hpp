@@ -81,6 +81,13 @@ class Domain {
   /// Current virtual time.
   TimePoint now() const;
 
+  /// Lock-free read of the virtual clock, safe from code that may already
+  /// hold mu_ indirectly (e.g. log lines emitted during domain teardown).
+  /// In Virtual mode this reads an atomic mirror of the clock -- exact,
+  /// since the clock only changes at quiescence points; in ScaledReal it is
+  /// the same wall-clock computation as now().
+  TimePoint now_relaxed() const;
+
   /// Block the calling (attached) thread for `d` of virtual time.
   void sleep_for(Duration d);
   /// Block the calling (attached) thread until virtual time `t`.
@@ -123,6 +130,7 @@ class Domain {
   double real_scale_;
   std::chrono::steady_clock::time_point real_start_;
   TimePoint now_{0};
+  std::atomic<std::int64_t> now_mirror_{0};  // lock-free copy of now_ (ns)
   int attached_ = 0;
   int running_ = 0;            // attached threads not sleeping and not idle
   int holds_ = 0;              // outstanding hold() calls block advances

@@ -162,4 +162,14 @@ Status FrontendApi::register_nested(VirtualPtr parent, const std::vector<NestedR
 
 Status FrontendApi::checkpoint() { return simple_call(Opcode::Checkpoint, {}); }
 
+Result<obs::MetricsSnapshot> FrontendApi::query_stats() {
+  auto reply = roundtrip(Opcode::QueryStats, {});
+  if (!reply) return reply.status();
+  if (const Status s = transport::reply_status(reply.value()); !ok(s)) return s;
+  WireReader r(transport::reply_payload(reply.value()));
+  auto snap = obs::MetricsSnapshot::decode(r);
+  if (!snap.has_value()) return Status::ErrorProtocol;
+  return std::move(*snap);
+}
+
 }  // namespace gpuvm::core

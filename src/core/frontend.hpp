@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/gpu_api.hpp"
+#include "obs/metrics.hpp"
 #include "transport/channel.hpp"
 
 namespace gpuvm::core {
@@ -56,6 +57,11 @@ class FrontendApi : public GpuApi {
   Status get_last_error() override;
   Status register_nested(VirtualPtr parent, const std::vector<NestedRef>& refs) override;
   Status checkpoint() override;
+
+  /// Polls the daemon's metrics registry (QueryStats op). The daemon
+  /// publishes its stats structs right before snapshotting, so the result
+  /// is consistent with Runtime::stats() at the time of the call.
+  Result<obs::MetricsSnapshot> query_stats();
 
  private:
   /// Sends one request and blocks for its reply (the CUDA calls modeled

@@ -7,8 +7,20 @@
 
 #include "common/log.hpp"
 #include "common/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::core {
+
+namespace {
+
+obs::Histogram& swap_bytes_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("mm.swap_bytes", obs::default_bytes_edges());
+  return h;
+}
+
+}  // namespace
 
 MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {}
 
@@ -287,6 +299,7 @@ Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
     ++stats_.swapped_entries;
     stats_.swap_bytes += pte.size;
   }
+  swap_bytes_hist().observe(static_cast<double>(pte.size));
   return sync == Status::ErrorDeviceUnavailable ? Status::Ok : sync;
 }
 
@@ -383,9 +396,14 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       }
       (void)swap_entry(*mem, *victim);
       if (!counted_intra) {
-        std::scoped_lock lock(stats_mu_);
-        ++stats_.intra_app_swaps;
+        {
+          std::scoped_lock lock(stats_mu_);
+          ++stats_.intra_app_swaps;
+        }
         counted_intra = true;
+        if (obs::TraceRecorder* tr = obs::tracer()) {
+          tr->instant("intra-app-swap", "swap", obs::kRuntimePid, ctx.value, ctx.value);
+        }
       }
     }
     pte->last_use = now_stamp;
@@ -393,16 +411,23 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
 
   // Bulk transfers for deferred data, then nested pointer patching
   // (children were materialized first).
-  for (PageTableEntry* pte : closure) {
-    if (pte->to_copy_2_dev) {
-      const Status s = rt_->memcpy_h2d(pte->owner_client, pte->device_ptr, pte->swap);
-      if (!ok(s)) {
-        result.error = s;
-        return result;
+  u64 bulk_bytes = 0;
+  for (const PageTableEntry* pte : closure) {
+    if (pte->to_copy_2_dev) bulk_bytes += pte->size;
+  }
+  if (bulk_bytes > 0) {
+    obs::SpanScope sp("bulk-h2d", "swap", obs::kRuntimePid, ctx.value, ctx.value, bulk_bytes);
+    for (PageTableEntry* pte : closure) {
+      if (pte->to_copy_2_dev) {
+        const Status s = rt_->memcpy_h2d(pte->owner_client, pte->device_ptr, pte->swap);
+        if (!ok(s)) {
+          result.error = s;
+          return result;
+        }
+        pte->to_copy_2_dev = false;
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.bulk_transfers;
       }
-      pte->to_copy_2_dev = false;
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.bulk_transfers;
     }
   }
   for (PageTableEntry* pte : closure) {
@@ -461,12 +486,16 @@ bool MemoryManager::try_peer_move(CtxMem& mem, PageTableEntry& pte, GpuId gpu,
 Status MemoryManager::swap_context(ContextId ctx) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
+  obs::SpanScope sp("swap-out", "swap", obs::kRuntimePid, ctx.value, ctx.value);
+  u64 swapped = 0;
   Status first_error = Status::Ok;
   for (auto& [vptr, pte] : mem->entries) {
     if (!pte->is_allocated) continue;
+    swapped += pte->size;
     const Status s = swap_entry(*mem, *pte);
     if (!ok(s) && ok(first_error)) first_error = s;
   }
+  sp.set_bytes(swapped);
   return first_error;
 }
 

@@ -5,11 +5,23 @@
 
 #include "common/log.hpp"
 #include "common/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::core {
 
 using transport::Message;
 using transport::Opcode;
+
+namespace {
+
+obs::Histogram& launch_seconds_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("runtime.launch_seconds", obs::default_seconds_edges());
+  return h;
+}
+
+}  // namespace
 
 Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
     : rt_(&rt),
@@ -118,6 +130,49 @@ RuntimeStats Runtime::stats() const {
   return stats_;
 }
 
+void Runtime::publish_metrics() const {
+  obs::MetricsRegistry& reg = obs::metrics();
+  const auto gauge = [&](const std::string& name, double v) { reg.gauge(name).set(v); };
+
+  const RuntimeStats rs = stats();
+  gauge("stats.runtime.connections", static_cast<double>(rs.connections));
+  gauge("stats.runtime.offloaded_connections", static_cast<double>(rs.offloaded_connections));
+  gauge("stats.runtime.launches", static_cast<double>(rs.launches));
+  gauge("stats.runtime.recoveries", static_cast<double>(rs.recoveries));
+  gauge("stats.runtime.auto_checkpoints", static_cast<double>(rs.auto_checkpoints));
+  gauge("stats.runtime.swap_retry_backoffs", static_cast<double>(rs.swap_retry_backoffs));
+
+  const SchedulerStats ss = scheduler_->stats();
+  gauge("stats.sched.binds", static_cast<double>(ss.binds));
+  gauge("stats.sched.unbinds", static_cast<double>(ss.unbinds));
+  gauge("stats.sched.migrations", static_cast<double>(ss.migrations));
+
+  const MemStats ms = mm_->stats();
+  gauge("stats.mm.swapped_entries", static_cast<double>(ms.swapped_entries));
+  gauge("stats.mm.swap_bytes", static_cast<double>(ms.swap_bytes));
+  gauge("stats.mm.intra_app_swaps", static_cast<double>(ms.intra_app_swaps));
+  gauge("stats.mm.inter_app_swaps", static_cast<double>(ms.inter_app_swaps));
+  gauge("stats.mm.bulk_transfers", static_cast<double>(ms.bulk_transfers));
+  gauge("stats.mm.peer_copies", static_cast<double>(ms.peer_copies));
+  gauge("stats.mm.bounds_rejections", static_cast<double>(ms.bounds_rejections));
+
+  for (const GpuId gpu : rt_->machine().all_gpus()) {
+    const sim::SimGpu* dev = rt_->machine().gpu(gpu);
+    if (dev == nullptr) continue;
+    const sim::GpuStats gs = dev->stats();
+    const std::string prefix = "stats.gpu" + std::to_string(gpu.value) + ".";
+    gauge(prefix + "mallocs", static_cast<double>(gs.mallocs));
+    gauge(prefix + "frees", static_cast<double>(gs.frees));
+    gauge(prefix + "kernels_launched", static_cast<double>(gs.kernels_launched));
+    gauge(prefix + "consolidated_kernels", static_cast<double>(gs.consolidated_kernels));
+    gauge(prefix + "bytes_to_device", static_cast<double>(gs.bytes_to_device));
+    gauge(prefix + "bytes_from_device", static_cast<double>(gs.bytes_from_device));
+    gauge(prefix + "failed_ops", static_cast<double>(gs.failed_ops));
+    gauge(prefix + "compute_busy_seconds", gs.compute_busy_seconds);
+    gauge(prefix + "copy_busy_seconds", gs.copy_busy_seconds);
+  }
+}
+
 void Runtime::drain() {
   std::unique_lock lk(mu_);
   drained_cv_.wait(lk, [&] { return open_connections_ == 0; });
@@ -204,6 +259,11 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     }
   }
   if (fresh) {
+    if (obs::TraceRecorder* tr = obs::tracer()) {
+      tr->set_thread_name(obs::kRuntimePid, ctx->id.value,
+                          "ctx " + std::to_string(ctx->id.value));
+      tr->instant("connect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
+    }
     mm_->add_context(ctx->id);
     ctx->arrival = rt_->machine().domain().now();
     ctx->job_cost_hint_seconds = cost_hint;
@@ -238,6 +298,9 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
       mm_->remove_context(ctx->id);
     }
     ctx->state.store(ContextState::Done, std::memory_order_release);
+    if (obs::TraceRecorder* tr = obs::tracer()) {
+      tr->instant("disconnect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
+    }
     std::unique_lock lk(mu_);
     contexts_.erase(ctx->id);
     if (shared) app_contexts_.erase(app_id);
@@ -249,6 +312,9 @@ void Runtime::offload_proxy_loop(transport::MessageChannel& client,
   // Strict request/reply protocol: relay one message at a time.
   while (auto msg = client.receive()) {
     const bool was_goodbye = msg->op == Opcode::Goodbye;
+    obs::SpanScope sp("offload-hop", "offload", obs::kRuntimePid,
+                      obs::kOffloadTidBase + msg->connection.value, 0,
+                      msg->payload.size());
     if (!peer.send(std::move(*msg))) break;
     auto reply = peer.receive();
     if (!reply.has_value()) break;
@@ -424,6 +490,14 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
       ctx.last_error = Status::Ok;
       return transport::make_reply(conn, s);
     }
+
+    // ---- Observability -------------------------------------------------------
+    case Opcode::QueryStats: {
+      publish_metrics();
+      WireWriter w;
+      obs::metrics().snapshot().encode(w);
+      return reply(Status::Ok, w.take());
+    }
     default:
       return reply(Status::ErrorProtocol);
   }
@@ -487,6 +561,10 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
     std::scoped_lock slock(stats_mu_);
     ++stats_.launches;
   }
+  // End-to-end launch latency: queueing for a vGPU, materialization and
+  // swaps, the kernel itself, any recovery replays.
+  obs::SpanScope launch_span(name, "launch", obs::kRuntimePid, ctx.id.value, ctx.id.value);
+  vt::StopWatch launch_watch(dom);
 
   int recovery_attempts = 0;
   for (;;) {
@@ -496,8 +574,14 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
     if (!acquired) return acquired.status();
     const Scheduler::Binding binding = acquired.value();
     if (binding.recovered_from_failure) {
-      std::scoped_lock slock(stats_mu_);
-      ++stats_.recoveries;
+      {
+        std::scoped_lock slock(stats_mu_);
+        ++stats_.recoveries;
+      }
+      if (obs::TraceRecorder* tr = obs::tracer()) {
+        tr->instant("recovery-replay", "recover", obs::kRuntimePid, ctx.id.value,
+                    ctx.id.value);
+      }
     }
 
     enum class Next { Done, RebindAfterFailure, BackoffRetry };
@@ -536,6 +620,10 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
             mm_->on_device_lost(ctx.id, binding.gpu);
             next = Next::RebindAfterFailure;
             ++recovery_attempts;
+            if (obs::TraceRecorder* tr = obs::tracer()) {
+              tr->instant("kernel-lost", "recover", obs::kRuntimePid, ctx.id.value,
+                          ctx.id.value);
+            }
             std::scoped_lock slock(stats_mu_);
             ++stats_.recoveries;
             break;
@@ -565,6 +653,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
         if (!ctx.pinned && !channel.pending() && scheduler_->faster_gpu_idle(binding.gpu)) {
           scheduler_->release(ctx);
         }
+        launch_seconds_hist().observe(launch_watch.elapsed_seconds());
         return result;
       }
       case Next::RebindAfterFailure: {

@@ -101,6 +101,12 @@ class Runtime {
   RuntimeStats stats() const;
   const RuntimeConfig& config() const { return config_; }
 
+  /// Publishes the per-layer stats structs (runtime, scheduler, memory
+  /// manager, every GPU) into the global obs registry as "stats.*" gauges.
+  /// Called right before a registry snapshot (QueryStats, --stats dumps) so
+  /// the snapshot agrees with stats().
+  void publish_metrics() const;
+
   /// Blocks until all currently-open connections have finished (used by
   /// tests and the batch harness between phases).
   void drain();

@@ -4,8 +4,20 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::core {
+
+namespace {
+
+obs::Histogram& queue_wait_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("sched.queue_wait_seconds", obs::default_seconds_edges());
+  return h;
+}
+
+}  // namespace
 
 Scheduler::Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config)
     : rt_(&rt), mm_(&mm), config_(config), cv_(rt.machine().domain()) {}
@@ -174,16 +186,33 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   waiting_.push_back(&waiter);
   ctx.state.store(ContextState::Waiting, std::memory_order_release);
   match_locked();
+  vt::Domain& dom = rt_->machine().domain();
+  const vt::TimePoint wait_start = dom.now();
   cv_.wait(lk, [&] { return waiter.granted.has_value() || waiter.hopeless; });
   waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &waiter));
+  const vt::Duration waited = dom.now() - wait_start;
+  queue_wait_hist().observe(vt::to_seconds(waited));
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    // On the per-context track: a slot track could show overlapping spans
+    // (the previous holder's kernel vs. this waiter), which breaks nesting.
+    tr->span("queue-wait", "sched", obs::kRuntimePid, ctx.id.value, wait_start, waited,
+             ctx.id.value);
+  }
   if (waiter.hopeless) {
     ctx.state.store(ContextState::Failed, std::memory_order_release);
     return Status::ErrorDeviceUnavailable;
   }
   ctx.state.store(ContextState::Assigned, std::memory_order_release);
   ++stats_.binds;
-  if (waiter.granted->migrated && !recovered) ++stats_.migrations;
+  if (waiter.granted->migrated && !recovered) {
+    ++stats_.migrations;
+    obs::metrics().counter("sched.migrations").add(1);
+  }
   waiter.granted->recovered_from_failure = recovered;
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant(waiter.granted->migrated ? "bind (migrated)" : "bind", "sched",
+                obs::kRuntimePid, ctx.id.value, ctx.id.value);
+  }
   return *waiter.granted;
 }
 
@@ -195,6 +224,9 @@ void Scheduler::release(Context& ctx) {
   bindings_.erase(it);
   ctx.state.store(ContextState::Detached, std::memory_order_release);
   ++stats_.unbinds;
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->instant("unbind", "sched", obs::kRuntimePid, ctx.id.value, ctx.id.value);
+  }
   match_locked();
 }
 

@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::cudart {
+
+namespace {
+
+obs::Counter& calls_counter() {
+  static obs::Counter& c = obs::metrics().counter("cudart.calls");
+  return c;
+}
+
+}  // namespace
 
 CudaRt::CudaRt(sim::SimMachine& machine, CudaRtConfig config)
     : machine_(&machine), max_contexts_(config.max_contexts_per_device) {
@@ -155,6 +166,7 @@ Status CudaRt::free(ClientId id, DevicePtr ptr) {
 }
 
 Status CudaRt::memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte> src) {
+  calls_counter().add(1);
   sim::SimGpu* gpu = nullptr;
   {
     std::scoped_lock lock(mu_);
@@ -164,6 +176,8 @@ Status CudaRt::memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte>
     if (!ensured) return record(*client, ensured.status());
     gpu = ensured.value();
   }
+  obs::SpanScope sp("cudaMemcpy H2D", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, src.size());
   const Status s = gpu->copy_to_device(dst, src);
   std::scoped_lock lock(mu_);
   if (Client* client = find_client_locked(id)) return record(*client, s);
@@ -171,6 +185,7 @@ Status CudaRt::memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte>
 }
 
 Status CudaRt::memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, u64 size) {
+  calls_counter().add(1);
   sim::SimGpu* gpu = nullptr;
   {
     std::scoped_lock lock(mu_);
@@ -180,6 +195,8 @@ Status CudaRt::memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, 
     if (!ensured) return record(*client, ensured.status());
     gpu = ensured.value();
   }
+  obs::SpanScope sp("cudaMemcpy D2H", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, size);
   const Status s = gpu->copy_from_device(dst, src, size);
   std::scoped_lock lock(mu_);
   if (Client* client = find_client_locked(id)) return record(*client, s);
@@ -187,6 +204,7 @@ Status CudaRt::memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, 
 }
 
 Status CudaRt::memcpy_d2d(ClientId id, DevicePtr dst, DevicePtr src, u64 size) {
+  calls_counter().add(1);
   sim::SimGpu* gpu = nullptr;
   {
     std::scoped_lock lock(mu_);
@@ -196,6 +214,8 @@ Status CudaRt::memcpy_d2d(ClientId id, DevicePtr dst, DevicePtr src, u64 size) {
     if (!ensured) return record(*client, ensured.status());
     gpu = ensured.value();
   }
+  obs::SpanScope sp("cudaMemcpy D2D", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, size);
   const Status s = gpu->copy_device_to_device(dst, src, size);
   std::scoped_lock lock(mu_);
   if (Client* client = find_client_locked(id)) return record(*client, s);
@@ -214,6 +234,9 @@ Status CudaRt::memcpy_peer(ClientId id, DevicePtr dst, DevicePtr src, u64 size) 
   }
   sim::SimGpu* peer = machine_->locate_gpu(src);
   if (peer == nullptr) return Status::ErrorInvalidDevicePointer;
+  calls_counter().add(1);
+  obs::SpanScope sp("cudaMemcpyPeer", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, size);
   const Status s =
       peer == gpu ? gpu->copy_device_to_device(dst, src, size)
                   : gpu->copy_from_peer(dst, *peer, src, size);
@@ -316,6 +339,8 @@ Status CudaRt::launch_by_name(ClientId id, const std::string& name,
     if (Client* client = find_client_locked(id)) return record(*client, Status::ErrorUnknownSymbol);
     return Status::ErrorUnknownSymbol;
   }
+  calls_counter().add(1);
+  obs::SpanScope sp(name, "cudart", gpu->id().value, obs::kClientTidBase + id.value);
   const Status s = gpu->launch(*def, config, args);
   std::scoped_lock lock(mu_);
   if (Client* client = find_client_locked(id)) return record(*client, s);

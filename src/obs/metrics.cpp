@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpuvm::obs {
+
+namespace {
+
+// Edges chosen to bracket the paper's scales: kernels run 10 ms – 10 s,
+// queue waits up to minutes, swaps move 4 KiB – 2 GiB (scaled).
+constexpr double kSecondsEdges[] = {0.001, 0.01, 0.05, 0.1, 0.5, 1.0,
+                                    5.0,   10.0, 30.0, 60.0, 300.0};
+constexpr double kBytesEdges[] = {4096.0,    65536.0,   1048576.0,  16777216.0,
+                                 134217728.0, 1073741824.0, 4294967296.0};
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::span<const double> default_seconds_edges() { return kSecondsEdges; }
+std::span<const double> default_bytes_edges() { return kBytesEdges; }
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
+  // Edges must be sorted for the lower_bound bucket search.
+  std::sort(edges_.begin(), edges_.end());
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  buckets_[static_cast<size_t>(it - edges_.begin())].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+}
+
+std::vector<u64> Histogram::bucket_counts() const {
+  std::vector<u64> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    entry.kind = MetricKind::Counter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    entry.kind = MetricKind::Gauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::span<const double> edges) {
+  std::scoped_lock lock(mu_);
+  auto& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    entry.kind = MetricKind::Histogram;
+    entry.histogram =
+        std::make_unique<Histogram>(std::vector<double>(edges.begin(), edges.end()));
+  }
+  return *entry.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        v.counter = entry.counter->value();
+        break;
+      case MetricKind::Gauge:
+        v.gauge = entry.gauge->value();
+        break;
+      case MetricKind::Histogram:
+        v.edges = entry.histogram->edges();
+        v.buckets = entry.histogram->bucket_counts();
+        v.count = entry.histogram->count();
+        v.sum = entry.histogram->sum();
+        break;
+    }
+    snap.values.push_back(std::move(v));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->reset();
+    if (entry.gauge != nullptr) entry.gauge->reset();
+    if (entry.histogram != nullptr) entry.histogram->reset();
+  }
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& v : values) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+u64 MetricsSnapshot::counter_value(std::string_view name) const {
+  const MetricValue* v = find(name);
+  return v != nullptr ? v->counter : 0;
+}
+
+double MetricsSnapshot::gauge_value(std::string_view name) const {
+  const MetricValue* v = find(name);
+  return v != nullptr ? v->gauge : 0.0;
+}
+
+void MetricsSnapshot::encode(WireWriter& w) const {
+  w.put<u64>(values.size());
+  for (const MetricValue& v : values) {
+    w.put_string(v.name);
+    w.put<u8>(static_cast<u8>(v.kind));
+    switch (v.kind) {
+      case MetricKind::Counter:
+        w.put<u64>(v.counter);
+        break;
+      case MetricKind::Gauge:
+        w.put<double>(v.gauge);
+        break;
+      case MetricKind::Histogram:
+        w.put_vector(v.edges);
+        w.put_vector(v.buckets);
+        w.put<u64>(v.count);
+        w.put<double>(v.sum);
+        break;
+    }
+  }
+}
+
+std::optional<MetricsSnapshot> MetricsSnapshot::decode(WireReader& r) {
+  MetricsSnapshot snap;
+  const u64 n = r.get<u64>();
+  for (u64 i = 0; i < n && r.ok(); ++i) {
+    MetricValue v;
+    v.name = r.get_string();
+    v.kind = static_cast<MetricKind>(r.get<u8>());
+    switch (v.kind) {
+      case MetricKind::Counter:
+        v.counter = r.get<u64>();
+        break;
+      case MetricKind::Gauge:
+        v.gauge = r.get<double>();
+        break;
+      case MetricKind::Histogram:
+        v.edges = r.get_vector<double>();
+        v.buckets = r.get_vector<u64>();
+        v.count = r.get<u64>();
+        v.sum = r.get<double>();
+        break;
+      default:
+        return std::nullopt;
+    }
+    snap.values.push_back(std::move(v));
+  }
+  if (!r.ok()) return std::nullopt;
+  return snap;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  char buf[160];
+  for (const MetricValue& v : values) {
+    switch (v.kind) {
+      case MetricKind::Counter:
+        std::snprintf(buf, sizeof(buf), "%-44s %llu\n", v.name.c_str(),
+                      static_cast<unsigned long long>(v.counter));
+        out += buf;
+        break;
+      case MetricKind::Gauge:
+        std::snprintf(buf, sizeof(buf), "%-44s %.6g\n", v.name.c_str(), v.gauge);
+        out += buf;
+        break;
+      case MetricKind::Histogram: {
+        const double avg = v.count > 0 ? v.sum / static_cast<double>(v.count) : 0.0;
+        std::snprintf(buf, sizeof(buf), "%-44s count=%llu sum=%.6g avg=%.6g\n", v.name.c_str(),
+                      static_cast<unsigned long long>(v.count), v.sum, avg);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,143 @@
+// MetricsRegistry: one namespace of counters, gauges and histograms for
+// the whole stack.
+//
+// The four per-layer stats structs (RuntimeStats, SchedulerStats, MemStats,
+// GpuStats) are precise but disconnected: each layer snapshots its own and
+// nothing ties them together. The registry is the unifying layer — hot
+// paths update live counters/histograms through cached handles (queue-wait,
+// launch latency, swap bytes), the stats structs are published into it as
+// gauges at snapshot time, and one MetricsSnapshot covers everything. A
+// snapshot serializes over the wire protocol (the QueryStats op) so a
+// client can poll a running daemon.
+//
+// Handle discipline: counter()/gauge()/histogram() take a mutex and do a
+// map lookup — call them once at setup and cache the returned reference
+// (entries are never removed, so handles stay valid for the registry's
+// lifetime, across reset()). The handle operations themselves are single
+// atomic ops, safe on any thread.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/wire.hpp"
+
+namespace gpuvm::obs {
+
+class Counter {
+ public:
+  void add(u64 delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Absolute store, for mirroring an externally maintained total.
+  void set(u64 value) { value_.store(value, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `edges` are the inclusive upper bounds of the
+/// first N buckets; one implicit overflow bucket catches the rest. An
+/// observation lands in the first bucket whose edge is >= the value.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void observe(double value);
+
+  const std::vector<double>& edges() const { return edges_; }
+  /// Per-bucket counts; size() == edges().size() + 1 (overflow last).
+  std::vector<u64> bucket_counts() const;
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::atomic<u64>> buckets_;
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Canonical bucket edges: modeled seconds for waits/latencies, bytes for
+/// transfer sizes. Shared so every layer's histograms line up.
+std::span<const double> default_seconds_edges();
+std::span<const double> default_bytes_edges();
+
+enum class MetricKind : u8 { Counter = 0, Gauge = 1, Histogram = 2 };
+
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  u64 counter = 0;
+  double gauge = 0.0;
+  std::vector<double> edges;
+  std::vector<u64> buckets;
+  u64 count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every metric, ordered by name. Wire-serializable
+/// for the QueryStats op.
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;
+
+  const MetricValue* find(std::string_view name) const;
+  u64 counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  void encode(WireWriter& w) const;
+  static std::optional<MetricsSnapshot> decode(WireReader& r);
+
+  /// Plain-text rendering (gpuvm_run --stats, gpuvmd dumps).
+  std::string to_text() const;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `edges` applies on first creation; later callers share the existing
+  /// histogram whatever edges they pass.
+  Histogram& histogram(const std::string& name, std::span<const double> edges);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value, keeping the entries (and handles) alive. Benches
+  /// call this between configurations so annotations are per-run.
+  void reset();
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-global registry (Prometheus-default-registry idiom). Always
+/// available; instrumentation cost is one atomic op per update.
+MetricsRegistry& metrics();
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace gpuvm::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_tracer{nullptr};
+
+/// Shard index for the calling thread: spreads concurrent recorders over
+/// the shard mutexes so appends are effectively uncontended.
+size_t shard_of_thread(size_t shards) {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards;
+}
+
+/// JSON string escaping for the few fields that carry free text.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder* tracer() { return g_tracer.load(std::memory_order_relaxed); }
+
+void set_tracer(TraceRecorder* recorder) {
+  g_tracer.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder::TraceRecorder(vt::Domain& dom, size_t capacity)
+    : dom_(&dom), capacity_(std::max<size_t>(capacity, kChunkEvents)) {}
+
+void TraceRecorder::record(const TraceEvent& ev) {
+  if (recorded_.fetch_add(1, std::memory_order_relaxed) >= capacity_) {
+    recorded_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& shard = shards_[shard_of_thread(kShards)];
+  std::scoped_lock lock(shard.mu);
+  if (shard.chunks.empty() || shard.chunks.back().size() == kChunkEvents) {
+    shard.chunks.emplace_back();
+    shard.chunks.back().reserve(kChunkEvents);
+  }
+  shard.chunks.back().push_back(ev);
+}
+
+void TraceRecorder::span(std::string_view name, std::string_view cat, u64 pid, u64 tid,
+                         vt::TimePoint start, vt::Duration dur, u64 ctx, u64 bytes) {
+  TraceEvent ev;
+  ev.set_name(name);
+  ev.set_cat(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = start.count();
+  ev.dur_ns = std::max<i64>(dur.count(), 0);
+  ev.ctx = ctx;
+  ev.bytes = bytes;
+  record(ev);
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view cat, u64 pid, u64 tid,
+                            u64 ctx, u64 bytes) {
+  TraceEvent ev;
+  ev.set_name(name);
+  ev.set_cat(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = now().count();
+  ev.dur_ns = -1;
+  ev.ctx = ctx;
+  ev.bytes = bytes;
+  record(ev);
+}
+
+void TraceRecorder::set_process_name(u64 pid, std::string name) {
+  std::scoped_lock lock(names_mu_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::set_thread_name(u64 pid, u64 tid, std::string name) {
+  std::scoped_lock lock(names_mu_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+size_t TraceRecorder::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (const auto& chunk : shard.chunks) n += chunk.size();
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    for (const auto& chunk : shard.chunks) {
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  return out;
+}
+
+void TraceRecorder::export_chrome_json(std::ostream& out) const {
+  // One JSON object per line keeps the file diffable and streamable; the
+  // "traceEvents" array form is what Perfetto's Chrome-JSON importer reads.
+  out << "{\"traceEvents\":[\n";
+  std::string line;
+  bool first = true;
+  const auto emit = [&](const std::string& s) {
+    if (!first) out << ",\n";
+    first = false;
+    out << s;
+  };
+
+  {
+    std::scoped_lock lock(names_mu_);
+    for (const auto& [pid, name] : process_names_) {
+      line = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":0,\"args\":{\"name\":\"";
+      append_escaped(line, name);
+      line += "\"}}";
+      emit(line);
+    }
+    for (const auto& [key, name] : thread_names_) {
+      line = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+             ",\"tid\":" + std::to_string(key.second) + ",\"args\":{\"name\":\"";
+      append_escaped(line, name);
+      line += "\"}}";
+      emit(line);
+    }
+  }
+
+  char num[64];
+  for (const TraceEvent& ev : events()) {
+    line = "{\"name\":\"";
+    append_escaped(line, ev.name);
+    line += "\",\"cat\":\"";
+    append_escaped(line, ev.cat[0] != '\0' ? ev.cat : "gpuvm");
+    line += "\",\"pid\":" + std::to_string(ev.pid) + ",\"tid\":" + std::to_string(ev.tid);
+    std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(ev.ts_ns) / 1e3);
+    line += ",\"ts\":";
+    line += num;
+    if (ev.dur_ns >= 0) {
+      std::snprintf(num, sizeof(num), "%.3f", static_cast<double>(ev.dur_ns) / 1e3);
+      line += ",\"ph\":\"X\",\"dur\":";
+      line += num;
+    } else {
+      line += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    line += ",\"args\":{";
+    bool first_arg = true;
+    if (ev.ctx != 0) {
+      line += "\"ctx\":" + std::to_string(ev.ctx);
+      first_arg = false;
+    }
+    if (ev.bytes != 0) {
+      if (!first_arg) line += ",";
+      line += "\"bytes\":" + std::to_string(ev.bytes);
+    }
+    line += "}}";
+    emit(line);
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string TraceRecorder::export_chrome_json() const {
+  std::ostringstream out;
+  export_chrome_json(out);
+  return out.str();
+}
+
+bool TraceRecorder::export_chrome_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  export_chrome_json(out);
+  return out.good();
+}
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,194 @@
+// TraceRecorder: virtual-time span/event tracing for the whole runtime.
+//
+// The paper's evaluation is a story about *where time goes* — queueing for
+// a vGPU, swap round-trips, deferred transfers, offload hops. The counter
+// structs can say how often those happened; only a timeline can say when
+// and for how long. TraceRecorder captures spans stamped with the virtual
+// clock of the owning vt::Domain and exports them as Chrome trace_event
+// JSON, loadable in Perfetto (chrome://tracing works too).
+//
+// Track convention:
+//   pid 0                = the gpuvm runtime process (daemon-side logic);
+//                          tid = ContextId for per-application tracks
+//                          (queue-wait, launch dispatch, swap, offload),
+//                          plus synthetic tids for transport channels.
+//   pid = GpuId.value    = one simulated GPU; tid 1 = compute engine,
+//                          tid 2 = copy engine, tid 100+client = CUDA
+//                          client (vGPU slot) call tracks.
+//
+// Recording discipline: sites fetch the process-global recorder with
+// obs::tracer(); a null return means tracing is off and the site must do
+// nothing else — the disabled hot path pays exactly one relaxed atomic
+// load and a branch, no allocation, no locking. Events are fixed-size and
+// trivially copyable; the enabled path appends to one of a small number of
+// mutex-sharded chunked buffers (uncontended in practice) and never
+// allocates per event beyond amortized chunk growth. A capacity cap turns
+// overflow into counted drops instead of unbounded memory.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vt.hpp"
+
+namespace gpuvm::obs {
+
+/// Well-known track ids (see the convention above).
+inline constexpr u64 kRuntimePid = 0;
+inline constexpr u64 kComputeEngineTid = 1;
+inline constexpr u64 kCopyEngineTid = 2;
+inline constexpr u64 kClientTidBase = 100;      ///< + ClientId.value
+inline constexpr u64 kOffloadTidBase = 400000;  ///< + ConnectionId.value
+inline constexpr u64 kChannelTidBase = 500000;  ///< + channel serial
+
+/// One recorded event. Fixed size, trivially copyable: recording never
+/// allocates. `dur_ns < 0` marks an instant event.
+struct TraceEvent {
+  char name[48] = {};
+  char cat[16] = {};
+  u64 pid = kRuntimePid;
+  u64 tid = 0;
+  i64 ts_ns = 0;
+  i64 dur_ns = -1;
+  u64 ctx = 0;    ///< ContextId.value, 0 = not attributed
+  u64 bytes = 0;  ///< payload size where meaningful, else 0
+
+  void set_name(std::string_view n) {
+    const size_t len = std::min(n.size(), sizeof(name) - 1);
+    std::memcpy(name, n.data(), len);
+    name[len] = '\0';
+  }
+  void set_cat(std::string_view c) {
+    const size_t len = std::min(c.size(), sizeof(cat) - 1);
+    std::memcpy(cat, c.data(), len);
+    cat[len] = '\0';
+  }
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity` bounds the number of retained events; further records are
+  /// dropped (and counted) rather than growing without limit.
+  explicit TraceRecorder(vt::Domain& dom, size_t capacity = 1u << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Virtual now of the owning domain (span start stamps).
+  vt::TimePoint now() const { return dom_->now(); }
+
+  /// Records a complete span [start, start+dur) on (pid, tid).
+  void span(std::string_view name, std::string_view cat, u64 pid, u64 tid,
+            vt::TimePoint start, vt::Duration dur, u64 ctx = 0, u64 bytes = 0);
+
+  /// Records an instant event at the current virtual time.
+  void instant(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx = 0,
+               u64 bytes = 0);
+
+  /// Raw append (tests and pre-stamped sites).
+  void record(const TraceEvent& ev);
+
+  /// Human-readable names for the pid/tid tracks (exported as Chrome
+  /// metadata events). Cold path; safe from any thread.
+  void set_process_name(u64 pid, std::string name);
+  void set_thread_name(u64 pid, u64 tid, std::string name);
+
+  size_t size() const;
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Snapshot of every retained event, sorted by timestamp.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array form, ts/dur in
+  /// microseconds). Loadable in Perfetto.
+  void export_chrome_json(std::ostream& out) const;
+  std::string export_chrome_json() const;
+
+  /// Writes the JSON to `path`; false on I/O failure.
+  bool export_chrome_json_file(const std::string& path) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<std::vector<TraceEvent>> chunks;  // fixed-capacity chunks
+  };
+
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kChunkEvents = 4096;
+
+  vt::Domain* dom_;
+  size_t capacity_;
+  std::atomic<size_t> recorded_{0};
+  std::atomic<u64> dropped_{0};
+  Shard shards_[kShards];
+
+  mutable std::mutex names_mu_;
+  std::map<u64, std::string> process_names_;
+  std::map<std::pair<u64, u64>, std::string> thread_names_;
+};
+
+/// Process-global recorder. Null (the default) means tracing is disabled;
+/// instrumentation sites must treat null as "do nothing".
+TraceRecorder* tracer();
+void set_tracer(TraceRecorder* recorder);
+
+/// Installs a recorder for the guard's lifetime (tools, benches, tests).
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(TraceRecorder& recorder) { set_tracer(&recorder); }
+  ~ScopedTracer() { set_tracer(nullptr); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+};
+
+/// RAII span: captures the start stamp if tracing is enabled, records on
+/// destruction. Track/attribution may be filled in late (queue-wait learns
+/// its GPU only when the vGPU is granted).
+class SpanScope {
+ public:
+  SpanScope(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx = 0,
+            u64 bytes = 0)
+      : rec_(tracer()) {
+    if (rec_ == nullptr) return;
+    ev_.set_name(name);
+    ev_.set_cat(cat);
+    ev_.pid = pid;
+    ev_.tid = tid;
+    ev_.ctx = ctx;
+    ev_.bytes = bytes;
+    ev_.ts_ns = rec_->now().count();
+  }
+
+  ~SpanScope() {
+    if (rec_ == nullptr) return;
+    ev_.dur_ns = rec_->now().count() - ev_.ts_ns;
+    rec_->record(ev_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool enabled() const { return rec_ != nullptr; }
+  void set_track(u64 pid, u64 tid) {
+    ev_.pid = pid;
+    ev_.tid = tid;
+  }
+  void set_ctx(u64 ctx) { ev_.ctx = ctx; }
+  void set_bytes(u64 bytes) { ev_.bytes = bytes; }
+  void set_name(std::string_view name) {
+    if (rec_ != nullptr) ev_.set_name(name);
+  }
+
+ private:
+  TraceRecorder* rec_;
+  TraceEvent ev_;
+};
+
+}  // namespace gpuvm::obs

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::sim {
 
@@ -11,6 +13,19 @@ namespace {
 // Device address spaces start at a nonzero base so 0 stays a null pointer;
 // each GPU gets a distinct base so cross-device pointer mixups are caught.
 constexpr u64 kAddressStride = 1ull << 40;
+
+obs::Histogram& kernel_seconds_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("gpu.kernel_seconds", obs::default_seconds_edges());
+  return h;
+}
+
+obs::Histogram& transfer_bytes_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("gpu.transfer_bytes", obs::default_bytes_edges());
+  return h;
+}
+
 }  // namespace
 
 SimGpu::SimGpu(GpuId id, GpuSpec spec, SimParams params, vt::Domain& dom)
@@ -20,7 +35,14 @@ SimGpu::SimGpu(GpuId id, GpuSpec spec, SimParams params, vt::Domain& dom)
       dom_(&dom),
       allocator_(kAddressStride * id.value, spec_.memory_bytes / 256 * 256),
       compute_(dom),
-      copy_(dom) {}
+      copy_(dom) {
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->set_process_name(id_.value,
+                         "GPU " + std::to_string(id_.value) + " (" + spec_.model + ")");
+    tr->set_thread_name(id_.value, obs::kComputeEngineTid, "compute engine");
+    tr->set_thread_name(id_.value, obs::kCopyEngineTid, "copy engine");
+  }
+}
 
 Status SimGpu::check_healthy_and_count() {
   if (!healthy()) return Status::ErrorDeviceUnavailable;
@@ -82,7 +104,14 @@ Status SimGpu::copy_to_device(DevicePtr dst, std::span<const std::byte> src) {
     std::memcpy(block->data.data() + offset, src.data(), src.size());
     stats_.bytes_to_device += src.size();
   }
-  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, src.size())));
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(transfer_time(spec_, params_, src.size()), 1, 0.0, nullptr, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span("h2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, src.size());
+  }
+  transfer_bytes_hist().observe(static_cast<double>(src.size()));
+  dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;  // failed mid-transfer
   return Status::Ok;
 }
@@ -99,7 +128,14 @@ Status SimGpu::copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 siz
     std::memcpy(dst.data(), block->data.data() + offset, size);
     stats_.bytes_from_device += size;
   }
-  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, size)));
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span("d2h", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
+  }
+  transfer_bytes_hist().observe(static_cast<double>(size));
+  dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
   return Status::Ok;
 }
@@ -122,7 +158,14 @@ Status SimGpu::copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size) {
   const double seconds = 2.0 * static_cast<double>(size) *
                          static_cast<double>(params_.mem_scale) /
                          (spec_.mem_bandwidth_gbs * 1e9);
-  dom_->sleep_until(copy_.occupy(vt::from_seconds(seconds)));
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(vt::from_seconds(seconds), 1, 0.0, nullptr, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span("d2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
+  }
+  transfer_bytes_hist().observe(static_cast<double>(size));
+  dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
   return Status::Ok;
 }
@@ -143,7 +186,14 @@ Status SimGpu::copy_from_peer(DevicePtr dst, SimGpu& peer, DevicePtr src, u64 si
   }
   // One DMA hop at PCIe speed (GPUDirect peer-to-peer), vs. two for a
   // bounce through host memory.
-  dom_->sleep_until(copy_.occupy(transfer_time(spec_, params_, size)));
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span("peer", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
+  }
+  transfer_bytes_hist().observe(static_cast<double>(size));
+  dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
   return Status::Ok;
 }
@@ -211,8 +261,16 @@ Status SimGpu::launch(const KernelDef& def, const LaunchConfig& config,
 
   const KernelCost cost = def.cost ? def.cost(config, args) : KernelCost{};
   bool co_ran = false;
-  dom_->sleep_until(compute_.occupy(kernel_time(spec_, cost), spec_.max_concurrent_kernels,
-                                    spec_.consolidation_interference, &co_ran));
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      compute_.occupy(kernel_time(spec_, cost), spec_.max_concurrent_kernels,
+                      spec_.consolidation_interference, &co_ran, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span(def.name.c_str(), "kernel", id_.value, obs::kComputeEngineTid, start,
+             done - start, 0, 0);
+  }
+  kernel_seconds_hist().observe(vt::to_seconds(done - start));
+  dom_->sleep_until(done);
   if (co_ran) {
     std::scoped_lock lock(mem_mu_);
     ++stats_.consolidated_kernels;

@@ -120,9 +120,12 @@ class SimGpu {
 
     /// Reserves the engine for `dur`; returns the virtual completion time.
     /// `co_ran` (optional) reports whether the reservation overlapped an
-    /// existing one.
+    /// existing one; `start_out` (optional) reports the admission time --
+    /// the span [start_out, returned completion) is the modeled engine
+    /// occupancy, which is what the trace recorder captures.
     vt::TimePoint occupy(vt::Duration dur, int slots = 1,
-                         double interference = 0.0, bool* co_ran = nullptr) {
+                         double interference = 0.0, bool* co_ran = nullptr,
+                         vt::TimePoint* start_out = nullptr) {
       std::scoped_lock lock(mu_);
       const vt::TimePoint now = dom_->now();
       // Drop windows that ended in the past.
@@ -147,6 +150,7 @@ class SimGpu {
           windows_.push_back({start, start + stretched});
           busy_ += stretched;
           if (co_ran != nullptr) *co_ran = overlapping > 0;
+          if (start_out != nullptr) *start_out = start;
           return start + stretched;
         }
         start = earliest_end;

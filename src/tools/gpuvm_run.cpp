@@ -1,11 +1,12 @@
 // gpuvm_run: client CLI -- runs a Table-2 workload against a gpuvmd daemon.
 //
 //   gpuvm_run --socket /tmp/gpuvm.sock --workload MM-L [--cpu-fraction 1.0]
-//             [--seed 7] [--jobs 4] [--no-verify] [--mem-scale 1024]
+//             [--seed 7] [--jobs 4] [--no-verify] [--mem-scale 1024] [--stats]
 //
 // Each job is one application thread with its own connection (the paper's
 // thread/connection/context correspondence). Exit code 0 iff every job
-// completed with verified results.
+// completed with verified results. --stats polls the daemon's metrics
+// registry (QueryStats) after the jobs finish and prints it.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,7 +21,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gpuvm_run --socket PATH --workload NAME [--cpu-fraction F]\n"
-               "                 [--seed N] [--jobs N] [--no-verify] [--mem-scale N]\n"
+               "                 [--seed N] [--jobs N] [--no-verify] [--mem-scale N] [--stats]\n"
                "workloads: ");
   for (const auto& name : gpuvm::workloads::all_workload_names()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   u64 seed = 1;
   int jobs = 1;
   bool verify = true;
+  bool stats = false;
   sim::SimParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = static_cast<u64>(std::atoll(next()));
     else if (arg == "--jobs") jobs = std::atoi(next());
     else if (arg == "--no-verify") verify = false;
+    else if (arg == "--stats") stats = true;
     else if (arg == "--mem-scale") params.mem_scale = static_cast<u64>(std::atoll(next()));
     else {
       usage();
@@ -110,6 +113,20 @@ int main(int argc, char** argv) {
                       result.kernel_launches);
         }
       });
+    }
+  }
+
+  if (stats) {
+    auto channel = transport::unix_connect(socket_path);
+    if (channel.has_value()) {
+      core::FrontendApi api(std::move(channel.value()));
+      if (auto snap = api.query_stats()) {
+        std::printf("---- daemon metrics ----\n%s", snap.value().to_text().c_str());
+      } else {
+        std::fprintf(stderr, "gpuvm_run: QueryStats failed (%s)\n", to_string(snap.status()));
+      }
+    } else {
+      std::fprintf(stderr, "gpuvm_run: cannot connect for --stats\n");
     }
   }
   return failures.load() == 0 ? 0 : 1;

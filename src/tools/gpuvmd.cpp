@@ -8,8 +8,11 @@
 //
 //   gpuvmd --socket /tmp/gpuvm.sock --gpus c2050,c2050,c1060 \
 //          --vgpus 4 --policy fcfs [--migration] [--cuda4] [--mem-scale 1024]
+//          [--trace-out FILE]
 //
 // Stops on SIGINT/SIGTERM or when `--serve-seconds N` of wall time elapse.
+// With --trace-out, a Perfetto-loadable trace of the whole run is written at
+// shutdown; SIGUSR1 dumps the trace collected so far without stopping.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +21,8 @@
 
 #include "core/runtime.hpp"
 #include "cudart/cudart.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "transport/unix_socket.hpp"
 #include "workloads/workload.hpp"
@@ -25,8 +30,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_trace = 0;
 
 void handle_signal(int) { g_stop = 1; }
+
+void handle_dump_signal(int) { g_dump_trace = 1; }
 
 gpuvm::sim::GpuSpec spec_by_name(const std::string& name, const gpuvm::sim::SimParams& params) {
   if (name == "c2050") return gpuvm::sim::tesla_c2050(params);
@@ -56,7 +64,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpuvmd --socket PATH [--gpus LIST] [--vgpus N] "
                "[--policy fcfs|sjf|credit|deadline] [--migration] [--cuda4]\n"
-               "              [--eager-transfers] [--mem-scale N] [--serve-seconds N]\n");
+               "              [--eager-transfers] [--mem-scale N] [--serve-seconds N] "
+               "[--trace-out FILE]\n");
 }
 
 }  // namespace
@@ -66,6 +75,7 @@ int main(int argc, char** argv) {
 
   std::string socket_path;
   std::string gpus = "c2050";
+  std::string trace_out;
   core::RuntimeConfig config;
   sim::SimParams params;
   int serve_seconds = 0;
@@ -105,6 +115,8 @@ int main(int argc, char** argv) {
       params.mem_scale = static_cast<u64>(std::atoll(next()));
     } else if (arg == "--serve-seconds") {
       serve_seconds = std::atoi(next());
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else {
       usage();
       return 2;
@@ -119,6 +131,16 @@ int main(int argc, char** argv) {
   // the daemon agree on the flow of time across process boundaries (the
   // virtual-clock mode needs all threads in one process).
   vt::Domain dom(vt::Mode::ScaledReal, /*real_scale=*/1e-3);
+
+  // Install the recorder before the machine exists so GPU construction can
+  // register its track names.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>(dom);
+    recorder->set_process_name(obs::kRuntimePid, "gpuvm runtime");
+    obs::set_tracer(recorder.get());
+  }
+
   sim::SimMachine machine(dom, params);
   for (const std::string& name : split(gpus, ',')) {
     if (!name.empty()) machine.add_gpu(spec_by_name(name, params));
@@ -139,23 +161,42 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
   std::printf("gpuvmd: %d GPU(s), %d vGPU(s), listening on %s\n",
               static_cast<int>(machine.gpus().size()), daemon.scheduler().vgpu_count(),
               socket_path.c_str());
   std::fflush(stdout);
 
+  const auto dump_trace = [&] {
+    if (recorder == nullptr) return;
+    if (recorder->export_chrome_json_file(trace_out)) {
+      std::printf("gpuvmd: wrote %zu trace events to %s (%llu dropped)\n", recorder->size(),
+                  trace_out.c_str(), static_cast<unsigned long long>(recorder->dropped()));
+    } else {
+      std::fprintf(stderr, "gpuvmd: cannot write trace to %s\n", trace_out.c_str());
+    }
+    std::fflush(stdout);
+  };
+
   int waited = 0;
   while (g_stop == 0 && (serve_seconds == 0 || waited < serve_seconds)) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
     ++waited;
+    if (g_dump_trace != 0) {
+      g_dump_trace = 0;
+      dump_trace();  // SIGUSR1: snapshot the trace without stopping
+    }
   }
 
   server.value()->stop();
+  daemon.publish_metrics();
   const auto stats = daemon.stats();
   const auto mem = daemon.memory().stats();
   std::printf("gpuvmd: served %llu connections, %llu launches, %llu swaps, shutting down\n",
               static_cast<unsigned long long>(stats.connections),
               static_cast<unsigned long long>(stats.launches),
               static_cast<unsigned long long>(mem.inter_app_swaps + mem.intra_app_swaps));
+  dump_trace();
+  obs::set_tracer(nullptr);
   return 0;
 }

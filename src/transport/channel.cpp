@@ -1,22 +1,46 @@
 #include "transport/channel.hpp"
 
+#include <atomic>
 #include <deque>
 #include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::transport {
 
 namespace {
 
+obs::Counter& messages_sent_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.messages_sent");
+  return c;
+}
+
+obs::Counter& bytes_sent_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.bytes_sent");
+  return c;
+}
+
+/// One synthetic trace tid per Pipe so each direction of each channel gets
+/// its own transit track under the runtime pid.
+u64 next_channel_tid() {
+  static std::atomic<u64> serial{0};
+  return obs::kChannelTidBase + serial.fetch_add(1, std::memory_order_relaxed);
+}
+
 /// State shared by both endpoints: one costed queue per direction.
 class Pipe {
  public:
-  Pipe(vt::Domain& dom, ChannelCosts costs) : dom_(&dom), costs_(costs), cv_(dom) {}
+  Pipe(vt::Domain& dom, ChannelCosts costs)
+      : dom_(&dom), costs_(costs), cv_(dom), trace_tid_(next_channel_tid()) {}
 
   bool send(Message msg) {
     const vt::Duration transit = transit_time(msg);
+    messages_sent_counter().add(1);
+    bytes_sent_counter().add(msg.payload.size());
     std::unique_lock lk(mu_);
     if (closed_) return false;
-    items_.push_back(Entry{std::move(msg), dom_->now() + transit});
+    items_.push_back(Entry{std::move(msg), dom_->now(), dom_->now() + transit});
     cv_.notify_one();
     return true;
   }
@@ -30,6 +54,10 @@ class Pipe {
     lk.unlock();
     // Model transit: the message is visible only once its latency elapsed.
     dom_->sleep_until(entry.deliver_at);
+    if (obs::TraceRecorder* tr = obs::tracer()) {
+      tr->span("msg-transit", "transport", obs::kRuntimePid, trace_tid_, entry.sent_at,
+               entry.deliver_at - entry.sent_at, 0, entry.msg.payload.size());
+    }
     return std::move(entry.msg);
   }
 
@@ -52,6 +80,7 @@ class Pipe {
  private:
   struct Entry {
     Message msg;
+    vt::TimePoint sent_at;
     vt::TimePoint deliver_at;
   };
 
@@ -68,6 +97,7 @@ class Pipe {
   ChannelCosts costs_;
   mutable std::mutex mu_;
   vt::ConditionVariable cv_;
+  const u64 trace_tid_;
   std::deque<Entry> items_;
   bool closed_ = false;
 };

@@ -47,6 +47,8 @@ enum class Opcode : u16 {
   Checkpoint = 51,       ///< explicit user checkpoint
   // Inter-node offloading control
   OffloadConnection = 60,
+  // Observability
+  QueryStats = 70,  ///< returns a MetricsSnapshot of the daemon's registry
   // Replies
   Reply = 100,
 };
