@@ -1,0 +1,111 @@
+#include "chaos/chaos_engine.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuvm::chaos {
+namespace {
+
+obs::Counter& events_counter() {
+  static obs::Counter& c = obs::metrics().counter("chaos.events");
+  return c;
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(vt::Domain& dom, FaultPlan plan, std::vector<NodeTarget> targets,
+                         sim::GpuSpec replacement, transport::FaultInjector* injector)
+    : dom_(&dom),
+      plan_(std::move(plan)),
+      targets_(std::move(targets)),
+      replacement_(replacement),
+      injector_(injector) {}
+
+void ChaosEngine::run() {
+  const vt::TimePoint start = dom_->now();
+  for (const FaultEvent& ev : plan_.events) {
+    dom_->sleep_until(start + ev.at);
+    apply(ev);
+    log_.push_back({dom_->now(), ev.describe()});
+    events_counter().add(1);
+    if (obs::TraceRecorder* rec = obs::tracer()) {
+      rec->instant(ev.describe(), "chaos", /*pid=*/0, /*tid=*/0);
+    }
+    if (checker_) {
+      for (std::string& v : checker_()) {
+        log::info("chaos: INVARIANT VIOLATION after [%s]: %s", ev.describe().c_str(), v.c_str());
+        violations_.push_back("after [" + ev.describe() + "]: " + std::move(v));
+      }
+    }
+  }
+}
+
+void ChaosEngine::apply(const FaultEvent& ev) {
+  log::info("chaos: %s", ev.describe().c_str());
+  // Transport events have no node target.
+  if (ev.kind == FaultKind::TransportDegrade) {
+    if (injector_ != nullptr) injector_->degrade(ev.drop_rate, ev.delay);
+    return;
+  }
+  if (ev.kind == FaultKind::TransportHeal) {
+    if (injector_ != nullptr) injector_->heal();
+    return;
+  }
+
+  if (targets_.empty()) return;
+  NodeTarget& target = targets_[static_cast<size_t>(ev.node) % targets_.size()];
+  sim::SimMachine& machine = *target.machine;
+  // Device picks index into the ever-installed list so a plan line keeps
+  // meaning the same physical device across the run, even after removals.
+  auto pick_device = [&]() -> GpuId {
+    std::vector<GpuId> all = machine.all_gpus();
+    if (all.empty()) return GpuId{};
+    return all[static_cast<size_t>(ev.gpu_index) % all.size()];
+  };
+
+  switch (ev.kind) {
+    case FaultKind::DeviceFail: {
+      const GpuId id = pick_device();
+      if (id.valid()) machine.fail_gpu(id);  // no-op Status if already dead
+      break;
+    }
+    case FaultKind::DeviceRemove: {
+      const GpuId id = pick_device();
+      if (id.valid()) machine.remove_gpu(id);
+      break;
+    }
+    case FaultKind::DeviceFailAfterOps: {
+      const GpuId id = pick_device();
+      if (sim::SimGpu* gpu = id.valid() ? machine.gpu(id) : nullptr) {
+        if (gpu->healthy()) gpu->fail_after_ops(ev.count);
+      }
+      break;
+    }
+    case FaultKind::AllocPulse: {
+      const GpuId id = pick_device();
+      if (sim::SimGpu* gpu = id.valid() ? machine.gpu(id) : nullptr) {
+        gpu->fail_next_allocs(ev.count == 0 ? 1 : ev.count);
+      }
+      break;
+    }
+    case FaultKind::DeviceAdd:
+      machine.add_gpu(replacement_);
+      break;
+    case FaultKind::NodeCrash:
+      for (GpuId id : machine.gpus()) machine.fail_gpu(id);
+      break;
+    case FaultKind::NodeRejoin: {
+      const u64 n = ev.count == 0 ? 1 : ev.count;
+      for (u64 i = 0; i < n; ++i) machine.add_gpu(replacement_);
+      break;
+    }
+    case FaultKind::TransportDegrade:
+    case FaultKind::TransportHeal:
+      break;  // handled above
+  }
+}
+
+}  // namespace gpuvm::chaos

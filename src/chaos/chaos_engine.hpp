@@ -1,0 +1,73 @@
+// ChaosEngine: executes a FaultPlan against a live gpuvm deployment.
+//
+// The engine runs on its own vt thread inside the scenario's Domain: it
+// sleeps to each event's virtual time, applies the fault to the targeted
+// SimMachine / Runtime / transport FaultInjector, logs the event through
+// obs (chaos.events counter + trace instant), and then runs the installed
+// InvariantChecker. Because faults are applied at exact virtual times in a
+// conservative discrete-event clock, replaying the same plan against the
+// same scenario yields the same interleaving -- chaos runs are repeatable
+// by construction.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+#include "transport/channel.hpp"
+
+namespace gpuvm::chaos {
+
+/// One node of the deployment under test.
+struct NodeTarget {
+  std::string name;
+  sim::SimMachine* machine = nullptr;
+  core::Runtime* runtime = nullptr;
+};
+
+class ChaosEngine {
+ public:
+  /// Returns a list of violation descriptions (empty = all invariants hold).
+  using InvariantChecker = std::function<std::vector<std::string>()>;
+
+  /// `injector` (may be null) handles TransportDegrade/Heal events; it must
+  /// already be installed (transport::ScopedFaultInjector) by the caller.
+  /// `replacement` is the GpuSpec used for DeviceAdd / NodeRejoin hot-adds.
+  ChaosEngine(vt::Domain& dom, FaultPlan plan, std::vector<NodeTarget> targets,
+              sim::GpuSpec replacement, transport::FaultInjector* injector = nullptr);
+
+  /// Checked after every executed event; violations accumulate in
+  /// `violations()` instead of aborting the run, so a scenario reports all
+  /// breakage at once.
+  void set_invariant_checker(InvariantChecker checker) { checker_ = std::move(checker); }
+
+  /// Executes the plan. Must run on a vt-attached thread; blocks (in
+  /// virtual time) until the last event has been applied. Event times are
+  /// relative to entry.
+  void run();
+
+  struct ExecutedEvent {
+    vt::TimePoint at{};       ///< absolute virtual time of application
+    std::string description;  ///< FaultEvent::describe()
+  };
+  const std::vector<ExecutedEvent>& log() const { return log_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  void apply(const FaultEvent& ev);
+
+  vt::Domain* dom_;
+  FaultPlan plan_;
+  std::vector<NodeTarget> targets_;
+  sim::GpuSpec replacement_;
+  transport::FaultInjector* injector_;
+  InvariantChecker checker_;
+  std::vector<ExecutedEvent> log_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace gpuvm::chaos

@@ -1,0 +1,272 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpuvm::chaos {
+namespace {
+
+/// Renders a duration in the largest unit that keeps it integral.
+std::string format_duration(vt::Duration d) {
+  const i64 ns = d.count();
+  char buf[32];
+  if (ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(ns / 1'000'000'000));
+  } else if (ns % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ns / 1'000'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(ns / 1'000));
+  }
+  return buf;
+}
+
+/// Parses "5ms" / "200us" / "1.5s" into a duration. Returns false on junk.
+bool parse_duration(const std::string& tok, vt::Duration* out) {
+  size_t unit = tok.find_first_not_of("0123456789.+-");
+  if (unit == std::string::npos || unit == 0) return false;
+  double value = 0.0;
+  try {
+    size_t consumed = 0;
+    value = std::stod(tok.substr(0, unit), &consumed);
+    if (consumed != unit) return false;
+  } catch (...) {
+    return false;
+  }
+  const std::string suffix = tok.substr(unit);
+  if (suffix == "us") *out = vt::from_micros(value);
+  else if (suffix == "ms") *out = vt::from_millis(value);
+  else if (suffix == "s") *out = vt::from_seconds(value);
+  else return false;
+  return true;
+}
+
+std::optional<FaultKind> kind_from_string(const std::string& s) {
+  if (s == "device-fail") return FaultKind::DeviceFail;
+  if (s == "fail-after-ops") return FaultKind::DeviceFailAfterOps;
+  if (s == "device-remove") return FaultKind::DeviceRemove;
+  if (s == "device-add") return FaultKind::DeviceAdd;
+  if (s == "node-crash") return FaultKind::NodeCrash;
+  if (s == "node-rejoin") return FaultKind::NodeRejoin;
+  if (s == "transport-degrade") return FaultKind::TransportDegrade;
+  if (s == "transport-heal") return FaultKind::TransportHeal;
+  if (s == "alloc-pulse") return FaultKind::AllocPulse;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DeviceFail: return "device-fail";
+    case FaultKind::DeviceFailAfterOps: return "fail-after-ops";
+    case FaultKind::DeviceRemove: return "device-remove";
+    case FaultKind::DeviceAdd: return "device-add";
+    case FaultKind::NodeCrash: return "node-crash";
+    case FaultKind::NodeRejoin: return "node-rejoin";
+    case FaultKind::TransportDegrade: return "transport-degrade";
+    case FaultKind::TransportHeal: return "transport-heal";
+    case FaultKind::AllocPulse: return "alloc-pulse";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream os;
+  os << "at " << format_duration(at) << " " << to_string(kind);
+  switch (kind) {
+    case FaultKind::DeviceFail:
+    case FaultKind::DeviceRemove:
+      os << " node=" << node << " gpu=" << gpu_index;
+      break;
+    case FaultKind::DeviceFailAfterOps:
+    case FaultKind::AllocPulse:
+      os << " node=" << node << " gpu=" << gpu_index << " count=" << count;
+      break;
+    case FaultKind::DeviceAdd:
+      os << " node=" << node;
+      break;
+    case FaultKind::NodeCrash:
+      os << " node=" << node;
+      break;
+    case FaultKind::NodeRejoin:
+      os << " node=" << node << " count=" << count;
+      break;
+    case FaultKind::TransportDegrade: {
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%g", drop_rate);
+      os << " drop=" << rate << " delay=" << format_duration(delay);
+      break;
+    }
+    case FaultKind::TransportHeal:
+      break;
+  }
+  return os.str();
+}
+
+void FaultPlan::add(FaultEvent ev) {
+  auto it = std::upper_bound(events.begin(), events.end(), ev,
+                             [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events.insert(it, ev);
+}
+
+std::string FaultPlan::to_text() const {
+  std::ostringstream os;
+  os << "# gpuvm chaos plan\n";
+  os << "seed " << seed << "\n";
+  for (const FaultEvent& ev : events) os << ev.describe() << "\n";
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text, std::string* error) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) -> std::optional<FaultPlan> {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "line " << lineno << ": " << why;
+      *error = os.str();
+    }
+    return std::nullopt;
+  };
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (size_t hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream toks(line);
+    std::string tok;
+    if (!(toks >> tok)) continue;  // blank / comment-only line
+    if (tok == "seed") {
+      if (!(toks >> plan.seed)) return fail("seed needs an integer");
+      continue;
+    }
+    if (tok != "at") return fail("expected 'at <time>' or 'seed <n>', got '" + tok + "'");
+    FaultEvent ev;
+    std::string when;
+    if (!(toks >> when) || !parse_duration(when, &ev.at)) {
+      return fail("bad time '" + when + "' (want e.g. 5ms, 200us, 1s)");
+    }
+    std::string kind;
+    if (!(toks >> kind)) return fail("missing event kind");
+    auto parsed = kind_from_string(kind);
+    if (!parsed) return fail("unknown event kind '" + kind + "'");
+    ev.kind = *parsed;
+    while (toks >> tok) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string::npos) return fail("expected key=value, got '" + tok + "'");
+      const std::string key = tok.substr(0, eq);
+      const std::string value = tok.substr(eq + 1);
+      try {
+        if (key == "node") ev.node = std::stoi(value);
+        else if (key == "gpu") ev.gpu_index = std::stoi(value);
+        else if (key == "count") ev.count = std::stoull(value);
+        else if (key == "drop") ev.drop_rate = std::stod(value);
+        else if (key == "delay") {
+          if (!parse_duration(value, &ev.delay)) return fail("bad delay '" + value + "'");
+        } else {
+          return fail("unknown key '" + key + "'");
+        }
+      } catch (...) {
+        return fail("bad value for '" + key + "': '" + value + "'");
+      }
+    }
+    plan.add(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(u64 seed, int nodes, int gpus_per_node, int event_count,
+                            vt::Duration horizon) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed ^ 0xc4a05ULL);
+
+  // Topology model: healthy-GPU count per node, so the generated plan never
+  // kills the last healthy GPU cluster-wide (scenarios are meant to stress
+  // recovery, not to certify total-loss behaviour -- that has its own test).
+  std::vector<int> healthy(static_cast<size_t>(nodes), gpus_per_node);
+  std::vector<int> total(static_cast<size_t>(nodes), gpus_per_node);
+  auto cluster_healthy = [&] {
+    int sum = 0;
+    for (int h : healthy) sum += h;
+    return sum;
+  };
+  bool degraded = false;
+
+  // Faults land in the first 70% of the horizon; the tail is reserved for
+  // recovery events so every scenario ends with a live, healing cluster.
+  const i64 fault_window = horizon.count() * 7 / 10;
+  std::vector<FaultEvent> raw;
+  for (int i = 0; i < event_count; ++i) {
+    FaultEvent ev;
+    ev.at = vt::Duration{static_cast<i64>(rng.below(static_cast<u64>(fault_window)))};
+    const int node = static_cast<int>(rng.below(static_cast<u64>(nodes)));
+    ev.node = node;
+    switch (rng.below(6)) {
+      case 0:  // fail one GPU
+      case 1:
+        if (healthy[node] == 0 || cluster_healthy() <= 1) { ev.kind = FaultKind::DeviceAdd; ++healthy[node]; ++total[node]; break; }
+        ev.kind = rng.chance(0.5) ? FaultKind::DeviceFail : FaultKind::DeviceRemove;
+        ev.gpu_index = static_cast<int>(rng.below(static_cast<u64>(total[node])));
+        --healthy[node];
+        break;
+      case 2:  // arm a delayed failure
+        if (healthy[node] == 0 || cluster_healthy() <= 1) { ev.kind = FaultKind::DeviceAdd; ++healthy[node]; ++total[node]; break; }
+        ev.kind = FaultKind::DeviceFailAfterOps;
+        ev.gpu_index = static_cast<int>(rng.below(static_cast<u64>(total[node])));
+        ev.count = static_cast<u64>(rng.range(20, 200));
+        --healthy[node];  // it will eventually fire
+        break;
+      case 3:  // crash a whole node (only if the rest of the cluster survives)
+        if (cluster_healthy() - healthy[node] < 1 || healthy[node] == 0) {
+          ev.kind = FaultKind::AllocPulse;
+          ev.gpu_index = total[node] > 0 ? static_cast<int>(rng.below(static_cast<u64>(total[node]))) : 0;
+          ev.count = static_cast<u64>(rng.range(1, 6));
+          break;
+        }
+        ev.kind = FaultKind::NodeCrash;
+        healthy[node] = 0;
+        break;
+      case 4:  // transport degrade window
+        ev.kind = FaultKind::TransportDegrade;
+        ev.drop_rate = 0.05 + 0.35 * rng.uniform();
+        ev.delay = vt::from_micros(static_cast<double>(rng.range(20, 400)));
+        degraded = true;
+        break;
+      case 5:  // allocation-failure pulse
+        ev.kind = FaultKind::AllocPulse;
+        ev.gpu_index = total[node] > 0 ? static_cast<int>(rng.below(static_cast<u64>(total[node]))) : 0;
+        ev.count = static_cast<u64>(rng.range(1, 6));
+        break;
+    }
+    raw.push_back(ev);
+  }
+  for (const FaultEvent& ev : raw) plan.add(ev);
+
+  // Recovery tail: heal transport, rejoin dark nodes with fresh GPUs.
+  i64 tail = fault_window + horizon.count() / 10;
+  if (degraded) {
+    FaultEvent heal;
+    heal.at = vt::Duration{tail};
+    heal.kind = FaultKind::TransportHeal;
+    plan.add(heal);
+    tail += horizon.count() / 20;
+  }
+  for (int n = 0; n < nodes; ++n) {
+    if (healthy[static_cast<size_t>(n)] > 0) continue;
+    FaultEvent rejoin;
+    rejoin.at = vt::Duration{tail};
+    rejoin.kind = FaultKind::NodeRejoin;
+    rejoin.node = n;
+    rejoin.count = static_cast<u64>(std::max(1, gpus_per_node));
+    plan.add(rejoin);
+    tail += horizon.count() / 20;
+  }
+  return plan;
+}
+
+}  // namespace gpuvm::chaos

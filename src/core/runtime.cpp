@@ -21,6 +21,16 @@ obs::Histogram& launch_seconds_hist() {
   return h;
 }
 
+obs::Counter& recoveries_counter() {
+  static obs::Counter& c = obs::metrics().counter("runtime.recoveries");
+  return c;
+}
+
+obs::Counter& offload_fallbacks_counter() {
+  static obs::Counter& c = obs::metrics().counter("runtime.offload_fallbacks");
+  return c;
+}
+
 }  // namespace
 
 Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
@@ -30,7 +40,8 @@ Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
           rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics})),
       scheduler_(std::make_unique<Scheduler>(
           rt, *mm_,
-          Scheduler::Config{config.vgpus_per_device, config.policy, config.enable_migration})),
+          Scheduler::Config{config.vgpus_per_device, config.policy, config.enable_migration,
+                            config.device_wait_grace_seconds})),
       drained_cv_(rt.machine().domain()) {
   // vGPUs for the devices installed at startup.
   const auto all = rt_->machine().all_gpus();
@@ -141,11 +152,13 @@ void Runtime::publish_metrics() const {
   gauge("stats.runtime.recoveries", static_cast<double>(rs.recoveries));
   gauge("stats.runtime.auto_checkpoints", static_cast<double>(rs.auto_checkpoints));
   gauge("stats.runtime.swap_retry_backoffs", static_cast<double>(rs.swap_retry_backoffs));
+  gauge("stats.runtime.offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
 
   const SchedulerStats ss = scheduler_->stats();
   gauge("stats.sched.binds", static_cast<double>(ss.binds));
   gauge("stats.sched.unbinds", static_cast<double>(ss.unbinds));
   gauge("stats.sched.migrations", static_cast<double>(ss.migrations));
+  gauge("stats.sched.requeues", static_cast<double>(ss.requeues));
 
   const MemStats ms = mm_->stats();
   gauge("stats.mm.swapped_entries", static_cast<double>(ms.swapped_entries));
@@ -211,12 +224,13 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
   }
   if (!forwarded && factory && config_.offload_threshold >= 0 &&
       load() >= config_.offload_threshold) {
-    auto peer = factory();
-    if (peer != nullptr) {
-      {
-        std::scoped_lock lock(stats_mu_);
-        ++stats_.offloaded_connections;
-      }
+    // The peer handshake runs over a ReconnectingChannel: a forwarded Hello
+    // lost to a broken link is resent on a fresh channel. Once a session is
+    // established, a mid-session break surfaces to the client as a closed
+    // connection (the proxy carries no replayable state).
+    transport::ReconnectingChannel peer(factory);
+    bool proxied = false;
+    if (!peer.closed()) {
       transport::Message fwd = *hello;
       WireWriter w;
       w.put<double>(cost_hint);
@@ -224,15 +238,28 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
       w.put<u64>(app_id);
       w.put<double>(deadline);
       fwd.payload = w.take();
-      if (peer->send(std::move(fwd))) {
-        if (auto reply = peer->receive(); reply.has_value()) {
+      if (peer.send(std::move(fwd))) {
+        if (auto reply = peer.receive(); reply.has_value()) {
+          {
+            std::scoped_lock lock(stats_mu_);
+            ++stats_.offloaded_connections;
+          }
           channel.send(std::move(*reply));
-          offload_proxy_loop(channel, *peer);
+          offload_proxy_loop(channel, peer);
+          proxied = true;
         }
       }
-      peer->close();
-      return;
     }
+    peer.close();
+    if (proxied) return;
+    // Peer unreachable: degrade gracefully by servicing the connection
+    // locally instead of abandoning the application.
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.offload_fallbacks;
+    }
+    offload_fallbacks_counter().add(1);
+    log::info("runtime: offload peer unreachable, serving connection locally");
   }
 
   // Local servicing: create the context -- or, in CUDA 4 mode, join the
@@ -578,6 +605,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
         std::scoped_lock slock(stats_mu_);
         ++stats_.recoveries;
       }
+      recoveries_counter().add(1);
       if (obs::TraceRecorder* tr = obs::tracer()) {
         tr->instant("recovery-replay", "recover", obs::kRuntimePid, ctx.id.value,
                     ctx.id.value);
@@ -624,6 +652,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
               tr->instant("kernel-lost", "recover", obs::kRuntimePid, ctx.id.value,
                           ctx.id.value);
             }
+            recoveries_counter().add(1);
             std::scoped_lock slock(stats_mu_);
             ++stats_.recoveries;
             break;

@@ -49,6 +49,12 @@ struct RuntimeConfig {
   /// device failure before giving up.
   int max_recovery_attempts = 3;
 
+  /// Scheduler grace period (seconds) a context survives with no alive
+  /// vGPU anywhere before failing. 0 = fail immediately (default). Chaos
+  /// scenarios with node crash/rejoin set this so contexts re-queue across
+  /// the dark window instead of aborting.
+  double device_wait_grace_seconds = 0.0;
+
   /// CUDA 4.0 semantics (paper section 4.8): connections carrying the same
   /// application id share one context (shared data, same device), and
   /// cross-device migration uses direct GPU-to-GPU transfers.
@@ -62,6 +68,8 @@ struct RuntimeStats {
   u64 recoveries = 0;        ///< device calls replayed after a GPU failure
   u64 auto_checkpoints = 0;
   u64 swap_retry_backoffs = 0;  ///< launch attempts that unbound and retried
+  u64 offload_fallbacks = 0;    ///< offload attempts that fell back to local
+                                ///< servicing (peer unreachable mid-handshake)
 };
 
 class Runtime {

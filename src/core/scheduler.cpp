@@ -48,10 +48,19 @@ void Scheduler::add_device(int device_index, GpuId gpu) {
 void Scheduler::remove_device(GpuId gpu) {
   std::unique_lock lk(mu_);
   for (const auto& slot : slots_) {
-    if (slot->gpu == gpu) slot->alive = false;
+    if (slot->gpu != gpu) continue;
+    slot->alive = false;
+    if (slot->bound.valid()) {
+      // Eagerly unbind: the context re-queues instead of aborting, and its
+      // next acquire() reports recovered_from_failure so the launch loop
+      // replays from the swap copy (respecting max_recovery_attempts).
+      recovering_.insert(slot->bound);
+      bindings_.erase(slot->bound);
+      slot->bound = ContextId{};
+      ++stats_.requeues;
+      obs::metrics().counter("sched.requeues").add(1);
+    }
   }
-  // Waiters whose only eligible device died must re-evaluate; bound
-  // contexts discover the failure through their next device call.
   match_locked();
 }
 
@@ -155,6 +164,9 @@ void Scheduler::match_locked() {
   for (Waiter* waiter : order) {
     if (waiter->granted.has_value() || waiter->hopeless) continue;
     if (!any_alive) {
+      // With a grace period configured the timed wait in acquire() decides
+      // when a device-less waiter gives up (the device may come back).
+      if (config_.device_wait_grace_seconds > 0.0) continue;
       waiter->hopeless = true;
       granted_any = true;  // wake it so it can fail
       continue;
@@ -172,11 +184,15 @@ void Scheduler::match_locked() {
 
 Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   std::unique_lock lk(mu_);
-  bool recovered = false;
+  bool recovered = recovering_.erase(ctx.id) > 0;
   if (const auto it = bindings_.find(ctx.id); it != bindings_.end()) {
     Slot* slot = it->second;
-    if (slot->alive) return Binding{slot->index, slot->gpu, slot->client, false, false};
-    // Bound to a dead device: drop the stale binding and re-acquire.
+    if (slot->alive) {
+      return Binding{slot->index, slot->gpu, slot->client, false, recovered};
+    }
+    // Bound to a dead device (remove_device normally unbinds eagerly; this
+    // covers a slot dying between unlock and re-acquire): drop the stale
+    // binding and re-acquire.
     slot->bound = ContextId{};
     bindings_.erase(it);
     recovered = true;
@@ -188,7 +204,26 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   match_locked();
   vt::Domain& dom = rt_->machine().domain();
   const vt::TimePoint wait_start = dom.now();
-  cv_.wait(lk, [&] { return waiter.granted.has_value() || waiter.hopeless; });
+  const auto granted_or_hopeless = [&] {
+    return waiter.granted.has_value() || waiter.hopeless;
+  };
+  if (config_.device_wait_grace_seconds <= 0.0) {
+    cv_.wait(lk, granted_or_hopeless);
+  } else {
+    // Graceful degradation: survive windows with no alive vGPU (a node
+    // dark between crash and rejoin) by waiting out the grace period; give
+    // up only if a full grace elapses while the cluster is still dark.
+    const vt::Duration grace = vt::from_seconds(config_.device_wait_grace_seconds);
+    while (!granted_or_hopeless()) {
+      if (cv_.wait_for(lk, grace, granted_or_hopeless)) break;
+      const bool any_alive = std::any_of(slots_.begin(), slots_.end(),
+                                         [](const auto& s) { return s->alive; });
+      if (!any_alive) {
+        waiter.hopeless = true;
+        break;
+      }
+    }
+  }
   waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &waiter));
   const vt::Duration waited = dom.now() - wait_start;
   queue_wait_hist().observe(vt::to_seconds(waited));
@@ -218,6 +253,7 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
 
 void Scheduler::release(Context& ctx) {
   std::unique_lock lk(mu_);
+  recovering_.erase(ctx.id);  // a departing context has nothing to recover
   const auto it = bindings_.find(ctx.id);
   if (it == bindings_.end()) return;
   it->second->bound = ContextId{};
@@ -285,6 +321,16 @@ bool Scheduler::faster_gpu_idle(GpuId current) const {
 SchedulerStats Scheduler::stats() const {
   std::unique_lock lk(mu_);
   return stats_;
+}
+
+std::vector<Scheduler::SlotSnapshot> Scheduler::slots_snapshot() const {
+  std::unique_lock lk(mu_);
+  std::vector<SlotSnapshot> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    out.push_back(SlotSnapshot{slot->index, slot->gpu, slot->alive, slot->bound});
+  }
+  return out;
 }
 
 }  // namespace gpuvm::core

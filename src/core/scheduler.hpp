@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -42,6 +43,8 @@ struct SchedulerStats {
   u64 binds = 0;
   u64 unbinds = 0;
   u64 migrations = 0;  ///< bind moved a context's data to a different GPU
+  u64 requeues = 0;    ///< bindings force-unbound by a device loss (context
+                       ///< re-queues instead of aborting)
 };
 
 class Scheduler {
@@ -52,6 +55,12 @@ class Scheduler {
     /// Allow re-binding a context whose data lives on a slower device to a
     /// strictly faster idle device (Figure 9's load balancing).
     bool enable_migration = false;
+    /// Grace period a waiter survives with *no* alive vGPU anywhere before
+    /// acquire() fails with ErrorDeviceUnavailable. 0 (default) fails
+    /// immediately — the pre-chaos behaviour. A positive grace lets
+    /// contexts ride out a node going dark and rejoining (chaos scenarios,
+    /// rolling restarts) by re-queuing instead of aborting.
+    double device_wait_grace_seconds = 0.0;
   };
 
   Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config);
@@ -63,7 +72,10 @@ class Scheduler {
   // ---- Topology -------------------------------------------------------------
   /// Creates vGPUs for the device at `device_index` (cudart numbering).
   void add_device(int device_index, GpuId gpu);
-  /// Marks the device's vGPUs dead and wakes waiters (failure / hot-remove).
+  /// Marks the device's vGPUs dead, eagerly unbinds any contexts bound to
+  /// them (they re-queue and recover on their next acquire) and wakes
+  /// waiters (failure / hot-remove). After this returns, no context is
+  /// bound to a dead vGPU — the chaos InvariantChecker relies on it.
   void remove_device(GpuId gpu);
 
   // ---- Binding ---------------------------------------------------------------
@@ -99,6 +111,15 @@ class Scheduler {
   /// its CPU phase so it can migrate (Figure 9's load balancing).
   bool faster_gpu_idle(GpuId current) const;
   SchedulerStats stats() const;
+
+  /// Consistent snapshot of every vGPU slot (chaos invariant checking).
+  struct SlotSnapshot {
+    int index = 0;
+    GpuId gpu{};
+    bool alive = true;
+    ContextId bound{};  ///< invalid() when free
+  };
+  std::vector<SlotSnapshot> slots_snapshot() const;
 
  private:
   struct Slot {
@@ -138,6 +159,9 @@ class Scheduler {
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<Waiter*> waiting_;
   std::map<ContextId, Slot*> bindings_;
+  /// Contexts force-unbound by remove_device: their next acquire() reports
+  /// recovered_from_failure so the runtime replays from the swap copy.
+  std::set<ContextId> recovering_;
   SchedulerStats stats_;
 };
 

@@ -46,19 +46,40 @@ SimGpu::SimGpu(GpuId id, GpuSpec spec, SimParams params, vt::Domain& dom)
 
 Status SimGpu::check_healthy_and_count() {
   if (!healthy()) return Status::ErrorDeviceUnavailable;
-  i64 remaining = fail_countdown_.load(std::memory_order_relaxed);
-  if (remaining >= 0) {
-    remaining = fail_countdown_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-    if (remaining < 0) {
-      inject_failure();
-      return Status::ErrorDeviceUnavailable;
+  // Claim one unit of the armed countdown with a CAS. A plain fetch_sub
+  // double-fired under concurrency: several racing ops could each observe a
+  // negative result and call inject_failure(), and the counter drifted ever
+  // more negative, which a later fail_after_ops() could misread. With the
+  // CAS, exactly one op wins the 1 -> 0 transition and fires.
+  i64 cur = fail_countdown_.load(std::memory_order_acquire);
+  while (cur > 0) {
+    if (fail_countdown_.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      if (cur == 1) {
+        inject_failure();
+        return Status::ErrorDeviceUnavailable;
+      }
+      return Status::Ok;
     }
   }
-  return Status::Ok;
+  // cur == 0: the budget is exhausted and some op is firing (or has fired)
+  // the failure; this op must not succeed after it.
+  if (cur == 0) return Status::ErrorDeviceUnavailable;
+  return Status::Ok;  // disarmed
 }
 
 Result<DevicePtr> SimGpu::malloc(u64 size) {
   if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  // Allocation-failure pulse (chaos injection): claim one forced failure.
+  i64 pending = alloc_fault_countdown_.load(std::memory_order_acquire);
+  while (pending > 0) {
+    if (alloc_fault_countdown_.compare_exchange_weak(
+            pending, pending - 1, std::memory_order_acq_rel, std::memory_order_acquire)) {
+      std::scoped_lock lock(mem_mu_);
+      ++stats_.alloc_faults;
+      return Status::ErrorMemoryAllocation;
+    }
+  }
   std::scoped_lock lock(mem_mu_);
   const auto addr = allocator_.allocate(size);
   if (!addr.has_value()) return Status::ErrorMemoryAllocation;
@@ -294,6 +315,11 @@ u64 SimGpu::largest_free_block() const {
   return allocator_.largest_free_block();
 }
 
+u64 SimGpu::live_allocation_count() const {
+  std::scoped_lock lock(mem_mu_);
+  return blocks_.size();
+}
+
 GpuStats SimGpu::stats() const {
   GpuStats out;
   {
@@ -312,13 +338,23 @@ bool SimGpu::valid_pointer(DevicePtr ptr) const {
 }
 
 void SimGpu::inject_failure() {
-  failed_.store(true, std::memory_order_release);
+  if (failed_.exchange(true, std::memory_order_acq_rel)) return;  // already failed
+  {
+    std::scoped_lock lock(mem_mu_);
+    ++stats_.injected_failures;
+  }
   log::info("GPU %llu (%s) failed", static_cast<unsigned long long>(id_.value),
             spec_.model.c_str());
 }
 
 void SimGpu::fail_after_ops(u64 n) {
-  fail_countdown_.store(static_cast<i64>(n), std::memory_order_release);
+  // Stored as budget + 1 so the CAS in check_healthy_and_count fires on the
+  // 1 -> 0 transition: ops 1..n succeed, op n+1 fails the device.
+  fail_countdown_.store(static_cast<i64>(n) + 1, std::memory_order_release);
+}
+
+void SimGpu::fail_next_allocs(u64 n) {
+  alloc_fault_countdown_.store(static_cast<i64>(n), std::memory_order_release);
 }
 
 void SimGpu::mark_removed() { failed_.store(true, std::memory_order_release); }

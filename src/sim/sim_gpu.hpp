@@ -41,6 +41,8 @@ struct GpuStats {
   u64 bytes_to_device = 0;
   u64 bytes_from_device = 0;
   u64 failed_ops = 0;
+  u64 injected_failures = 0;  ///< inject_failure transitions (at most 1)
+  u64 alloc_faults = 0;       ///< mallocs failed by fail_next_allocs pulses
   /// Cumulative busy time of the engines (modeled seconds); divide by the
   /// experiment duration for a utilization figure.
   double compute_busy_seconds = 0.0;
@@ -89,6 +91,9 @@ class SimGpu {
   u64 free_bytes() const;
   u64 used_bytes() const;
   u64 largest_free_block() const;
+  /// Number of live (allocated, not yet freed) blocks. Chaos invariant
+  /// checks compare this against the memory manager's resident entries.
+  u64 live_allocation_count() const;
   GpuStats stats() const;
 
   /// True if `ptr` points within a live allocation.
@@ -96,10 +101,17 @@ class SimGpu {
 
   // ---- Failure injection / lifecycle --------------------------------------
   /// Marks the device failed: every subsequent operation returns
-  /// ErrorDeviceUnavailable. Mimics an ECC/driver fault.
+  /// ErrorDeviceUnavailable. Mimics an ECC/driver fault. Idempotent: only
+  /// the first call logs and counts (concurrent ops may race into it).
   void inject_failure();
-  /// Fails the device automatically after `n` further costed operations.
+  /// Fails the device automatically after `n` further costed operations:
+  /// ops 1..n succeed, op n+1 fires the failure. The countdown is claimed
+  /// with a CAS so concurrent ops cannot double-fire or over-consume it.
   void fail_after_ops(u64 n);
+  /// Allocation-failure pulse: the next `n` mallocs return
+  /// ErrorMemoryAllocation without touching the allocator (transient
+  /// memory pressure; the runtime's eviction/backoff path absorbs it).
+  void fail_next_allocs(u64 n);
   /// Hot-removal: same observable effect as failure, different intent.
   void mark_removed();
   bool healthy() const { return !failed_.load(std::memory_order_acquire); }
@@ -195,7 +207,11 @@ class SimGpu {
   Engine copy_;
 
   std::atomic<bool> failed_{false};
-  std::atomic<i64> fail_countdown_{-1};  // <0 = disabled
+  // Remaining op budget + 1; the 1 -> 0 transition fires the failure.
+  // <0 = disarmed. Only ever decremented through a CAS that claims one
+  // unit, so exactly one op observes the firing transition.
+  std::atomic<i64> fail_countdown_{-1};
+  std::atomic<i64> alloc_fault_countdown_{0};  // pending forced malloc failures
 };
 
 }  // namespace gpuvm::sim

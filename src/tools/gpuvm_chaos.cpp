@@ -1,0 +1,153 @@
+// gpuvm_chaos: fault-injection driver for the gpuvm runtime.
+//
+//   gpuvm_chaos --seed 7 [--nodes 2] [--gpus 2] [--vgpus 2] [--tenants 6]
+//               [--events 10] [--horizon-ms 30] [--plan FILE] [--print-plan]
+//               [--verify-determinism] [--trace-out FILE.json]
+//
+// Builds a multi-tenant cluster scenario, executes a FaultPlan against it
+// (seed-generated, or loaded from a plan file) and reports per-tenant
+// outcomes, fault log, recovery metrics and invariant violations.
+// --verify-determinism runs the scenario twice and fails unless both runs
+// are bit-identical (same event order, outcomes, makespan, counters).
+// Exit code 0 iff no invariant was violated (and, with
+// --verify-determinism, the replay matched).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/harness.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gpuvm_chaos [--seed N] [--plan FILE] [--print-plan]\n"
+               "                   [--nodes N] [--gpus N] [--vgpus N] [--tenants N]\n"
+               "                   [--events N] [--horizon-ms MS]\n"
+               "                   [--verify-determinism] [--trace-out FILE.json]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpuvm;
+
+  u64 seed = 1;
+  std::string plan_file;
+  bool print_plan = false;
+  bool verify_determinism = false;
+  std::string trace_out;
+  int nodes = 2;
+  int gpus = 2;
+  int vgpus = 2;
+  int tenants = 6;
+  int events = 10;
+  double horizon_ms = 30.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--plan") plan_file = next();
+    else if (arg == "--print-plan") print_plan = true;
+    else if (arg == "--verify-determinism") verify_determinism = true;
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--nodes") nodes = std::atoi(next());
+    else if (arg == "--gpus") gpus = std::atoi(next());
+    else if (arg == "--vgpus") vgpus = std::atoi(next());
+    else if (arg == "--tenants") tenants = std::atoi(next());
+    else if (arg == "--events") events = std::atoi(next());
+    else if (arg == "--horizon-ms") horizon_ms = std::atof(next());
+    else {
+      usage();
+      return 2;
+    }
+  }
+
+  chaos::ScenarioConfig config;
+  config.nodes = nodes;
+  config.gpus_per_node = gpus;
+  config.vgpus_per_device = vgpus;
+  config.tenants = tenants;
+
+  if (!plan_file.empty()) {
+    std::ifstream in(plan_file);
+    if (!in) {
+      std::fprintf(stderr, "gpuvm_chaos: cannot open plan file '%s'\n", plan_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    auto plan = chaos::FaultPlan::parse(text.str(), &error);
+    if (!plan) {
+      std::fprintf(stderr, "gpuvm_chaos: bad plan file: %s\n", error.c_str());
+      return 2;
+    }
+    config.plan = *plan;
+  } else {
+    config.plan =
+        chaos::FaultPlan::random(seed, nodes, gpus, events, vt::from_millis(horizon_ms));
+  }
+
+  if (print_plan) {
+    std::fputs(config.plan.to_text().c_str(), stdout);
+    return 0;
+  }
+
+  config.trace_out = trace_out;
+  const chaos::ScenarioResult result = chaos::run_scenario(config);
+  if (!trace_out.empty()) std::printf("trace written to %s\n", trace_out.c_str());
+
+  std::printf("plan seed %llu, %zu fault events applied\n",
+              static_cast<unsigned long long>(config.plan.seed), result.event_log.size());
+  for (const std::string& line : result.event_log) std::printf("  %s\n", line.c_str());
+  std::printf("tenants:\n");
+  for (const auto& t : result.outcomes) {
+    std::printf("  tenant %d: %s, %llu kernels ok, %llu failed, data %s\n", t.tenant,
+                to_string(t.final_status), static_cast<unsigned long long>(t.kernels_ok),
+                static_cast<unsigned long long>(t.kernels_failed),
+                t.final_status == Status::Ok ? (t.data_ok ? "verified" : "MISMATCH") : "n/a");
+  }
+  std::printf("makespan %.6f s | recoveries %llu | requeues %llu | transport retries %llu "
+              "(dropped %llu)\n",
+              result.makespan_seconds, static_cast<unsigned long long>(result.recoveries),
+              static_cast<unsigned long long>(result.requeues),
+              static_cast<unsigned long long>(result.transport_retries),
+              static_cast<unsigned long long>(result.transport_dropped));
+
+  bool ok = result.violations.empty();
+  for (const std::string& v : result.violations) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+  }
+  for (const auto& t : result.outcomes) {
+    if (t.final_status == Status::Ok && !t.data_ok) {
+      std::fprintf(stderr, "DATA MISMATCH: tenant %d\n", t.tenant);
+      ok = false;
+    }
+  }
+
+  if (verify_determinism) {
+    chaos::ScenarioConfig replay_config = config;
+    replay_config.trace_out.clear();  // don't overwrite the first run's trace
+    const chaos::ScenarioResult replay = chaos::run_scenario(replay_config);
+    const std::string diff = result.diff(replay);
+    if (diff.empty()) {
+      std::printf("determinism: replay identical\n");
+    } else {
+      std::fprintf(stderr, "DETERMINISM FAILURE:\n%s", diff.c_str());
+      ok = false;
+    }
+  }
+
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,11 +22,46 @@ obs::Counter& bytes_sent_counter() {
   return c;
 }
 
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.retries");
+  return c;
+}
+
+obs::Counter& dropped_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.dropped_messages");
+  return c;
+}
+
+obs::Counter& broken_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.broken_channels");
+  return c;
+}
+
+obs::Counter& reconnects_counter() {
+  static obs::Counter& c = obs::metrics().counter("transport.reconnects");
+  return c;
+}
+
+/// A message dropped this many times in a row breaks the channel (the
+/// modeled peer is unreachable, like TCP giving up after max retransmits).
+constexpr int kMaxRetransmits = 6;
+
+vt::Duration retransmit_backoff(int attempt) {
+  // 50us, 100us, 200us, ... exponential, matched to the modeled link
+  // latencies (tens of microseconds per hop).
+  return vt::from_micros(50.0 * static_cast<double>(1 << (attempt - 1)));
+}
+
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+
 /// One synthetic trace tid per Pipe so each direction of each channel gets
-/// its own transit track under the runtime pid.
+/// its own transit track under the runtime pid. The tid doubles as the
+/// FaultInjector drop-hash stream key, so reset_channel_serial() below must
+/// be able to rewind it for repeatable chaos scenarios.
+std::atomic<u64> g_channel_serial{0};
+
 u64 next_channel_tid() {
-  static std::atomic<u64> serial{0};
-  return obs::kChannelTidBase + serial.fetch_add(1, std::memory_order_relaxed);
+  return obs::kChannelTidBase + g_channel_serial.fetch_add(1, std::memory_order_relaxed);
 }
 
 /// State shared by both endpoints: one costed queue per direction.
@@ -35,9 +71,30 @@ class Pipe {
       : dom_(&dom), costs_(costs), cv_(dom), trace_tid_(next_channel_tid()) {}
 
   bool send(Message msg) {
-    const vt::Duration transit = transit_time(msg);
     messages_sent_counter().add(1);
     bytes_sent_counter().add(msg.payload.size());
+    vt::Duration transit = transit_time(msg);
+    // Chaos fault injection: a degraded wire drops send attempts; the
+    // sender detects the loss and retransmits after an exponential backoff
+    // (costing virtual time), breaking the channel once the budget is
+    // exhausted. Drop decisions are pure (seed, stream, attempt#) hashes,
+    // so replays with the same seed behave identically.
+    if (FaultInjector* fi = fault_injector(); fi != nullptr && fi->active()) {
+      int attempt = 0;
+      for (;;) {
+        const u64 seq = send_seq_.fetch_add(1, std::memory_order_relaxed);
+        if (!fi->should_drop(trace_tid_, seq)) break;
+        dropped_counter().add(1);
+        if (++attempt > kMaxRetransmits) {
+          broken_counter().add(1);
+          close();
+          return false;
+        }
+        retries_counter().add(1);
+        dom_->sleep_for(retransmit_backoff(attempt));
+      }
+      transit += fi->extra_delay();
+    }
     std::unique_lock lk(mu_);
     if (closed_) return false;
     items_.push_back(Entry{std::move(msg), dom_->now(), dom_->now() + transit});
@@ -98,6 +155,7 @@ class Pipe {
   mutable std::mutex mu_;
   vt::ConditionVariable cv_;
   const u64 trace_tid_;
+  std::atomic<u64> send_seq_{0};  // per-stream attempt counter (fault hashing)
   std::deque<Entry> items_;
   bool closed_ = false;
 };
@@ -134,6 +192,95 @@ std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>> make
   auto b_to_a = std::make_shared<Pipe>(dom, costs);
   return {std::make_unique<LocalEndpoint>(a_to_b, b_to_a),
           std::make_unique<LocalEndpoint>(b_to_a, a_to_b)};
+}
+
+// ---- FaultInjector ----------------------------------------------------------
+
+void FaultInjector::degrade(double drop_rate, vt::Duration extra_delay) {
+  drop_rate_.store(drop_rate, std::memory_order_release);
+  extra_delay_ns_.store(extra_delay.count(), std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::heal() {
+  active_.store(false, std::memory_order_release);
+  drop_rate_.store(0.0, std::memory_order_release);
+  extra_delay_ns_.store(0, std::memory_order_release);
+}
+
+bool FaultInjector::should_drop(u64 stream, u64 seq) const {
+  const double rate = drop_rate_.load(std::memory_order_acquire);
+  if (rate <= 0.0) return false;
+  // Stateless hash (splitmix64 over seed/stream/seq) -> uniform in [0,1).
+  u64 h = seed_ ^ (stream * 0x9e3779b97f4a7c15ULL) ^ (seq + 0x632be59bd9b4e019ULL);
+  const u64 mixed = splitmix64(h);
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+FaultInjector* fault_injector() {
+  return g_fault_injector.load(std::memory_order_acquire);
+}
+
+void reset_channel_serial() { g_channel_serial.store(0, std::memory_order_relaxed); }
+
+ScopedFaultInjector::ScopedFaultInjector(u64 seed)
+    : injector_(std::make_unique<FaultInjector>(seed)) {
+  g_fault_injector.store(injector_.get(), std::memory_order_release);
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_fault_injector.store(nullptr, std::memory_order_release);
+}
+
+// ---- ReconnectingChannel ----------------------------------------------------
+
+ReconnectingChannel::ReconnectingChannel(Factory factory, int max_reconnects)
+    : factory_(std::move(factory)), max_reconnects_(max_reconnects) {
+  inner_ = factory_();
+}
+
+ReconnectingChannel::~ReconnectingChannel() { close(); }
+
+bool ReconnectingChannel::reopen() {
+  if (reconnects_used_.load(std::memory_order_acquire) >= max_reconnects_) return false;
+  auto fresh = factory_();
+  if (fresh == nullptr || fresh->closed()) return false;
+  reconnects_used_.fetch_add(1, std::memory_order_acq_rel);
+  reconnects_counter().add(1);
+  inner_ = std::move(fresh);
+  return true;
+}
+
+bool ReconnectingChannel::send(Message msg) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  for (;;) {
+    if (inner_ != nullptr && !inner_->closed()) {
+      Message copy = msg;  // keep the original for a possible resend
+      if (inner_->send(std::move(copy))) return true;
+    }
+    if (closed_.load(std::memory_order_acquire)) return false;
+    if (!reopen()) return false;
+  }
+}
+
+std::optional<Message> ReconnectingChannel::receive() {
+  if (inner_ == nullptr) return std::nullopt;
+  return inner_->receive();
+}
+
+void ReconnectingChannel::close() {
+  closed_.store(true, std::memory_order_release);
+  if (inner_ != nullptr) inner_->close();
+}
+
+bool ReconnectingChannel::closed() const {
+  return closed_.load(std::memory_order_acquire) ||
+         (inner_ != nullptr && inner_->closed());
+}
+
+bool ReconnectingChannel::pending() const {
+  return inner_ != nullptr && inner_->pending();
 }
 
 }  // namespace gpuvm::transport

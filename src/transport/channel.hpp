@@ -6,7 +6,10 @@
 // and inter-node links (TCP) cost virtual time like the real thing.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -53,5 +56,96 @@ struct ChannelCosts {
 /// Creates a connected in-process endpoint pair with the given cost model.
 std::pair<std::unique_ptr<MessageChannel>, std::unique_ptr<MessageChannel>> make_local_pair(
     vt::Domain& dom, ChannelCosts costs = ChannelCosts::free());
+
+// ---- Fault injection (chaos testing) ---------------------------------------
+
+/// Deterministic transport-fault model consulted by in-process pipes.
+/// While degraded, each send attempt may be "dropped on the wire" and
+/// retransmitted after a backoff; deliveries pay `extra_delay` on top of the
+/// channel's cost model. Drop decisions are pure hashes of
+/// (seed, stream serial, per-stream attempt number) — no shared RNG state —
+/// so a replay with the same seed and the same channel-creation order makes
+/// the identical decisions regardless of thread interleaving.
+class FaultInjector {
+ public:
+  explicit FaultInjector(u64 seed) : seed_(seed) {}
+
+  /// Enters (or adjusts) a degrade window.
+  void degrade(double drop_rate, vt::Duration extra_delay);
+  /// Ends the degrade window; traffic is clean again.
+  void heal();
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  vt::Duration extra_delay() const {
+    return vt::Duration{extra_delay_ns_.load(std::memory_order_acquire)};
+  }
+  /// Deterministic drop decision for attempt `seq` on stream `stream`.
+  bool should_drop(u64 stream, u64 seq) const;
+
+ private:
+  u64 seed_;
+  std::atomic<bool> active_{false};
+  std::atomic<double> drop_rate_{0.0};
+  std::atomic<i64> extra_delay_ns_{0};
+};
+
+/// Process-global injector; nullptr when no chaos run is active (the common
+/// case — pipes then pay one relaxed load). Mirrors the obs::tracer() idiom.
+FaultInjector* fault_injector();
+
+/// Resets the process-global channel stream-id serial (it doubles as the
+/// FaultInjector drop-hash stream key). Chaos harnesses call this at
+/// scenario start so a scenario replayed later in the same process sees the
+/// same stream ids -- and therefore the same drop decisions.
+void reset_channel_serial();
+
+/// Installs a FaultInjector for the guard's lifetime (chaos runs, tests).
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(u64 seed);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  FaultInjector& injector() { return *injector_; }
+
+ private:
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+// ---- Reconnection ----------------------------------------------------------
+
+/// Wraps a channel factory with transparent reconnection: when a send fails
+/// because the underlying channel broke (e.g. dropped past the transport's
+/// retransmission budget), the wrapper opens a fresh channel via the factory
+/// and resends the message, up to `max_reconnects` times over its lifetime.
+/// receive()/pending() forward to the current underlying channel.
+///
+/// Intended for single-user channels (one thread sending/receiving), which
+/// is how every MessageChannel in the stack is driven.
+class ReconnectingChannel : public MessageChannel {
+ public:
+  using Factory = std::function<std::unique_ptr<MessageChannel>()>;
+
+  explicit ReconnectingChannel(Factory factory, int max_reconnects = 3);
+  ~ReconnectingChannel() override;
+
+  bool send(Message msg) override;
+  std::optional<Message> receive() override;
+  void close() override;
+  bool closed() const override;
+  bool pending() const override;
+
+  int reconnects_used() const { return reconnects_used_.load(std::memory_order_acquire); }
+
+ private:
+  bool reopen();  // calling thread only
+
+  Factory factory_;
+  const int max_reconnects_;
+  std::atomic<int> reconnects_used_{0};
+  std::atomic<bool> closed_{false};
+  std::unique_ptr<MessageChannel> inner_;
+};
 
 }  // namespace gpuvm::transport

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -119,10 +120,21 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   const GpuId g2 = machine.add_gpu(sim::test_gpu(256 * 1024));
   cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
   MemoryManager mm(rt);
-  const ClientId slot1 = rt.create_client();
-  (void)rt.set_device(slot1, 0);
-  const ClientId slot2 = rt.create_client();
-  (void)rt.set_device(slot2, 1);
+
+  // Healthy devices the fuzz can target; device loss removes entries and
+  // hot-add appends fresh ones (the chaos-extension of the fuzz).
+  struct Device {
+    GpuId gpu{};
+    ClientId client{};
+  };
+  std::vector<Device> devices;
+  const auto install_client = [&](GpuId gpu, int index) {
+    const ClientId client = rt.create_client();
+    (void)rt.set_device(client, index);
+    devices.push_back({gpu, client});
+  };
+  install_client(g1, 0);
+  install_client(g2, 1);
 
   const ContextId ctx{1};
   mm.add_context(ctx);
@@ -137,7 +149,7 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   };
 
   for (int step = 0; step < 600; ++step) {
-    const u64 op = rng.below(10);
+    const u64 op = rng.below(12);
     if (model.empty() || op == 0) {
       if (model.size() >= 8) continue;
       const u64 size = rng.below(24 * 1024) + 64;
@@ -171,10 +183,10 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
             << "step " << step;
         break;
       }
-      case 5: {  // materialize on a random device (launch-prepare)
+      case 5: {  // materialize on a random healthy device (launch-prepare)
         auto it = random_live();
-        const bool first = rng.chance(0.5);
-        auto prep = mm.prepare_launch(ctx, first ? g1 : g2, first ? slot1 : slot2,
+        const Device& dev = devices[rng.below(devices.size())];
+        auto prep = mm.prepare_launch(ctx, dev.gpu, dev.client,
                                       {sim::KernelArg::dev(it->first)});
         // Tiny devices: WouldBlock is legal; Ready must translate.
         if (prep.outcome == MemoryManager::PrepareOutcome::Ready) {
@@ -208,6 +220,25 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
         model.erase(it);
         break;
       }
+      case 10: {  // device loss (chaos): checkpoint-then-fail discipline
+        if (devices.size() < 2) break;  // keep at least one device
+        // The runtime auto-checkpoints after kernels, so a device loss only
+        // ever discards data that swap already holds; mirror that here --
+        // the reference model is unchanged by the loss.
+        ASSERT_EQ(mm.checkpoint(ctx), Status::Ok);
+        const size_t victim = rng.below(devices.size());
+        ASSERT_EQ(machine.fail_gpu(devices[victim].gpu), Status::Ok);
+        mm.on_device_lost(ctx, devices[victim].gpu);
+        rt.destroy_client(devices[victim].client);
+        devices.erase(devices.begin() + static_cast<long>(victim));
+        break;
+      }
+      case 11: {  // hot-add a replacement device (chaos)
+        if (devices.size() >= 4) break;
+        const GpuId fresh = machine.add_gpu(sim::test_gpu(256 * 1024));
+        install_client(fresh, rt.get_device_count() - 1);
+        break;
+      }
       default:
         break;
     }
@@ -218,11 +249,164 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
     ASSERT_EQ(mm.on_copy_d2h(ctx, out, vptr, out.size()), Status::Ok);
     EXPECT_EQ(out, ref.bytes);
   }
-  rt.destroy_client(slot1);
-  rt.destroy_client(slot2);
+  for (const Device& dev : devices) rt.destroy_client(dev.client);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MmFuzz, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Directed companion to the fuzz's checkpoint-then-fail discipline: without
+// the checkpoint, device-side writes since the last sync are genuinely lost
+// and reads fall back to the stale swap copy (the documented on_device_lost
+// semantics the runtime's auto-checkpoint exists to paper over).
+TEST(MmDeviceLoss, UncheckpointedDeviceWritesRollBackToSwap) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  sim::SimMachine machine(dom, sim::SimParams{1});
+  const GpuId gpu = machine.add_gpu(sim::test_gpu(256 * 1024));
+  cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
+  MemoryManager mm(rt);
+  const ClientId client = rt.create_client();
+  (void)rt.set_device(client, 0);
+  const ContextId ctx{1};
+  mm.add_context(ctx);
+
+  auto vptr = mm.on_malloc(ctx, 64);
+  ASSERT_TRUE(vptr.has_value());
+  std::vector<std::byte> swap_copy(64, std::byte{0xAA});
+  ASSERT_EQ(mm.on_copy_h2d(ctx, vptr.value(), swap_copy, std::nullopt), Status::Ok);
+
+  // Materialize and "run a kernel": prepare marks the entry device-dirty;
+  // poke stands in for the kernel's writes.
+  auto prep = mm.prepare_launch(ctx, gpu, client, {sim::KernelArg::dev(vptr.value())});
+  ASSERT_EQ(prep.outcome, MemoryManager::PrepareOutcome::Ready);
+  std::vector<std::byte> device_writes(64, std::byte{0xBB});
+  ASSERT_EQ(machine.gpu(gpu)->poke(prep.translated[0].as_ptr(), device_writes), Status::Ok);
+
+  ASSERT_EQ(machine.fail_gpu(gpu), Status::Ok);
+  mm.on_device_lost(ctx, gpu);
+
+  std::vector<std::byte> out(64);
+  ASSERT_EQ(mm.on_copy_d2h(ctx, out, vptr.value(), 64), Status::Ok);
+  EXPECT_EQ(out, swap_copy) << "un-checkpointed device writes must roll back to swap";
+}
+
+// ---- 3. Runtime-level chaos fuzz ---------------------------------------------
+//
+// Drives full application threads through the FrontendApi while transport
+// drops messages (low-rate fault injector) and devices fail and rejoin
+// under them (node-level loss: every GPU of the machine goes dark, then
+// replacements arrive). The host-side mirror is the oracle: any tenant
+// whose calls all returned Ok must read back exactly the mirrored bytes.
+class RuntimeChaosFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
+  const u64 seed = GetParam();
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  sim::SimMachine machine(dom, sim::SimParams{1});
+  const GpuId g1 = machine.add_gpu(sim::test_gpu(1 << 20));
+  const GpuId g2 = machine.add_gpu(sim::test_gpu(1 << 20));
+  cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
+
+  sim::KernelDef step;
+  step.name = "fuzz_step";
+  step.body = [](sim::KernelExecContext& ctx) {
+    auto data = ctx.buffer<u32>(0);
+    const u32 arg = static_cast<u32>(ctx.scalar_i64(1));
+    for (u32& x : data) x = x * 2654435761u + arg;
+    return Status::Ok;
+  };
+  step.cost = sim::per_thread_cost(2000.0, 128.0);
+  machine.kernels().add(step);
+
+  RuntimeConfig config;
+  config.vgpus_per_device = 2;
+  config.max_recovery_attempts = 6;
+  config.device_wait_grace_seconds = 0.25;  // survive the dark window
+  config.auto_checkpoint_after_kernel_seconds = 1e-9;
+  Runtime runtime(rt, config);
+
+  transport::ScopedFaultInjector injector(seed);
+  injector.injector().degrade(/*drop_rate=*/0.05, vt::from_micros(20));
+
+  constexpr int kApps = 3;
+  struct AppResult {
+    Status status = Status::Ok;
+    bool data_ok = false;
+  };
+  std::vector<AppResult> results(kApps);
+  {
+    std::vector<vt::Thread> threads;
+    dom.hold();
+    for (int i = 0; i < kApps; ++i) {
+      threads.emplace_back(dom, [&, i] {
+        dom.sleep_for(vt::from_micros(static_cast<double>(i + 1) * 131.0));
+        FrontendApi api(runtime.connect());
+        AppResult& r = results[static_cast<size_t>(i)];
+        if (!api.connected()) {
+          r.status = Status::ErrorConnectionClosed;
+          return;
+        }
+        Status st = api.register_kernels({"fuzz_step"});
+        const u64 elems = 32 + 8 * static_cast<u64>(i);
+        VirtualPtr ptr = kNullVirtualPtr;
+        std::vector<u32> mirror(elems);
+        if (st == Status::Ok) {
+          auto alloc = api.malloc(elems * sizeof(u32));
+          if (alloc.has_value()) ptr = alloc.value();
+          st = alloc.status();
+        }
+        if (st == Status::Ok) {
+          Rng data_rng(seed ^ static_cast<u64>(i * 7919 + 1));
+          for (u32& x : mirror) x = static_cast<u32>(data_rng());
+          st = api.memcpy_h2d(ptr, std::as_bytes(std::span(mirror)));
+        }
+        for (int k = 0; st == Status::Ok && k < 12; ++k) {
+          const u32 arg = static_cast<u32>(k + 1) * 17u + static_cast<u32>(i);
+          st = api.launch("fuzz_step", {{1, 1, 1}, {static_cast<u32>(elems), 1, 1}},
+                          {sim::KernelArg::dev(ptr), sim::KernelArg::i64v(arg)});
+          if (st == Status::Ok) {
+            for (u32& x : mirror) x = x * 2654435761u + arg;
+            dom.sleep_for(vt::from_micros(60.0));
+          }
+        }
+        if (st == Status::Ok) {
+          std::vector<u32> back(elems);
+          st = api.memcpy_d2h(std::as_writable_bytes(std::span(back)), ptr,
+                              elems * sizeof(u32));
+          if (st == Status::Ok) r.data_ok = (back == mirror);
+        }
+        r.status = st;
+      });
+    }
+    // Chaos driver on the main (attached) thread: node-level loss -- both
+    // devices fail mid-run -- then two replacements rejoin inside the grace
+    // window.
+    threads.emplace_back(dom, [&] {
+      dom.sleep_for(vt::from_micros(800));
+      (void)machine.fail_gpu(g1);
+      dom.sleep_for(vt::from_micros(400));
+      (void)machine.fail_gpu(g2);  // node fully dark
+      dom.sleep_for(vt::from_millis(2));
+      machine.add_gpu(sim::test_gpu(1 << 20));
+      machine.add_gpu(sim::test_gpu(1 << 20));
+    });
+    dom.unhold();
+  }
+  runtime.drain();
+
+  for (int i = 0; i < kApps; ++i) {
+    const AppResult& r = results[static_cast<size_t>(i)];
+    if (r.status == Status::Ok) {
+      EXPECT_TRUE(r.data_ok) << "app " << i << " (seed " << seed
+                             << "): Ok status but data diverged from the reference model";
+    }
+    // Non-Ok is acceptable under chaos -- but it must be a *surfaced*
+    // Status, which reaching this point proves (no hang, no crash).
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeChaosFuzz, ::testing::Values(3, 17, 29, 71, 113));
 
 }  // namespace
 }  // namespace gpuvm::core

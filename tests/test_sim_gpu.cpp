@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <numeric>
 #include <vector>
@@ -207,6 +208,51 @@ TEST_F(SimGpuTest, FailAfterOpsCountsDown) {
   EXPECT_TRUE(gpu_.malloc(16).has_value());
   EXPECT_EQ(gpu_.malloc(16).status(), Status::ErrorDeviceUnavailable);
   EXPECT_FALSE(gpu_.healthy());
+}
+
+// Chaos audit: the fail_after_ops countdown is decremented by every costed
+// op from every vt thread concurrently. The 1 -> 0 transition must fire the
+// failure exactly once -- no double-fire, no lost budget -- so with a budget
+// of 100 ops, exactly 100 succeed no matter how many threads hammer it.
+TEST_F(SimGpuTest, FailAfterOpsExactlyOnceUnderConcurrentHammer) {
+  constexpr int kThreads = 16;
+  constexpr int kAttemptsPerThread = 20;  // 320 attempts >> 100 budget
+  constexpr u64 kBudget = 100;
+  gpu_.fail_after_ops(kBudget);
+
+  std::atomic<u64> ok{0};
+  std::atomic<u64> unavailable{0};
+  {
+    std::vector<vt::Thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(dom_, [this, &ok, &unavailable] {
+        for (int i = 0; i < kAttemptsPerThread; ++i) {
+          auto r = gpu_.malloc(16);
+          if (r.has_value()) ok.fetch_add(1, std::memory_order_relaxed);
+          else if (r.status() == Status::ErrorDeviceUnavailable) {
+            unavailable.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }  // joins
+
+  EXPECT_EQ(ok.load(), kBudget);
+  EXPECT_EQ(unavailable.load(), static_cast<u64>(kThreads * kAttemptsPerThread) - kBudget);
+  EXPECT_FALSE(gpu_.healthy());
+  EXPECT_EQ(gpu_.stats().injected_failures, 1u);
+  EXPECT_EQ(gpu_.stats().mallocs, kBudget);
+  EXPECT_EQ(gpu_.malloc(16).status(), Status::ErrorDeviceUnavailable);
+}
+
+TEST_F(SimGpuTest, AllocFaultPulseFailsAllocationsButKeepsDeviceHealthy) {
+  gpu_.fail_next_allocs(2);
+  EXPECT_EQ(gpu_.malloc(16).status(), Status::ErrorMemoryAllocation);
+  EXPECT_EQ(gpu_.malloc(16).status(), Status::ErrorMemoryAllocation);
+  EXPECT_TRUE(gpu_.healthy());
+  auto ok = gpu_.malloc(16);
+  EXPECT_TRUE(ok.has_value()) << to_string(ok.status());
+  EXPECT_EQ(gpu_.stats().alloc_faults, 2u);
 }
 
 TEST_F(SimGpuTest, PeekPokeBypassTiming) {
