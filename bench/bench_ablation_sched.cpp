@@ -33,7 +33,7 @@ void AblationSched(benchmark::State& state, core::PolicyKind policy) {
   u64 seed = 80;
   for (auto _ : state) {
     core::RuntimeConfig config = sharing_config(2);
-    config.policy = policy;
+    config.scheduler.policy = policy;
     NodeEnv env({sim::tesla_c2050(bench_params())}, config);
     report_outcome(state, env.run_gpuvm(mixed_batch(seed++)));
   }

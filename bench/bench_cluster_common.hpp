@@ -40,7 +40,7 @@ inline ClusterRun run_cluster_batch(ClusterSetting setting,
   const auto params = bench_params();
 
   core::RuntimeConfig config;
-  config.vgpus_per_device = setting == ClusterSetting::Serialized ? 1 : 4;
+  config.scheduler.vgpus_per_device = setting == ClusterSetting::Serialized ? 1 : 4;
   if (setting == ClusterSetting::SharingOffload) {
     // Shed connections queued beyond roughly one batch per vGPU.
     config.offload_threshold = 2;

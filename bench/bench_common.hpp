@@ -143,7 +143,7 @@ inline std::vector<sim::GpuSpec> unbalanced_node_gpus() {
 
 inline core::RuntimeConfig sharing_config(int vgpus) {
   core::RuntimeConfig config;
-  config.vgpus_per_device = vgpus;
+  config.scheduler.vgpus_per_device = vgpus;
   return config;
 }
 

@@ -25,7 +25,7 @@ void Fig9(benchmark::State& state) {
   u64 migrations = 0;
   for (auto _ : state) {
     core::RuntimeConfig config = sharing_config(4);
-    config.enable_migration = balance;
+    config.scheduler.enable_migration = balance;
     NodeEnv env(unbalanced_node_gpus(), config);
     report_outcome(state, env.run_gpuvm(mms_batch(jobs, cpu_fraction, seed++)));
     migrations = env.runtime_->scheduler().stats().migrations;

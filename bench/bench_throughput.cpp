@@ -1,0 +1,217 @@
+// N-tenant contention throughput benchmark for the dispatch hot path.
+//
+// Measures aggregate tenant throughput (full malloc -> copyHD -> launch ->
+// copyDH -> free cycles per modeled second) at 1/4/8/16 concurrent tenants
+// under the two dispatch disciplines:
+//
+//   global_lock  -- the pre-sharding baseline: one daemon-wide lock held
+//                   across every call, synchronous eviction write-back.
+//   sharded      -- per-context locks, sharded tables, async write-back.
+//
+// Times are modeled (virtual-clock) seconds: the speedup comes from
+// overlapping the modeled device/engine/channel delays across tenants, not
+// from host-side lock spinning. Kernel bodies are skipped (correctness is
+// covered by the test suite).
+//
+// Emits machine-readable JSON (default BENCH_throughput.json) with both
+// modes' ops/sec per tenant count plus the 8-tenant speedup -- the number
+// the CI bench smoke job tracks.
+//
+// Flags: --out <path>  --iters <n>  --tenant-counts <csv>  --quick
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace gpuvm;
+
+constexpr u64 kDevBytes = 8ull << 20;  // 8 MiB per GPU: no swap pressure
+constexpr int kGpus = 4;
+constexpr int kVgpusPerDevice = 4;  // 16 vGPUs: global_lock safe up to 16 tenants
+constexpr u64 kFloats = 16 * 1024;  // 64 KiB working buffer per cycle
+
+sim::SimParams bench_params() {
+  sim::SimParams params;
+  params.execute_kernel_bodies = false;
+  return params;
+}
+
+void register_kernel(sim::SimMachine& machine) {
+  sim::KernelDef busy;
+  busy.name = "busy";
+  busy.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  // ~200us of compute on the 100-GFLOPS test GPU: engine time dominates
+  // the per-call channel hops, as in the paper's workloads.
+  busy.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{2e7, 0.0};
+  };
+  machine.kernels().add(busy);
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "bench_throughput: %s\n", what);
+  std::exit(1);
+}
+
+/// One full environment run; returns aggregate ops per modeled second.
+struct RunResult {
+  double ops_per_sec = 0.0;
+  double elapsed_seconds = 0.0;
+  u64 lock_contended = 0;
+  u64 async_writebacks = 0;
+};
+
+RunResult run_mode(core::DispatchMode mode, bool async_writeback, int tenants, int iters) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  sim::SimMachine machine(dom, bench_params());
+  for (int i = 0; i < kGpus; ++i) machine.add_gpu(sim::test_gpu(kDevBytes));
+  register_kernel(machine);
+  cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 64});
+  core::RuntimeConfig config;
+  config.dispatch_mode = mode;
+  config.async_writeback = async_writeback;
+  config.scheduler.vgpus_per_device = kVgpusPerDevice;
+  core::Runtime runtime(rt, config);
+
+  const auto tenant_loop = [&](int tenant) {
+    core::FrontendApi api(runtime.connect());
+    if (!api.connected()) die("handshake failed");
+    if (!ok(api.register_kernels({"busy"}))) die("register failed");
+    std::vector<float> host(kFloats, static_cast<float>(tenant));
+    std::vector<float> back(kFloats);
+    for (int i = 0; i < iters; ++i) {
+      auto ptr = api.malloc(kFloats * sizeof(float));
+      if (!ptr) die("malloc failed");
+      if (!ok(api.copy_in(ptr.value(), host))) die("copy_in failed");
+      if (!ok(api.launch("busy", {{64, 1, 1}, {256, 1, 1}},
+                         {sim::KernelArg::dev(ptr.value())}))) {
+        die("launch failed");
+      }
+      if (!ok(api.copy_out(back, ptr.value()))) die("copy_out failed");
+      if (!ok(api.free(ptr.value()))) die("free failed");
+      dom.sleep_for(vt::from_micros(50));  // short CPU phase between cycles
+    }
+  };
+
+  vt::StopWatch watch(dom);
+  {
+    dom.hold();
+    std::vector<vt::Thread> apps;
+    for (int t = 0; t < tenants; ++t) {
+      apps.emplace_back(dom, [&, t] { tenant_loop(t); });
+    }
+    dom.unhold();
+  }
+  runtime.drain();
+
+  RunResult result;
+  result.elapsed_seconds = watch.elapsed_seconds();
+  result.ops_per_sec =
+      static_cast<double>(tenants) * iters / std::max(result.elapsed_seconds, 1e-12);
+  result.lock_contended = runtime.stats().dispatch_lock_contended;
+  result.async_writebacks = runtime.memory().stats().async_writebacks;
+  return result;
+}
+
+std::vector<int> parse_counts(const char* csv) {
+  std::vector<int> counts;
+  std::string s(csv);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const int n = std::atoi(tok.c_str());
+    if (n <= 0) die("bad --tenant-counts");
+    counts.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_throughput.json";
+  int iters = 40;
+  std::vector<int> counts = {1, 4, 8, 16};
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die("missing flag value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::atoi(next());
+      if (iters <= 0) die("bad --iters");
+    } else if (std::strcmp(argv[i], "--tenant-counts") == 0) {
+      counts = parse_counts(next());
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      iters = 8;
+      counts = {1, 8};
+    } else {
+      die("unknown flag (expected --out/--iters/--tenant-counts/--quick)");
+    }
+  }
+
+  struct Mode {
+    const char* name;
+    core::DispatchMode mode;
+    bool async_writeback;
+  };
+  const Mode modes[] = {
+      {"global_lock", core::DispatchMode::GlobalLock, false},
+      {"sharded", core::DispatchMode::Sharded, true},
+  };
+
+  std::vector<std::vector<RunResult>> results(2);
+  for (size_t m = 0; m < 2; ++m) {
+    for (int tenants : counts) {
+      const RunResult r = run_mode(modes[m].mode, modes[m].async_writeback, tenants, iters);
+      results[m].push_back(r);
+      std::printf("%-12s tenants=%-3d ops/sec=%10.1f modeled_s=%.4f contended=%llu\n",
+                  modes[m].name, tenants, r.ops_per_sec, r.elapsed_seconds,
+                  static_cast<unsigned long long>(r.lock_contended));
+    }
+  }
+
+  double speedup8 = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 8) speedup8 = results[1][i].ops_per_sec / results[0][i].ops_per_sec;
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) die("cannot open --out file");
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n  \"iters_per_tenant\": %d,\n", iters);
+  std::fprintf(f, "  \"gpus\": %d,\n  \"vgpus_per_device\": %d,\n", kGpus, kVgpusPerDevice);
+  std::fprintf(f, "  \"modes\": {\n");
+  for (size_t m = 0; m < 2; ++m) {
+    std::fprintf(f, "    \"%s\": [\n", modes[m].name);
+    for (size_t i = 0; i < counts.size(); ++i) {
+      const RunResult& r = results[m][i];
+      std::fprintf(f,
+                   "      {\"tenants\": %d, \"ops_per_sec\": %.1f, "
+                   "\"modeled_seconds\": %.6f, \"dispatch_lock_contended\": %llu, "
+                   "\"async_writebacks\": %llu}%s\n",
+                   counts[i], r.ops_per_sec, r.elapsed_seconds,
+                   static_cast<unsigned long long>(r.lock_contended),
+                   static_cast<unsigned long long>(r.async_writebacks),
+                   i + 1 < counts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]%s\n", m == 0 ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"speedup_8_tenants\": %.3f\n}\n", speedup8);
+  std::fclose(f);
+  std::printf("speedup_8_tenants=%.3f -> %s\n", speedup8, out_path.c_str());
+  return 0;
+}

@@ -26,7 +26,7 @@ double run_batch(bool offloading, u64* offloaded) {
   params.mem_scale = 1024;
 
   core::RuntimeConfig config;
-  config.vgpus_per_device = 4;
+  config.scheduler.vgpus_per_device = 4;
   if (offloading) config.offload_threshold = 2;
 
   cluster::Cluster cl(dom, params,

@@ -157,9 +157,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
 
   core::RuntimeConfig rc;
-  rc.vgpus_per_device = config.vgpus_per_device;
+  rc.scheduler.vgpus_per_device = config.vgpus_per_device;
   rc.max_recovery_attempts = 6;
-  rc.device_wait_grace_seconds = config.grace_seconds;
+  rc.scheduler.device_wait_grace_seconds = config.grace_seconds;
   // Checkpoint after every completed kernel: an Ok the application saw must
   // survive a later device loss (otherwise recovery would silently replay
   // from stale swap data and the mirror compare would catch it).

@@ -1,0 +1,121 @@
+// ShardedMap: a mutex-per-shard associative container for hot-path tables.
+//
+// The daemon's dispatch hot path looks up per-tenant state (contexts, page
+// tables) on every CUDA call. A single table mutex serializes unrelated
+// tenants; sharding by key hash keeps lookups for different tenants on
+// different mutexes, so contention only arises when two threads race on the
+// same shard. Shard mutexes are leaf locks: no other lock is ever taken
+// while one is held, and they guard only map structure -- values are
+// shared_ptrs whose pointees carry their own synchronization.
+//
+// Contention observability: every acquisition first tries a try_lock; a
+// failed attempt bumps a relaxed counter the caller can export as a metric
+// (the lock is then taken blocking, so behaviour is unchanged).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuvm {
+
+template <typename Key, typename Value, std::size_t kShards = 16>
+class ShardedMap {
+  static_assert(kShards > 0 && (kShards & (kShards - 1)) == 0,
+                "shard count must be a power of two");
+
+ public:
+  /// Inserts under the shard lock; returns false if the key already exists.
+  bool emplace(const Key& key, Value value) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+    return s.map.emplace(key, std::move(value)).second;
+  }
+
+  /// Removes the key; returns the removed value (default-constructed when
+  /// the key was absent).
+  Value take(const Key& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return Value{};
+    Value out = std::move(it->second);
+    s.map.erase(it);
+    return out;
+  }
+
+  /// Copy of the mapped value, or a default-constructed Value when absent
+  /// (Value is a shared_ptr throughout gpuvm, so "absent" reads as nullptr).
+  Value find(const Key& key) const {
+    const Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+    const auto it = s.map.find(key);
+    return it == s.map.end() ? Value{} : it->second;
+  }
+
+  bool contains(const Key& key) const {
+    const Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+    return s.map.count(key) != 0;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  /// Visits every (key, value) shard by shard. The shard lock is held only
+  /// while copying that shard's values out, never during `fn` -- callbacks
+  /// may take other locks freely.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      std::vector<std::pair<Key, Value>> batch;
+      {
+        std::lock_guard<std::mutex> lock(acquire(s), std::adopt_lock);
+        batch.reserve(s.map.size());
+        for (const auto& kv : s.map) batch.push_back(kv);
+      }
+      for (auto& [key, value] : batch) fn(key, value);
+    }
+  }
+
+  /// Shard-lock acquisitions that found the lock busy (relaxed; for metrics).
+  u64 contention() const { return contention_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<Key, Value> map;
+  };
+
+  std::mutex& acquire(const Shard& s) const {
+    if (!s.mu.try_lock()) {
+      contention_.fetch_add(1, std::memory_order_relaxed);
+      s.mu.lock();
+    }
+    return s.mu;
+  }
+
+  Shard& shard_of(const Key& key) {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+  const Shard& shard_of(const Key& key) const {
+    return shards_[std::hash<Key>{}(key) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+  mutable std::atomic<u64> contention_{0};
+};
+
+}  // namespace gpuvm

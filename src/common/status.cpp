@@ -20,6 +20,7 @@ const char* to_string(Status s) {
     case Status::ErrorSwapSizeMismatch: return "ErrorSwapSizeMismatch";
     case Status::ErrorConnectionClosed: return "ErrorConnectionClosed";
     case Status::ErrorProtocol: return "ErrorProtocol";
+    case Status::ErrorProtocolMismatch: return "ErrorProtocolMismatch";
     case Status::ErrorCheckpointNotFound: return "ErrorCheckpointNotFound";
     case Status::ErrorNotSupported: return "ErrorNotSupported";
   }

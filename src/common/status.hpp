@@ -1,4 +1,4 @@
-// Error codes and a lightweight Result<T> used throughout gpuvm.
+// Error codes and the StatusOr<T> value-or-error type used throughout gpuvm.
 //
 // The Status enumeration mirrors the subset of cudaError_t the paper's
 // runtime deals with, plus runtime-level errors the memory manager can
@@ -32,6 +32,7 @@ enum class Status : int {
   ErrorSwapSizeMismatch,       // copy beyond the bounds of the allocation
   ErrorConnectionClosed,       // transport failure
   ErrorProtocol,               // malformed message
+  ErrorProtocolMismatch,       // incompatible peer protocol version/handshake
   ErrorCheckpointNotFound,     // restore from a non-existent checkpoint
   ErrorNotSupported,
 };
@@ -41,17 +42,21 @@ const char* to_string(Status s);
 
 inline bool ok(Status s) { return s == Status::Ok; }
 
-/// Minimal expected-style result. Holds either a value or an error Status.
+/// Expected-style result: holds either a T or an error Status (never
+/// Status::Ok -- success is represented by the value alternative). The
+/// getter convention across gpuvm is `StatusOr<T> f(...)` rather than
+/// `Status f(..., T* out)`.
 template <typename T>
-class Result {
+class StatusOr {
  public:
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-  Result(Status error) : data_(error) {         // NOLINT(google-explicit-constructor)
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status error) : data_(error) {         // NOLINT(google-explicit-constructor)
     assert(error != Status::Ok && "use the value constructor for success");
   }
 
   bool has_value() const { return std::holds_alternative<T>(data_); }
   explicit operator bool() const { return has_value(); }
+  bool ok() const { return has_value(); }
 
   Status status() const {
     return has_value() ? Status::Ok : std::get<Status>(data_);
@@ -70,6 +75,11 @@ class Result {
     return std::get<T>(std::move(data_));
   }
 
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
   T value_or(T fallback) const {
     return has_value() ? std::get<T>(data_) : std::move(fallback);
   }
@@ -77,5 +87,9 @@ class Result {
  private:
   std::variant<T, Status> data_;
 };
+
+/// Historical spelling, kept as an alias during the StatusOr migration.
+template <typename T>
+using Result = StatusOr<T>;
 
 }  // namespace gpuvm

@@ -18,6 +18,36 @@
 
 namespace gpuvm {
 
+namespace protocol {
+
+/// Leading word of a version-2 Hello payload. Version-1 peers began the
+/// payload with a raw double (the job-cost hint), whose low mantissa bytes
+/// never collide with this value for any realistic hint -- so a missing
+/// magic cleanly identifies a pre-handshake peer.
+inline constexpr u32 kHandshakeMagic = 0x47564831;  // "1HVG" little-endian
+
+/// Current protocol version. Bump when the wire format of any op changes
+/// incompatibly; optional *additions* are negotiated via capability bits
+/// instead, without a version bump.
+inline constexpr u16 kProtocolVersion = 2;
+/// Oldest version this build still speaks.
+inline constexpr u16 kMinProtocolVersion = 2;
+
+/// Capability bits exchanged in the handshake. Each side advertises what it
+/// supports; the negotiated set is the intersection. Optional ops (e.g.
+/// QueryStats) must only be issued when the corresponding bit survived
+/// negotiation -- a peer without the bit replies ErrorNotSupported.
+namespace caps {
+inline constexpr u32 kQueryStats = 1u << 0;      ///< Opcode::QueryStats
+inline constexpr u32 kRegisterNested = 1u << 1;  ///< Opcode::RegisterNested
+inline constexpr u32 kCheckpoint = 1u << 2;      ///< Opcode::Checkpoint
+inline constexpr u32 kOffload = 1u << 3;         ///< connection may be proxied
+
+inline constexpr u32 kAll = kQueryStats | kRegisterNested | kCheckpoint | kOffload;
+}  // namespace caps
+
+}  // namespace protocol
+
 /// Append-only encoder.
 class WireWriter {
  public:

@@ -99,6 +99,11 @@ struct Context {
   /// CUDA 4.0 mode: nonzero when several connections (threads of one
   /// application) share this context.
   u64 app_id = 0;
+  /// Negotiated capability bits from the wire handshake (intersection of
+  /// the peer's advertised set and the daemon's). Optional ops such as
+  /// QueryStats are refused when their bit is absent. Shared (CUDA 4)
+  /// contexts intersect across all joined connections.
+  std::atomic<u32> caps{0};
   std::atomic<int> connection_refs{1};
   double credits = 0.0;               ///< credit-based scheduling account
   double gpu_time_used_seconds = 0.0;

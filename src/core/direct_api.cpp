@@ -45,10 +45,10 @@ Status DirectApi::memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) {
   return rt_->memcpy_d2d(client_, dst, src, size);
 }
 
-Result<VirtualPtr> DirectApi::malloc_pitch(u64 width, u64 height, u64* pitch) {
-  auto r = rt_->malloc_pitch(client_, width, height, pitch);
+StatusOr<GpuApi::Pitched> DirectApi::malloc_pitch(u64 width, u64 height) {
+  auto r = rt_->malloc_pitch(client_, width, height);
   if (!r) return r.status();
-  return static_cast<VirtualPtr>(r.value());
+  return Pitched{static_cast<VirtualPtr>(r->ptr), r->pitch};
 }
 
 Status DirectApi::memcpy2d_h2d(VirtualPtr dst, u64 dpitch, std::span<const std::byte> src,

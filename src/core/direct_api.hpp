@@ -29,7 +29,7 @@ class DirectApi : public GpuApi {
   Status memcpy_h2d(VirtualPtr dst, std::span<const std::byte> src) override;
   Status memcpy_d2h(std::span<std::byte> dst, VirtualPtr src, u64 size) override;
   Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) override;
-  Result<VirtualPtr> malloc_pitch(u64 width, u64 height, u64* pitch) override;
+  StatusOr<Pitched> malloc_pitch(u64 width, u64 height) override;
   Status memcpy2d_h2d(VirtualPtr dst, u64 dpitch, std::span<const std::byte> src, u64 spitch,
                       u64 width, u64 height) override;
   Status memcpy2d_d2h(std::span<std::byte> dst, u64 dpitch, VirtualPtr src, u64 spitch,

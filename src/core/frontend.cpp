@@ -13,17 +13,27 @@ using transport::Opcode;
 FrontendApi::FrontendApi(std::unique_ptr<transport::MessageChannel> channel,
                          ConnectOptions options)
     : channel_(std::move(channel)) {
-  WireWriter w;
-  w.put<double>(options.job_cost_hint_seconds);
-  w.put<u8>(0);  // not a forwarded (offloaded) connection
-  w.put<u64>(options.application_id);
-  w.put<double>(options.deadline_seconds);
-  auto reply = roundtrip(Opcode::Hello, w.take());
+  transport::HelloPayload hello;
+  hello.caps = options.caps;
+  hello.job_cost_hint_seconds = options.job_cost_hint_seconds;
+  hello.forwarded = false;
+  hello.app_id = options.application_id;
+  hello.deadline_seconds = options.deadline_seconds;
+  auto reply = roundtrip(Opcode::Hello, transport::encode_hello(hello));
   if (reply && ok(transport::reply_status(reply.value()))) {
-    WireReader r(transport::reply_payload(reply.value()));
-    connection_ = ConnectionId{r.get<u64>()};
+    auto hr = transport::decode_hello_reply(transport::reply_payload(reply.value()));
+    if (hr.has_value()) {
+      connection_ = ConnectionId{hr->context_id};
+      caps_ = hr->caps;
+      handshake_status_ = Status::Ok;
+    } else {
+      handshake_status_ = hr.status();
+      log::warn("frontend: Hello reply malformed (%s)", to_string(hr.status()));
+    }
   } else {
-    log::warn("frontend: Hello handshake failed");
+    handshake_status_ =
+        reply ? transport::reply_status(reply.value()) : reply.status();
+    log::warn("frontend: Hello handshake failed (%s)", to_string(handshake_status_));
   }
 }
 
@@ -163,6 +173,8 @@ Status FrontendApi::register_nested(VirtualPtr parent, const std::vector<NestedR
 Status FrontendApi::checkpoint() { return simple_call(Opcode::Checkpoint, {}); }
 
 Result<obs::MetricsSnapshot> FrontendApi::query_stats() {
+  // Optional op: refuse locally when the bit did not survive negotiation.
+  if ((caps_ & protocol::caps::kQueryStats) == 0) return Status::ErrorNotSupported;
   auto reply = roundtrip(Opcode::QueryStats, {});
   if (!reply) return reply.status();
   if (const Status s = transport::reply_status(reply.value()); !ok(s)) return s;

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "common/wire.hpp"
 #include "core/gpu_api.hpp"
 #include "obs/metrics.hpp"
 #include "transport/channel.hpp"
@@ -27,6 +28,10 @@ struct ConnectOptions {
   /// QoS deadline in modeled seconds since daemon start (<= 0 = none);
   /// consumed by the DeadlineAware scheduling policy.
   double deadline_seconds = 0.0;
+  /// Capability bits to advertise in the handshake (protocol::caps). The
+  /// daemon intersects them with its own; optional ops outside the
+  /// negotiated set fail with ErrorNotSupported without a round trip.
+  u32 caps = protocol::caps::kAll;
 };
 
 class FrontendApi : public GpuApi {
@@ -42,6 +47,11 @@ class FrontendApi : public GpuApi {
   /// True once the Hello handshake succeeded.
   bool connected() const { return connection_.valid(); }
   ConnectionId connection_id() const { return connection_; }
+  /// Capability set that survived handshake negotiation (0 until connected).
+  u32 negotiated_caps() const { return caps_; }
+  /// Status of the handshake: Ok, or why the daemon refused the connection
+  /// (e.g. ErrorProtocolMismatch from an incompatible peer).
+  Status handshake_status() const { return handshake_status_; }
 
   int device_count() override;
   Status set_device(int index) override;
@@ -71,6 +81,8 @@ class FrontendApi : public GpuApi {
 
   std::unique_ptr<transport::MessageChannel> channel_;
   ConnectionId connection_{};
+  u32 caps_ = 0;
+  Status handshake_status_ = Status::ErrorConnectionClosed;
 };
 
 }  // namespace gpuvm::core

@@ -58,10 +58,15 @@ class GpuApi {
   virtual Status memcpy_d2d(VirtualPtr dst, VirtualPtr src, u64 size) = 0;
 
   /// cudaMallocPitch: rows padded to 256-byte alignment.
-  virtual Result<VirtualPtr> malloc_pitch(u64 width, u64 height, u64* pitch) {
+  struct Pitched {
+    VirtualPtr ptr = kNullVirtualPtr;
+    u64 pitch = 0;  ///< row stride in bytes
+  };
+  virtual StatusOr<Pitched> malloc_pitch(u64 width, u64 height) {
     const u64 row = (width + 255) / 256 * 256;
-    if (pitch != nullptr) *pitch = row;
-    return malloc(row * height);
+    auto ptr = malloc(row * height);
+    if (!ptr) return ptr.status();
+    return Pitched{ptr.value(), row};
   }
   /// cudaMemcpy2D host->device: `height` rows of `width` bytes; source rows
   /// spaced `spitch` apart, destination rows `dpitch` apart. The generic

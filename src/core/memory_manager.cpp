@@ -20,49 +20,50 @@ obs::Histogram& swap_bytes_hist() {
   return h;
 }
 
+obs::Counter& async_writebacks_counter() {
+  static obs::Counter& c = obs::metrics().counter("mm.async_writebacks");
+  return c;
+}
+
+obs::Counter& writeback_fences_counter() {
+  static obs::Counter& c = obs::metrics().counter("mm.writeback_fences");
+  return c;
+}
+
 }  // namespace
 
 MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {}
 
 void MemoryManager::add_context(ContextId ctx) {
-  std::scoped_lock lock(mu_);
   contexts_.emplace(ctx, std::make_shared<CtxMem>());
 }
 
 void MemoryManager::remove_context(ContextId ctx) {
-  CtxMemPtr mem;
-  {
-    std::scoped_lock lock(mu_);
-    const auto it = contexts_.find(ctx);
-    if (it == contexts_.end()) return;
-    mem = it->second;
-    contexts_.erase(it);
-  }
+  CtxMemPtr mem = contexts_.take(ctx);
+  if (mem == nullptr) return;
   // Free device allocations; swap buffers die with the map. Uncosted free
-  // path (like a process teardown).
+  // path (like a process teardown). In-flight write-back drains are moot:
+  // the data is discarded, nothing will read it.
   for (auto& [vptr, pte] : mem->entries) {
     if (pte->is_allocated) (void)rt_->free(pte->owner_client, pte->device_ptr);
   }
 }
 
 MemoryManager::CtxMemPtr MemoryManager::find(ContextId ctx) const {
-  std::scoped_lock lock(mu_);
-  const auto it = contexts_.find(ctx);
-  return it == contexts_.end() ? nullptr : it->second;
+  return contexts_.find(ctx);
 }
 
-PageTableEntry* MemoryManager::locate(CtxMem& mem, VirtualPtr ptr, u64* offset) {
-  if (ptr == kNullVirtualPtr || mem.entries.empty()) return nullptr;
+MemoryManager::Located MemoryManager::locate(CtxMem& mem, VirtualPtr ptr) {
+  if (ptr == kNullVirtualPtr || mem.entries.empty()) return {};
   auto it = mem.entries.upper_bound(ptr);
-  if (it == mem.entries.begin()) return nullptr;
+  if (it == mem.entries.begin()) return {};
   --it;
   PageTableEntry* pte = it->second.get();
-  if (ptr < pte->virtual_ptr || ptr >= pte->virtual_ptr + pte->size) return nullptr;
-  *offset = ptr - pte->virtual_ptr;
-  return pte;
+  if (ptr < pte->virtual_ptr || ptr >= pte->virtual_ptr + pte->size) return {};
+  return {pte, ptr - pte->virtual_ptr};
 }
 
-Result<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
+StatusOr<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
   if (size == 0) return Status::ErrorInvalidValue;
@@ -75,16 +76,12 @@ Result<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
     return Status::ErrorSwapAllocation;
   }
 
-  VirtualPtr vptr;
-  {
-    std::scoped_lock lock(mu_);
-    // Virtual addresses are aligned and spaced so interior arithmetic never
-    // crosses into a neighbouring allocation.
-    va_next_ = (va_next_ + 255) / 256 * 256;
-    vptr = va_next_;
-    va_next_ += std::max<u64>(size, 256) + 256;
-    if (va_next_ < vptr) return Status::ErrorNoVirtualAddress;  // wrapped
-  }
+  // Virtual addresses come from a lock-free bump allocator. Spans are
+  // 256-aligned multiples of 256 with a guard gap, so every address is
+  // aligned and interior arithmetic never crosses into a neighbour.
+  const u64 span = (std::max<u64>(size, 256) + 256 + 255) / 256 * 256;
+  const VirtualPtr vptr = va_next_.fetch_add(span, std::memory_order_relaxed);
+  if (vptr + span < vptr) return Status::ErrorNoVirtualAddress;  // wrapped
   pte->virtual_ptr = vptr;
   mem->entries.emplace(vptr, std::move(pte));
   mem->total_bytes.fetch_add(size, std::memory_order_relaxed);
@@ -95,12 +92,10 @@ Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const
                                   std::optional<ClientId> bound_client) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
-  u64 offset = 0;
-  PageTableEntry* pte = locate(*mem, dst, &offset);
+  const auto [pte, offset] = locate(*mem, dst);
   if (pte == nullptr) return Status::ErrorNoValidPte;
   if (offset + src.size() > pte->size) {
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.bounds_rejections;
+    stats_.bounds_rejections.fetch_add(1, std::memory_order_relaxed);
     return Status::ErrorSwapSizeMismatch;  // caught before reaching the GPU
   }
 
@@ -150,21 +145,31 @@ Status MemoryManager::sync_to_swap(PageTableEntry& pte) {
   return Status::Ok;
 }
 
+void MemoryManager::fence_writeback(PageTableEntry& pte) {
+  if (pte.writeback_done == vt::TimePoint{}) return;
+  vt::Domain& dom = rt_->machine().domain();
+  if (pte.writeback_done > dom.now()) {
+    stats_.writeback_fences.fetch_add(1, std::memory_order_relaxed);
+    writeback_fences_counter().add(1);
+    dom.sleep_until(pte.writeback_done);
+  }
+  pte.writeback_done = vt::TimePoint{};
+}
+
 Status MemoryManager::on_copy_d2h(ContextId ctx, std::span<std::byte> dst, VirtualPtr src,
                                   u64 size) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
-  u64 offset = 0;
-  PageTableEntry* pte = locate(*mem, src, &offset);
+  const auto [pte, offset] = locate(*mem, src);
   if (pte == nullptr) return Status::ErrorNoValidPte;
   if (offset + size > pte->size || dst.size() < size) {
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.bounds_rejections;
+    stats_.bounds_rejections.fetch_add(1, std::memory_order_relaxed);
     return Status::ErrorSwapSizeMismatch;
   }
   // Table 1: "If (PTE.toCopy2Swap) cudaMemcpyDH" -- sync then serve from swap.
   if (const Status s = sync_to_swap(*pte); !ok(s)) return s;
   if (pte->to_copy_2_swap) return Status::ErrorNoValidPte;  // unreachable guard
+  fence_writeback(*pte);  // an async eviction drain may still be in flight
   // Nested parents keep virtual pointers in their swap image; serve those.
   if (!pte->nested.empty()) rewrite_nested_to_virtual(*mem, *pte);
   std::memcpy(dst.data(), pte->swap.data() + offset, size);
@@ -174,14 +179,11 @@ Status MemoryManager::on_copy_d2h(ContextId ctx, std::span<std::byte> dst, Virtu
 Status MemoryManager::on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src, u64 size) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
-  u64 src_off = 0;
-  u64 dst_off = 0;
-  PageTableEntry* spte = locate(*mem, src, &src_off);
-  PageTableEntry* dpte = locate(*mem, dst, &dst_off);
+  const auto [spte, src_off] = locate(*mem, src);
+  const auto [dpte, dst_off] = locate(*mem, dst);
   if (spte == nullptr || dpte == nullptr) return Status::ErrorNoValidPte;
   if (src_off + size > spte->size || dst_off + size > dpte->size) {
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.bounds_rejections;
+    stats_.bounds_rejections.fetch_add(1, std::memory_order_relaxed);
     return Status::ErrorSwapSizeMismatch;
   }
   // Resolve the source's authoritative copy into swap, then stage the
@@ -190,6 +192,7 @@ Status MemoryManager::on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src,
   // destination must sync too when the write is partial -- same stale-swap
   // hazard as partial host writes).
   if (const Status s = sync_to_swap(*spte); !ok(s)) return s;
+  fence_writeback(*spte);  // reading the source's swap bytes
   const bool partial = dst_off != 0 || size != dpte->size;
   if (partial && dpte->to_copy_2_swap) {
     if (const Status s = sync_to_swap(*dpte); !ok(s)) return s;
@@ -223,15 +226,13 @@ Status MemoryManager::register_nested(ContextId ctx, VirtualPtr parent,
                                       const std::vector<NestedRef>& refs) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
-  u64 offset = 0;
-  PageTableEntry* pte = locate(*mem, parent, &offset);
+  const auto [pte, offset] = locate(*mem, parent);
   if (pte == nullptr || offset != 0) return Status::ErrorNoValidPte;
   for (const NestedRef& ref : refs) {
     if (ref.offset + sizeof(u64) > pte->size) return Status::ErrorSwapSizeMismatch;
-    u64 child_off = 0;
-    PageTableEntry* child = locate(*mem, ref.target, &child_off);
-    if (child == nullptr || child_off != 0) return Status::ErrorNoValidPte;
-    child->is_nested_member = true;
+    const auto child = locate(*mem, ref.target);
+    if (child.pte == nullptr || child.offset != 0) return Status::ErrorNoValidPte;
+    child.pte->is_nested_member = true;
   }
   pte->nested = refs;
   // The swap image stores the virtual pointers (position independent).
@@ -251,8 +252,7 @@ std::vector<PageTableEntry*> MemoryManager::nested_closure(CtxMem& mem,
   std::function<void(PageTableEntry*)> visit = [&](PageTableEntry* pte) {
     if (!visited.insert(pte).second) return;
     for (const NestedRef& ref : pte->nested) {
-      u64 off = 0;
-      if (PageTableEntry* child = locate(mem, ref.target, &off)) visit(child);
+      if (const auto child = locate(mem, ref.target); child.pte != nullptr) visit(child.pte);
     }
     ordered.push_back(pte);
   };
@@ -262,12 +262,11 @@ std::vector<PageTableEntry*> MemoryManager::nested_closure(CtxMem& mem,
 
 Status MemoryManager::patch_nested_on_device(CtxMem& mem, PageTableEntry& pte) {
   for (const NestedRef& ref : pte.nested) {
-    u64 off = 0;
-    PageTableEntry* child = locate(mem, ref.target, &off);
-    if (child == nullptr || !child->is_allocated) return Status::ErrorNoValidPte;
+    const auto child = locate(mem, ref.target);
+    if (child.pte == nullptr || !child.pte->is_allocated) return Status::ErrorNoValidPte;
     sim::SimGpu* gpu = rt_->machine().gpu(GpuId{pte.resident_gpu});
     if (gpu == nullptr) return Status::ErrorInvalidDevice;
-    const u64 dev_target = child->device_ptr;
+    const u64 dev_target = child.pte->device_ptr;
     const Status s = gpu->poke(pte.device_ptr + ref.offset,
                                std::as_bytes(std::span(&dev_target, 1)));
     if (!ok(s)) return s;
@@ -284,7 +283,29 @@ void MemoryManager::rewrite_nested_to_virtual(CtxMem& mem, PageTableEntry& pte) 
 
 Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
   if (!pte.is_allocated) return Status::Ok;
-  const Status sync = sync_to_swap(pte);  // costed writeback when dirty
+  Status sync = Status::Ok;
+  if (pte.to_copy_2_swap && config_.async_writeback) {
+    // Asynchronous write-back: snapshot the device bytes into swap now
+    // (content-correct immediately, like staging into a pinned buffer) and
+    // reserve the copy engine without sleeping. The evictor's subsequent
+    // work overlaps the modeled drain; swap readers fence on completion.
+    auto done = rt_->memcpy_d2h_async(pte.owner_client, pte.swap, pte.device_ptr, pte.size);
+    if (done.has_value()) {
+      pte.to_copy_2_swap = false;
+      pte.writeback_done = std::max(pte.writeback_done, done.value());
+      stats_.async_writebacks.fetch_add(1, std::memory_order_relaxed);
+      async_writebacks_counter().add(1);
+    } else if (done.status() == Status::ErrorDeviceUnavailable) {
+      // Same recovery as the synchronous path: the swap copy (last
+      // checkpoint) becomes authoritative again.
+      pte.to_copy_2_swap = false;
+      sync = Status::ErrorDeviceUnavailable;
+    } else {
+      sync = done.status();
+    }
+  } else {
+    sync = sync_to_swap(pte);  // costed writeback when dirty
+  }
   if (!pte.nested.empty()) rewrite_nested_to_virtual(mem, pte);
   (void)rt_->free(pte.owner_client, pte.device_ptr);
   pte.is_allocated = false;
@@ -294,11 +315,8 @@ Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
   if (mem.resident_bytes.load(std::memory_order_relaxed) == 0) {
     mem.resident_gpu.store(0, std::memory_order_relaxed);
   }
-  {
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.swapped_entries;
-    stats_.swap_bytes += pte.size;
-  }
+  stats_.swapped_entries.fetch_add(1, std::memory_order_relaxed);
+  stats_.swap_bytes.fetch_add(pte.size, std::memory_order_relaxed);
   swap_bytes_hist().observe(static_cast<double>(pte.size));
   return sync == Status::ErrorDeviceUnavailable ? Status::Ok : sync;
 }
@@ -315,23 +333,18 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
   mem->last_use_ns.store(now_stamp.count(), std::memory_order_relaxed);
 
   // Resolve referenced entries and their offsets.
-  struct Ref {
-    PageTableEntry* pte;
-    u64 offset;
-  };
-  std::vector<Ref> refs(args.size(), {nullptr, 0});
+  std::vector<Located> refs(args.size());
   std::vector<PageTableEntry*> roots;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i].kind != sim::KernelArg::Kind::DevPtr) continue;
     if (args[i].bits == 0) continue;  // null pointer passes through
-    u64 offset = 0;
-    PageTableEntry* pte = locate(*mem, args[i].as_ptr(), &offset);
-    if (pte == nullptr) {
+    const Located ref = locate(*mem, args[i].as_ptr());
+    if (ref.pte == nullptr) {
       result.error = Status::ErrorNoValidPte;
       return result;
     }
-    refs[i] = {pte, offset};
-    roots.push_back(pte);
+    refs[i] = ref;
+    roots.push_back(ref.pte);
   }
   std::vector<PageTableEntry*> closure = nested_closure(*mem, std::move(roots));
   const std::set<PageTableEntry*> needed(closure.begin(), closure.end());
@@ -396,10 +409,7 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       }
       (void)swap_entry(*mem, *victim);
       if (!counted_intra) {
-        {
-          std::scoped_lock lock(stats_mu_);
-          ++stats_.intra_app_swaps;
-        }
+        stats_.intra_app_swaps.fetch_add(1, std::memory_order_relaxed);
         counted_intra = true;
         if (obs::TraceRecorder* tr = obs::tracer()) {
           tr->instant("intra-app-swap", "swap", obs::kRuntimePid, ctx.value, ctx.value);
@@ -419,14 +429,14 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
     obs::SpanScope sp("bulk-h2d", "swap", obs::kRuntimePid, ctx.value, ctx.value, bulk_bytes);
     for (PageTableEntry* pte : closure) {
       if (pte->to_copy_2_dev) {
+        fence_writeback(*pte);  // re-materializing reads the swap bytes
         const Status s = rt_->memcpy_h2d(pte->owner_client, pte->device_ptr, pte->swap);
         if (!ok(s)) {
           result.error = s;
           return result;
         }
         pte->to_copy_2_dev = false;
-        std::scoped_lock lock(stats_mu_);
-        ++stats_.bulk_transfers;
+        stats_.bulk_transfers.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -476,10 +486,7 @@ bool MemoryManager::try_peer_move(CtxMem& mem, PageTableEntry& pte, GpuId gpu,
   // Dirty state is unchanged: the device copy moved devices; the swap copy
   // is exactly as (in)valid as before.
   mem.resident_gpu.store(gpu.value, std::memory_order_relaxed);
-  {
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.peer_copies;
-  }
+  stats_.peer_copies.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -553,17 +560,15 @@ std::vector<ContextId> MemoryManager::victim_candidates(GpuId gpu, u64 needed,
     i64 last_use;
   };
   std::vector<Candidate> found;
-  {
-    std::scoped_lock lock(mu_);
-    for (const auto& [ctx, mem] : contexts_) {
-      if (ctx == requester) continue;
-      if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) continue;
-      if (mem->resident_bytes.load(std::memory_order_relaxed) < needed) continue;
-      found.push_back({ctx, mem->last_use_ns.load(std::memory_order_relaxed)});
-    }
-  }
-  std::sort(found.begin(), found.end(),
-            [](const Candidate& a, const Candidate& b) { return a.last_use < b.last_use; });
+  contexts_.for_each([&](ContextId ctx, const CtxMemPtr& mem) {
+    if (ctx == requester) return;
+    if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) return;
+    if (mem->resident_bytes.load(std::memory_order_relaxed) < needed) return;
+    found.push_back({ctx, mem->last_use_ns.load(std::memory_order_relaxed)});
+  });
+  std::sort(found.begin(), found.end(), [](const Candidate& a, const Candidate& b) {
+    return a.last_use != b.last_use ? a.last_use < b.last_use : a.ctx < b.ctx;
+  });
   std::vector<ContextId> out;
   out.reserve(found.size());
   for (const Candidate& c : found) out.push_back(c.ctx);
@@ -575,11 +580,13 @@ constexpr u32 kImageMagic = 0x6d766367;  // "gcvm"
 constexpr u32 kImageVersion = 1;
 }  // namespace
 
-Result<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
+StatusOr<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
   CtxMemPtr mem = find(ctx);
   if (mem == nullptr) return Status::ErrorNoValidPte;
-  // Make the swap area authoritative (costed writeback of dirty entries).
+  // Make the swap area authoritative (costed writeback of dirty entries),
+  // and let any overlapped eviction drains land before serializing.
   if (const Status s = checkpoint(ctx); !ok(s)) return s;
+  for (auto& [vptr, pte] : mem->entries) fence_writeback(*pte);
 
   WireWriter w;
   w.put<u32>(kImageMagic);
@@ -645,20 +652,32 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
   mem->resident_bytes.store(0, std::memory_order_relaxed);
   mem->resident_gpu.store(0, std::memory_order_relaxed);
 
-  // Future allocations must not collide with restored virtual addresses.
-  std::scoped_lock lock(mu_);
-  va_next_ = std::max(va_next_, (max_vptr_end + 511) / 256 * 256);
+  // Future allocations must not collide with restored virtual addresses
+  // (CAS-max: the bump allocator may race ahead concurrently).
+  const u64 want = (max_vptr_end + 511) / 256 * 256;
+  u64 cur = va_next_.load(std::memory_order_relaxed);
+  while (cur < want &&
+         !va_next_.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+  }
   return Status::Ok;
 }
 
 void MemoryManager::count_inter_app_swap() {
-  std::scoped_lock lock(stats_mu_);
-  ++stats_.inter_app_swaps;
+  stats_.inter_app_swaps.fetch_add(1, std::memory_order_relaxed);
 }
 
 MemStats MemoryManager::stats() const {
-  std::scoped_lock lock(stats_mu_);
-  return stats_;
+  MemStats out;
+  out.intra_app_swaps = stats_.intra_app_swaps.load(std::memory_order_relaxed);
+  out.inter_app_swaps = stats_.inter_app_swaps.load(std::memory_order_relaxed);
+  out.swapped_entries = stats_.swapped_entries.load(std::memory_order_relaxed);
+  out.swap_bytes = stats_.swap_bytes.load(std::memory_order_relaxed);
+  out.bulk_transfers = stats_.bulk_transfers.load(std::memory_order_relaxed);
+  out.bounds_rejections = stats_.bounds_rejections.load(std::memory_order_relaxed);
+  out.peer_copies = stats_.peer_copies.load(std::memory_order_relaxed);
+  out.async_writebacks = stats_.async_writebacks.load(std::memory_order_relaxed);
+  out.writeback_fences = stats_.writeback_fences.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace gpuvm::core

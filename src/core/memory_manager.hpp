@@ -21,15 +21,29 @@
 // binding), coalescing multiple host writes into one bulk transfer, intra-
 // and inter-application swapping, and detection of out-of-bounds operations
 // before they reach the device (Table 1's runtime-level errors).
+//
+// Concurrency: the per-context page tables live in a sharded map, so
+// tenants' malloc/memcpy/free never contend with each other; virtual
+// addresses come from a lock-free atomic bump allocator; counters are
+// relaxed atomics. The only remaining cross-tenant serialization is the
+// scheduler and the device engines themselves.
+//
+// Asynchronous swap write-back (Config::async_writeback): evicting a dirty
+// entry snapshots the device bytes into swap immediately (the staging copy
+// of a pinned-buffer write-behind) and reserves the copy engine without
+// blocking -- the evictor overlaps the D2H drain with its own kernel work.
+// Paths that *consume* swap bytes (copyDH, bulk re-materialization, image
+// export) fence on the entry's modeled drain completion, so no reader ever
+// observes bytes "before the DMA delivered them".
 #pragma once
 
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/sharded_map.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "common/vt.hpp"
@@ -60,6 +74,12 @@ struct PageTableEntry {
   ClientId owner_client{};  ///< cudart client that owns device_ptr
 
   vt::TimePoint last_use{};
+
+  /// Modeled completion time of an in-flight asynchronous swap write-back
+  /// of this entry. The swap bytes are already content-correct (snapshot at
+  /// eviction); readers of swap must sleep until this point first. Zero =
+  /// nothing in flight.
+  vt::TimePoint writeback_done{};
 };
 
 /// Counters for the experiments (Figures 7-9 annotate swap counts).
@@ -71,6 +91,8 @@ struct MemStats {
   u64 bulk_transfers = 0;    ///< coalesced host->device materializations
   u64 bounds_rejections = 0; ///< bad ops stopped before touching the device
   u64 peer_copies = 0;       ///< direct GPU-to-GPU migrations (CUDA 4 mode)
+  u64 async_writebacks = 0;  ///< evictions whose D2H overlapped other work
+  u64 writeback_fences = 0;  ///< swap reads that had to await an async drain
 };
 
 class MemoryManager {
@@ -85,9 +107,13 @@ class MemoryManager {
     /// devices with a direct GPU-to-GPU copy instead of a swap round trip
     /// ("faster thread-to-GPU remapping").
     bool direct_peer_transfers = false;
+    /// Overlap eviction D2H write-backs with subsequent work instead of
+    /// blocking the evictor (see the header comment). Readers of the swap
+    /// bytes fence on the modeled drain completion.
+    bool async_writeback = true;
   };
 
-  explicit MemoryManager(cudart::CudaRt& rt) : MemoryManager(rt, Config{true}) {}
+  explicit MemoryManager(cudart::CudaRt& rt) : MemoryManager(rt, Config{}) {}
   MemoryManager(cudart::CudaRt& rt, Config config);
 
   // ---- Context lifecycle ---------------------------------------------------
@@ -96,7 +122,7 @@ class MemoryManager {
   void remove_context(ContextId ctx);
 
   // ---- Table-1 operations (caller holds the context's ContextLock) --------
-  Result<VirtualPtr> on_malloc(ContextId ctx, u64 size);
+  StatusOr<VirtualPtr> on_malloc(ContextId ctx, u64 size);
   /// `bound_client`: the vGPU client this context is currently bound to, if
   /// any -- enables the eager (non-deferred) configuration.
   Status on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const std::byte> src,
@@ -141,7 +167,7 @@ class MemoryManager {
   /// Serializes the context's full memory state (PTE metadata, nested
   /// references, swap bytes) into a flat image; syncs dirty entries first.
   /// See core/checkpoint.hpp. Caller holds the ContextLock.
-  Result<std::vector<u8>> export_image(ContextId ctx);
+  StatusOr<std::vector<u8>> export_image(ContextId ctx);
 
   /// Replaces the context's memory state with a previously exported image.
   /// Virtual addresses are preserved; device residency starts empty (data
@@ -170,8 +196,11 @@ class MemoryManager {
   void count_inter_app_swap();
 
   MemStats stats() const;
+  /// Page-table shard-lock acquisitions that found the shard busy.
+  u64 shard_contention() const { return contexts_.contention(); }
   Config config() const { return config_; }
   void set_defer_transfers(bool defer) { config_.defer_transfers = defer; }
+  void set_async_writeback(bool async) { config_.async_writeback = async; }
 
  private:
   struct CtxMem {
@@ -186,15 +215,25 @@ class MemoryManager {
 
   CtxMemPtr find(ContextId ctx) const;
 
-  /// Locates the entry containing `ptr` (interior pointers allowed);
-  /// returns the entry and the offset within it.
-  static PageTableEntry* locate(CtxMem& mem, VirtualPtr ptr, u64* offset);
+  /// A located page-table entry: the entry containing a (possibly interior)
+  /// virtual pointer and the offset within it. `pte == nullptr` = miss.
+  struct Located {
+    PageTableEntry* pte = nullptr;
+    u64 offset = 0;
+  };
+  static Located locate(CtxMem& mem, VirtualPtr ptr);
 
   /// Ensures the device copy is synced into swap (costed d2h when dirty).
   Status sync_to_swap(PageTableEntry& pte);
 
+  /// Blocks until any in-flight asynchronous write-back of this entry has
+  /// drained (modeled time only; the bytes are already in place). Call
+  /// before *reading* the entry's swap bytes.
+  void fence_writeback(PageTableEntry& pte);
+
   /// Writes back (if dirty) and frees the device allocation. Updates
-  /// accounting. The paper's `Swap` internal call, for one entry.
+  /// accounting. The paper's `Swap` internal call, for one entry. With
+  /// async_writeback the D2H drain overlaps the caller's subsequent work.
   Status swap_entry(CtxMem& mem, PageTableEntry& pte);
 
   /// CUDA 4 direct migration of one resident entry to `gpu`; false on any
@@ -215,12 +254,24 @@ class MemoryManager {
   cudart::CudaRt* rt_;
   Config config_;
 
-  mutable std::mutex mu_;  // guards contexts_ map and va_next_ only
-  std::map<ContextId, CtxMemPtr> contexts_;
-  u64 va_next_ = 1ull << 48;
+  /// Per-context page tables, sharded by context id: tenants' memory ops
+  /// touch only their own shard (leaf lock, held for map lookup only).
+  ShardedMap<ContextId, CtxMemPtr> contexts_;
+  /// Lock-free virtual-address bump allocator (256-aligned spans).
+  std::atomic<u64> va_next_{1ull << 48};
 
-  mutable std::mutex stats_mu_;
-  MemStats stats_;
+  struct AtomicMemStats {
+    std::atomic<u64> intra_app_swaps{0};
+    std::atomic<u64> inter_app_swaps{0};
+    std::atomic<u64> swapped_entries{0};
+    std::atomic<u64> swap_bytes{0};
+    std::atomic<u64> bulk_transfers{0};
+    std::atomic<u64> bounds_rejections{0};
+    std::atomic<u64> peer_copies{0};
+    std::atomic<u64> async_writebacks{0};
+    std::atomic<u64> writeback_fences{0};
+  };
+  mutable AtomicMemStats stats_;
 };
 
 }  // namespace gpuvm::core

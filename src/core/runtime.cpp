@@ -31,17 +31,42 @@ obs::Counter& offload_fallbacks_counter() {
   return c;
 }
 
+obs::Counter& dispatch_lock_contended_counter() {
+  static obs::Counter& c = obs::metrics().counter("runtime.dispatch_lock_contended");
+  return c;
+}
+
+obs::Histogram& dispatch_lock_wait_hist() {
+  static obs::Histogram& h = obs::metrics().histogram("runtime.dispatch_lock_wait_seconds",
+                                                      obs::default_seconds_edges());
+  return h;
+}
+
+/// RAII dispatch-lock holder built on Runtime::timed_lock (records wait time
+/// and contention when the lock was busy).
+class DispatchGuard {
+ public:
+  DispatchGuard(ContextLock& lk, const std::function<void(ContextLock&)>& locker) : lk_(lk) {
+    locker(lk_);
+  }
+  ~DispatchGuard() { lk_.unlock(); }
+  DispatchGuard(const DispatchGuard&) = delete;
+  DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+ private:
+  ContextLock& lk_;
+};
+
 }  // namespace
 
 Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
     : rt_(&rt),
       config_(config),
       mm_(std::make_unique<MemoryManager>(
-          rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics})),
-      scheduler_(std::make_unique<Scheduler>(
-          rt, *mm_,
-          Scheduler::Config{config.vgpus_per_device, config.policy, config.enable_migration,
-                            config.device_wait_grace_seconds})),
+          rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics,
+                                    config.async_writeback})),
+      scheduler_(std::make_unique<Scheduler>(rt, *mm_, config.scheduler)),
+      global_dispatch_(std::make_unique<ContextLock>(rt.machine().domain())),
       drained_cv_(rt.machine().domain()) {
   // vGPUs for the devices installed at startup.
   const auto all = rt_->machine().all_gpus();
@@ -106,10 +131,7 @@ void Runtime::serve_channel(std::unique_ptr<transport::MessageChannel> channel) 
     return;
   }
   ++open_connections_;
-  {
-    std::scoped_lock slock(stats_mu_);
-    ++stats_.connections;
-  }
+  stats_.connections.fetch_add(1, std::memory_order_relaxed);
   threads_.emplace_back(rt_->machine().domain(),
                         [this, ch = std::shared_ptr<transport::MessageChannel>(
                                    std::move(channel))]() mutable {
@@ -128,17 +150,30 @@ void Runtime::set_offload_peer(
 }
 
 int Runtime::load() const {
-  int active = 0;
-  {
-    std::unique_lock lk(mu_);
-    active = static_cast<int>(contexts_.size());
-  }
+  const int active = static_cast<int>(contexts_.size());
   return std::max(scheduler_->waiting_count(), active - scheduler_->vgpu_count());
 }
 
 RuntimeStats Runtime::stats() const {
-  std::scoped_lock lock(stats_mu_);
-  return stats_;
+  RuntimeStats out;
+  out.connections = stats_.connections.load(std::memory_order_relaxed);
+  out.offloaded_connections = stats_.offloaded_connections.load(std::memory_order_relaxed);
+  out.launches = stats_.launches.load(std::memory_order_relaxed);
+  out.recoveries = stats_.recoveries.load(std::memory_order_relaxed);
+  out.auto_checkpoints = stats_.auto_checkpoints.load(std::memory_order_relaxed);
+  out.swap_retry_backoffs = stats_.swap_retry_backoffs.load(std::memory_order_relaxed);
+  out.offload_fallbacks = stats_.offload_fallbacks.load(std::memory_order_relaxed);
+  out.dispatch_lock_contended = stats_.dispatch_lock_contended.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Runtime::timed_lock(ContextLock& lk) const {
+  if (lk.try_lock()) return;
+  stats_.dispatch_lock_contended.fetch_add(1, std::memory_order_relaxed);
+  dispatch_lock_contended_counter().add(1);
+  vt::StopWatch watch(rt_->machine().domain());
+  lk.lock();
+  dispatch_lock_wait_hist().observe(watch.elapsed_seconds());
 }
 
 void Runtime::publish_metrics() const {
@@ -153,6 +188,8 @@ void Runtime::publish_metrics() const {
   gauge("stats.runtime.auto_checkpoints", static_cast<double>(rs.auto_checkpoints));
   gauge("stats.runtime.swap_retry_backoffs", static_cast<double>(rs.swap_retry_backoffs));
   gauge("stats.runtime.offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
+  gauge("stats.runtime.dispatch_lock_contended",
+        static_cast<double>(rs.dispatch_lock_contended));
 
   const SchedulerStats ss = scheduler_->stats();
   gauge("stats.sched.binds", static_cast<double>(ss.binds));
@@ -168,6 +205,9 @@ void Runtime::publish_metrics() const {
   gauge("stats.mm.bulk_transfers", static_cast<double>(ms.bulk_transfers));
   gauge("stats.mm.peer_copies", static_cast<double>(ms.peer_copies));
   gauge("stats.mm.bounds_rejections", static_cast<double>(ms.bounds_rejections));
+  gauge("stats.mm.async_writebacks", static_cast<double>(ms.async_writebacks));
+  gauge("stats.mm.writeback_fences", static_cast<double>(ms.writeback_fences));
+  gauge("stats.mm.shard_contention", static_cast<double>(mm_->shard_contention()));
 
   for (const GpuId gpu : rt_->machine().all_gpus()) {
     const sim::SimGpu* dev = rt_->machine().gpu(gpu);
@@ -192,25 +232,24 @@ void Runtime::drain() {
 }
 
 std::shared_ptr<Context> Runtime::find_context(ContextId id) {
-  std::unique_lock lk(mu_);
-  const auto it = contexts_.find(id);
-  return it == contexts_.end() ? nullptr : it->second;
+  return contexts_.find(id);
 }
 
 void Runtime::connection_loop(transport::MessageChannel& channel) {
-  auto hello = channel.receive();
-  if (!hello.has_value() || hello->op != Opcode::Hello) return;
-  double cost_hint = 0.0;
-  bool forwarded = false;
-  u64 app_id = 0;
-  double deadline = 0.0;
-  {
-    WireReader r(hello->payload);
-    cost_hint = r.get<double>();
-    if (r.remaining() > 0) forwarded = r.get<u8>() != 0;
-    if (r.remaining() > 0) app_id = r.get<u64>();
-    if (r.remaining() > 0) deadline = r.get<double>();
+  auto hello_msg = channel.receive();
+  if (!hello_msg.has_value() || hello_msg->op != Opcode::Hello) return;
+
+  // Protocol handshake: reject pre-handshake (v1) or incompatible peers
+  // with a clean ErrorProtocolMismatch instead of misparsing their frames.
+  auto hello = transport::decode_hello(hello_msg->payload);
+  if (!hello) {
+    channel.send(transport::make_reply(hello_msg->connection, hello.status()));
+    log::info("runtime: rejected peer with incompatible handshake (%s)",
+              to_string(hello.status()));
+    return;
   }
+  // Negotiated capability set: what both sides speak.
+  const u32 caps = hello->caps & protocol::caps::kAll;
 
   // Inter-node offloading: if this node is overloaded and a peer exists,
   // the whole connection is proxied there (section 4.7). Only the CUDA
@@ -222,8 +261,8 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     std::unique_lock lk(mu_);
     factory = peer_factory_;
   }
-  if (!forwarded && factory && config_.offload_threshold >= 0 &&
-      load() >= config_.offload_threshold) {
+  if (!hello->forwarded && (caps & protocol::caps::kOffload) != 0 && factory &&
+      config_.offload_threshold >= 0 && load() >= config_.offload_threshold) {
     // The peer handshake runs over a ReconnectingChannel: a forwarded Hello
     // lost to a broken link is resent on a fresh channel. Once a session is
     // established, a mid-session break surfaces to the client as a closed
@@ -231,19 +270,13 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     transport::ReconnectingChannel peer(factory);
     bool proxied = false;
     if (!peer.closed()) {
-      transport::Message fwd = *hello;
-      WireWriter w;
-      w.put<double>(cost_hint);
-      w.put<u8>(1);
-      w.put<u64>(app_id);
-      w.put<double>(deadline);
-      fwd.payload = w.take();
+      transport::Message fwd = *hello_msg;
+      transport::HelloPayload fwd_hello = *hello;
+      fwd_hello.forwarded = true;  // the peer must not shed it again
+      fwd.payload = transport::encode_hello(fwd_hello);
       if (peer.send(std::move(fwd))) {
         if (auto reply = peer.receive(); reply.has_value()) {
-          {
-            std::scoped_lock lock(stats_mu_);
-            ++stats_.offloaded_connections;
-          }
+          stats_.offloaded_connections.fetch_add(1, std::memory_order_relaxed);
           channel.send(std::move(*reply));
           offload_proxy_loop(channel, peer);
           proxied = true;
@@ -254,10 +287,7 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     if (proxied) return;
     // Peer unreachable: degrade gracefully by servicing the connection
     // locally instead of abandoning the application.
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.offload_fallbacks;
-    }
+    stats_.offload_fallbacks.fetch_add(1, std::memory_order_relaxed);
     offload_fallbacks_counter().add(1);
     log::info("runtime: offload peer unreachable, serving connection locally");
   }
@@ -266,24 +296,28 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
   // application's shared context ("all threads belonging to the same
   // application are mapped onto the same CUDA context", section 4.8).
   std::shared_ptr<Context> ctx;
+  const u64 app_id = hello->app_id;
   const bool shared = config_.cuda4_semantics && app_id != 0;
   bool fresh = true;
-  {
+  if (shared) {
     std::unique_lock lk(mu_);
-    if (shared) {
-      const auto it = app_contexts_.find(app_id);
-      if (it != app_contexts_.end()) {
-        ctx = it->second;
-        ctx->connection_refs.fetch_add(1, std::memory_order_acq_rel);
-        fresh = false;
-      }
-    }
-    if (ctx == nullptr) {
-      const ContextId id{next_context_++};
+    const auto it = app_contexts_.find(app_id);
+    if (it != app_contexts_.end()) {
+      ctx = it->second;
+      ctx->connection_refs.fetch_add(1, std::memory_order_acq_rel);
+      // The shared context speaks the intersection of all its connections.
+      ctx->caps.fetch_and(caps, std::memory_order_acq_rel);
+      fresh = false;
+    } else {
+      const ContextId id{next_context_.fetch_add(1, std::memory_order_relaxed)};
       ctx = std::make_shared<Context>(id, rt_->machine().domain());
       contexts_.emplace(id, ctx);
-      if (shared) app_contexts_.emplace(app_id, ctx);
+      app_contexts_.emplace(app_id, ctx);
     }
+  } else {
+    const ContextId id{next_context_.fetch_add(1, std::memory_order_relaxed)};
+    ctx = std::make_shared<Context>(id, rt_->machine().domain());
+    contexts_.emplace(id, ctx);
   }
   if (fresh) {
     if (obs::TraceRecorder* tr = obs::tracer()) {
@@ -293,26 +327,38 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     }
     mm_->add_context(ctx->id);
     ctx->arrival = rt_->machine().domain().now();
-    ctx->job_cost_hint_seconds = cost_hint;
-    ctx->deadline_seconds = deadline;
+    ctx->job_cost_hint_seconds = hello->job_cost_hint_seconds;
+    ctx->deadline_seconds = hello->deadline_seconds;
     ctx->app_id = app_id;
+    ctx->caps.store(caps, std::memory_order_release);
     ctx->state.store(ContextState::Detached, std::memory_order_release);
     // Shared contexts have several channels; the idle probe used by
     // inter-application swap only applies to exclusive contexts.
     if (!shared) ctx->channel.store(&channel, std::memory_order_release);
   }
   {
-    WireWriter w;
-    w.put<u64>(ctx->id.value);
-    channel.send(transport::make_reply(hello->connection, Status::Ok, w.take()));
+    transport::HelloReply hr;
+    hr.context_id = ctx->id.value;
+    hr.caps = ctx->caps.load(std::memory_order_acquire);
+    channel.send(transport::make_reply(hello_msg->connection, Status::Ok,
+                                       transport::encode_hello_reply(hr)));
   }
 
+  const bool global = config_.dispatch_mode == DispatchMode::GlobalLock;
+  const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
   while (auto msg = channel.receive()) {
     if (msg->op == Opcode::Goodbye) {
       channel.send(transport::make_reply(msg->connection, Status::Ok));
       break;
     }
-    channel.send(handle(*ctx, channel, *msg));
+    if (global) {
+      // Legacy discipline: one daemon-wide lock across the entire call,
+      // including queueing for a vGPU and the kernel itself.
+      DispatchGuard g(*global_dispatch_, locker);
+      channel.send(handle(*ctx, channel, *msg));
+    } else {
+      channel.send(handle(*ctx, channel, *msg));
+    }
   }
 
   // Teardown: the last connection of the context releases its binding and
@@ -328,9 +374,11 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     if (obs::TraceRecorder* tr = obs::tracer()) {
       tr->instant("disconnect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
     }
-    std::unique_lock lk(mu_);
-    contexts_.erase(ctx->id);
-    if (shared) app_contexts_.erase(app_id);
+    contexts_.take(ctx->id);
+    if (shared) {
+      std::unique_lock lk(mu_);
+      app_contexts_.erase(app_id);
+    }
   }
 }
 
@@ -357,6 +405,8 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
     if (!ok(s)) ctx.last_error = s;
     return transport::make_reply(conn, s, std::move(payload));
   };
+  const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
+  const u32 caps = ctx.caps.load(std::memory_order_acquire);
 
   switch (msg.op) {
     // ---- Registration: issued eagerly, before any binding exists. -----------
@@ -404,7 +454,7 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
     case Opcode::Malloc: {
       const u64 size = r.get<u64>();
       if (!r.ok()) return reply(Status::ErrorProtocol);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "malloc";
       auto vptr = mm_->on_malloc(ctx.id, size);
       if (!vptr) return reply(vptr.status());
@@ -415,7 +465,7 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
     case Opcode::Free: {
       const u64 ptr = r.get<u64>();
       if (!r.ok()) return reply(Status::ErrorProtocol);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "free";
       return reply(mm_->on_free(ctx.id, ptr));
     }
@@ -423,7 +473,7 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
       const u64 dst = r.get<u64>();
       const auto data = r.get_span();
       if (!r.ok()) return reply(Status::ErrorProtocol);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "memcpyH2D";
       std::optional<ClientId> bound;
       if (auto binding = scheduler_->binding_of(ctx.id)) bound = binding->client;
@@ -435,7 +485,7 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
       const u64 size = r.get<u64>();
       if (!r.ok()) return reply(Status::ErrorProtocol);
       std::vector<u8> out(size);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "memcpyD2H";
       const Status s = mm_->on_copy_d2h(
           ctx.id, std::as_writable_bytes(std::span(out.data(), out.size())), src, size);
@@ -449,11 +499,14 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
       const u64 src = r.get<u64>();
       const u64 size = r.get<u64>();
       if (!r.ok()) return reply(Status::ErrorProtocol);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "memcpyD2D";
       return reply(mm_->on_copy_d2d(ctx.id, dst, src, size));
     }
     case Opcode::RegisterNested: {
+      if ((caps & protocol::caps::kRegisterNested) == 0) {
+        return reply(Status::ErrorNotSupported);
+      }
       const u64 parent = r.get<u64>();
       const u64 count = r.get<u64>();
       std::vector<NestedRef> refs;
@@ -465,11 +518,12 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
         refs.push_back(ref);
       }
       if (!r.ok()) return reply(Status::ErrorProtocol);
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       return reply(mm_->register_nested(ctx.id, parent, refs));
     }
     case Opcode::Checkpoint: {
-      std::scoped_lock ctx_lock(ctx.lock);
+      if ((caps & protocol::caps::kCheckpoint) == 0) return reply(Status::ErrorNotSupported);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       ctx.last_call = "checkpoint";
       return reply(mm_->checkpoint(ctx.id));
     }
@@ -520,6 +574,8 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
 
     // ---- Observability -------------------------------------------------------
     case Opcode::QueryStats: {
+      // Optional op: only peers that negotiated the capability may ask.
+      if ((caps & protocol::caps::kQueryStats) == 0) return reply(Status::ErrorNotSupported);
       publish_metrics();
       WireWriter w;
       obs::metrics().snapshot().encode(w);
@@ -584,14 +640,12 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
   }
 
   vt::Domain& dom = rt_->machine().domain();
-  {
-    std::scoped_lock slock(stats_mu_);
-    ++stats_.launches;
-  }
+  stats_.launches.fetch_add(1, std::memory_order_relaxed);
   // End-to-end launch latency: queueing for a vGPU, materialization and
   // swaps, the kernel itself, any recovery replays.
   obs::SpanScope launch_span(name, "launch", obs::kRuntimePid, ctx.id.value, ctx.id.value);
   vt::StopWatch launch_watch(dom);
+  const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
 
   int recovery_attempts = 0;
   for (;;) {
@@ -601,10 +655,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
     if (!acquired) return acquired.status();
     const Scheduler::Binding binding = acquired.value();
     if (binding.recovered_from_failure) {
-      {
-        std::scoped_lock slock(stats_mu_);
-        ++stats_.recoveries;
-      }
+      stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
       recoveries_counter().add(1);
       if (obs::TraceRecorder* tr = obs::tracer()) {
         tr->instant("recovery-replay", "recover", obs::kRuntimePid, ctx.id.value,
@@ -616,7 +667,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
     Next next = Next::Done;
     Status result = Status::Ok;
     {
-      std::scoped_lock ctx_lock(ctx.lock);
+      DispatchGuard ctx_lock(ctx.lock, locker);
       auto prep = mm_->prepare_launch(ctx.id, binding.gpu, binding.client, args);
       switch (prep.outcome) {
         case MemoryManager::PrepareOutcome::WouldBlock: {
@@ -653,8 +704,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
                           ctx.id.value);
             }
             recoveries_counter().add(1);
-            std::scoped_lock slock(stats_mu_);
-            ++stats_.recoveries;
+            stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
             break;
           }
           ctx.gpu_time_used_seconds += elapsed;
@@ -663,8 +713,7 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
             // Automatic checkpoint after long kernels bounds the restart
             // penalty of a later failure (section 4.6).
             (void)mm_->checkpoint(ctx.id);
-            std::scoped_lock slock(stats_mu_);
-            ++stats_.auto_checkpoints;
+            stats_.auto_checkpoints.fetch_add(1, std::memory_order_relaxed);
           }
           next = Next::Done;
           break;
@@ -702,14 +751,11 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
         // another partial holder); the retry pace is matched to kernel
         // durations, not a busy spin.
         {
-          std::scoped_lock ctx_lock(ctx.lock);
+          DispatchGuard ctx_lock(ctx.lock, locker);
           (void)mm_->swap_context(ctx.id);
         }
         scheduler_->release(ctx);
-        {
-          std::scoped_lock slock(stats_mu_);
-          ++stats_.swap_retry_backoffs;
-        }
+        stats_.swap_retry_backoffs.fetch_add(1, std::memory_order_relaxed);
         dom.sleep_for(vt::from_millis(400));
         continue;
       }

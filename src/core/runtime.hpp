@@ -9,6 +9,18 @@
 // manager provides intra-/inter-application swap; failed contexts recover
 // onto surviving devices; overload can be shed to a peer node daemon
 // (inter-node offloading).
+//
+// Threading model (DispatchMode::Sharded, the default): each connection is
+// served by its own thread; a call locks only its context's ContextLock, the
+// context table and per-context page tables are sharded maps, counters are
+// relaxed atomics, and the daemon-wide mu_ guards nothing but connection
+// bookkeeping and the CUDA-4 app-context registry. Tenants contend only on
+// the scheduler (when competing for vGPUs) and on the device engines
+// themselves. DispatchMode::GlobalLock is the legacy discipline -- one
+// daemon-wide vt-aware lock held across every call -- kept as an explicit
+// baseline for the throughput benchmark; it requires at least as many vGPUs
+// as concurrently launching tenants (a tenant blocked in acquire() holds the
+// dispatch lock).
 #pragma once
 
 #include <atomic>
@@ -18,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/sharded_map.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "core/context.hpp"
@@ -28,11 +41,28 @@
 
 namespace gpuvm::core {
 
+/// How the dispatcher serializes concurrent application calls.
+enum class DispatchMode {
+  /// One daemon-wide lock held for the full duration of every call (the
+  /// pre-sharding discipline). Correct but serializes all tenants; kept as
+  /// the labeled baseline for bench_throughput.
+  GlobalLock,
+  /// Per-context locks, sharded context/page tables, atomic counters.
+  Sharded,
+};
+
 struct RuntimeConfig {
-  int vgpus_per_device = 4;
-  PolicyKind policy = PolicyKind::Fcfs;
+  /// Scheduling knobs (vGPUs per device, policy, migration, grace period),
+  /// passed to the Scheduler verbatim -- see SchedulerConfig.
+  SchedulerConfig scheduler;
+
+  DispatchMode dispatch_mode = DispatchMode::Sharded;
+
   bool defer_transfers = true;
-  bool enable_migration = false;
+
+  /// Overlap eviction write-backs with subsequent work (see
+  /// MemoryManager::Config::async_writeback).
+  bool async_writeback = true;
 
   /// Node load (contexts waiting for a vGPU) above which newly arriving
   /// connections are offloaded to the peer node. <0 disables offloading.
@@ -49,12 +79,6 @@ struct RuntimeConfig {
   /// device failure before giving up.
   int max_recovery_attempts = 3;
 
-  /// Scheduler grace period (seconds) a context survives with no alive
-  /// vGPU anywhere before failing. 0 = fail immediately (default). Chaos
-  /// scenarios with node crash/rejoin set this so contexts re-queue across
-  /// the dark window instead of aborting.
-  double device_wait_grace_seconds = 0.0;
-
   /// CUDA 4.0 semantics (paper section 4.8): connections carrying the same
   /// application id share one context (shared data, same device), and
   /// cross-device migration uses direct GPU-to-GPU transfers.
@@ -70,6 +94,7 @@ struct RuntimeStats {
   u64 swap_retry_backoffs = 0;  ///< launch attempts that unbound and retried
   u64 offload_fallbacks = 0;    ///< offload attempts that fell back to local
                                 ///< servicing (peer unreachable mid-handshake)
+  u64 dispatch_lock_contended = 0;  ///< dispatch-lock acquisitions that waited
 };
 
 class Runtime {
@@ -139,14 +164,28 @@ class Runtime {
 
   std::shared_ptr<Context> find_context(ContextId id);
 
+  /// Locks `lk`, recording wait time and contention in the obs registry
+  /// when the lock was busy. Used for both per-context locks (Sharded) and
+  /// the daemon-wide lock (GlobalLock).
+  void timed_lock(ContextLock& lk) const;
+
   cudart::CudaRt* rt_;
   RuntimeConfig config_;
   std::unique_ptr<MemoryManager> mm_;
   std::unique_ptr<Scheduler> scheduler_;
 
+  /// Context table, sharded by id: lookups on the dispatch hot path never
+  /// serialize unrelated tenants.
+  ShardedMap<ContextId, std::shared_ptr<Context>> contexts_;
+  std::atomic<u64> next_context_{1};
+
+  /// The DispatchMode::GlobalLock baseline lock (vt-aware: a tenant blocked
+  /// on it does not stall the virtual clock). Unused in Sharded mode.
+  std::unique_ptr<ContextLock> global_dispatch_;
+
+  /// Guards connection bookkeeping and the CUDA-4 shared-context registry
+  /// only -- never held across a dispatched call.
   mutable std::mutex mu_;
-  u64 next_context_ = 1;
-  std::map<ContextId, std::shared_ptr<Context>> contexts_;
   std::map<u64, std::shared_ptr<Context>> app_contexts_;  // CUDA 4 mode
   std::vector<vt::Thread> threads_;
   int open_connections_ = 0;
@@ -155,8 +194,17 @@ class Runtime {
 
   std::function<std::unique_ptr<transport::MessageChannel>()> peer_factory_;
 
-  mutable std::mutex stats_mu_;
-  RuntimeStats stats_;
+  struct AtomicRuntimeStats {
+    std::atomic<u64> connections{0};
+    std::atomic<u64> offloaded_connections{0};
+    std::atomic<u64> launches{0};
+    std::atomic<u64> recoveries{0};
+    std::atomic<u64> auto_checkpoints{0};
+    std::atomic<u64> swap_retry_backoffs{0};
+    std::atomic<u64> offload_fallbacks{0};
+    std::atomic<u64> dispatch_lock_contended{0};
+  };
+  mutable AtomicRuntimeStats stats_;
 };
 
 }  // namespace gpuvm::core

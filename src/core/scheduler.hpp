@@ -47,21 +47,26 @@ struct SchedulerStats {
                        ///< re-queues instead of aborting)
 };
 
+/// The scheduling knobs, in one place. RuntimeConfig embeds this struct and
+/// hands it to the Scheduler verbatim, so a setting can no longer be set on
+/// the runtime and silently ignored by the scheduler (or vice versa).
+struct SchedulerConfig {
+  int vgpus_per_device = 4;
+  PolicyKind policy = PolicyKind::Fcfs;
+  /// Allow re-binding a context whose data lives on a slower device to a
+  /// strictly faster idle device (Figure 9's load balancing).
+  bool enable_migration = false;
+  /// Grace period a waiter survives with *no* alive vGPU anywhere before
+  /// acquire() fails with ErrorDeviceUnavailable. 0 (default) fails
+  /// immediately — the pre-chaos behaviour. A positive grace lets
+  /// contexts ride out a node going dark and rejoining (chaos scenarios,
+  /// rolling restarts) by re-queuing instead of aborting.
+  double device_wait_grace_seconds = 0.0;
+};
+
 class Scheduler {
  public:
-  struct Config {
-    int vgpus_per_device = 4;
-    PolicyKind policy = PolicyKind::Fcfs;
-    /// Allow re-binding a context whose data lives on a slower device to a
-    /// strictly faster idle device (Figure 9's load balancing).
-    bool enable_migration = false;
-    /// Grace period a waiter survives with *no* alive vGPU anywhere before
-    /// acquire() fails with ErrorDeviceUnavailable. 0 (default) fails
-    /// immediately — the pre-chaos behaviour. A positive grace lets
-    /// contexts ride out a node going dark and rejoining (chaos scenarios,
-    /// rolling restarts) by re-queuing instead of aborting.
-    double device_wait_grace_seconds = 0.0;
-  };
+  using Config = SchedulerConfig;
 
   Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config);
   ~Scheduler();

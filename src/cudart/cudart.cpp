@@ -140,10 +140,11 @@ Result<DevicePtr> CudaRt::malloc(ClientId id, u64 size) {
   return ptr.value();
 }
 
-Result<DevicePtr> CudaRt::malloc_pitch(ClientId id, u64 width, u64 height, u64* pitch) {
+StatusOr<CudaRt::PitchedAlloc> CudaRt::malloc_pitch(ClientId id, u64 width, u64 height) {
   const u64 row = (width + 255) / 256 * 256;
-  if (pitch != nullptr) *pitch = row;
-  return malloc(id, row * height);
+  auto ptr = malloc(id, row * height);
+  if (!ptr) return ptr.status();
+  return PitchedAlloc{ptr.value(), row};
 }
 
 Status CudaRt::free(ClientId id, DevicePtr ptr) {
@@ -201,6 +202,26 @@ Status CudaRt::memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, 
   std::scoped_lock lock(mu_);
   if (Client* client = find_client_locked(id)) return record(*client, s);
   return s;
+}
+
+StatusOr<vt::TimePoint> CudaRt::memcpy_d2h_async(ClientId id, std::span<std::byte> dst,
+                                                 DevicePtr src, u64 size) {
+  calls_counter().add(1);
+  sim::SimGpu* gpu = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    Client* client = find_client_locked(id);
+    if (client == nullptr) return Status::ErrorInvalidValue;
+    auto ensured = ensure_context_locked(*client);
+    if (!ensured) return record(*client, ensured.status());
+    gpu = ensured.value();
+  }
+  obs::SpanScope sp("cudaMemcpyAsync D2H", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, size);
+  auto done = gpu->copy_from_device_async(dst, src, size);
+  std::scoped_lock lock(mu_);
+  if (Client* client = find_client_locked(id)) (void)record(*client, done.status());
+  return done;
 }
 
 Status CudaRt::memcpy_d2d(ClientId id, DevicePtr dst, DevicePtr src, u64 size) {

@@ -32,6 +32,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "common/vt.hpp"
 #include "sim/machine.hpp"
 
 namespace gpuvm::cudart {
@@ -84,10 +85,19 @@ class CudaRt {
   // ---- Memory management --------------------------------------------------
   Result<DevicePtr> malloc(ClientId id, u64 size);
   /// cudaMallocPitch/MallocArray stand-in: pads rows to 256B.
-  Result<DevicePtr> malloc_pitch(ClientId id, u64 width, u64 height, u64* pitch);
+  struct PitchedAlloc {
+    DevicePtr ptr = kNullDevicePtr;
+    u64 pitch = 0;  ///< row stride in bytes (width padded to 256)
+  };
+  StatusOr<PitchedAlloc> malloc_pitch(ClientId id, u64 width, u64 height);
   Status free(ClientId id, DevicePtr ptr);
   Status memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte> src);
   Status memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, u64 size);
+  /// Device->host without blocking for the modeled transfer: the bytes land
+  /// in `dst` immediately and the returned time point is when the copy
+  /// engine finishes the drain (see SimGpu::copy_from_device_async).
+  StatusOr<vt::TimePoint> memcpy_d2h_async(ClientId id, std::span<std::byte> dst, DevicePtr src,
+                                           u64 size);
   Status memcpy_d2d(ClientId id, DevicePtr dst, DevicePtr src, u64 size);
   /// cudaMemcpyPeer (CUDA 4.0): dst lives on the client's device, src on
   /// whichever device owns that address.

@@ -161,6 +161,29 @@ Status SimGpu::copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 siz
   return Status::Ok;
 }
 
+Result<vt::TimePoint> SimGpu::copy_from_device_async(std::span<std::byte> dst, DevicePtr src,
+                                                     u64 size) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  if (dst.size() < size) return Status::ErrorInvalidValue;
+  {
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    const Block* block = locate_locked(src, &offset);
+    if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (offset + size > block->data.size()) return Status::ErrorInvalidValue;
+    std::memcpy(dst.data(), block->data.data() + offset, size);
+    stats_.bytes_from_device += size;
+  }
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
+  if (obs::TraceRecorder* tr = obs::tracer()) {
+    tr->span("d2h-async", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
+  }
+  transfer_bytes_hist().observe(static_cast<double>(size));
+  return done;  // no sleep: the caller overlaps the drain
+}
+
 Status SimGpu::copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size) {
   if (const Status s = check_healthy_and_count(); !ok(s)) return s;
   {

@@ -66,6 +66,13 @@ class SimGpu {
   Status copy_to_device(DevicePtr dst, std::span<const std::byte> src);
   /// Transfer device->host.
   Status copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 size);
+  /// Asynchronous device->host transfer: copies the bytes into `dst`
+  /// immediately (staging snapshot), reserves the copy engine for the
+  /// modeled PCIe time, and returns the virtual completion time *without*
+  /// blocking the caller. The caller decides when (or whether) to await the
+  /// drain -- the write-back overlap behind the runtime's async swap path.
+  Result<vt::TimePoint> copy_from_device_async(std::span<std::byte> dst, DevicePtr src,
+                                               u64 size);
   /// Device->device copy within this GPU.
   Status copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size);
 

@@ -94,19 +94,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--gpus") {
       gpus = next();
     } else if (arg == "--vgpus") {
-      config.vgpus_per_device = std::atoi(next());
+      config.scheduler.vgpus_per_device = std::atoi(next());
     } else if (arg == "--policy") {
       const std::string p = next();
-      if (p == "fcfs") config.policy = core::PolicyKind::Fcfs;
-      else if (p == "sjf") config.policy = core::PolicyKind::ShortestJobFirst;
-      else if (p == "credit") config.policy = core::PolicyKind::CreditBased;
-      else if (p == "deadline") config.policy = core::PolicyKind::DeadlineAware;
+      if (p == "fcfs") config.scheduler.policy = core::PolicyKind::Fcfs;
+      else if (p == "sjf") config.scheduler.policy = core::PolicyKind::ShortestJobFirst;
+      else if (p == "credit") config.scheduler.policy = core::PolicyKind::CreditBased;
+      else if (p == "deadline") config.scheduler.policy = core::PolicyKind::DeadlineAware;
       else {
         usage();
         return 2;
       }
     } else if (arg == "--migration") {
-      config.enable_migration = true;
+      config.scheduler.enable_migration = true;
     } else if (arg == "--cuda4") {
       config.cuda4_semantics = true;
     } else if (arg == "--eager-transfers") {

@@ -72,4 +72,56 @@ std::span<const u8> reply_payload(const Message& reply) {
   return std::span<const u8>(reply.payload).subspan(sizeof(i32));
 }
 
+std::vector<u8> encode_hello(const HelloPayload& hello) {
+  WireWriter w;
+  w.put<u32>(protocol::kHandshakeMagic);
+  w.put<u16>(hello.version);
+  w.put<u32>(hello.caps);
+  w.put<double>(hello.job_cost_hint_seconds);
+  w.put<u8>(hello.forwarded ? 1 : 0);
+  w.put<u64>(hello.app_id);
+  w.put<double>(hello.deadline_seconds);
+  return w.take();
+}
+
+StatusOr<HelloPayload> decode_hello(std::span<const u8> payload) {
+  WireReader r(payload);
+  const u32 magic = r.get<u32>();
+  if (!r.ok() || magic != protocol::kHandshakeMagic) {
+    return Status::ErrorProtocolMismatch;  // pre-handshake (v1) or alien peer
+  }
+  HelloPayload hello;
+  hello.version = r.get<u16>();
+  hello.caps = r.get<u32>();
+  if (!r.ok()) return Status::ErrorProtocol;
+  if (hello.version < protocol::kMinProtocolVersion ||
+      hello.version > protocol::kProtocolVersion) {
+    return Status::ErrorProtocolMismatch;
+  }
+  hello.job_cost_hint_seconds = r.get<double>();
+  hello.forwarded = r.get<u8>() != 0;
+  hello.app_id = r.get<u64>();
+  hello.deadline_seconds = r.get<double>();
+  if (!r.ok()) return Status::ErrorProtocol;
+  return hello;
+}
+
+std::vector<u8> encode_hello_reply(const HelloReply& reply) {
+  WireWriter w;
+  w.put<u64>(reply.context_id);
+  w.put<u16>(reply.version);
+  w.put<u32>(reply.caps);
+  return w.take();
+}
+
+StatusOr<HelloReply> decode_hello_reply(std::span<const u8> payload) {
+  WireReader r(payload);
+  HelloReply reply;
+  reply.context_id = r.get<u64>();
+  reply.version = r.get<u16>();
+  reply.caps = r.get<u32>();
+  if (!r.ok()) return Status::ErrorProtocol;
+  return reply;
+}
+
 }  // namespace gpuvm::transport

@@ -83,4 +83,37 @@ Status reply_status(const Message& reply);
 /// Payload bytes after the leading status word.
 std::span<const u8> reply_payload(const Message& reply);
 
+// ---- Handshake (Hello / Hello reply) ---------------------------------------
+//
+// Since protocol version 2 the Hello payload leads with a magic word, the
+// speaker's protocol version and its capability bits; the daemon replies
+// with the context id, its own version and the negotiated (intersected)
+// capability set. Optional ops like QueryStats may only be issued when
+// their bit survived negotiation. A payload without the magic word comes
+// from a pre-handshake (version 1) peer and is rejected with
+// ErrorProtocolMismatch.
+
+struct HelloPayload {
+  u16 version = protocol::kProtocolVersion;
+  u32 caps = protocol::caps::kAll;  ///< capabilities the client supports
+  double job_cost_hint_seconds = 0.0;
+  bool forwarded = false;  ///< set by a proxying daemon (offload)
+  u64 app_id = 0;
+  double deadline_seconds = 0.0;
+};
+
+std::vector<u8> encode_hello(const HelloPayload& hello);
+/// ErrorProtocolMismatch: missing magic (old peer) or unsupported version.
+/// ErrorProtocol: truncated/garbled payload.
+StatusOr<HelloPayload> decode_hello(std::span<const u8> payload);
+
+struct HelloReply {
+  u64 context_id = 0;
+  u16 version = protocol::kProtocolVersion;  ///< daemon's protocol version
+  u32 caps = 0;                              ///< negotiated capability set
+};
+
+std::vector<u8> encode_hello_reply(const HelloReply& reply);
+StatusOr<HelloReply> decode_hello_reply(std::span<const u8> payload);
+
 }  // namespace gpuvm::transport

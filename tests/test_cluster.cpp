@@ -53,7 +53,7 @@ class ClusterTest : public ::testing::Test {
 
   Cluster make_cluster(int vgpus, int offload_threshold = -1) {
     core::RuntimeConfig config;
-    config.vgpus_per_device = vgpus;
+    config.scheduler.vgpus_per_device = vgpus;
     config.offload_threshold = offload_threshold;
     // Unbalanced two-node cluster like the paper's: 3 GPUs vs 1 GPU.
     Cluster cluster(dom_, sim::SimParams{1},

@@ -34,7 +34,7 @@ class Cuda4Test : public ::testing::Test {
   void start(bool cuda4) {
     RuntimeConfig config;
     config.cuda4_semantics = cuda4;
-    config.vgpus_per_device = 2;
+    config.scheduler.vgpus_per_device = 2;
     runtime_ = std::make_unique<Runtime>(*rt_, config);
   }
 
@@ -208,21 +208,21 @@ TEST_P(Memcpy2DTest, PitchedRoundTripOnBothBackends) {
 
   constexpr u64 kWidth = 100;  // bytes per row
   constexpr u64 kHeight = 8;
-  u64 pitch = 0;
-  auto ptr = api->malloc_pitch(kWidth, kHeight, &pitch);
+  auto ptr = api->malloc_pitch(kWidth, kHeight);
   ASSERT_TRUE(ptr.has_value());
+  const u64 pitch = ptr->pitch;
   EXPECT_EQ(pitch, 256u);
 
   std::vector<std::byte> src(kWidth * kHeight);
   for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i % 251);
-  ASSERT_EQ(api->memcpy2d_h2d(ptr.value(), pitch, src, kWidth, kWidth, kHeight), Status::Ok);
+  ASSERT_EQ(api->memcpy2d_h2d(ptr->ptr, pitch, src, kWidth, kWidth, kHeight), Status::Ok);
 
   std::vector<std::byte> dst(kWidth * kHeight, std::byte{0});
-  ASSERT_EQ(api->memcpy2d_d2h(dst, kWidth, ptr.value(), pitch, kWidth, kHeight), Status::Ok);
+  ASSERT_EQ(api->memcpy2d_d2h(dst, kWidth, ptr->ptr, pitch, kWidth, kHeight), Status::Ok);
   EXPECT_EQ(dst, src);
 
   // Bad geometry rejected.
-  EXPECT_EQ(api->memcpy2d_h2d(ptr.value(), pitch, src, kWidth, kWidth + 1, kHeight),
+  EXPECT_EQ(api->memcpy2d_h2d(ptr->ptr, pitch, src, kWidth, kWidth + 1, kHeight),
             Status::ErrorInvalidValue);
 }
 

@@ -173,10 +173,9 @@ TEST_F(CudaRtTest, DeviceFailurePropagates) {
 
 TEST_F(CudaRtTest, MallocPitchPadsRows) {
   const ClientId c = rt_->create_client();
-  u64 pitch = 0;
-  auto ptr = rt_->malloc_pitch(c, 100, 10, &pitch);
+  auto ptr = rt_->malloc_pitch(c, 100, 10);
   ASSERT_TRUE(ptr.has_value());
-  EXPECT_EQ(pitch, 256u);
+  EXPECT_EQ(ptr->pitch, 256u);
 }
 
 TEST_F(CudaRtTest, PinnedFcfsServiceAcrossClients) {
@@ -214,20 +213,20 @@ TEST_F(CudaRtTest, PinnedFcfsServiceAcrossClients) {
 
 TEST_F(CudaRtTest, Memcpy2DRespectsPitches) {
   const ClientId c = rt_->create_client();
-  u64 pitch = 0;
-  auto ptr = rt_->malloc_pitch(c, 100, 4, &pitch);
+  auto ptr = rt_->malloc_pitch(c, 100, 4);
   ASSERT_TRUE(ptr.has_value());
+  const u64 pitch = ptr->pitch;
   ASSERT_EQ(pitch, 256u);
 
   std::vector<std::byte> src(100 * 4);
   for (size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i % 250);
-  ASSERT_EQ(rt_->memcpy2d_h2d(c, ptr.value(), pitch, src, 100, 100, 4), Status::Ok);
+  ASSERT_EQ(rt_->memcpy2d_h2d(c, ptr->ptr, pitch, src, 100, 100, 4), Status::Ok);
   std::vector<std::byte> dst(100 * 4, std::byte{0});
-  ASSERT_EQ(rt_->memcpy2d_d2h(c, dst, 100, ptr.value(), pitch, 100, 4), Status::Ok);
+  ASSERT_EQ(rt_->memcpy2d_d2h(c, dst, 100, ptr->ptr, pitch, 100, 4), Status::Ok);
   EXPECT_EQ(dst, src);
 
   // width > pitch is invalid geometry.
-  EXPECT_EQ(rt_->memcpy2d_h2d(c, ptr.value(), 64, src, 100, 100, 4),
+  EXPECT_EQ(rt_->memcpy2d_h2d(c, ptr->ptr, 64, src, 100, 100, 4),
             Status::ErrorInvalidValue);
 }
 

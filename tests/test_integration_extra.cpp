@@ -69,7 +69,7 @@ TEST(OffloadResilience, RemoteGpuFailureRecoversTransparently) {
   vt::AttachGuard guard(dom);
   sim::SimParams params{1};
   core::RuntimeConfig config;
-  config.vgpus_per_device = 2;
+  config.scheduler.vgpus_per_device = 2;
   config.offload_threshold = 0;  // node-a sheds everything
   config.auto_checkpoint_after_kernel_seconds = 1e-9;
   cluster::Cluster cl(dom, params,
@@ -116,7 +116,7 @@ TEST(Cuda4Pressure, SharedContextSwapsAsOneUnit) {
   cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
   RuntimeConfig config;
   config.cuda4_semantics = true;
-  config.vgpus_per_device = 4;
+  config.scheduler.vgpus_per_device = 4;
   Runtime runtime(rt, config);
 
   ConnectOptions app;

@@ -53,7 +53,7 @@ class PinningTest : public ::testing::Test {
 
 TEST_F(PinningTest, DeviceMallocKernelPinsContext) {
   RuntimeConfig config;
-  config.vgpus_per_device = 2;
+  config.scheduler.vgpus_per_device = 2;
   Runtime runtime(*rt_, config);
 
   FrontendApi pinned(runtime.connect());
@@ -84,8 +84,8 @@ TEST_F(PinningTest, DeviceMallocKernelPinsContext) {
 
 TEST_F(PinningTest, PinnedContextKeepsItsVgpu) {
   RuntimeConfig config;
-  config.vgpus_per_device = 1;
-  config.enable_migration = true;
+  config.scheduler.vgpus_per_device = 1;
+  config.scheduler.enable_migration = true;
   Runtime runtime(*rt_, config);
 
   FrontendApi api(runtime.connect());
@@ -320,9 +320,9 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
   machine.kernels().add(step);
 
   RuntimeConfig config;
-  config.vgpus_per_device = 2;
+  config.scheduler.vgpus_per_device = 2;
   config.max_recovery_attempts = 6;
-  config.device_wait_grace_seconds = 0.25;  // survive the dark window
+  config.scheduler.device_wait_grace_seconds = 0.25;  // survive the dark window
   config.auto_checkpoint_after_kernel_seconds = 1e-9;
   Runtime runtime(rt, config);
 

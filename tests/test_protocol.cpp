@@ -27,17 +27,12 @@ class ProtocolTest : public ::testing::Test {
     runtime_ = std::make_unique<Runtime>(*rt_);
   }
 
-  /// Opens a raw channel and completes the Hello handshake.
+  /// Opens a raw channel and completes the v2 Hello handshake.
   std::unique_ptr<transport::MessageChannel> connect_raw() {
     auto channel = runtime_->connect();
-    WireWriter w;
-    w.put<double>(0.0);
-    w.put<u8>(0);
-    w.put<u64>(0);
-    w.put<double>(0.0);
     Message hello;
     hello.op = Opcode::Hello;
-    hello.payload = w.take();
+    hello.payload = transport::encode_hello(transport::HelloPayload{});
     EXPECT_TRUE(channel->send(std::move(hello)));
     auto reply = channel->receive();
     EXPECT_TRUE(reply.has_value());
@@ -161,6 +156,92 @@ TEST_F(ProtocolTest, HostileClientDoesNotDisturbTenants) {
   std::vector<float> out(32);
   ASSERT_EQ(good.copy_out(out, buf.value()), Status::Ok);
   for (float v : out) EXPECT_EQ(v, 6.0f);  // 5 launches
+}
+
+TEST_F(ProtocolTest, OldFormatHelloRejectedWithProtocolMismatch) {
+  // A version-1 peer began the payload with a raw double cost hint -- no
+  // magic word. The daemon must refuse it cleanly, not misparse it.
+  auto channel = runtime_->connect();
+  WireWriter w;
+  w.put<double>(0.25);
+  w.put<u8>(0);
+  w.put<u64>(0);
+  w.put<double>(0.0);
+  Message hello;
+  hello.op = Opcode::Hello;
+  hello.payload = w.take();
+  ASSERT_TRUE(channel->send(std::move(hello)));
+  auto reply = channel->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(transport::reply_status(*reply), Status::ErrorProtocolMismatch);
+  // The daemon hangs up after the rejection.
+  EXPECT_FALSE(channel->receive().has_value());
+}
+
+TEST_F(ProtocolTest, UnsupportedVersionRejected) {
+  auto channel = runtime_->connect();
+  WireWriter w;
+  w.put<u32>(protocol::kHandshakeMagic);
+  w.put<u16>(u16{999});  // from the future
+  w.put<u32>(protocol::caps::kAll);
+  w.put<double>(0.0);
+  w.put<u8>(0);
+  w.put<u64>(0);
+  w.put<double>(0.0);
+  Message hello;
+  hello.op = Opcode::Hello;
+  hello.payload = w.take();
+  ASSERT_TRUE(channel->send(std::move(hello)));
+  auto reply = channel->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(transport::reply_status(*reply), Status::ErrorProtocolMismatch);
+}
+
+TEST_F(ProtocolTest, TruncatedHelloIsAProtocolError) {
+  auto channel = runtime_->connect();
+  WireWriter w;
+  w.put<u32>(protocol::kHandshakeMagic);
+  w.put<u16>(protocol::kProtocolVersion);  // caps and the rest missing
+  Message hello;
+  hello.op = Opcode::Hello;
+  hello.payload = w.take();
+  ASSERT_TRUE(channel->send(std::move(hello)));
+  auto reply = channel->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(transport::reply_status(*reply), Status::ErrorProtocol);
+}
+
+TEST_F(ProtocolTest, CapabilitiesAreNegotiatedAndGateOptionalOps) {
+  // A client that does not advertise QueryStats must not be served it --
+  // both the frontend (locally) and the daemon (for raw frames) refuse.
+  ConnectOptions options;
+  options.caps = protocol::caps::kAll & ~protocol::caps::kQueryStats;
+  FrontendApi api(runtime_->connect(), options);
+  ASSERT_TRUE(api.connected());
+  EXPECT_EQ(api.negotiated_caps() & protocol::caps::kQueryStats, 0u);
+  EXPECT_EQ(api.query_stats().status(), Status::ErrorNotSupported);
+
+  // Raw channel bypassing the frontend gate: the daemon itself refuses.
+  auto channel = runtime_->connect();
+  transport::HelloPayload hello;
+  hello.caps = protocol::caps::kAll & ~protocol::caps::kQueryStats;
+  Message msg;
+  msg.op = Opcode::Hello;
+  msg.payload = transport::encode_hello(hello);
+  ASSERT_TRUE(channel->send(std::move(msg)));
+  auto reply = channel->receive();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(transport::reply_status(*reply), Status::Ok);
+  auto hr = transport::decode_hello_reply(transport::reply_payload(*reply));
+  ASSERT_TRUE(hr.has_value());
+  EXPECT_EQ(hr->caps & protocol::caps::kQueryStats, 0u);
+  EXPECT_EQ(call(*channel, Opcode::QueryStats, {}), Status::ErrorNotSupported);
+
+  // A fully-capable client still gets everything.
+  FrontendApi full(runtime_->connect());
+  ASSERT_TRUE(full.connected());
+  EXPECT_EQ(full.negotiated_caps(), protocol::caps::kAll);
+  EXPECT_TRUE(full.query_stats().has_value());
 }
 
 TEST_F(ProtocolTest, GoodbyeIsAcknowledgedAndCleansUp) {

@@ -95,7 +95,7 @@ TEST_F(RuntimeTest, SingleAppEndToEnd) {
 
 TEST_F(RuntimeTest, DeviceCountReportsVirtualGpus) {
   RuntimeConfig config;
-  config.vgpus_per_device = 4;
+  config.scheduler.vgpus_per_device = 4;
   start(config);
   FrontendApi api(runtime_->connect());
   // One physical GPU, four vGPUs: the hardware setup is hidden.
@@ -131,7 +131,7 @@ TEST_F(RuntimeTest, ConcurrentAppsOversubscribedMemoryTimeShare) {
   // sum does not. On bare CUDA the second app would die with OOM; with the
   // runtime both finish correctly via inter-application swap.
   RuntimeConfig config;
-  config.vgpus_per_device = 4;
+  config.scheduler.vgpus_per_device = 4;
   start(config);
 
   const u64 floats = 120 * 1024;  // 480 KiB per app x 3 apps >> 1 MiB device
@@ -153,7 +153,7 @@ TEST_F(RuntimeTest, ConcurrentAppsOversubscribedMemoryTimeShare) {
 
 TEST_F(RuntimeTest, MoreAppsThanVGpusAllComplete) {
   RuntimeConfig config;
-  config.vgpus_per_device = 2;
+  config.scheduler.vgpus_per_device = 2;
   start(config);
   {
     dom_.hold();
@@ -172,7 +172,7 @@ TEST_F(RuntimeTest, MoreAppsThanVGpusAllComplete) {
 
 TEST_F(RuntimeTest3Gpus, LoadBalancesAcrossDevices) {
   RuntimeConfig config;
-  config.vgpus_per_device = 1;
+  config.scheduler.vgpus_per_device = 1;
   start(config);
   {
     dom_.hold();
@@ -233,7 +233,7 @@ TEST_F(RuntimeTest, AllGpusGoneFailsGracefully) {
 
 TEST_F(RuntimeTest, GpuHotAddSpawnsVgpusAndSpreadsLoad) {
   RuntimeConfig config;
-  config.vgpus_per_device = 1;
+  config.scheduler.vgpus_per_device = 1;
   start(config);
   EXPECT_EQ(runtime_->scheduler().vgpu_count(), 1);
   machine_.add_gpu(sim::test_gpu(kDevBytes));
@@ -358,8 +358,8 @@ class MigrationTest : public ::testing::Test {
 
 TEST_F(MigrationTest, JobMigratesFromSlowToFastGpu) {
   RuntimeConfig config;
-  config.vgpus_per_device = 1;
-  config.enable_migration = true;
+  config.scheduler.vgpus_per_device = 1;
+  config.scheduler.enable_migration = true;
   Runtime runtime(*rt_, config);
 
   // Occupy the fast GPU with a long burst; a second app must start on the
