@@ -33,8 +33,14 @@ struct ScenarioConfig {
   /// Scheduler grace for cluster-dark windows (node crash ... rejoin).
   double grace_seconds = 0.25;
   /// Wire the nodes as offload peers (exercises inter-node transport under
-  /// drops; offload only triggers when a node is overloaded).
+  /// drops; offload only triggers when a node is overloaded). With load
+  /// reports on, offload runs in mesh mode through the NodeDirectory.
   bool enable_offloading = false;
+  /// Start the NodeDirectory heartbeat subscriptions (the cluster control
+  /// plane) for the scenario's duration. On by default so every chaos run
+  /// exercises load telemetry under faults -- heartbeats are stamped with
+  /// virtual time, so determinism must hold with them enabled.
+  bool enable_load_reports = true;
   /// Non-empty: record an obs trace of the run (chaos instants included)
   /// and export it as Chrome JSON to this path. Does not affect outcomes.
   std::string trace_out;

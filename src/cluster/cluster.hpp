@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "cluster/node_directory.hpp"
 #include "cluster/torque.hpp"
 
 namespace gpuvm::cluster {
@@ -18,6 +19,24 @@ namespace gpuvm::cluster {
 struct NodeSpec {
   std::string name;
   std::vector<sim::GpuSpec> gpus;
+};
+
+/// Cluster-wide offload health: how many connections moved, how many
+/// attempts degraded to local servicing, how many device calls were
+/// replayed after failures -- aggregate and per node (QueryStats surfaces
+/// the per-node breakdown as "stats.node.<name>.*" gauges).
+struct OffloadHealth {
+  struct PerNode {
+    NodeId id{};
+    std::string name;
+    u64 offloaded = 0;
+    u64 fallbacks = 0;
+    u64 recoveries = 0;
+  };
+  u64 offloaded = 0;
+  u64 fallbacks = 0;
+  u64 recoveries = 0;
+  std::vector<PerNode> nodes;
 };
 
 class Cluster {
@@ -31,23 +50,62 @@ class Cluster {
   /// available cluster-wide, as compiled binaries would be).
   void register_kernel(const sim::KernelDef& def);
 
-  /// Connects every node's daemon to every other as offload peers over a
-  /// modeled cluster link. Offloading also requires the runtime config to
-  /// carry a non-negative offload_threshold.
+  /// Starts the load-report control plane: a NodeDirectory watching every
+  /// node over `costs` channels, fed by QueryLoad heartbeat subscriptions.
+  /// Call after construction, before enable_offloading (the mesh consults
+  /// the directory) and before submitting work. Idempotent.
+  ///
+  /// Once the pumps run, virtual time advances in heartbeat steps whenever
+  /// every attached thread is asleep -- racing any *unattached* caller
+  /// still doing setup in real time. Callers that compare virtual
+  /// timestamps across runs (chaos determinism, benches) pass
+  /// `hold_clock = true`: the clock is then pinned at the deterministic
+  /// instant the last subscription completed, and the caller MUST call
+  /// domain().unhold() once its workload threads are spawned under a hold
+  /// of its own (forgetting it deadlocks the domain).
+  void enable_load_reports(DirectoryConfig config = {},
+                           transport::ChannelCosts costs =
+                               transport::ChannelCosts::cluster_link(),
+                           bool hold_clock = false);
+
+  /// Tears the subscriptions down (collectors joined, channels closed).
+  /// Must run before draining or destroying the node runtimes when load
+  /// reports were enabled -- an open subscription holds a connection open.
+  void stop_load_reports();
+
+  /// nullptr until enable_load_reports ran.
+  NodeDirectory* directory() { return directory_.get(); }
+
+  /// Wires inter-node offloading over a modeled cluster link. With a
+  /// directory (enable_load_reports first), each overloaded node sheds to
+  /// the least-loaded peer under the directory's hysteresis watermarks
+  /// (mesh). Without one, each node sheds to the next node (the legacy
+  /// fixed ring). Offloading also requires the runtime config to carry a
+  /// non-negative offload_threshold.
   void enable_offloading(
       transport::ChannelCosts link = transport::ChannelCosts::cluster_link());
 
   size_t size() const { return nodes_.size(); }
   Node& node(size_t i) { return *nodes_.at(i); }
+  Node* node_by_id(NodeId id);
   std::vector<Node*> node_pointers();
   vt::Domain& domain() { return *dom_; }
 
-  /// Aggregate offload count across nodes (Figure 10/11 annotations).
+  /// Aggregate count of connections that *attempted* the offload path:
+  /// proxied to a peer or degraded to a local fallback (Figure 10/11
+  /// annotations; fallbacks used to be silently dropped here, hiding
+  /// offload trouble from --stats).
   u64 total_offloaded() const;
+
+  /// Full offload-health breakdown, aggregate and per node.
+  OffloadHealth offload_health() const;
 
  private:
   vt::Domain* dom_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Declared after nodes_ so it is destroyed first: its dtor closes the
+  /// subscription channels while the node runtimes still serve them.
+  std::unique_ptr<NodeDirectory> directory_;
 };
 
 }  // namespace gpuvm::cluster

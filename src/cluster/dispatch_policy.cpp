@@ -1,0 +1,54 @@
+#include "cluster/dispatch_policy.hpp"
+
+#include <limits>
+
+namespace gpuvm::cluster {
+
+size_t RoundRobinPolicy::pick(const Job& job, std::span<const NodeCandidate> candidates) {
+  (void)job;
+  return next_++ % candidates.size();
+}
+
+size_t LeastLoadedPolicy::pick(const Job& job, std::span<const NodeCandidate> candidates) {
+  (void)job;
+  size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double score = candidates[i].score();
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t MemoryAwarePolicy::pick(const Job& job, std::span<const NodeCandidate> candidates) {
+  if (job.mem_footprint_bytes == 0) return fallback_.pick(job, candidates);
+  // Best fit: the smallest single-device free block that still holds the
+  // footprint, so big jobs keep access to the big-memory nodes.
+  size_t best = candidates.size();
+  u64 best_free = std::numeric_limits<u64>::max();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].has_load) continue;  // blind candidates via fallback
+    const u64 free = candidates[i].load.max_free_bytes();
+    if (free >= job.mem_footprint_bytes && free < best_free) {
+      best_free = free;
+      best = i;
+    }
+  }
+  if (best == candidates.size()) return fallback_.pick(job, candidates);
+  return best;
+}
+
+std::unique_ptr<DispatchPolicy> make_round_robin_policy() {
+  return std::make_unique<RoundRobinPolicy>();
+}
+std::unique_ptr<DispatchPolicy> make_least_loaded_policy() {
+  return std::make_unique<LeastLoadedPolicy>();
+}
+std::unique_ptr<DispatchPolicy> make_memory_aware_policy() {
+  return std::make_unique<MemoryAwarePolicy>();
+}
+
+}  // namespace gpuvm::cluster

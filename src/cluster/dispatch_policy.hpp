@@ -1,0 +1,79 @@
+// DispatchPolicy: pluggable job-to-node placement for the head node.
+//
+// The TorqueScheduler's Oblivious mode historically divided jobs equally
+// (round-robin) -- the paper's baseline, blind to load. With the
+// NodeDirectory feeding live LoadSnapshots, placement becomes a policy
+// decision:
+//   - RoundRobin   : the labeled paper baseline (equal division).
+//   - LeastLoaded  : minimizes the candidate's load score (queued + live
+//                    contexts per vGPU); nodes without load data score as
+//                    idle so v2 peers still receive work.
+//   - MemoryAware  : best-fit on free device memory against the job's
+//                    footprint hint; falls back to least-loaded when the
+//                    hint is absent or nothing fits.
+// Policies see only dispatchable candidates (the scheduler pre-filters
+// suspect/dark nodes through the directory).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cluster/torque.hpp"
+#include "transport/message.hpp"
+
+namespace gpuvm::cluster {
+
+/// One dispatchable node as the policy sees it.
+struct NodeCandidate {
+  size_t index = 0;  ///< position in the scheduler's node list
+  NodeId id{};
+  bool has_load = false;  ///< false: no directory data (v2 peer / no directory)
+  transport::LoadSnapshot load;
+
+  /// Load score with the optimistic default for blind candidates.
+  double score() const { return has_load ? load.load_score() : 0.0; }
+};
+
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Picks an element of `candidates` (never empty) for `job`.
+  virtual size_t pick(const Job& job, std::span<const NodeCandidate> candidates) = 0;
+};
+
+/// Equal division, blind to load: the paper's TORQUE baseline.
+class RoundRobinPolicy : public DispatchPolicy {
+ public:
+  const char* name() const override { return "round_robin"; }
+  size_t pick(const Job& job, std::span<const NodeCandidate> candidates) override;
+
+ private:
+  size_t next_ = 0;
+};
+
+/// Minimizes the candidate load score; first (lowest node id position)
+/// wins ties for determinism.
+class LeastLoadedPolicy : public DispatchPolicy {
+ public:
+  const char* name() const override { return "least_loaded"; }
+  size_t pick(const Job& job, std::span<const NodeCandidate> candidates) override;
+};
+
+/// Best-fit on free device memory for the job's footprint hint; candidates
+/// that cannot fit the footprint are avoided while any can.
+class MemoryAwarePolicy : public DispatchPolicy {
+ public:
+  const char* name() const override { return "memory_aware"; }
+  size_t pick(const Job& job, std::span<const NodeCandidate> candidates) override;
+
+ private:
+  LeastLoadedPolicy fallback_;
+};
+
+std::unique_ptr<DispatchPolicy> make_round_robin_policy();
+std::unique_ptr<DispatchPolicy> make_least_loaded_policy();
+std::unique_ptr<DispatchPolicy> make_memory_aware_policy();
+
+}  // namespace gpuvm::cluster

@@ -1,0 +1,122 @@
+// NodeDirectory: the head node's live view of cluster load.
+//
+// One entry per watched node, fed by QueryLoad heartbeat subscriptions: the
+// directory opens a client channel to each node daemon, performs the
+// protocol handshake, and -- when the peer negotiated caps::kQueryLoad --
+// subscribes to periodic LoadReport pushes, each stamped with the daemon's
+// virtual time. A collector thread per subscription folds the reports into
+// the entry table.
+//
+// Consumers:
+//   - TorqueScheduler dispatch policies rank candidates by LoadSnapshot
+//     (least-loaded, memory best-fit) and route around suspect nodes.
+//   - The mesh offload factories (Cluster::enable_offloading) ask
+//     pick_offload_target() for the least-loaded peer, with hysteresis:
+//     offload only when the shedding node is above the high watermark AND
+//     the target is below the low watermark, so two moderately loaded
+//     nodes never ping-pong connections.
+//
+// Staleness: a subscribed node that misses `suspect_after_missed`
+// consecutive heartbeat intervals is *suspect* -- excluded from dispatch
+// and offload until reports resume (chaos link faults, daemon stalls). A
+// node whose latest snapshot shows zero alive vGPUs is *dark* (chaos node
+// blackout) and equally excluded. Peers that never negotiated kQueryLoad
+// (protocol-v2 daemons) stay dispatchable with no load data: policies fall
+// back to round-robin behaviour for them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "transport/channel.hpp"
+#include "transport/message.hpp"
+
+namespace gpuvm::cluster {
+
+struct DirectoryConfig {
+  /// Heartbeat period requested from each subscribed daemon. Deliberately
+  /// off any round number: heartbeat wakeups landing on the same virtual
+  /// instant as workload sleeps would create clock ties, whose wake order
+  /// is not guaranteed.
+  vt::Duration heartbeat_interval = vt::from_micros(997.0);
+  /// Consecutive missed intervals before a subscribed node turns suspect.
+  int suspect_after_missed = 3;
+  /// Offload hysteresis: a node sheds only while its own load score is >=
+  /// `high_watermark`, and only onto a peer whose score is <=
+  /// `low_watermark`. high > low opens a dead band that prevents offload
+  /// ping-pong between two moderately loaded nodes.
+  double high_watermark = 1.0;
+  double low_watermark = 0.5;
+};
+
+class NodeDirectory {
+ public:
+  NodeDirectory(vt::Domain& dom, DirectoryConfig config);
+  ~NodeDirectory();
+
+  NodeDirectory(const NodeDirectory&) = delete;
+  NodeDirectory& operator=(const NodeDirectory&) = delete;
+
+  /// Starts watching a node: handshake, and -- if the peer speaks
+  /// caps::kQueryLoad -- a heartbeat subscription plus collector thread.
+  /// Peers without the capability are recorded as unsubscribed (still
+  /// dispatchable, no load data). Call once per node, from one thread.
+  void watch(Node& node, transport::ChannelCosts costs);
+
+  /// Closes every subscription channel and joins the collectors. Idempotent.
+  /// Must run before the watched runtimes drain or shut down: an open
+  /// subscription holds a daemon connection open.
+  void stop();
+
+  /// Subscribed and the last report is older than
+  /// suspect_after_missed * heartbeat_interval.
+  bool suspect(NodeId id) const;
+  /// Latest snapshot shows no alive vGPU (node blackout).
+  bool dark(NodeId id) const;
+  /// Eligible for new work: not suspect, not dark. Unsubscribed peers
+  /// (no kQueryLoad) are always dispatchable -- no data is not bad news.
+  bool dispatchable(NodeId id) const;
+
+  /// Latest load snapshot, if the node ever reported one.
+  std::optional<transport::LoadSnapshot> snapshot_of(NodeId id) const;
+  /// LoadReports folded in for `id` so far (tests, staleness probes).
+  u64 report_count(NodeId id) const;
+  bool subscribed(NodeId id) const;
+
+  /// Least-loaded dispatchable peer of `self`, honoring the watermarks:
+  /// returns nullptr (and counts a hysteresis rejection) when `self_score`
+  /// is below the high watermark or no peer sits below the low one.
+  Node* pick_offload_target(NodeId self, double self_score);
+
+  const DirectoryConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    Node* node = nullptr;
+    bool subscribed = false;
+    bool has_load = false;
+    transport::LoadSnapshot last;
+    vt::TimePoint last_report{0};
+    u64 reports = 0;
+    std::shared_ptr<transport::MessageChannel> channel;
+  };
+
+  void collector_loop(NodeId id, std::shared_ptr<transport::MessageChannel> channel);
+  const Entry* entry_locked(NodeId id) const;
+  bool suspect_locked(const Entry& e) const;
+  bool dark_locked(const Entry& e) const;
+
+  vt::Domain* dom_;
+  DirectoryConfig config_;
+
+  mutable std::mutex mu_;
+  std::map<u64, Entry> entries_;  // by NodeId::value (stable iteration order)
+  std::vector<vt::Thread> collectors_;
+  bool stopped_ = false;
+};
+
+}  // namespace gpuvm::cluster

@@ -1,22 +1,82 @@
 #include "cluster/torque.hpp"
 
+#include "cluster/dispatch_policy.hpp"
+#include "cluster/node_directory.hpp"
 #include "common/log.hpp"
 #include "core/direct_api.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpuvm::cluster {
 
 TorqueScheduler::TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode)
-    : dom_(&dom), nodes_(std::move(nodes)), mode_(mode), tokens_cv_(dom) {
+    : TorqueScheduler(dom, std::move(nodes), Options{mode, nullptr, nullptr, 0.0}) {}
+
+TorqueScheduler::TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Options options)
+    : dom_(&dom), nodes_(std::move(nodes)), options_(std::move(options)), tokens_cv_(dom) {
+  if (options_.policy == nullptr) options_.policy = make_round_robin_policy();
   tokens_.resize(nodes_.size());
   for (size_t i = 0; i < nodes_.size(); ++i) {
     for (int g = 0; g < nodes_[i]->gpu_count(); ++g) tokens_[i].push_back(g);
   }
 }
 
+TorqueScheduler::~TorqueScheduler() = default;
+
 void TorqueScheduler::submit(Job job) {
   std::scoped_lock lock(mu_);
   if (!job.id.valid()) job.id = JobId{next_job_++};
   queue_.push_back(std::move(job));
+}
+
+bool TorqueScheduler::node_usable(size_t index) const {
+  // Live check first: a node whose GPUs all died cannot run a GpuAware job
+  // even if its tokens are still in the pool. The directory adds the
+  // telemetry view (suspect after missed heartbeats).
+  if (nodes_[index]->gpu_count() == 0) return false;
+  if (options_.directory != nullptr &&
+      !options_.directory->dispatchable(nodes_[index]->id())) {
+    return false;
+  }
+  return true;
+}
+
+size_t TorqueScheduler::pick_node_for(const Job& job) {
+  std::vector<NodeCandidate> candidates;
+  candidates.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeCandidate c;
+    c.index = i;
+    c.id = nodes_[i]->id();
+    if (options_.directory != nullptr) {
+      if (!options_.directory->dispatchable(c.id)) continue;
+      if (auto snap = options_.directory->snapshot_of(c.id)) {
+        c.has_load = true;
+        c.load = std::move(*snap);
+      }
+    }
+    candidates.push_back(std::move(c));
+  }
+  if (candidates.empty()) {
+    // Every node suspect/dark: dispatch blind rather than deadlock -- the
+    // per-node runtimes queue the work until devices return.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      NodeCandidate c;
+      c.index = i;
+      c.id = nodes_[i]->id();
+      candidates.push_back(std::move(c));
+    }
+  }
+  size_t pick;
+  {
+    // Policies may be stateful (round-robin cursor); serialize them.
+    std::scoped_lock lock(mu_);
+    pick = options_.policy->pick(job, candidates);
+    if (pick >= candidates.size()) pick = 0;
+  }
+  obs::metrics()
+      .counter(std::string("cluster.dispatch.") + options_.policy->name())
+      .add(1);
+  return candidates[pick].index;
 }
 
 BatchResult TorqueScheduler::run_to_completion() {
@@ -41,34 +101,50 @@ BatchResult TorqueScheduler::run_to_completion() {
     for (size_t j = 0; j < jobs.size(); ++j) {
       workers.emplace_back(*dom_, [this, &jobs, &result, &results_mu, batch_start, j] {
         Job& job = jobs[j];
+        if (options_.dispatch_interval_seconds > 0.0) {
+          // Emulate the head node's dispatch loop: decisions are spaced so
+          // heartbeats can reflect each placement before the next one.
+          dom_->sleep_for(vt::from_seconds(options_.dispatch_interval_seconds *
+                                           static_cast<double>(j)));
+        }
         const vt::TimePoint submit = dom_->now();
         size_t node_index = 0;
         int gpu_index = 0;
-        if (mode_ == Mode::GpuAware) {
-          // Hold at the head node until some node has a free GPU: bare
-          // TORQUE "serializes the execution of concurrent jobs by
+        if (options_.mode == Mode::GpuAware) {
+          // Hold at the head node until some *usable* node has a free GPU:
+          // bare TORQUE "serializes the execution of concurrent jobs by
           // enqueuing them on the head node and submitting them to the
-          // compute nodes only when a GPU becomes available".
+          // compute nodes only when a GPU becomes available". Dead or
+          // suspect nodes are routed around even if their tokens linger.
           std::unique_lock lk(mu_);
-          tokens_cv_.wait(lk, [&] {
+          const auto usable_token = [&] {
             for (size_t n = 0; n < tokens_.size(); ++n) {
-              if (!tokens_[n].empty()) {
+              if (!tokens_[n].empty() && node_usable(n)) {
                 node_index = n;
                 return true;
               }
             }
             return false;
-          });
+          };
+          if (options_.directory == nullptr) {
+            tokens_cv_.wait(lk, usable_token);
+          } else {
+            // A node can turn usable again without a token being returned
+            // (heartbeats resume, a GPU rejoins) -- nothing notifies then,
+            // so re-evaluate on a heartbeat-scale poll as well.
+            while (!usable_token()) {
+              (void)tokens_cv_.wait_for(
+                  lk, options_.directory->config().heartbeat_interval * 4, usable_token);
+            }
+          }
           gpu_index = tokens_[node_index].back();
           tokens_[node_index].pop_back();
         } else {
-          std::scoped_lock lk(mu_);
-          node_index = next_node_;
-          next_node_ = (next_node_ + 1) % nodes_.size();
+          node_index = pick_node_for(job);
         }
 
         Node* node = nodes_[node_index];
-        if (mode_ == Mode::GpuAware) {
+        if (options_.mode == Mode::GpuAware) {
           {
             core::DirectApi api(node->cuda());
             (void)api.set_device(gpu_index);

@@ -25,6 +25,9 @@
 
 namespace gpuvm::cluster {
 
+class DispatchPolicy;
+class NodeDirectory;
+
 /// One batch job: the application body runs on the compute node's CPUs and
 /// issues GPU work through the provided GpuApi.
 struct Job {
@@ -33,6 +36,9 @@ struct Job {
   std::function<void(core::GpuApi&)> body;
   /// Profiling hint forwarded to the node runtime (shortest-job-first).
   double cost_hint_seconds = 0.0;
+  /// Peak device-memory footprint hint (0 = unknown): MemoryAware placement
+  /// best-fits it against each node's free device memory.
+  u64 mem_footprint_bytes = 0;
 };
 
 struct JobResult {
@@ -51,7 +57,23 @@ class TorqueScheduler {
  public:
   enum class Mode { GpuAware, Oblivious };
 
+  struct Options {
+    Mode mode = Mode::Oblivious;
+    /// Oblivious placement policy; nullptr = RoundRobin (paper baseline).
+    std::unique_ptr<DispatchPolicy> policy;
+    /// Live cluster view: suspect/dark nodes are routed around (both
+    /// modes), and policies rank candidates by its LoadSnapshots. nullptr
+    /// keeps the directory-less legacy behaviour.
+    NodeDirectory* directory = nullptr;
+    /// Stagger between consecutive Oblivious dispatch decisions (> 0 lets
+    /// heartbeats reflect earlier placements before the next pick -- a real
+    /// batch scheduler's dispatch loop, not an instantaneous burst).
+    double dispatch_interval_seconds = 0.0;
+  };
+
   TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode);
+  TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Options options);
+  ~TorqueScheduler();
 
   void submit(Job job);
 
@@ -59,9 +81,15 @@ class TorqueScheduler {
   BatchResult run_to_completion();
 
  private:
+  /// Oblivious placement: directory-filtered candidates ranked by the
+  /// policy. Falls back to every node when the filter empties the list.
+  size_t pick_node_for(const Job& job);
+  /// GpuAware: may this node receive a job right now?
+  bool node_usable(size_t index) const;
+
   vt::Domain* dom_;
   std::vector<Node*> nodes_;
-  Mode mode_;
+  Options options_;
 
   std::mutex mu_;
   vt::ConditionVariable tokens_cv_;
@@ -69,7 +97,6 @@ class TorqueScheduler {
   /// GpuAware mode: free device indices per node (a job occupies one whole
   /// GPU for its lifetime, like a TORQUE GPU resource).
   std::vector<std::vector<int>> tokens_;
-  size_t next_node_ = 0;  // Oblivious round robin
   u64 next_job_ = 1;
 };
 

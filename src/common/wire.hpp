@@ -28,8 +28,10 @@ inline constexpr u32 kHandshakeMagic = 0x47564831;  // "1HVG" little-endian
 
 /// Current protocol version. Bump when the wire format of any op changes
 /// incompatibly; optional *additions* are negotiated via capability bits
-/// instead, without a version bump.
-inline constexpr u16 kProtocolVersion = 2;
+/// instead, without a version bump. v3 adds the QueryLoad/LoadReport load
+/// telemetry ops behind caps::kQueryLoad; the frames of every v2 op are
+/// unchanged, so v2 peers still interoperate (minus load telemetry).
+inline constexpr u16 kProtocolVersion = 3;
 /// Oldest version this build still speaks.
 inline constexpr u16 kMinProtocolVersion = 2;
 
@@ -42,8 +44,11 @@ inline constexpr u32 kQueryStats = 1u << 0;      ///< Opcode::QueryStats
 inline constexpr u32 kRegisterNested = 1u << 1;  ///< Opcode::RegisterNested
 inline constexpr u32 kCheckpoint = 1u << 2;      ///< Opcode::Checkpoint
 inline constexpr u32 kOffload = 1u << 3;         ///< connection may be proxied
+inline constexpr u32 kQueryLoad = 1u << 4;       ///< Opcode::QueryLoad + LoadReport
+                                                 ///< heartbeats (protocol v3)
 
-inline constexpr u32 kAll = kQueryStats | kRegisterNested | kCheckpoint | kOffload;
+inline constexpr u32 kAll =
+    kQueryStats | kRegisterNested | kCheckpoint | kOffload | kQueryLoad;
 }  // namespace caps
 
 }  // namespace protocol

@@ -184,4 +184,16 @@ Result<obs::MetricsSnapshot> FrontendApi::query_stats() {
   return std::move(*snap);
 }
 
+Result<transport::LoadSnapshot> FrontendApi::query_load() {
+  if ((caps_ & protocol::caps::kQueryLoad) == 0) return Status::ErrorNotSupported;
+  // interval 0 = one-shot poll; a nonzero interval would convert this
+  // connection into a heartbeat subscription (see NodeDirectory::watch).
+  auto reply = roundtrip(Opcode::QueryLoad, transport::encode_query_load(0));
+  if (!reply) return reply.status();
+  if (const Status s = transport::reply_status(reply.value()); !ok(s)) return s;
+  auto load = transport::decode_load(transport::reply_payload(reply.value()));
+  if (!load) return Status::ErrorProtocol;
+  return std::move(load.value());
+}
+
 }  // namespace gpuvm::core

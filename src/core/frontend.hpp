@@ -73,6 +73,11 @@ class FrontendApi : public GpuApi {
   /// is consistent with Runtime::stats() at the time of the call.
   Result<obs::MetricsSnapshot> query_stats();
 
+  /// One-shot load poll (QueryLoad op with interval 0): the daemon's
+  /// current LoadSnapshot. ErrorNotSupported when the peer negotiated
+  /// protocol v2 (no caps::kQueryLoad).
+  Result<transport::LoadSnapshot> query_load();
+
  private:
   /// Sends one request and blocks for its reply (the CUDA calls modeled
   /// here are synchronous).

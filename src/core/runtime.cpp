@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "common/log.hpp"
@@ -154,6 +155,64 @@ int Runtime::load() const {
   return std::max(scheduler_->waiting_count(), active - scheduler_->vgpu_count());
 }
 
+void Runtime::set_node_identity(u64 id, std::string name) {
+  node_id_ = id;
+  node_name_ = std::move(name);
+}
+
+transport::LoadSnapshot Runtime::load_snapshot() const {
+  transport::LoadSnapshot snap;
+  snap.node = node_id_;
+  snap.vt_ns = rt_->machine().domain().now().count();
+  snap.pending_contexts = scheduler_->waiting_count();
+  snap.bound_contexts = scheduler_->bound_count();
+  snap.active_contexts = static_cast<int>(contexts_.size());
+  snap.vgpu_count = scheduler_->vgpu_count();
+  const obs::Histogram& waits = scheduler_->queue_wait_local();
+  snap.queue_wait_p50_seconds =
+      obs::histogram_quantile(waits.edges(), waits.bucket_counts(), 0.5);
+  for (const Scheduler::DeviceSlots& slots : scheduler_->device_slots()) {
+    transport::DeviceLoad dev;
+    dev.gpu = slots.gpu.value;
+    dev.vgpus = slots.vgpus;
+    dev.bound = slots.bound;
+    if (const sim::SimGpu* gpu = rt_->machine().gpu(slots.gpu); gpu != nullptr) {
+      dev.free_bytes = gpu->free_bytes();
+      dev.total_bytes = gpu->capacity_bytes();
+    }
+    snap.devices.push_back(dev);
+  }
+  return snap;
+}
+
+void Runtime::heartbeat_loop(transport::MessageChannel& channel, ConnectionId conn,
+                             vt::Duration interval) {
+  vt::Domain& dom = rt_->machine().domain();
+  // "Recent" p50: each report covers the queue waits observed since the
+  // previous one, not the daemon's lifetime.
+  std::vector<u64> prev_waits = scheduler_->queue_wait_local().bucket_counts();
+  u64 seq = 0;
+  for (;;) {
+    dom.sleep_for(interval);
+    {
+      std::unique_lock lk(mu_);
+      if (shutting_down_) return;
+    }
+    if (channel.closed()) return;
+    transport::LoadSnapshot snap = load_snapshot();
+    snap.seq = ++seq;
+    const std::vector<u64> waits = scheduler_->queue_wait_local().bucket_counts();
+    snap.queue_wait_p50_seconds = obs::histogram_quantile_delta(
+        scheduler_->queue_wait_local().edges(), waits, prev_waits, 0.5);
+    prev_waits = waits;
+    transport::Message report;
+    report.op = Opcode::LoadReport;
+    report.connection = conn;
+    report.payload = transport::encode_load(snap);
+    if (!channel.send(std::move(report))) return;
+  }
+}
+
 RuntimeStats Runtime::stats() const {
   RuntimeStats out;
   out.connections = stats_.connections.load(std::memory_order_relaxed);
@@ -191,6 +250,18 @@ void Runtime::publish_metrics() const {
   gauge("stats.runtime.dispatch_lock_contended",
         static_cast<double>(rs.dispatch_lock_contended));
 
+  // Per-node offload-health breakdown: with several daemons co-hosted in
+  // one process (cluster tests, gpuvm_run batches) the "stats.runtime.*"
+  // gauges above reflect whichever node published last; these keep each
+  // node's numbers visible through a single QueryStats.
+  if (!node_name_.empty()) {
+    const std::string prefix = "stats.node." + node_name_ + ".";
+    gauge(prefix + "offloaded_connections", static_cast<double>(rs.offloaded_connections));
+    gauge(prefix + "offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
+    gauge(prefix + "recoveries", static_cast<double>(rs.recoveries));
+    gauge(prefix + "connections", static_cast<double>(rs.connections));
+  }
+
   const SchedulerStats ss = scheduler_->stats();
   gauge("stats.sched.binds", static_cast<double>(ss.binds));
   gauge("stats.sched.unbinds", static_cast<double>(ss.unbinds));
@@ -227,6 +298,13 @@ void Runtime::publish_metrics() const {
 }
 
 void Runtime::drain() {
+  // Callers are usually unattached (test mains, tools). Parking on a vt
+  // condition variable must be accounted against the domain -- an idle wait
+  // from an unattached thread would push the running count negative and
+  // freeze the clock, deadlocking the very connections being waited on
+  // (e.g. heartbeat pumps that only exit at their next wakeup).
+  std::optional<vt::AttachGuard> attach;
+  if (vt::Domain::current() == nullptr) attach.emplace(rt_->machine().domain());
   std::unique_lock lk(mu_);
   drained_cv_.wait(lk, [&] { return open_connections_ == 0; });
 }
@@ -248,8 +326,9 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
               to_string(hello.status()));
     return;
   }
-  // Negotiated capability set: what both sides speak.
-  const u32 caps = hello->caps & protocol::caps::kAll;
+  // Negotiated capability set: what both sides speak (caps_mask lets tests
+  // and deployments emulate an older daemon by withholding bits).
+  const u32 caps = hello->caps & protocol::caps::kAll & config_.caps_mask;
 
   // Inter-node offloading: if this node is overloaded and a peer exists,
   // the whole connection is proxied there (section 4.7). Only the CUDA
@@ -263,33 +342,44 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
   }
   if (!hello->forwarded && (caps & protocol::caps::kOffload) != 0 && factory &&
       config_.offload_threshold >= 0 && load() >= config_.offload_threshold) {
-    // The peer handshake runs over a ReconnectingChannel: a forwarded Hello
-    // lost to a broken link is resent on a fresh channel. Once a session is
-    // established, a mid-session break surfaces to the client as a closed
-    // connection (the proxy carries no replayable state).
-    transport::ReconnectingChannel peer(factory);
-    bool proxied = false;
-    if (!peer.closed()) {
-      transport::Message fwd = *hello_msg;
-      transport::HelloPayload fwd_hello = *hello;
-      fwd_hello.forwarded = true;  // the peer must not shed it again
-      fwd.payload = transport::encode_hello(fwd_hello);
-      if (peer.send(std::move(fwd))) {
-        if (auto reply = peer.receive(); reply.has_value()) {
-          stats_.offloaded_connections.fetch_add(1, std::memory_order_relaxed);
-          channel.send(std::move(*reply));
-          offload_proxy_loop(channel, peer);
-          proxied = true;
+    // A mesh factory may *decline* (the directory's hysteresis found no
+    // suitable peer): nullptr on the first call means "serve locally by
+    // choice", which is not an offload fallback -- no counter, no log.
+    if (auto first = factory(); first != nullptr) {
+      // The peer handshake runs over a ReconnectingChannel seeded with the
+      // already-open channel: a forwarded Hello lost to a broken link is
+      // resent on a fresh channel. Once a session is established, a
+      // mid-session break surfaces to the client as a closed connection
+      // (the proxy carries no replayable state).
+      auto seed = std::make_shared<std::unique_ptr<transport::MessageChannel>>(
+          std::move(first));
+      transport::ReconnectingChannel peer([seed, factory]() {
+        if (*seed != nullptr) return std::move(*seed);
+        return factory();
+      });
+      bool proxied = false;
+      if (!peer.closed()) {
+        transport::Message fwd = *hello_msg;
+        transport::HelloPayload fwd_hello = *hello;
+        fwd_hello.forwarded = true;  // the peer must not shed it again
+        fwd.payload = transport::encode_hello(fwd_hello);
+        if (peer.send(std::move(fwd))) {
+          if (auto reply = peer.receive(); reply.has_value()) {
+            stats_.offloaded_connections.fetch_add(1, std::memory_order_relaxed);
+            channel.send(std::move(*reply));
+            offload_proxy_loop(channel, peer);
+            proxied = true;
+          }
         }
       }
+      peer.close();
+      if (proxied) return;
+      // Peer unreachable: degrade gracefully by servicing the connection
+      // locally instead of abandoning the application.
+      stats_.offload_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      offload_fallbacks_counter().add(1);
+      log::info("runtime: offload peer unreachable, serving connection locally");
     }
-    peer.close();
-    if (proxied) return;
-    // Peer unreachable: degrade gracefully by servicing the connection
-    // locally instead of abandoning the application.
-    stats_.offload_fallbacks.fetch_add(1, std::memory_order_relaxed);
-    offload_fallbacks_counter().add(1);
-    log::info("runtime: offload peer unreachable, serving connection locally");
   }
 
   // Local servicing: create the context -- or, in CUDA 4 mode, join the
@@ -350,6 +440,27 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     if (msg->op == Opcode::Goodbye) {
       channel.send(transport::make_reply(msg->connection, Status::Ok));
       break;
+    }
+    if (msg->op == Opcode::QueryLoad) {
+      // Handled outside handle(): a subscription (interval > 0) takes over
+      // the connection -- the daemon streams LoadReport frames on it until
+      // it closes, and nothing else is spoken.
+      if ((ctx->caps.load(std::memory_order_acquire) & protocol::caps::kQueryLoad) == 0) {
+        channel.send(transport::make_reply(msg->connection, Status::ErrorNotSupported));
+        continue;
+      }
+      const auto interval_ns = transport::decode_query_load(msg->payload);
+      if (!interval_ns) {
+        channel.send(transport::make_reply(msg->connection, interval_ns.status()));
+        continue;
+      }
+      channel.send(transport::make_reply(msg->connection, Status::Ok,
+                                         transport::encode_load(load_snapshot())));
+      if (interval_ns.value() > 0) {
+        heartbeat_loop(channel, msg->connection, vt::Duration(interval_ns.value()));
+        break;
+      }
+      continue;
     }
     if (global) {
       // Legacy discipline: one daemon-wide lock across the entire call,

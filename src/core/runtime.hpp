@@ -33,6 +33,7 @@
 #include "common/sharded_map.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "common/wire.hpp"
 #include "core/context.hpp"
 #include "core/memory_manager.hpp"
 #include "core/scheduler.hpp"
@@ -83,6 +84,12 @@ struct RuntimeConfig {
   /// application id share one context (shared data, same device), and
   /// cross-device migration uses direct GPU-to-GPU transfers.
   bool cuda4_semantics = false;
+
+  /// Capabilities this daemon is willing to negotiate. Defaults to
+  /// everything this build speaks; masking bits off emulates an older peer
+  /// (e.g. ~caps::kQueryLoad behaves like a protocol-v2 daemon without load
+  /// telemetry, which the NodeDirectory must tolerate).
+  u32 caps_mask = protocol::caps::kAll;
 };
 
 struct RuntimeStats {
@@ -134,6 +141,19 @@ class Runtime {
   RuntimeStats stats() const;
   const RuntimeConfig& config() const { return config_; }
 
+  /// Names this daemon for cluster telemetry: `id` stamps LoadSnapshot.node,
+  /// `name` prefixes the per-node "stats.node.<name>.*" gauges. Call once,
+  /// before serving connections (the cluster layer does so at node
+  /// construction).
+  void set_node_identity(u64 id, std::string name);
+  u64 node_id() const { return node_id_; }
+
+  /// Point-in-time load telemetry (the QueryLoad answer): queue depth,
+  /// binding pressure, free device memory, lifetime queue-wait p50, all
+  /// stamped with the node's virtual time. Heartbeat subscriptions rewrite
+  /// seq and the p50 window per report.
+  transport::LoadSnapshot load_snapshot() const;
+
   /// Publishes the per-layer stats structs (runtime, scheduler, memory
   /// manager, every GPU) into the global obs registry as "stats.*" gauges.
   /// Called right before a registry snapshot (QueryStats, --stats dumps) so
@@ -148,6 +168,12 @@ class Runtime {
   void connection_loop(transport::MessageChannel& channel);
   void offload_proxy_loop(transport::MessageChannel& client,
                           transport::MessageChannel& peer);
+
+  /// Services a QueryLoad subscription: pushes a LoadReport every
+  /// `interval` until the channel closes or the daemon shuts down. The
+  /// subscribing connection speaks nothing else afterwards.
+  void heartbeat_loop(transport::MessageChannel& channel, ConnectionId conn,
+                      vt::Duration interval);
 
   /// Dispatches one application message; returns the reply.
   transport::Message handle(Context& ctx, transport::MessageChannel& channel,
@@ -173,6 +199,10 @@ class Runtime {
   RuntimeConfig config_;
   std::unique_ptr<MemoryManager> mm_;
   std::unique_ptr<Scheduler> scheduler_;
+
+  /// Cluster identity (set_node_identity): fixed before serving starts.
+  u64 node_id_ = 0;
+  std::string node_name_;
 
   /// Context table, sharded by id: lookups on the dispatch hot path never
   /// serialize unrelated tenants.

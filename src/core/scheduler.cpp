@@ -20,7 +20,12 @@ obs::Histogram& queue_wait_hist() {
 }  // namespace
 
 Scheduler::Scheduler(cudart::CudaRt& rt, MemoryManager& mm, Config config)
-    : rt_(&rt), mm_(&mm), config_(config), cv_(rt.machine().domain()) {}
+    : rt_(&rt),
+      mm_(&mm),
+      config_(config),
+      cv_(rt.machine().domain()),
+      queue_wait_local_(std::vector<double>(obs::default_seconds_edges().begin(),
+                                            obs::default_seconds_edges().end())) {}
 
 Scheduler::~Scheduler() {
   for (const auto& slot : slots_) rt_->destroy_client(slot->client);
@@ -227,6 +232,7 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   waiting_.erase(std::find(waiting_.begin(), waiting_.end(), &waiter));
   const vt::Duration waited = dom.now() - wait_start;
   queue_wait_hist().observe(vt::to_seconds(waited));
+  queue_wait_local_.observe(vt::to_seconds(waited));
   if (obs::TraceRecorder* tr = obs::tracer()) {
     // On the per-context track: a slot track could show overlapping spans
     // (the previous holder's kernel vs. this waiter), which breaks nesting.
@@ -289,7 +295,28 @@ int Scheduler::waiting_count() const {
   return static_cast<int>(waiting_.size());
 }
 
+int Scheduler::bound_count() const {
+  std::unique_lock lk(mu_);
+  return static_cast<int>(bindings_.size());
+}
+
 bool Scheduler::has_waiters() const { return waiting_count() > 0; }
+
+std::vector<Scheduler::DeviceSlots> Scheduler::device_slots() const {
+  std::unique_lock lk(mu_);
+  std::map<GpuId, DeviceSlots> by_gpu;
+  for (const auto& slot : slots_) {
+    if (!slot->alive) continue;
+    DeviceSlots& dev = by_gpu[slot->gpu];
+    dev.gpu = slot->gpu;
+    ++dev.vgpus;
+    if (slot->bound.valid()) ++dev.bound;
+  }
+  std::vector<DeviceSlots> out;
+  out.reserve(by_gpu.size());
+  for (const auto& [gpu, dev] : by_gpu) out.push_back(dev);
+  return out;
+}
 
 std::map<GpuId, int> Scheduler::load_by_gpu() const {
   std::unique_lock lk(mu_);

@@ -28,6 +28,7 @@
 #include "core/context.hpp"
 #include "core/memory_manager.hpp"
 #include "cudart/cudart.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpuvm::core {
 
@@ -107,9 +108,24 @@ class Scheduler {
   // ---- Introspection ----------------------------------------------------------
   int vgpu_count() const;           ///< alive vGPUs (what apps see as devices)
   int waiting_count() const;        ///< contexts blocked in acquire()
+  int bound_count() const;          ///< contexts currently holding a vGPU
   bool has_waiters() const;
   /// Active bindings per GPU (load metric).
   std::map<GpuId, int> load_by_gpu() const;
+
+  /// Alive vGPU slots aggregated per physical device (LoadSnapshot feed).
+  struct DeviceSlots {
+    GpuId gpu{};
+    int vgpus = 0;  ///< alive slots on this device
+    int bound = 0;  ///< of which bound to a context
+  };
+  std::vector<DeviceSlots> device_slots() const;
+
+  /// This scheduler's own queue-wait histogram (same observations as the
+  /// process-global "sched.queue_wait_seconds"). Per-instance so a node in
+  /// a multi-node in-process cluster can report *its* waits in a
+  /// LoadSnapshot without cross-talk from co-hosted nodes.
+  const obs::Histogram& queue_wait_local() const { return queue_wait_local_; }
 
   /// True when migration is enabled and a device strictly faster than
   /// `current` has an idle vGPU -- the dispatcher's cue to unbind a job in
@@ -168,6 +184,7 @@ class Scheduler {
   /// recovered_from_failure so the runtime replays from the swap copy.
   std::set<ContextId> recovering_;
   SchedulerStats stats_;
+  obs::Histogram queue_wait_local_;
 };
 
 }  // namespace gpuvm::core

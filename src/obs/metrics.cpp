@@ -26,6 +26,34 @@ void atomic_add_double(std::atomic<double>& target, double delta) {
 std::span<const double> default_seconds_edges() { return kSecondsEdges; }
 std::span<const double> default_bytes_edges() { return kBytesEdges; }
 
+double histogram_quantile(std::span<const double> edges, std::span<const u64> buckets,
+                          double q) {
+  u64 total = 0;
+  for (const u64 c : buckets) total += c;
+  if (total == 0 || edges.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation, 1-based; q=0.5 over 10 obs -> rank 5.
+  const u64 rank = std::max<u64>(1, static_cast<u64>(q * static_cast<double>(total)));
+  u64 cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return i < edges.size() ? edges[i] : edges.back();
+    }
+  }
+  return edges.back();
+}
+
+double histogram_quantile_delta(std::span<const double> edges, std::span<const u64> current,
+                                std::span<const u64> previous, double q) {
+  std::vector<u64> delta(current.size());
+  for (size_t i = 0; i < current.size(); ++i) {
+    const u64 prev = i < previous.size() ? previous[i] : 0;
+    delta[i] = current[i] >= prev ? current[i] - prev : 0;
+  }
+  return histogram_quantile(edges, delta, q);
+}
+
 Histogram::Histogram(std::vector<double> edges)
     : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
   // Edges must be sorted for the lower_bound bucket search.

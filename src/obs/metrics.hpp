@@ -81,6 +81,21 @@ class Histogram {
 std::span<const double> default_seconds_edges();
 std::span<const double> default_bytes_edges();
 
+/// Quantile estimate over explicit bucket counts (edges as in Histogram:
+/// inclusive upper bounds plus one implicit overflow bucket). Returns the
+/// upper edge of the bucket containing the q-th observation -- a
+/// deterministic, conservative estimate; the overflow bucket reports the
+/// last finite edge. 0 when there are no observations.
+double histogram_quantile(std::span<const double> edges, std::span<const u64> buckets,
+                          double q);
+
+/// Same, over the delta between two cumulative bucket snapshots (`current`
+/// minus `previous`, element-wise): the quantile of the observations made
+/// between the two snapshots. Used by load-report heartbeats for "recent"
+/// latency percentiles.
+double histogram_quantile_delta(std::span<const double> edges, std::span<const u64> current,
+                                std::span<const u64> previous, double q);
+
 enum class MetricKind : u8 { Counter = 0, Gauge = 1, Histogram = 2 };
 
 struct MetricValue {

@@ -122,9 +122,35 @@ int main(int argc, char** argv) {
       core::FrontendApi api(std::move(channel.value()));
       if (auto snap = api.query_stats()) {
         std::printf("---- daemon metrics ----\n%s", snap.value().to_text().c_str());
+        // Offload health: the per-node "stats.node.<name>.*" gauges a
+        // cluster daemon publishes (offloaded connections, local fallbacks,
+        // recoveries). A stand-alone daemon with no node identity has none.
+        bool header = false;
+        for (const auto& v : snap.value().values) {
+          if (v.name.rfind("stats.node.", 0) != 0) continue;
+          if (!header) {
+            std::printf("---- cluster offload health ----\n");
+            header = true;
+          }
+          std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
+        }
       } else {
         std::fprintf(stderr, "gpuvm_run: QueryStats failed (%s)\n", to_string(snap.status()));
       }
+      if (auto load = api.query_load()) {
+        const auto& snap_load = load.value();
+        std::printf(
+            "---- daemon load ----\npending %d bound %d active %d vgpus %d "
+            "queue-wait-p50 %.6fs\n",
+            snap_load.pending_contexts, snap_load.bound_contexts, snap_load.active_contexts,
+            snap_load.vgpu_count, snap_load.queue_wait_p50_seconds);
+        for (const auto& dev : snap_load.devices) {
+          std::printf("gpu %llu: vgpus %d bound %d free %llu/%llu bytes\n",
+                      static_cast<unsigned long long>(dev.gpu), dev.vgpus, dev.bound,
+                      static_cast<unsigned long long>(dev.free_bytes),
+                      static_cast<unsigned long long>(dev.total_bytes));
+        }
+      }  // v2 daemons: no QueryLoad, silently skip
     } else {
       std::fprintf(stderr, "gpuvm_run: cannot connect for --stats\n");
     }

@@ -62,7 +62,7 @@ std::vector<std::string> split(const std::string& s, char sep) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: gpuvmd --socket PATH [--gpus LIST] [--vgpus N] "
+               "usage: gpuvmd --socket PATH [--node-name NAME] [--gpus LIST] [--vgpus N] "
                "[--policy fcfs|sjf|credit|deadline] [--migration] [--cuda4]\n"
                "              [--eager-transfers] [--mem-scale N] [--serve-seconds N] "
                "[--trace-out FILE]\n");
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   using namespace gpuvm;
 
   std::string socket_path;
+  std::string node_name;
   std::string gpus = "c2050";
   std::string trace_out;
   core::RuntimeConfig config;
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--socket") {
       socket_path = next();
+    } else if (arg == "--node-name") {
+      node_name = next();
     } else if (arg == "--gpus") {
       gpus = next();
     } else if (arg == "--vgpus") {
@@ -149,6 +152,13 @@ int main(int argc, char** argv) {
   workloads::register_extended_kernels(machine.kernels());
   cudart::CudaRt cuda(machine);
   core::Runtime daemon(cuda, config);
+  if (!node_name.empty()) {
+    // Stamps LoadSnapshots and the per-node "stats.node.<name>.*" gauges so
+    // a head node aggregating several daemons can tell them apart. The
+    // numeric id hashes the name (stand-alone daemons have no cluster
+    // authority assigning ids).
+    daemon.set_node_identity(std::hash<std::string>{}(node_name), node_name);
+  }
 
   auto server = transport::UnixSocketServer::listen(
       socket_path, [&daemon](std::unique_ptr<transport::MessageChannel> channel) {

@@ -1,6 +1,8 @@
 #include "transport/message.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 namespace gpuvm::transport {
 
@@ -122,6 +124,81 @@ StatusOr<HelloReply> decode_hello_reply(std::span<const u8> payload) {
   reply.caps = r.get<u32>();
   if (!r.ok()) return Status::ErrorProtocol;
   return reply;
+}
+
+double LoadSnapshot::load_score() const {
+  if (vgpu_count <= 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(pending_contexts + active_contexts) /
+         static_cast<double>(vgpu_count);
+}
+
+u64 LoadSnapshot::max_free_bytes() const {
+  u64 best = 0;
+  for (const DeviceLoad& dev : devices) best = std::max(best, dev.free_bytes);
+  return best;
+}
+
+std::vector<u8> encode_load(const LoadSnapshot& load) {
+  WireWriter w;
+  w.put<u64>(load.node);
+  w.put<u64>(load.seq);
+  w.put<i64>(load.vt_ns);
+  w.put<i32>(load.pending_contexts);
+  w.put<i32>(load.bound_contexts);
+  w.put<i32>(load.active_contexts);
+  w.put<i32>(load.vgpu_count);
+  w.put<double>(load.queue_wait_p50_seconds);
+  w.put<u64>(load.devices.size());
+  for (const DeviceLoad& dev : load.devices) {
+    w.put<u64>(dev.gpu);
+    w.put<u64>(dev.free_bytes);
+    w.put<u64>(dev.total_bytes);
+    w.put<i32>(dev.vgpus);
+    w.put<i32>(dev.bound);
+  }
+  return w.take();
+}
+
+StatusOr<LoadSnapshot> decode_load(std::span<const u8> payload) {
+  WireReader r(payload);
+  LoadSnapshot load;
+  load.node = r.get<u64>();
+  load.seq = r.get<u64>();
+  load.vt_ns = r.get<i64>();
+  load.pending_contexts = r.get<i32>();
+  load.bound_contexts = r.get<i32>();
+  load.active_contexts = r.get<i32>();
+  load.vgpu_count = r.get<i32>();
+  load.queue_wait_p50_seconds = r.get<double>();
+  const u64 devices = r.get<u64>();
+  if (!r.ok() || devices > (1u << 16)) return Status::ErrorProtocol;
+  load.devices.reserve(devices);
+  for (u64 i = 0; i < devices; ++i) {
+    DeviceLoad dev;
+    dev.gpu = r.get<u64>();
+    dev.free_bytes = r.get<u64>();
+    dev.total_bytes = r.get<u64>();
+    dev.vgpus = r.get<i32>();
+    dev.bound = r.get<i32>();
+    load.devices.push_back(dev);
+  }
+  if (!r.ok()) return Status::ErrorProtocol;
+  return load;
+}
+
+std::vector<u8> encode_query_load(i64 interval_ns) {
+  WireWriter w;
+  w.put<i64>(interval_ns);
+  return w.take();
+}
+
+StatusOr<i64> decode_query_load(std::span<const u8> payload) {
+  // An empty payload is a plain one-shot poll (forward compatibility).
+  if (payload.empty()) return i64{0};
+  WireReader r(payload);
+  const i64 interval = r.get<i64>();
+  if (!r.ok() || interval < 0) return Status::ErrorProtocol;
+  return interval;
 }
 
 }  // namespace gpuvm::transport

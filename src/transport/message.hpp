@@ -49,6 +49,9 @@ enum class Opcode : u16 {
   OffloadConnection = 60,
   // Observability
   QueryStats = 70,  ///< returns a MetricsSnapshot of the daemon's registry
+  // Load telemetry (protocol v3, gated by caps::kQueryLoad)
+  QueryLoad = 71,   ///< returns a LoadSnapshot; interval > 0 subscribes
+  LoadReport = 72,  ///< unsolicited daemon->client heartbeat (LoadSnapshot)
   // Replies
   Reply = 100,
 };
@@ -115,5 +118,54 @@ struct HelloReply {
 
 std::vector<u8> encode_hello_reply(const HelloReply& reply);
 StatusOr<HelloReply> decode_hello_reply(std::span<const u8> payload);
+
+// ---- Load telemetry (QueryLoad / LoadReport, protocol v3) ------------------
+//
+// A LoadSnapshot is the daemon's answer to "how busy are you": queue depth,
+// binding pressure and free device memory, stamped with the daemon's virtual
+// time so heartbeat streams replay bit-identically under chaos. A client
+// that negotiated caps::kQueryLoad may poll one snapshot (QueryLoad with
+// interval_ns == 0) or subscribe (interval_ns > 0), after which the daemon
+// pushes LoadReport frames on the same channel every interval until the
+// channel closes. The head-node NodeDirectory is the intended consumer.
+
+/// Per-physical-device slice of a LoadSnapshot.
+struct DeviceLoad {
+  u64 gpu = 0;          ///< GpuId::value
+  u64 free_bytes = 0;   ///< unallocated device memory
+  u64 total_bytes = 0;
+  i32 vgpus = 0;        ///< alive vGPU slots backed by this device
+  i32 bound = 0;        ///< of which currently bound to a context
+};
+
+struct LoadSnapshot {
+  u64 node = 0;    ///< NodeId::value of the reporting daemon (0 = unset)
+  u64 seq = 0;     ///< heartbeat sequence number (0 for one-shot polls)
+  i64 vt_ns = 0;   ///< daemon virtual time at snapshot (staleness tracking)
+  i32 pending_contexts = 0;  ///< contexts blocked waiting for a vGPU
+  i32 bound_contexts = 0;    ///< contexts currently bound to a vGPU
+  i32 active_contexts = 0;   ///< live contexts, including CPU phases
+  i32 vgpu_count = 0;        ///< alive vGPUs (0 = node is dark)
+  /// Recent queue-wait p50 (seconds) from the obs histogram: for heartbeat
+  /// pushes the window is since the previous heartbeat, for one-shot polls
+  /// it is the daemon's lifetime.
+  double queue_wait_p50_seconds = 0.0;
+  std::vector<DeviceLoad> devices;
+
+  /// Dispatch pressure per vGPU: queued + live contexts over capacity.
+  /// Dark nodes (no alive vGPU) rank worse than any loaded node.
+  double load_score() const;
+  /// Largest free-memory block any single device offers (MemoryAware fit).
+  u64 max_free_bytes() const;
+};
+
+std::vector<u8> encode_load(const LoadSnapshot& load);
+StatusOr<LoadSnapshot> decode_load(std::span<const u8> payload);
+
+/// QueryLoad request payload: 0 = one-shot poll, > 0 = subscribe at this
+/// period (the daemon then pushes LoadReport frames until the channel
+/// closes).
+std::vector<u8> encode_query_load(i64 interval_ns);
+StatusOr<i64> decode_query_load(std::span<const u8> payload);
 
 }  // namespace gpuvm::transport

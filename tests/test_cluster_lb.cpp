@@ -1,0 +1,303 @@
+// Tests for the load-aware cluster control plane: the NodeDirectory fed by
+// QueryLoad heartbeats (staleness, dark-node detection, protocol-v2
+// fallback), pluggable dispatch policies on heterogeneous clusters, offload
+// hysteresis, and routing around a blacked-out node mid-batch.
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cluster/dispatch_policy.hpp"
+#include "cluster/torque.hpp"
+#include "obs/metrics.hpp"
+
+namespace gpuvm::cluster {
+namespace {
+
+void add_burn_kernel(Cluster& cluster) {
+  sim::KernelDef burn;
+  burn.name = "burn";  // 1e8 flops: 1ms on the 100-GFLOPS test GPU
+  burn.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  burn.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{1e8, 0.0};
+  };
+  cluster.register_kernel(burn);
+}
+
+Job make_job(vt::Domain& dom, int kernels, double cpu_ms, std::atomic<int>* done) {
+  Job job;
+  job.body = [&dom, kernels, cpu_ms, done](core::GpuApi& api) {
+    ASSERT_EQ(api.register_kernels({"burn"}), Status::Ok);
+    auto ptr = api.malloc(1024);
+    ASSERT_TRUE(ptr.has_value());
+    for (int i = 0; i < kernels; ++i) {
+      ASSERT_EQ(api.launch("burn", {{1, 1, 1}, {64, 1, 1}}, {sim::KernelArg::dev(ptr.value())}),
+                Status::Ok);
+      if (cpu_ms > 0) dom.sleep_for(vt::from_millis(cpu_ms));
+    }
+    if (done != nullptr) done->fetch_add(1);
+  };
+  return job;
+}
+
+/// Short heartbeats so staleness/dark transitions are cheap to wait out.
+DirectoryConfig fast_directory() {
+  DirectoryConfig config;
+  config.heartbeat_interval = vt::from_micros(199.0);
+  config.suspect_after_missed = 3;
+  return config;
+}
+
+class ClusterLbTest : public ::testing::Test {
+ protected:
+  ClusterLbTest() : guard_(dom_) { obs::metrics().reset(); }
+
+  Cluster make_cluster(const std::vector<NodeSpec>& specs, int vgpus,
+                       u32 caps_mask = protocol::caps::kAll) {
+    core::RuntimeConfig config;
+    config.scheduler.vgpus_per_device = vgpus;
+    config.caps_mask = caps_mask;
+    Cluster cluster(dom_, sim::SimParams{1}, specs, config, cudart::CudaRtConfig{4 * 1024, 8});
+    add_burn_kernel(cluster);
+    return cluster;
+  }
+
+  std::vector<NodeSpec> two_test_nodes() {
+    return {{"node-a", {sim::test_gpu(), sim::test_gpu()}}, {"node-b", {sim::test_gpu()}}};
+  }
+
+  vt::Domain dom_;
+  vt::AttachGuard guard_;
+};
+
+TEST_F(ClusterLbTest, HeartbeatsFlowIntoTheDirectory) {
+  Cluster cluster = make_cluster(two_test_nodes(), 2);
+  cluster.enable_load_reports(fast_directory());
+  NodeDirectory* dir = cluster.directory();
+  ASSERT_NE(dir, nullptr);
+
+  dom_.sleep_for(vt::from_millis(2.0));  // ~10 heartbeat periods
+  for (size_t n = 0; n < cluster.size(); ++n) {
+    const NodeId id = cluster.node(n).id();
+    EXPECT_TRUE(dir->subscribed(id));
+    EXPECT_TRUE(dir->dispatchable(id));
+    EXPECT_GT(dir->report_count(id), 3u);
+    auto snap = dir->snapshot_of(id);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->node, id.value);
+    EXPECT_EQ(snap->vgpu_count, 2 * cluster.node(n).gpu_count());
+    EXPECT_EQ(snap->devices.size(), static_cast<size_t>(cluster.node(n).gpu_count()));
+  }
+  cluster.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, BrokenHeartbeatLinkTurnsNodeSuspect) {
+  Cluster cluster = make_cluster(two_test_nodes(), 2);
+  cluster.enable_load_reports(fast_directory());
+  NodeDirectory* dir = cluster.directory();
+  const NodeId b = cluster.node(1).id();
+
+  dom_.sleep_for(vt::from_millis(1.0));
+  ASSERT_TRUE(dir->dispatchable(b));
+
+  // Degrade the wire hard enough that the next heartbeat exhausts the
+  // retransmission budget and breaks the subscription channels: reports
+  // stop arriving while the entries stay subscribed.
+  {
+    transport::ScopedFaultInjector chaos(/*seed=*/11);
+    chaos.injector().degrade(/*drop_rate=*/1.0, /*extra_delay=*/{});
+    // Backoffs for 6 retransmits sum to ~3.2ms; wait that out.
+    dom_.sleep_for(vt::from_millis(6.0));
+  }
+
+  // Now stale: the last report is many suspect_after_missed intervals old.
+  EXPECT_TRUE(dir->subscribed(b));
+  EXPECT_TRUE(dir->suspect(b));
+  EXPECT_FALSE(dir->dispatchable(b));
+  EXPECT_FALSE(dir->dark(b));  // stale, not reported dead
+  // The last snapshot is still served (consumers may want the final view).
+  EXPECT_TRUE(dir->snapshot_of(b).has_value());
+  cluster.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, BlackedOutNodeTurnsDarkAndRecoversOnRejoin) {
+  Cluster cluster = make_cluster(two_test_nodes(), 2);
+  cluster.enable_load_reports(fast_directory());
+  NodeDirectory* dir = cluster.directory();
+  const NodeId b = cluster.node(1).id();
+
+  dom_.sleep_for(vt::from_millis(1.0));
+  ASSERT_TRUE(dir->dispatchable(b));
+
+  // Blackout: every GPU on node-b dies; the next heartbeat reports zero
+  // alive vGPUs.
+  for (GpuId id : cluster.node(1).machine().gpus()) cluster.node(1).machine().fail_gpu(id);
+  dom_.sleep_for(vt::from_millis(1.0));
+  EXPECT_TRUE(dir->dark(b));
+  EXPECT_FALSE(dir->dispatchable(b));
+  EXPECT_FALSE(dir->suspect(b));  // heartbeats still arrive
+
+  // Rejoin with a fresh device: dark clears with the next report.
+  cluster.node(1).machine().add_gpu(sim::test_gpu());
+  dom_.sleep_for(vt::from_millis(1.0));
+  EXPECT_FALSE(dir->dark(b));
+  EXPECT_TRUE(dir->dispatchable(b));
+  cluster.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, ProtocolV2PeersStayDispatchableWithoutLoadData) {
+  // caps_mask strips kQueryLoad: the daemons negotiate like protocol-v2
+  // peers, the directory watches them blind, and dispatch still works.
+  Cluster cluster =
+      make_cluster(two_test_nodes(), 2, protocol::caps::kAll & ~protocol::caps::kQueryLoad);
+  cluster.enable_load_reports(fast_directory());
+  NodeDirectory* dir = cluster.directory();
+  for (size_t n = 0; n < cluster.size(); ++n) {
+    const NodeId id = cluster.node(n).id();
+    EXPECT_FALSE(dir->subscribed(id));
+    EXPECT_FALSE(dir->snapshot_of(id).has_value());
+    EXPECT_TRUE(dir->dispatchable(id));
+  }
+
+  TorqueScheduler::Options options;
+  options.policy = make_least_loaded_policy();
+  options.directory = dir;
+  TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 6; ++i) torque.submit(make_job(dom_, 2, 0.2, &done));
+  torque.run_to_completion();
+  EXPECT_EQ(done.load(), 6);
+  // Blind candidates all score 0: least-loaded degenerates to first-fit,
+  // but every job still lands and completes without errors.
+  EXPECT_EQ(obs::metrics().counter("cluster.dispatch.least_loaded").value(), 6u);
+  cluster.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, OffloadHysteresisRefusesBelowWatermarks) {
+  DirectoryConfig config = fast_directory();
+  config.high_watermark = 1.0;
+  config.low_watermark = 0.5;
+  Cluster cluster = make_cluster(two_test_nodes(), 2);
+  cluster.enable_load_reports(config);
+  NodeDirectory* dir = cluster.directory();
+  dom_.sleep_for(vt::from_millis(1.0));
+
+  const NodeId a = cluster.node(0).id();
+  const u64 before = obs::metrics().counter("cluster.offload_hysteresis_rejections").value();
+
+  // Below the high watermark the node must not shed, however idle the peer.
+  EXPECT_EQ(dir->pick_offload_target(a, /*self_score=*/0.9), nullptr);
+  // Above it, the idle peer (score 0 <= low watermark) is offered.
+  EXPECT_EQ(dir->pick_offload_target(a, /*self_score=*/2.0), &cluster.node(1));
+  EXPECT_EQ(obs::metrics().counter("cluster.offload_hysteresis_rejections").value(), before + 1);
+
+  // A dead band with an unreachable low watermark refuses even then: two
+  // moderately loaded nodes can never ping-pong connections.
+  cluster.stop_load_reports();
+  DirectoryConfig strict = fast_directory();
+  strict.low_watermark = -1.0;
+  Cluster cluster2 = make_cluster(two_test_nodes(), 2);
+  cluster2.enable_load_reports(strict);
+  dom_.sleep_for(vt::from_millis(1.0));
+  EXPECT_EQ(cluster2.directory()->pick_offload_target(cluster2.node(0).id(), 2.0), nullptr);
+  cluster2.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, LeastLoadedBeatsRoundRobinOnHeterogeneousCluster) {
+  // The paper's heterogeneous testbed: a Fermi Tesla node next to a much
+  // weaker Quadro node (345 vs 160 effective GFLOPS). Round-robin divides
+  // jobs equally and the Quadro node dominates the makespan; least-loaded
+  // sees its queue build up in the heartbeats and shifts work to the C2050.
+  const auto run = [&](std::unique_ptr<DispatchPolicy> policy) {
+    sim::SimParams params{1024};
+    std::vector<NodeSpec> specs = {{"tesla", {sim::tesla_c2050(params)}},
+                                   {"quadro", {sim::quadro_2000(params)}}};
+    Cluster cluster = make_cluster(specs, 2);
+    cluster.enable_load_reports(fast_directory());
+    TorqueScheduler::Options options;
+    options.policy = std::move(policy);
+    options.directory = cluster.directory();
+    // Dispatch slower than the heartbeat period so each placement is
+    // visible to the next decision.
+    options.dispatch_interval_seconds = 0.001;
+    TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
+    std::atomic<int> done{0};
+    for (int i = 0; i < 12; ++i) torque.submit(make_job(dom_, 8, 0.1, &done));
+    const BatchResult result = torque.run_to_completion();
+    EXPECT_EQ(done.load(), 12);
+    cluster.stop_load_reports();
+    return result.total_seconds;
+  };
+  const double rr = run(make_round_robin_policy());
+  const double ll = run(make_least_loaded_policy());
+  EXPECT_LT(ll, rr);
+}
+
+TEST_F(ClusterLbTest, MemoryAwareBestFitsTheFootprintHint) {
+  // node-a's devices have much more free memory than node-b's single small
+  // GPU; a job with a footprint hint too big for node-b must land on
+  // node-a even though round-robin or least-loaded could pick either.
+  std::vector<NodeSpec> specs = {{"big", {sim::test_gpu(8u << 20)}},
+                                 {"small", {sim::test_gpu(1u << 18)}}};
+  Cluster cluster = make_cluster(specs, 2);
+  cluster.enable_load_reports(fast_directory());
+  dom_.sleep_for(vt::from_millis(1.0));
+
+  TorqueScheduler::Options options;
+  options.policy = make_memory_aware_policy();
+  options.directory = cluster.directory();
+  TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
+  std::atomic<int> done{0};
+  Job job = make_job(dom_, 1, 0.0, &done);
+  job.mem_footprint_bytes = 1u << 20;  // exceeds node-b's device memory
+  torque.submit(std::move(job));
+  const BatchResult result = torque.run_to_completion();
+  EXPECT_EQ(done.load(), 1);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].node, cluster.node(0).id());
+  cluster.stop_load_reports();
+}
+
+TEST_F(ClusterLbTest, NodeBlackoutMidBatchStillCompletesEveryJob) {
+  // The dead-node dispatch regression: node-b blacks out while the batch is
+  // mid-flight and rejoins later. Dispatch decisions made during the dark
+  // window must route around it, and every job must complete.
+  // Generous grace: contexts caught on the dark node wait for the rejoin.
+  core::RuntimeConfig config;
+  config.scheduler.vgpus_per_device = 2;
+  config.scheduler.device_wait_grace_seconds = 0.5;
+  config.max_recovery_attempts = 6;
+  Cluster patient(dom_, sim::SimParams{1}, two_test_nodes(), config,
+                  cudart::CudaRtConfig{4 * 1024, 8});
+  add_burn_kernel(patient);
+  patient.enable_load_reports(fast_directory());
+
+  TorqueScheduler::Options options;
+  options.policy = make_least_loaded_policy();
+  options.directory = patient.directory();
+  options.dispatch_interval_seconds = 0.002;
+  TorqueScheduler torque(dom_, patient.node_pointers(), std::move(options));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) torque.submit(make_job(dom_, 3, 1.0, &done));
+
+  std::atomic<bool> went_dark{false};
+  vt::Thread saboteur(dom_, [&] {
+    dom_.sleep_for(vt::from_millis(5.0));  // a few dispatches in
+    for (GpuId id : patient.node(1).machine().gpus()) patient.node(1).machine().fail_gpu(id);
+    dom_.sleep_for(vt::from_millis(2.0));  // several heartbeat periods
+    went_dark.store(patient.directory()->dark(patient.node(1).id()));
+    dom_.sleep_for(vt::from_millis(8.0));
+    patient.node(1).machine().add_gpu(sim::test_gpu());  // rejoin
+  });
+
+  torque.run_to_completion();
+  saboteur.join();
+  EXPECT_EQ(done.load(), 10);
+  EXPECT_TRUE(went_dark.load());
+  patient.stop_load_reports();
+}
+
+}  // namespace
+}  // namespace gpuvm::cluster

@@ -244,6 +244,53 @@ TEST_F(ProtocolTest, CapabilitiesAreNegotiatedAndGateOptionalOps) {
   EXPECT_TRUE(full.query_stats().has_value());
 }
 
+TEST_F(ProtocolTest, QueryLoadIsGatedByTheV3Capability) {
+  // A protocol-v2 peer (no kQueryLoad in the handshake) must be refused
+  // cleanly -- locally by the frontend and by the daemon for raw frames.
+  ConnectOptions options;
+  options.caps = protocol::caps::kAll & ~protocol::caps::kQueryLoad;
+  FrontendApi v2(runtime_->connect(), options);
+  ASSERT_TRUE(v2.connected());
+  EXPECT_EQ(v2.negotiated_caps() & protocol::caps::kQueryLoad, 0u);
+  EXPECT_EQ(v2.query_load().status(), Status::ErrorNotSupported);
+
+  // A v3 peer gets a coherent one-shot snapshot.
+  FrontendApi v3(runtime_->connect());
+  ASSERT_TRUE(v3.connected());
+  auto load = v3.query_load();
+  ASSERT_TRUE(load.has_value());
+  EXPECT_EQ(load->seq, 0u);  // one-shot polls are unsequenced
+  EXPECT_EQ(load->vgpu_count, runtime_->scheduler().vgpu_count());
+  ASSERT_EQ(load->devices.size(), 1u);
+  EXPECT_GT(load->devices[0].total_bytes, 0u);
+}
+
+TEST_F(ProtocolTest, QueryLoadRejectsMalformedIntervals) {
+  auto ch = connect_raw();
+  // Negative interval: protocol error, connection stays usable.
+  EXPECT_EQ(call(*ch, Opcode::QueryLoad, transport::encode_query_load(-5)),
+            Status::ErrorProtocol);
+  WireWriter w;
+  w.put<u64>(64);
+  EXPECT_EQ(call(*ch, Opcode::Malloc, w.take()), Status::Ok);
+}
+
+TEST_F(ProtocolTest, DaemonMaskedCapsEmulateAnOlderDaemon) {
+  // The daemon side of graceful fallback: a runtime configured with
+  // caps_mask stripping kQueryLoad negotiates like a v2 daemon even with a
+  // fully-capable client.
+  RuntimeConfig config;
+  config.caps_mask = protocol::caps::kAll & ~protocol::caps::kQueryLoad;
+  Runtime old_daemon(*rt_, config);
+  FrontendApi api(old_daemon.connect());
+  ASSERT_TRUE(api.connected());
+  EXPECT_EQ(api.negotiated_caps() & protocol::caps::kQueryLoad, 0u);
+  EXPECT_EQ(api.query_load().status(), Status::ErrorNotSupported);
+  // Everything v2 still works.
+  EXPECT_TRUE(api.malloc(1024).has_value());
+  EXPECT_TRUE(api.query_stats().has_value());
+}
+
 TEST_F(ProtocolTest, GoodbyeIsAcknowledgedAndCleansUp) {
   auto ch = connect_raw();
   WireWriter w;
