@@ -61,12 +61,26 @@ void run_tenant(const ScenarioConfig& config, cluster::Cluster& cluster, int i,
   const int total = config.kernels_per_tenant + (i % 3);
   for (int k = 0; st == Status::Ok && k < total; ++k) {
     const u32 arg = (static_cast<u32>(k) + 1u) * 0x9e37u + static_cast<u32>(i);
+    // The kernel writes the whole buffer through its first argument; the
+    // dev_out annotation makes that write-set explicit so the incremental
+    // swap engine is exercised (not just the conservative fallback).
     st = api.launch("chaos_step",
                     {{1, 1, 1}, {static_cast<u32>(elems), 1, 1}},
-                    {sim::KernelArg::dev(ptr), sim::KernelArg::i64v(static_cast<i64>(arg))});
+                    {sim::KernelArg::dev_out(ptr), sim::KernelArg::i64v(static_cast<i64>(arg))});
     if (st == Status::Ok) {
       ++out->kernels_ok;
       for (u32& x : mirror) x = x * 2654435761u + arg;
+      // Deterministic partial host write between kernels: a sub-range
+      // update of a device-dirty entry forces the write-set sync + dirty-
+      // interval merge paths under chaos, mirrored host-side as usual.
+      if (k % 3 == 2) {
+        const u64 lo = (static_cast<u64>(k) * 37 + static_cast<u64>(i) * 11) % (elems / 2);
+        const u64 len = std::min<u64>(elems - lo, 16 + static_cast<u64>(k % 8));
+        for (u64 e = lo; e < lo + len; ++e) mirror[e] ^= 0xa5a50000u + static_cast<u32>(k);
+        st = api.memcpy_h2d(ptr + lo * sizeof(u32),
+                            std::as_bytes(std::span(mirror).subspan(lo, len)));
+        if (st != Status::Ok) break;
+      }
       // CPU phase between launches (lets the vGPU time-share; distinct
       // per-tenant lengths avoid virtual-clock ties).
       dom.sleep_for(vt::from_micros(40.0 + 10.0 * static_cast<double>(i % 5)));

@@ -1,0 +1,112 @@
+// IntervalSet: a coalescing set of half-open byte ranges [begin, end).
+//
+// The incremental swap engine tracks, per page-table entry, which byte
+// ranges are dirty in each direction (device newer than swap / swap newer
+// than the device) and which ranges of the swap area have ever been
+// populated. Ranges are kept sorted, disjoint and maximal: adding a range
+// that touches or overlaps existing ones merges them, so the set is always
+// the minimal description of the covered bytes.
+//
+// The representation is a flat sorted vector: entries carry a handful of
+// ranges (whole-buffer writes collapse to one), so linear merging beats a
+// node-based tree, and iteration order is trivially deterministic -- a
+// requirement for the chaos harness's bit-identical replays.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuvm {
+
+struct ByteRange {
+  u64 begin = 0;
+  u64 end = 0;  ///< exclusive
+
+  u64 size() const { return end - begin; }
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+class IntervalSet {
+ public:
+  /// Adds [begin, end), merging with any overlapping or adjacent range.
+  void add(u64 begin, u64 end) {
+    if (begin >= end) return;
+    // First range that could touch [begin, end): the last one starting at or
+    // before `end` is a merge candidate; everything strictly after is not.
+    auto first = std::lower_bound(
+        ranges_.begin(), ranges_.end(), begin,
+        [](const ByteRange& r, u64 b) { return r.end < b; });
+    auto last = first;
+    while (last != ranges_.end() && last->begin <= end) {
+      begin = std::min(begin, last->begin);
+      end = std::max(end, last->end);
+      ++last;
+    }
+    first = ranges_.erase(first, last);
+    ranges_.insert(first, ByteRange{begin, end});
+  }
+
+  /// Removes [begin, end), splitting ranges that straddle the boundary.
+  void erase(u64 begin, u64 end) {
+    if (begin >= end || ranges_.empty()) return;
+    std::vector<ByteRange> out;
+    out.reserve(ranges_.size() + 1);
+    for (const ByteRange& r : ranges_) {
+      if (r.end <= begin || r.begin >= end) {
+        out.push_back(r);
+        continue;
+      }
+      if (r.begin < begin) out.push_back({r.begin, begin});
+      if (r.end > end) out.push_back({end, r.end});
+    }
+    ranges_ = std::move(out);
+  }
+
+  void clear() { ranges_.clear(); }
+  bool empty() const { return ranges_.empty(); }
+
+  /// True iff every byte of [begin, end) is covered.
+  bool contains(u64 begin, u64 end) const {
+    if (begin >= end) return true;
+    for (const ByteRange& r : ranges_) {
+      if (r.begin <= begin && end <= r.end) return true;
+    }
+    return false;
+  }
+
+  /// Sum of covered bytes.
+  u64 total_bytes() const {
+    u64 n = 0;
+    for (const ByteRange& r : ranges_) n += r.size();
+    return n;
+  }
+
+  const std::vector<ByteRange>& ranges() const { return ranges_; }
+
+  /// Transfer plan: ranges with gaps of at most `max_gap` bytes bridged into
+  /// one span (the paper's transfer-consolidation idea -- a short clean gap
+  /// is cheaper to ship than a second per-transfer PCIe latency). Callers
+  /// must only use this where overwriting the gap bytes with an identical
+  /// copy is harmless (both sides in sync), which the one-direction-dirty
+  /// discipline of the memory manager guarantees.
+  std::vector<ByteRange> coalesced(u64 max_gap) const {
+    std::vector<ByteRange> out;
+    for (const ByteRange& r : ranges_) {
+      if (!out.empty() && r.begin - out.back().end <= max_gap) {
+        out.back().end = r.end;
+      } else {
+        out.push_back(r);
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  std::vector<ByteRange> ranges_;  // sorted, disjoint, non-adjacent
+};
+
+}  // namespace gpuvm

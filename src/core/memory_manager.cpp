@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <set>
 
 #include "common/log.hpp"
@@ -30,17 +31,36 @@ obs::Counter& writeback_fences_counter() {
   return c;
 }
 
+obs::Counter& dirty_bytes_saved_counter() {
+  static obs::Counter& c = obs::metrics().counter("mm.dirty_bytes_saved");
+  return c;
+}
+
+obs::Counter& swap_in_bytes_counter() {
+  static obs::Counter& c = obs::metrics().counter("mm.swap_in_bytes");
+  return c;
+}
+
+obs::Histogram& bulk_h2d_bytes_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram("mm.bulk_h2d_bytes", obs::default_bytes_edges());
+  return h;
+}
+
 }  // namespace
 
 MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {}
 
 void MemoryManager::add_context(ContextId ctx) {
-  contexts_.emplace(ctx, std::make_shared<CtxMem>());
+  auto mem = std::make_shared<CtxMem>();
+  mem->self = ctx;
+  contexts_.emplace(ctx, std::move(mem));
 }
 
 void MemoryManager::remove_context(ContextId ctx) {
   CtxMemPtr mem = contexts_.take(ctx);
   if (mem == nullptr) return;
+  ctx_lru_remove(*mem);  // before the CtxMem dies: the directory holds raw pointers
   // Free device allocations; swap buffers die with the map. Uncosted free
   // path (like a process teardown). In-flight write-back drains are moot:
   // the data is discarded, nothing will read it.
@@ -61,6 +81,49 @@ MemoryManager::Located MemoryManager::locate(CtxMem& mem, VirtualPtr ptr) {
   PageTableEntry* pte = it->second.get();
   if (ptr < pte->virtual_ptr || ptr >= pte->virtual_ptr + pte->size) return {};
   return {pte, ptr - pte->virtual_ptr};
+}
+
+void MemoryManager::lru_touch(CtxMem& mem, PageTableEntry& pte, vt::TimePoint stamp) {
+  mem.lru.erase({pte.last_use.count(), pte.virtual_ptr});
+  pte.last_use = stamp;
+  mem.lru[{stamp.count(), pte.virtual_ptr}] = &pte;
+}
+
+void MemoryManager::lru_remove(CtxMem& mem, PageTableEntry& pte) {
+  mem.lru.erase({pte.last_use.count(), pte.virtual_ptr});
+}
+
+void MemoryManager::ctx_lru_touch(CtxMem& mem, u64 gpu, i64 now_ns) const {
+  std::scoped_lock lk(ctx_lru_.mu);
+  const u64 id = mem.self.value;
+  const std::tuple<u64, i64, u64> key{gpu, now_ns, id};
+  auto w = ctx_lru_.where.find(id);
+  if (w != ctx_lru_.where.end()) {
+    if (w->second == key) return;
+    ctx_lru_.order.erase(w->second);
+    w->second = key;
+  } else {
+    w = ctx_lru_.where.emplace(id, key).first;
+  }
+  ctx_lru_.order.emplace(key, &mem);
+}
+
+void MemoryManager::ctx_lru_remove(CtxMem& mem) const {
+  std::scoped_lock lk(ctx_lru_.mu);
+  auto w = ctx_lru_.where.find(mem.self.value);
+  if (w == ctx_lru_.where.end()) return;
+  ctx_lru_.order.erase(w->second);
+  ctx_lru_.where.erase(w);
+}
+
+std::vector<ByteRange> MemoryManager::writeback_ranges(const PageTableEntry& pte) const {
+  if (!config_.incremental_swap) return {ByteRange{0, pte.size}};
+  return pte.dev_dirty.coalesced(config_.coalesce_gap_bytes);
+}
+
+std::vector<ByteRange> MemoryManager::upload_ranges(const PageTableEntry& pte) const {
+  if (!config_.incremental_swap) return {ByteRange{0, pte.size}};
+  return pte.host_dirty.coalesced(config_.coalesce_gap_bytes);
 }
 
 StatusOr<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
@@ -108,6 +171,9 @@ Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const
     std::memcpy(pte->swap.data() + offset, src.data(), src.size());
     pte->to_copy_2_dev = false;
     pte->to_copy_2_swap = false;
+    pte->swap_valid.add(offset, offset + src.size());
+    pte->host_dirty.clear();  // device and swap are in sync again
+    pte->dev_dirty.clear();
     return Status::Ok;
   }
 
@@ -124,24 +190,44 @@ Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const
   std::memcpy(pte->swap.data() + offset, src.data(), src.size());
   pte->to_copy_2_dev = true;
   pte->to_copy_2_swap = false;
+  pte->dev_dirty.clear();  // partial: synced above; full: superseded by this write
+  pte->swap_valid.add(offset, offset + src.size());
+  if (pte->is_allocated) pte->host_dirty.add(offset, offset + src.size());
   return Status::Ok;
 }
 
 Status MemoryManager::sync_to_swap(PageTableEntry& pte) {
   if (!pte.to_copy_2_swap) return Status::Ok;
   if (!pte.is_allocated) return Status::ErrorNoValidPte;
-  const Status s = rt_->memcpy_d2h(pte.owner_client, pte.swap, pte.device_ptr, pte.size);
-  if (!ok(s)) {
-    if (s == Status::ErrorDeviceUnavailable) {
-      // Device died with the only up-to-date copy: recover to the last
-      // swap-consistent state (the implicit checkpoint).
-      pte.to_copy_2_swap = false;
-      pte.to_copy_2_dev = true;
+  // Incremental engine: ship only the kernel's write-set (consolidated
+  // dev_dirty ranges); the naive baseline ships the whole entry.
+  u64 moved = 0;
+  for (const ByteRange& r : writeback_ranges(pte)) {
+    const Status s = rt_->memcpy_d2h(pte.owner_client,
+                                     std::span(pte.swap).subspan(r.begin, r.size()),
+                                     pte.device_ptr + r.begin, r.size());
+    if (!ok(s)) {
+      if (s == Status::ErrorDeviceUnavailable) {
+        // Device died with the only up-to-date copy: recover to the last
+        // swap-consistent state (the implicit checkpoint).
+        pte.to_copy_2_swap = false;
+        pte.to_copy_2_dev = true;
+        pte.dev_dirty.clear();
+        pte.host_dirty = pte.swap_valid;  // everything re-uploads from swap
+        return s;
+      }
       return s;
     }
-    return s;
+    moved += r.size();
+    pte.swap_valid.add(r.begin, r.end);
   }
   pte.to_copy_2_swap = false;
+  pte.dev_dirty.clear();
+  stats_.swap_out_bytes.fetch_add(moved, std::memory_order_relaxed);
+  if (config_.incremental_swap) {
+    stats_.dirty_bytes_saved.fetch_add(pte.size - moved, std::memory_order_relaxed);
+    dirty_bytes_saved_counter().add(static_cast<u64>(pte.size - moved));
+  }
   return Status::Ok;
 }
 
@@ -200,6 +286,9 @@ Status MemoryManager::on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src,
   std::memmove(dpte->swap.data() + dst_off, spte->swap.data() + src_off, size);
   dpte->to_copy_2_dev = true;
   dpte->to_copy_2_swap = false;
+  dpte->dev_dirty.clear();
+  dpte->swap_valid.add(dst_off, dst_off + size);
+  if (dpte->is_allocated) dpte->host_dirty.add(dst_off, dst_off + size);
   return Status::Ok;
 }
 
@@ -212,9 +301,12 @@ Status MemoryManager::on_free(ContextId ctx, VirtualPtr ptr) {
   if (pte->is_allocated) {
     // Table 1: "If (PTE.isAllocated) cudaFree".
     (void)rt_->free(pte->owner_client, pte->device_ptr);
-    mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
-    if (mem->resident_bytes.load(std::memory_order_relaxed) == 0) {
+    lru_remove(*mem, *pte);
+    // Decide "all resident bytes gone" from the fetch_sub return value: a
+    // separate load could observe a concurrent query's interleaving.
+    if (mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed) == pte->size) {
       mem->resident_gpu.store(0, std::memory_order_relaxed);
+      ctx_lru_remove(*mem);
     }
   }
   mem->total_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
@@ -238,6 +330,8 @@ Status MemoryManager::register_nested(ContextId ctx, VirtualPtr parent,
   // The swap image stores the virtual pointers (position independent).
   for (const NestedRef& ref : refs) {
     std::memcpy(pte->swap.data() + ref.offset, &ref.target, sizeof(u64));
+    pte->swap_valid.add(ref.offset, ref.offset + sizeof(u64));
+    if (pte->is_allocated) pte->host_dirty.add(ref.offset, ref.offset + sizeof(u64));
   }
   pte->to_copy_2_dev = true;
   return Status::Ok;
@@ -270,6 +364,10 @@ Status MemoryManager::patch_nested_on_device(CtxMem& mem, PageTableEntry& pte) {
     const Status s = gpu->poke(pte.device_ptr + ref.offset,
                                std::as_bytes(std::span(&dev_target, 1)));
     if (!ok(s)) return s;
+    // The device slot now differs from swap (device vs virtual pointer);
+    // track it so a later write-back ships it (rewrite_nested_to_virtual
+    // restores the position-independent form afterwards, as before).
+    pte.dev_dirty.add(ref.offset, ref.offset + sizeof(u64));
   }
   return Status::Ok;
 }
@@ -284,24 +382,48 @@ void MemoryManager::rewrite_nested_to_virtual(CtxMem& mem, PageTableEntry& pte) 
 Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
   if (!pte.is_allocated) return Status::Ok;
   Status sync = Status::Ok;
-  if (pte.to_copy_2_swap && config_.async_writeback) {
+  if (!pte.to_copy_2_swap) {
+    // Clean eviction: the swap copy is already authoritative, no D2H at all.
+    stats_.clean_swap_skips.fetch_add(1, std::memory_order_relaxed);
+    if (config_.incremental_swap) {
+      stats_.dirty_bytes_saved.fetch_add(pte.size, std::memory_order_relaxed);
+      dirty_bytes_saved_counter().add(pte.size);
+    }
+  } else if (config_.async_writeback) {
     // Asynchronous write-back: snapshot the device bytes into swap now
     // (content-correct immediately, like staging into a pinned buffer) and
     // reserve the copy engine without sleeping. The evictor's subsequent
     // work overlaps the modeled drain; swap readers fence on completion.
-    auto done = rt_->memcpy_d2h_async(pte.owner_client, pte.swap, pte.device_ptr, pte.size);
-    if (done.has_value()) {
-      pte.to_copy_2_swap = false;
-      pte.writeback_done = std::max(pte.writeback_done, done.value());
+    // Only the dirty (write-set) ranges ship; consolidation bridges small
+    // gaps into one transfer.
+    u64 moved = 0;
+    for (const ByteRange& r : writeback_ranges(pte)) {
+      auto done = rt_->memcpy_d2h_async(pte.owner_client,
+                                        std::span(pte.swap).subspan(r.begin, r.size()),
+                                        pte.device_ptr + r.begin, r.size());
+      if (done.has_value()) {
+        pte.writeback_done = std::max(pte.writeback_done, done.value());
+        pte.swap_valid.add(r.begin, r.end);
+        moved += r.size();
+      } else if (done.status() == Status::ErrorDeviceUnavailable) {
+        // Same recovery as the synchronous path: the swap copy (last
+        // checkpoint) becomes authoritative again.
+        sync = Status::ErrorDeviceUnavailable;
+        break;
+      } else {
+        sync = done.status();
+        break;
+      }
+    }
+    pte.to_copy_2_swap = false;
+    if (ok(sync)) {
       stats_.async_writebacks.fetch_add(1, std::memory_order_relaxed);
       async_writebacks_counter().add(1);
-    } else if (done.status() == Status::ErrorDeviceUnavailable) {
-      // Same recovery as the synchronous path: the swap copy (last
-      // checkpoint) becomes authoritative again.
-      pte.to_copy_2_swap = false;
-      sync = Status::ErrorDeviceUnavailable;
-    } else {
-      sync = done.status();
+      stats_.swap_out_bytes.fetch_add(moved, std::memory_order_relaxed);
+      if (config_.incremental_swap) {
+        stats_.dirty_bytes_saved.fetch_add(pte.size - moved, std::memory_order_relaxed);
+        dirty_bytes_saved_counter().add(pte.size - moved);
+      }
     }
   } else {
     sync = sync_to_swap(pte);  // costed writeback when dirty
@@ -311,9 +433,14 @@ Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
   pte.is_allocated = false;
   pte.device_ptr = kNullDevicePtr;
   pte.to_copy_2_dev = true;  // next use re-materializes from swap
-  mem.resident_bytes.fetch_sub(pte.size, std::memory_order_relaxed);
-  if (mem.resident_bytes.load(std::memory_order_relaxed) == 0) {
+  pte.dev_dirty.clear();     // the device copy is gone
+  pte.host_dirty.clear();    // recomputed from swap_valid at re-materialization
+  lru_remove(mem, pte);
+  // fetch_sub's return value decides "all resident bytes gone": a separate
+  // load could race with a concurrent materialization elsewhere.
+  if (mem.resident_bytes.fetch_sub(pte.size, std::memory_order_relaxed) == pte.size) {
     mem.resident_gpu.store(0, std::memory_order_relaxed);
+    ctx_lru_remove(mem);
   }
   stats_.swapped_entries.fetch_add(1, std::memory_order_relaxed);
   stats_.swap_bytes.fetch_add(pte.size, std::memory_order_relaxed);
@@ -331,12 +458,15 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
   }
   const vt::TimePoint now_stamp = rt_->machine().domain().now();
   mem->last_use_ns.store(now_stamp.count(), std::memory_order_relaxed);
+  if (const u64 gpu_now = mem->resident_gpu.load(std::memory_order_relaxed); gpu_now != 0) {
+    ctx_lru_touch(*mem, gpu_now, now_stamp.count());
+  }
 
   // Resolve referenced entries and their offsets.
   std::vector<Located> refs(args.size());
   std::vector<PageTableEntry*> roots;
   for (size_t i = 0; i < args.size(); ++i) {
-    if (args[i].kind != sim::KernelArg::Kind::DevPtr) continue;
+    if (!args[i].is_dev_ptr()) continue;
     if (args[i].bits == 0) continue;  // null pointer passes through
     const Located ref = locate(*mem, args[i].as_ptr());
     if (ref.pte == nullptr) {
@@ -357,7 +487,7 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
     if (pte->is_allocated) {
       if (GpuId{pte->resident_gpu} != gpu) {
         if (config_.direct_peer_transfers && try_peer_move(*mem, *pte, gpu, client)) {
-          pte->last_use = now_stamp;
+          lru_touch(*mem, *pte, now_stamp);
           continue;
         }
         (void)swap_entry(*mem, *pte);
@@ -383,8 +513,13 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
         pte->owner_client = client;
         pte->resident_gpu = gpu;
         pte->is_allocated = true;
+        // A fresh device allocation holds zeroes (value-initialized blocks),
+        // exactly like swap bytes outside swap_valid: only the validated
+        // ranges need uploading to re-materialize the entry.
+        pte->host_dirty = pte->swap_valid;
         mem->resident_bytes.fetch_add(pte->size, std::memory_order_relaxed);
         mem->resident_gpu.store(gpu.value, std::memory_order_relaxed);
+        ctx_lru_touch(*mem, gpu.value, now_stamp.count());
         break;
       }
       if (dptr.status() != Status::ErrorMemoryAllocation) {
@@ -394,13 +529,14 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       // Intra-application swap: evict this context's own resident entries
       // that this launch does not reference (LRU first). This is what lets
       // a single app exceed device capacity (section 4.5's matmul example).
+      // The indexed LRU walks in (last_use, vptr) order, so the first
+      // eligible entry is the one the old O(entries) scan picked.
       PageTableEntry* victim = nullptr;
-      for (auto& [vptr, candidate] : mem->entries) {
-        if (!candidate->is_allocated || needed.count(candidate.get()) != 0) continue;
+      for (const auto& [key, candidate] : mem->lru) {
+        if (needed.count(candidate) != 0) continue;
         if (GpuId{candidate->resident_gpu} != gpu) continue;
-        if (victim == nullptr || candidate->last_use < victim->last_use) {
-          victim = candidate.get();
-        }
+        victim = candidate;
+        break;
       }
       if (victim == nullptr) {
         result.outcome = PrepareOutcome::WouldBlock;
@@ -416,29 +552,51 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
         }
       }
     }
-    pte->last_use = now_stamp;
+    lru_touch(*mem, *pte, now_stamp);
   }
 
   // Bulk transfers for deferred data, then nested pointer patching
-  // (children were materialized first).
-  u64 bulk_bytes = 0;
-  for (const PageTableEntry* pte : closure) {
-    if (pte->to_copy_2_dev) bulk_bytes += pte->size;
+  // (children were materialized first). Only the dirty/validated ranges
+  // ship (whole entries in naive mode); consolidation bridges small gaps.
+  u64 bulk_bytes = 0;      // bytes actually shipped
+  u64 flagged_bytes = 0;   // footprint of the entries flagged for upload
+  struct Upload {
+    PageTableEntry* pte;
+    std::vector<ByteRange> ranges;
+  };
+  std::vector<Upload> uploads;
+  for (PageTableEntry* pte : closure) {
+    if (!pte->to_copy_2_dev) continue;
+    flagged_bytes += pte->size;
+    Upload up{pte, upload_ranges(*pte)};
+    for (const ByteRange& r : up.ranges) bulk_bytes += r.size();
+    uploads.push_back(std::move(up));
   }
-  if (bulk_bytes > 0) {
+  if (!uploads.empty()) {
     obs::SpanScope sp("bulk-h2d", "swap", obs::kRuntimePid, ctx.value, ctx.value, bulk_bytes);
-    for (PageTableEntry* pte : closure) {
-      if (pte->to_copy_2_dev) {
-        fence_writeback(*pte);  // re-materializing reads the swap bytes
-        const Status s = rt_->memcpy_h2d(pte->owner_client, pte->device_ptr, pte->swap);
+    for (const Upload& up : uploads) {
+      PageTableEntry* pte = up.pte;
+      fence_writeback(*pte);  // re-materializing reads the swap bytes
+      for (const ByteRange& r : up.ranges) {
+        const Status s = rt_->memcpy_h2d(
+            pte->owner_client, pte->device_ptr + r.begin,
+            std::span<const std::byte>(pte->swap).subspan(r.begin, r.size()));
         if (!ok(s)) {
           result.error = s;
           return result;
         }
-        pte->to_copy_2_dev = false;
-        stats_.bulk_transfers.fetch_add(1, std::memory_order_relaxed);
       }
+      pte->to_copy_2_dev = false;
+      pte->host_dirty.clear();
+      stats_.bulk_transfers.fetch_add(1, std::memory_order_relaxed);
     }
+    stats_.swap_in_bytes.fetch_add(bulk_bytes, std::memory_order_relaxed);
+    swap_in_bytes_counter().add(bulk_bytes);
+    if (config_.incremental_swap && flagged_bytes > bulk_bytes) {
+      stats_.dirty_bytes_saved.fetch_add(flagged_bytes - bulk_bytes, std::memory_order_relaxed);
+      dirty_bytes_saved_counter().add(flagged_bytes - bulk_bytes);
+    }
+    bulk_h2d_bytes_hist().observe(static_cast<double>(bulk_bytes));
   }
   for (PageTableEntry* pte : closure) {
     if (pte->nested.empty()) continue;
@@ -447,18 +605,44 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       return result;
     }
   }
-  // Pessimistic dirty marking: any referenced entry may be written by the
-  // kernel (Figure 4's assumption; finer handling would need read-only
-  // parameter information).
-  for (PageTableEntry* pte : closure) pte->to_copy_2_swap = true;
+  // Dirty marking. An *annotated* launch (any dev_out argument) declares
+  // its write-set: only the written arguments (and their nested closure,
+  // since a written parent can reach children through stored pointers)
+  // become device-dirty. An unannotated launch keeps Figure 4's pessimistic
+  // assumption: every referenced entry may be written.
+  bool annotated = false;
+  if (config_.incremental_swap) {
+    for (const sim::KernelArg& arg : args) {
+      if (arg.is_written()) {
+        annotated = true;
+        break;
+      }
+    }
+  }
+  if (annotated) {
+    std::vector<PageTableEntry*> written_roots;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].is_written() && refs[i].pte != nullptr) written_roots.push_back(refs[i].pte);
+    }
+    for (PageTableEntry* pte : nested_closure(*mem, std::move(written_roots))) {
+      pte->to_copy_2_swap = true;
+      pte->dev_dirty.add(0, pte->size);
+    }
+  } else {
+    for (PageTableEntry* pte : closure) {
+      pte->to_copy_2_swap = true;
+      pte->dev_dirty.add(0, pte->size);
+    }
+  }
 
   result.translated.reserve(args.size());
   for (size_t i = 0; i < args.size(); ++i) {
     if (refs[i].pte == nullptr) {
       result.translated.push_back(args[i]);
     } else {
+      // Preserve the argument kind (dev vs dev_out) through translation.
       result.translated.push_back(
-          sim::KernelArg::dev(refs[i].pte->device_ptr + refs[i].offset));
+          sim::KernelArg{args[i].kind, refs[i].pte->device_ptr + refs[i].offset});
     }
   }
   result.outcome = PrepareOutcome::Ready;
@@ -486,6 +670,7 @@ bool MemoryManager::try_peer_move(CtxMem& mem, PageTableEntry& pte, GpuId gpu,
   // Dirty state is unchanged: the device copy moved devices; the swap copy
   // is exactly as (in)valid as before.
   mem.resident_gpu.store(gpu.value, std::memory_order_relaxed);
+  ctx_lru_touch(mem, gpu.value, mem.last_use_ns.load(std::memory_order_relaxed));
   stats_.peer_copies.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -526,10 +711,14 @@ void MemoryManager::on_device_lost(ContextId ctx, GpuId gpu) {
     pte->to_copy_2_dev = true;   // recover from the swap copy
     pte->to_copy_2_swap = false; // device-only data since the last
                                  // checkpoint is lost
+    pte->dev_dirty.clear();      // lost with the device
+    pte->host_dirty.clear();     // recomputed from swap_valid on re-materialization
+    lru_remove(*mem, *pte);
     mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
   }
   if (mem->resident_bytes.load(std::memory_order_relaxed) == 0) {
     mem->resident_gpu.store(0, std::memory_order_relaxed);
+    ctx_lru_remove(*mem);
   }
 }
 
@@ -555,29 +744,30 @@ u64 MemoryManager::mem_usage(ContextId ctx) const {
 
 std::vector<ContextId> MemoryManager::victim_candidates(GpuId gpu, u64 needed,
                                                         ContextId requester) const {
-  struct Candidate {
-    ContextId ctx;
-    i64 last_use;
-  };
-  std::vector<Candidate> found;
-  contexts_.for_each([&](ContextId ctx, const CtxMemPtr& mem) {
-    if (ctx == requester) return;
-    if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) return;
-    if (mem->resident_bytes.load(std::memory_order_relaxed) < needed) return;
-    found.push_back({ctx, mem->last_use_ns.load(std::memory_order_relaxed)});
-  });
-  std::sort(found.begin(), found.end(), [](const Candidate& a, const Candidate& b) {
-    return a.last_use != b.last_use ? a.last_use < b.last_use : a.ctx < b.ctx;
-  });
+  // In-order walk of this gpu's slice of the LRU directory: the key order
+  // (gpu, last_use_ns, ctx) reproduces the old sort over a full scan of
+  // every context.
   std::vector<ContextId> out;
-  out.reserve(found.size());
-  for (const Candidate& c : found) out.push_back(c.ctx);
+  std::scoped_lock lk(ctx_lru_.mu);
+  auto it = ctx_lru_.order.lower_bound(
+      std::tuple<u64, i64, u64>{gpu.value, std::numeric_limits<i64>::min(), 0});
+  for (; it != ctx_lru_.order.end() && std::get<0>(it->first) == gpu.value; ++it) {
+    const CtxMem* mem = it->second;
+    const ContextId ctx{std::get<2>(it->first)};
+    if (ctx == requester) continue;
+    // Stale-entry guards: residency may have moved since the last touch.
+    if (GpuId{mem->resident_gpu.load(std::memory_order_relaxed)} != gpu) continue;
+    if (mem->resident_bytes.load(std::memory_order_relaxed) < needed) continue;
+    out.push_back(ctx);
+  }
   return out;
 }
 
 namespace {
 constexpr u32 kImageMagic = 0x6d766367;  // "gcvm"
-constexpr u32 kImageVersion = 1;
+// v2: carries each entry's swap-validity interval set, so a restored
+// context re-materializes with the same incremental upload ranges.
+constexpr u32 kImageVersion = 2;
 }  // namespace
 
 StatusOr<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
@@ -601,6 +791,11 @@ StatusOr<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
     for (const NestedRef& ref : pte->nested) {
       w.put<u64>(ref.offset);
       w.put<u64>(ref.target);
+    }
+    w.put<u64>(pte->swap_valid.ranges().size());
+    for (const ByteRange& r : pte->swap_valid.ranges()) {
+      w.put<u64>(r.begin);
+      w.put<u64>(r.end);
     }
     w.put_bytes({reinterpret_cast<const u8*>(pte->swap.data()), pte->swap.size()});
   }
@@ -631,6 +826,13 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
       ref.target = r.get<u64>();
       pte->nested.push_back(ref);
     }
+    const u64 valid_ranges = r.get<u64>();
+    for (u64 j = 0; j < valid_ranges && r.ok(); ++j) {
+      const u64 begin = r.get<u64>();
+      const u64 end = r.get<u64>();
+      if (begin > end || end > pte->size) return Status::ErrorCheckpointNotFound;
+      pte->swap_valid.add(begin, end);
+    }
     const auto bytes = r.get_span();
     if (!r.ok() || bytes.size() != pte->size) return Status::ErrorCheckpointNotFound;
     pte->swap.assign(reinterpret_cast<const std::byte*>(bytes.data()),
@@ -648,6 +850,8 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
     if (pte->is_allocated) (void)rt_->free(pte->owner_client, pte->device_ptr);
   }
   mem->entries = std::move(restored);
+  mem->lru.clear();  // nothing in the image is device-resident
+  ctx_lru_remove(*mem);
   mem->total_bytes.store(total_bytes, std::memory_order_relaxed);
   mem->resident_bytes.store(0, std::memory_order_relaxed);
   mem->resident_gpu.store(0, std::memory_order_relaxed);
@@ -677,6 +881,10 @@ MemStats MemoryManager::stats() const {
   out.peer_copies = stats_.peer_copies.load(std::memory_order_relaxed);
   out.async_writebacks = stats_.async_writebacks.load(std::memory_order_relaxed);
   out.writeback_fences = stats_.writeback_fences.load(std::memory_order_relaxed);
+  out.swap_out_bytes = stats_.swap_out_bytes.load(std::memory_order_relaxed);
+  out.swap_in_bytes = stats_.swap_in_bytes.load(std::memory_order_relaxed);
+  out.dirty_bytes_saved = stats_.dirty_bytes_saved.load(std::memory_order_relaxed);
+  out.clean_swap_skips = stats_.clean_swap_skips.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -40,9 +40,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <tuple>
 #include <vector>
 
+#include "common/interval_set.hpp"
 #include "common/sharded_map.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
@@ -80,6 +83,30 @@ struct PageTableEntry {
   /// eviction); readers of swap must sleep until this point first. Zero =
   /// nothing in flight.
   vt::TimePoint writeback_done{};
+
+  // ---- Incremental swap-engine state (Config::incremental_swap) ----------
+  // The three interval sets refine the boolean flags to byte granularity.
+  // Discipline: a byte is dirty in at most one direction at a time -- a
+  // partial host write to a device-dirty entry syncs the device ranges into
+  // swap first (same hazard the boolean path already handles), so the gaps
+  // between dirty ranges are always in sync on both sides and transfer
+  // consolidation may bridge them freely.
+
+  /// Device ranges newer than swap (refines to_copy_2_swap): written by
+  /// kernel launches (per the launch's write-set annotation) and nested
+  /// pointer pokes; drained by sync_to_swap / swap_entry.
+  IntervalSet dev_dirty;
+  /// Swap ranges newer than the device copy (refines to_copy_2_dev while
+  /// allocated): staged deferred host/d2d writes; re-initialized to
+  /// swap_valid at (re-)materialization, when the fresh device allocation
+  /// holds zeroes and everything ever populated must be uploaded.
+  IntervalSet host_dirty;
+  /// Swap-validity map: ranges ever populated with data. Bytes outside are
+  /// zero in swap *and* on any fresh (value-initialized) device allocation,
+  /// so a bounce (swap-out then swap-in with no intervening host mutation)
+  /// uploads only the validated ranges and never-touched tails travel for
+  /// free. Survives swap-out, device loss and checkpoint/restore.
+  IntervalSet swap_valid;
 };
 
 /// Counters for the experiments (Figures 7-9 annotate swap counts).
@@ -93,6 +120,10 @@ struct MemStats {
   u64 peer_copies = 0;       ///< direct GPU-to-GPU migrations (CUDA 4 mode)
   u64 async_writebacks = 0;  ///< evictions whose D2H overlapped other work
   u64 writeback_fences = 0;  ///< swap reads that had to await an async drain
+  u64 swap_out_bytes = 0;    ///< bytes actually shipped D2H on the swap path
+  u64 swap_in_bytes = 0;     ///< bytes actually shipped H2D re-materializing
+  u64 dirty_bytes_saved = 0; ///< bytes the incremental engine did not move
+  u64 clean_swap_skips = 0;  ///< evictions that skipped the D2H entirely
 };
 
 class MemoryManager {
@@ -111,6 +142,15 @@ class MemoryManager {
     /// blocking the evictor (see the header comment). Readers of the swap
     /// bytes fence on the modeled drain completion.
     bool async_writeback = true;
+    /// Incremental swap engine: move only dirty byte intervals on the swap
+    /// path (write-back the kernel's write-set, upload only invalidated /
+    /// validated ranges) instead of whole entries. False restores the naive
+    /// whole-buffer baseline for ablation (bench_swap).
+    bool incremental_swap = true;
+    /// Transfer consolidation on the swap path: dirty ranges separated by a
+    /// clean gap of at most this many bytes ship as one transfer, trading a
+    /// few redundant bytes for one less per-transfer PCIe latency.
+    u64 coalesce_gap_bytes = 4096;
   };
 
   explicit MemoryManager(cudart::CudaRt& rt) : MemoryManager(rt, Config{}) {}
@@ -204,7 +244,14 @@ class MemoryManager {
 
  private:
   struct CtxMem {
+    ContextId self{};  ///< owning context (for the cross-context LRU index)
     std::map<VirtualPtr, std::unique_ptr<PageTableEntry>> entries;
+    /// Indexed LRU over *allocated* entries, keyed by (last_use, vptr):
+    /// begin() is the exact entry the old O(entries) victim scan would have
+    /// picked (oldest stamp, lowest virtual address on ties). Maintained on
+    /// every last_use update / allocation / eviction, guarded -- like
+    /// `entries` -- by the caller's ContextLock.
+    std::map<std::pair<i64, u64>, PageTableEntry*> lru;
     std::atomic<u64> total_bytes{0};
     std::atomic<u64> resident_bytes{0};
     std::atomic<u64> resident_gpu{0};  // GpuId.value; 0 = none
@@ -222,6 +269,24 @@ class MemoryManager {
     u64 offset = 0;
   };
   static Located locate(CtxMem& mem, VirtualPtr ptr);
+
+  // ---- Indexed LRU maintenance (caller holds the ContextLock) -------------
+  /// Re-stamps the entry's last_use and moves it to the MRU position.
+  static void lru_touch(CtxMem& mem, PageTableEntry& pte, vt::TimePoint stamp);
+  /// Unlinks the entry (eviction, free, device loss).
+  static void lru_remove(CtxMem& mem, PageTableEntry& pte);
+
+  // ---- Cross-context LRU directory (its own mutex; no ContextLock) --------
+  /// Records that `mem` has residency on `gpu` as of `now_ns`.
+  void ctx_lru_touch(CtxMem& mem, u64 gpu, i64 now_ns) const;
+  /// Drops the context from the directory (residency gone).
+  void ctx_lru_remove(CtxMem& mem) const;
+
+  /// The byte ranges a swap-path D2H write-back of this entry must ship
+  /// (whole entry in naive mode, consolidated dev_dirty otherwise).
+  std::vector<ByteRange> writeback_ranges(const PageTableEntry& pte) const;
+  /// The byte ranges a re-materializing H2D upload must ship.
+  std::vector<ByteRange> upload_ranges(const PageTableEntry& pte) const;
 
   /// Ensures the device copy is synced into swap (costed d2h when dirty).
   Status sync_to_swap(PageTableEntry& pte);
@@ -270,8 +335,23 @@ class MemoryManager {
     std::atomic<u64> peer_copies{0};
     std::atomic<u64> async_writebacks{0};
     std::atomic<u64> writeback_fences{0};
+    std::atomic<u64> swap_out_bytes{0};
+    std::atomic<u64> swap_in_bytes{0};
+    std::atomic<u64> dirty_bytes_saved{0};
+    std::atomic<u64> clean_swap_skips{0};
   };
   mutable AtomicMemStats stats_;
+
+  /// Inter-application victim directory: contexts with device residency,
+  /// keyed by (gpu, last_use_ns, ctx) so victim_candidates() is an in-order
+  /// walk of one gpu's slice instead of a scan over every context. Guarded
+  /// by its own leaf mutex (held for map surgery only).
+  struct CtxLruDirectory {
+    mutable std::mutex mu;
+    std::map<std::tuple<u64, i64, u64>, CtxMem*> order;  // (gpu, stamp, ctx)
+    std::map<u64, std::tuple<u64, i64, u64>> where;      // ctx -> current key
+  };
+  mutable CtxLruDirectory ctx_lru_;
 };
 
 }  // namespace gpuvm::core

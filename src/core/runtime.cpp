@@ -65,7 +65,7 @@ Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
       config_(config),
       mm_(std::make_unique<MemoryManager>(
           rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics,
-                                    config.async_writeback})),
+                                    config.async_writeback, config.incremental_swap})),
       scheduler_(std::make_unique<Scheduler>(rt, *mm_, config.scheduler)),
       global_dispatch_(std::make_unique<ContextLock>(rt.machine().domain())),
       drained_cv_(rt.machine().domain()) {
@@ -278,6 +278,10 @@ void Runtime::publish_metrics() const {
   gauge("stats.mm.bounds_rejections", static_cast<double>(ms.bounds_rejections));
   gauge("stats.mm.async_writebacks", static_cast<double>(ms.async_writebacks));
   gauge("stats.mm.writeback_fences", static_cast<double>(ms.writeback_fences));
+  gauge("stats.mm.swap_out_bytes", static_cast<double>(ms.swap_out_bytes));
+  gauge("stats.mm.swap_in_bytes", static_cast<double>(ms.swap_in_bytes));
+  gauge("stats.mm.dirty_bytes_saved", static_cast<double>(ms.dirty_bytes_saved));
+  gauge("stats.mm.clean_swap_skips", static_cast<double>(ms.clean_swap_skips));
   gauge("stats.mm.shard_contention", static_cast<double>(mm_->shard_contention()));
 
   for (const GpuId gpu : rt_->machine().all_gpus()) {

@@ -65,6 +65,11 @@ struct RuntimeConfig {
   /// MemoryManager::Config::async_writeback).
   bool async_writeback = true;
 
+  /// Incremental swap engine: dirty-interval tracking, kernel write-sets and
+  /// range-granular swap transfers (see MemoryManager::Config). False runs
+  /// the naive whole-buffer baseline.
+  bool incremental_swap = true;
+
   /// Node load (contexts waiting for a vGPU) above which newly arriving
   /// connections are offloaded to the peer node. <0 disables offloading.
   int offload_threshold = -1;

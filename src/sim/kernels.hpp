@@ -44,19 +44,35 @@ struct LaunchConfig {
 };
 
 /// One marshaled kernel argument: a device pointer or a 64-bit scalar.
+///
+/// Device pointers come in two kinds: `dev` (the kernel may only read
+/// through this argument) and `dev_out` (the kernel writes through it).
+/// The distinction is the kernel *write-set* annotation the memory manager
+/// uses to mark only output buffers dirty at launch. A launch with no
+/// `dev_out` argument is treated as unannotated: every pointer argument is
+/// conservatively assumed written (Figure 4's assumption), so existing
+/// kernels stay correct without changes. Encoding the annotation as an
+/// argument kind keeps the wire and trace formats unchanged (kind byte +
+/// 64 payload bits).
 struct KernelArg {
-  enum class Kind : u8 { DevPtr = 0, I64 = 1, F64 = 2 };
+  enum class Kind : u8 { DevPtr = 0, I64 = 1, F64 = 2, DevPtrOut = 3 };
 
   Kind kind = Kind::I64;
   u64 bits = 0;
 
   static KernelArg dev(DevicePtr p) { return {Kind::DevPtr, p}; }
+  static KernelArg dev_out(DevicePtr p) { return {Kind::DevPtrOut, p}; }
   static KernelArg i64v(i64 v) { return {Kind::I64, static_cast<u64>(v)}; }
   static KernelArg f64v(double v) {
     KernelArg a{Kind::F64, 0};
     std::memcpy(&a.bits, &v, sizeof v);
     return a;
   }
+
+  /// Any device-pointer kind (read-only or written).
+  bool is_dev_ptr() const { return kind == Kind::DevPtr || kind == Kind::DevPtrOut; }
+  /// Annotated as written by the kernel.
+  bool is_written() const { return kind == Kind::DevPtrOut; }
 
   DevicePtr as_ptr() const { return bits; }
   i64 as_i64() const { return static_cast<i64>(bits); }

@@ -11,7 +11,12 @@ GpuId SimMachine::add_gpu(GpuSpec spec) {
   {
     std::scoped_lock lock(mu_);
     id = GpuId{next_gpu_id_++};
-    devices_.emplace(id, std::make_unique<SimGpu>(id, std::move(spec), params_, *dom_));
+    auto dev = std::make_unique<SimGpu>(id, std::move(spec), params_, *dom_);
+    // A fail_after_ops countdown fires inside whichever op trips it; route
+    // the event through fail_gpu so present_ and the topology listeners see
+    // it exactly like an explicitly injected failure.
+    dev->set_self_failure_callback([this](GpuId gid) { (void)fail_gpu(gid); });
+    devices_.emplace(id, std::move(dev));
     order_.push_back(id);
     present_[id] = true;
   }

@@ -57,6 +57,9 @@ Status SimGpu::check_healthy_and_count() {
                                               std::memory_order_acquire)) {
       if (cur == 1) {
         inject_failure();
+        // Surface the self-failure to the owning machine (topology update +
+        // listener fan-out). No device lock is held here.
+        if (on_self_failure_) on_self_failure_(id_);
         return Status::ErrorDeviceUnavailable;
       }
       return Status::Ok;
@@ -275,7 +278,7 @@ Status SimGpu::launch(const KernelDef& def, const LaunchConfig& config,
   {
     std::scoped_lock lock(mem_mu_);
     for (size_t i = 0; i < args.size(); ++i) {
-      if (args[i].kind != KernelArg::Kind::DevPtr) continue;
+      if (!args[i].is_dev_ptr()) continue;
       u64 offset = 0;
       Block* block = locate_locked(args[i].as_ptr(), &offset);
       if (block == nullptr) return Status::ErrorInvalidDevicePointer;

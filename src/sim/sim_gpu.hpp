@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -123,6 +124,17 @@ class SimGpu {
   void mark_removed();
   bool healthy() const { return !failed_.load(std::memory_order_acquire); }
 
+  /// Invoked (outside all device locks) when an armed fail_after_ops
+  /// countdown fires, so the owning machine can update its topology view --
+  /// a real driver surfaces a device fault as an event, not only as an
+  /// error code on the tripping op. Direct inject_failure() calls bypass it
+  /// on purpose (tests inject behind the machine's back to prove the
+  /// invariant checker can detect the inconsistency). Install before
+  /// sharing the device across threads.
+  void set_self_failure_callback(std::function<void(GpuId)> cb) {
+    on_self_failure_ = std::move(cb);
+  }
+
  private:
   struct Block {
     std::vector<std::byte> data;
@@ -219,6 +231,7 @@ class SimGpu {
   // unit, so exactly one op observes the firing transition.
   std::atomic<i64> fail_countdown_{-1};
   std::atomic<i64> alloc_fault_countdown_{0};  // pending forced malloc failures
+  std::function<void(GpuId)> on_self_failure_;
 };
 
 }  // namespace gpuvm::sim

@@ -122,6 +122,22 @@ int main(int argc, char** argv) {
       core::FrontendApi api(std::move(channel.value()));
       if (auto snap = api.query_stats()) {
         std::printf("---- daemon metrics ----\n%s", snap.value().to_text().c_str());
+        // Swap pipeline health: device traffic actually moved vs footprint
+        // the incremental engine (dirty intervals, write-sets, zero-page
+        // validity) avoided shipping.
+        bool swap_header = false;
+        for (const auto& v : snap.value().values) {
+          if (v.name.rfind("stats.mm.swap", 0) != 0 &&
+              v.name.rfind("stats.mm.dirty", 0) != 0 &&
+              v.name.rfind("stats.mm.clean", 0) != 0) {
+            continue;
+          }
+          if (!swap_header) {
+            std::printf("---- swap pipeline ----\n");
+            swap_header = true;
+          }
+          std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
+        }
         // Offload health: the per-node "stats.node.<name>.*" gauges a
         // cluster daemon publishes (offloaded connections, local fallbacks,
         // recoveries). A stand-alone daemon with no node identity has none.

@@ -120,7 +120,7 @@ class VectorAdd final : public Workload {
     APP_TRY(api.copy_in(db, b));
     APP_TRY(api.launch("va_add", geometry(kPaperN),
                        {sim::KernelArg::dev(da), sim::KernelArg::dev(db),
-                        sim::KernelArg::dev(dc), sim::KernelArg::i64v(static_cast<i64>(n))}));
+                        sim::KernelArg::dev_out(dc), sim::KernelArg::i64v(static_cast<i64>(n))}));
     ++result.kernel_launches;
     std::vector<float> c(n);
     APP_TRY(api.copy_out(c, dc));
@@ -199,7 +199,7 @@ class ScalarProduct final : public Workload {
     APP_TRY(api.copy_in(db, b));
     APP_TRY(api.launch("sp_dot", geometry(kPairs * 256),
                        {sim::KernelArg::dev(da), sim::KernelArg::dev(db),
-                        sim::KernelArg::dev(dout), sim::KernelArg::i64v(kPairs),
+                        sim::KernelArg::dev_out(dout), sim::KernelArg::i64v(kPairs),
                         sim::KernelArg::i64v(static_cast<i64>(len))}));
     ++result.kernel_launches;
     std::vector<float> out(kPairs);
@@ -276,7 +276,7 @@ class MatrixTranspose final : public Workload {
       const VirtualPtr src = (call % 2 == 0) ? din : dout;
       const VirtualPtr dst = (call % 2 == 0) ? dout : din;
       APP_TRY(api.launch("mt_transpose", geometry(kPaperN * kPaperN),
-                         {sim::KernelArg::dev(src), sim::KernelArg::dev(dst),
+                         {sim::KernelArg::dev(src), sim::KernelArg::dev_out(dst),
                           sim::KernelArg::i64v(static_cast<i64>(n))}));
       ++result.kernel_launches;
       if (call % 102 == 101) cpu_phase(ctx, 0.11);  // host bookkeeping
@@ -337,7 +337,7 @@ class ParallelReduction final : public Workload {
     APP_TRY(api.copy_in(din, input));
     for (int call = 0; call < kCalls; ++call) {
       APP_TRY(api.launch("pr_reduce", geometry(kPaperN),
-                         {sim::KernelArg::dev(din), sim::KernelArg::dev(dout),
+                         {sim::KernelArg::dev(din), sim::KernelArg::dev_out(dout),
                           sim::KernelArg::i64v(static_cast<i64>(n))}));
       ++result.kernel_launches;
       if (call % 100 == 99) cpu_phase(ctx, 0.12);  // host-side result checks
@@ -403,7 +403,7 @@ class Scan final : public Workload {
     APP_TRY(api.copy_in(din, input));
     for (int call = 0; call < kCalls; ++call) {
       APP_TRY(api.launch("sc_scan", geometry(kPaperN),
-                         {sim::KernelArg::dev(din), sim::KernelArg::dev(dout),
+                         {sim::KernelArg::dev(din), sim::KernelArg::dev_out(dout),
                           sim::KernelArg::i64v(static_cast<i64>(n))}));
       ++result.kernel_launches;
       if (call % 330 == 329) cpu_phase(ctx, 0.13);  // host-side pipeline work
@@ -514,8 +514,8 @@ class BlackScholes final : public Workload {
     for (int call = 0; call < kCalls; ++call) {
       APP_TRY(api.launch("bs_price", geometry(paper_options_),
                          {sim::KernelArg::dev(ds), sim::KernelArg::dev(dx),
-                          sim::KernelArg::dev(dt), sim::KernelArg::dev(dcall),
-                          sim::KernelArg::dev(dput), sim::KernelArg::i64v(static_cast<i64>(n)),
+                          sim::KernelArg::dev(dt), sim::KernelArg::dev_out(dcall),
+                          sim::KernelArg::dev_out(dput), sim::KernelArg::i64v(static_cast<i64>(n)),
                           sim::KernelArg::i64v(static_cast<i64>(paper_options_))}));
       ++result.kernel_launches;
     }
@@ -638,11 +638,11 @@ class BackPropagation final : public Workload {
 
       APP_TRY(api.launch("bp_layerforward", geometry(kPaperIn),
                          {sim::KernelArg::dev(dinput), sim::KernelArg::dev(dweights),
-                          sim::KernelArg::dev(dhidden),
+                          sim::KernelArg::dev_out(dhidden),
                           sim::KernelArg::i64v(static_cast<i64>(in_n))}));
       ++result.kernel_launches;
       APP_TRY(api.launch("bp_adjust", geometry(kPaperIn),
-                         {sim::KernelArg::dev(dweights), sim::KernelArg::dev(dinput),
+                         {sim::KernelArg::dev_out(dweights), sim::KernelArg::dev(dinput),
                           sim::KernelArg::dev(ddelta),
                           sim::KernelArg::i64v(static_cast<i64>(in_n))}));
       ++result.kernel_launches;
@@ -736,7 +736,7 @@ class Bfs final : public Workload {
     APP_TRY(api.copy_in(dlevels, levels));
     for (int level = 0; level < kLevels; ++level) {
       APP_TRY(api.launch("bfs_step", geometry(kPaperNodes),
-                         {sim::KernelArg::dev(dedges), sim::KernelArg::dev(dlevels),
+                         {sim::KernelArg::dev(dedges), sim::KernelArg::dev_out(dlevels),
                           sim::KernelArg::i64v(static_cast<i64>(n)),
                           sim::KernelArg::i64v(level)}));
       ++result.kernel_launches;
@@ -830,7 +830,7 @@ class HotSpot final : public Workload {
     APP_TRY(api.copy_in(dpower, power));
     APP_TRY(api.launch("hs_step", geometry(kPaperCells),
                        {sim::KernelArg::dev(dtemp), sim::KernelArg::dev(dpower),
-                        sim::KernelArg::dev(dout), sim::KernelArg::i64v(static_cast<i64>(n))}));
+                        sim::KernelArg::dev_out(dout), sim::KernelArg::i64v(static_cast<i64>(n))}));
     ++result.kernel_launches;
     std::vector<float> out(n * n);
     APP_TRY(api.copy_out(out, dout));
@@ -932,7 +932,7 @@ class NeedlemanWunsch final : public Workload {
       // count (forward + traceback phases) pads beyond them.
       const i64 diag = 2 + call;
       APP_TRY(api.launch("nw_diag", geometry(kPaperN),
-                         {sim::KernelArg::dev(ddp), sim::KernelArg::dev(da),
+                         {sim::KernelArg::dev_out(ddp), sim::KernelArg::dev(da),
                           sim::KernelArg::dev(db), sim::KernelArg::i64v(static_cast<i64>(n)),
                           sim::KernelArg::i64v(diag)}));
       ++result.kernel_launches;
@@ -1055,7 +1055,7 @@ class MatMul final : public Workload {
       const i64 sustained = static_cast<i64>(2.0 * np * np * np / mult_seconds_);
       APP_TRY(api.launch(
           "mm_matmul", geometry(paper_n_ * paper_n_),
-          {sim::KernelArg::dev(da), sim::KernelArg::dev(db), sim::KernelArg::dev(dc),
+          {sim::KernelArg::dev(da), sim::KernelArg::dev(db), sim::KernelArg::dev_out(dc),
            sim::KernelArg::i64v(static_cast<i64>(n)),
            sim::KernelArg::i64v(static_cast<i64>(paper_n_)),
            sim::KernelArg::i64v(sustained)}));

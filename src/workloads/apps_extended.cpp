@@ -139,8 +139,8 @@ class KMeans final : public Workload {
     APP_TRY(api.copy_in(dcentroids, centroids));
     for (int it = 0; it < kIters; ++it) {
       APP_TRY(api.launch("km_step", geometry(kPaperPoints),
-                         {sim::KernelArg::dev(dpoints), sim::KernelArg::dev(dcentroids),
-                          sim::KernelArg::dev(dassign),
+                         {sim::KernelArg::dev(dpoints), sim::KernelArg::dev_out(dcentroids),
+                          sim::KernelArg::dev_out(dassign),
                           sim::KernelArg::i64v(static_cast<i64>(n))}));
       ++result.kernel_launches;
       cpu_phase(ctx, 0.04);  // host-side convergence check per iteration
@@ -237,7 +237,7 @@ class Lud final : public Workload {
     for (int call = 0; call < 64; ++call) {
       const u64 k = static_cast<u64>(call) * std::max<u64>(n / 64, 1);
       APP_TRY(api.launch("lud_step", geometry(kPaperN * kPaperN / 64),
-                         {sim::KernelArg::dev(da), sim::KernelArg::i64v(static_cast<i64>(n)),
+                         {sim::KernelArg::dev_out(da), sim::KernelArg::i64v(static_cast<i64>(n)),
                           sim::KernelArg::i64v(static_cast<i64>(k))}));
       ++result.kernel_launches;
       // Elimination steps between the sampled pivots run on the "host"
@@ -354,7 +354,7 @@ class Srad final : public Workload {
       const VirtualPtr src = (it % 2 == 0) ? da : db;
       const VirtualPtr dst = (it % 2 == 0) ? db : da;
       APP_TRY(api.launch("srad_step", geometry(kPaperN * kPaperN),
-                         {sim::KernelArg::dev(src), sim::KernelArg::dev(dst),
+                         {sim::KernelArg::dev(src), sim::KernelArg::dev_out(dst),
                           sim::KernelArg::i64v(static_cast<i64>(n)),
                           sim::KernelArg::f64v(kLambda)}));
       ++result.kernel_launches;

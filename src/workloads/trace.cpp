@@ -140,7 +140,7 @@ Status TracingApi::launch(const std::string& kernel, const sim::LaunchConfig& co
   impl_->out.put<u64>(args.size());
   for (const auto& arg : args) {
     impl_->out.put<u8>(static_cast<u8>(arg.kind));
-    if (arg.kind == sim::KernelArg::Kind::DevPtr) {
+    if (arg.is_dev_ptr()) {
       impl_->put_ref(arg.as_ptr());
     } else {
       impl_->out.put<u64>(arg.bits);
@@ -251,6 +251,8 @@ ReplayResult replay_trace(core::GpuApi& api, std::span<const u8> trace) {
           const auto kind = static_cast<sim::KernelArg::Kind>(r.get<u8>());
           if (kind == sim::KernelArg::Kind::DevPtr) {
             args.push_back(sim::KernelArg::dev(read_ref()));
+          } else if (kind == sim::KernelArg::Kind::DevPtrOut) {
+            args.push_back(sim::KernelArg::dev_out(read_ref()));
           } else {
             sim::KernelArg arg;
             arg.kind = kind;

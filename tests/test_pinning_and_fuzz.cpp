@@ -149,7 +149,7 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   };
 
   for (int step = 0; step < 600; ++step) {
-    const u64 op = rng.below(12);
+    const u64 op = rng.below(13);
     if (model.empty() || op == 0) {
       if (model.size() >= 8) continue;
       const u64 size = rng.below(24 * 1024) + 64;
@@ -237,6 +237,34 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
         if (devices.size() >= 4) break;
         const GpuId fresh = machine.add_gpu(sim::test_gpu(256 * 1024));
         install_client(fresh, rt.get_device_count() - 1);
+        break;
+      }
+      case 12: {  // annotated kernel: dev_out write-set + read-only argument
+        auto wr = random_live();
+        auto ro = random_live();
+        const Device& dev = devices[rng.below(devices.size())];
+        auto prep = mm.prepare_launch(ctx, dev.gpu, dev.client,
+                                      {sim::KernelArg::dev_out(wr->first),
+                                       sim::KernelArg::dev(ro->first)});
+        if (prep.outcome != MemoryManager::PrepareOutcome::Ready) {
+          ASSERT_EQ(prep.outcome, MemoryManager::PrepareOutcome::WouldBlock);
+          break;
+        }
+        ASSERT_EQ(prep.translated.size(), 2u);
+        // "Run the kernel": poke a random sub-range of the written argument
+        // directly on the device. The dev_out annotation marked the whole
+        // entry device-dirty, so the write must survive any later eviction;
+        // the read-only argument's model bytes must stay intact even though
+        // its writeback is skipped.
+        const u64 size = wr->second.bytes.size();
+        const u64 offset = rng.below(size);
+        const u64 count = rng.below(size - offset) + 1;
+        std::vector<std::byte> data(count);
+        for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+        ASSERT_EQ(machine.gpu(dev.gpu)->poke(prep.translated[0].as_ptr() + offset, data),
+                  Status::Ok);
+        std::copy(data.begin(), data.end(),
+                  wr->second.bytes.begin() + static_cast<long>(offset));
         break;
       }
       default:
