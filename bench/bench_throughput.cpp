@@ -17,16 +17,29 @@
 // modes' ops/sec per tenant count plus the 8-tenant speedup -- the number
 // the CI bench smoke job tracks.
 //
+// --trace-overhead switches to the tracing-cost smoke mode the CI trace
+// job runs: the same 8-tenant sharded workload back to back with the obs
+// TraceRecorder detached, then attached, timed in host wall-clock (the
+// modeled virtual makespan is identical by construction -- tracing costs
+// no virtual time -- so only wall time can show the instrumentation tax).
+// Best-of-N wall times keep scheduler noise out of the ratio. Emits
+// {"overhead_ratio": traced/untraced, ...} and optionally the captured
+// trace (--trace-out) as the CI artifact.
+//
 // Flags: --out <path>  --iters <n>  --tenant-counts <csv>  --quick
+//        --trace-overhead  --reps <n>  --trace-out <path.json>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/frontend.hpp"
 #include "core/runtime.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 
 namespace {
@@ -67,11 +80,22 @@ struct RunResult {
   double elapsed_seconds = 0.0;
   u64 lock_contended = 0;
   u64 async_writebacks = 0;
+  u64 trace_events = 0;
 };
 
-RunResult run_mode(core::DispatchMode mode, bool async_writeback, int tenants, int iters) {
+RunResult run_mode(core::DispatchMode mode, bool async_writeback, int tenants, int iters,
+                   bool traced = false, std::string* trace_json = nullptr) {
   vt::Domain dom;
   vt::AttachGuard guard(dom);
+  // The recorder shares the run's domain so event stamps use its clock;
+  // scoped so untraced runs pay literally zero instrumentation cost beyond
+  // the null-check in the emit helpers.
+  std::optional<obs::TraceRecorder> recorder;
+  std::optional<obs::ScopedTracer> scoped;
+  if (traced) {
+    recorder.emplace(dom);
+    scoped.emplace(*recorder);
+  }
   sim::SimMachine machine(dom, bench_params());
   for (int i = 0; i < kGpus; ++i) machine.add_gpu(sim::test_gpu(kDevBytes));
   register_kernel(machine);
@@ -119,7 +143,67 @@ RunResult run_mode(core::DispatchMode mode, bool async_writeback, int tenants, i
       static_cast<double>(tenants) * iters / std::max(result.elapsed_seconds, 1e-12);
   result.lock_contended = runtime.stats().dispatch_lock_contended;
   result.async_writebacks = runtime.memory().stats().async_writebacks;
+  if (recorder.has_value()) {
+    result.trace_events = recorder->size();
+    if (trace_json != nullptr) *trace_json = recorder->export_chrome_json();
+  }
   return result;
+}
+
+/// One wall-clock-timed run of the sharded workload, optionally traced.
+/// Returns host seconds (the virtual makespan is trace-invariant).
+double run_walltimed(int tenants, int iters, bool traced, std::string* trace_json,
+                     u64* trace_events) {
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r = run_mode(core::DispatchMode::Sharded, /*async_writeback=*/true, tenants,
+                               iters, traced, trace_json);
+  const auto stop = std::chrono::steady_clock::now();
+  if (trace_events != nullptr) *trace_events = r.trace_events;
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// Tracing-cost smoke: best-of-`reps` wall time with tracing off vs on.
+int run_trace_overhead(const std::string& out_path, const std::string& trace_out, int tenants,
+                       int iters, int reps) {
+  double best_off = 0.0;
+  double best_on = 0.0;
+  std::string trace_json;
+  for (int r = 0; r < reps; ++r) {
+    const double off = run_walltimed(tenants, iters, false, nullptr, nullptr);
+    u64 events = 0;
+    const bool want_json = r == 0 && !trace_out.empty();
+    const double on =
+        run_walltimed(tenants, iters, true, want_json ? &trace_json : nullptr, &events);
+    if (r == 0 || off < best_off) best_off = off;
+    if (r == 0 || on < best_on) best_on = on;
+    std::printf("rep %d: untraced %.4fs traced %.4fs (%llu events)\n", r, off, on,
+                static_cast<unsigned long long>(events));
+  }
+  const double total_ops = static_cast<double>(tenants) * iters;
+  const double ratio = best_on / std::max(best_off, 1e-12);
+
+  if (!trace_out.empty() && !trace_json.empty()) {
+    FILE* tf = std::fopen(trace_out.c_str(), "w");
+    if (tf == nullptr) die("cannot open --trace-out file");
+    std::fputs(trace_json.c_str(), tf);
+    std::fclose(tf);
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) die("cannot open --out file");
+  std::fprintf(f,
+               "{\n  \"bench\": \"trace_overhead\",\n  \"tenants\": %d,\n"
+               "  \"iters_per_tenant\": %d,\n  \"reps\": %d,\n"
+               "  \"untraced_wall_seconds\": %.6f,\n  \"traced_wall_seconds\": %.6f,\n"
+               "  \"untraced_ops_per_sec\": %.1f,\n  \"traced_ops_per_sec\": %.1f,\n"
+               "  \"overhead_ratio\": %.4f\n}\n",
+               tenants, iters, reps, best_off, best_on, total_ops / std::max(best_off, 1e-12),
+               total_ops / std::max(best_on, 1e-12), ratio);
+  std::fclose(f);
+  std::printf("trace overhead ratio=%.4f (traced/untraced wall time) -> %s\n", ratio,
+              out_path.c_str());
+  return 0;
 }
 
 std::vector<int> parse_counts(const char* csv) {
@@ -142,7 +226,10 @@ std::vector<int> parse_counts(const char* csv) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_throughput.json";
+  std::string trace_out;
   int iters = 40;
+  int reps = 3;
+  bool trace_overhead = false;
   std::vector<int> counts = {1, 4, 8, 16};
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -159,9 +246,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       iters = 8;
       counts = {1, 8};
+    } else if (std::strcmp(argv[i], "--trace-overhead") == 0) {
+      trace_overhead = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::atoi(next());
+      if (reps <= 0) die("bad --reps");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = next();
     } else {
-      die("unknown flag (expected --out/--iters/--tenant-counts/--quick)");
+      die("unknown flag (expected --out/--iters/--tenant-counts/--quick/"
+          "--trace-overhead/--reps/--trace-out)");
     }
+  }
+
+  if (trace_overhead) {
+    return run_trace_overhead(out_path, trace_out, /*tenants=*/8, iters, reps);
   }
 
   struct Mode {

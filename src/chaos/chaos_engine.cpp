@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -10,7 +12,7 @@ namespace gpuvm::chaos {
 namespace {
 
 obs::Counter& events_counter() {
-  static obs::Counter& c = obs::metrics().counter("chaos.events");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kChaosEvents);
   return c;
 }
 
@@ -31,13 +33,22 @@ void ChaosEngine::run() {
     apply(ev);
     log_.push_back({dom_->now(), ev.describe()});
     events_counter().add(1);
-    if (obs::TraceRecorder* rec = obs::tracer()) {
-      rec->instant(ev.describe(), "chaos", /*pid=*/0, /*tid=*/0);
-    }
+    obs::emit_instant(ev.describe(), "chaos", /*pid=*/0, /*tid=*/0);
     if (checker_) {
+      bool violated = false;
       for (std::string& v : checker_()) {
         log::info("chaos: INVARIANT VIOLATION after [%s]: %s", ev.describe().c_str(), v.c_str());
         violations_.push_back("after [" + ev.describe() + "]: " + std::move(v));
+        violated = true;
+      }
+      if (violated) {
+        // Postmortem: freeze the last moments before the violation. The
+        // dump is a snapshot under the recorder lock, so in-flight appends
+        // from tenant threads cannot tear it.
+        if (obs::FlightRecorder* fr = obs::flight()) {
+          flight_dumps_.push_back("flight dump after [" + ev.describe() + "]:\n" +
+                                  fr->dump_text());
+        }
       }
     }
   }

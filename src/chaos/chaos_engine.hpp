@@ -55,6 +55,10 @@ class ChaosEngine {
   };
   const std::vector<ExecutedEvent>& log() const { return log_; }
   const std::vector<std::string>& violations() const { return violations_; }
+  /// Flight-recorder dumps captured at each invariant violation (one text
+  /// block per violating event; empty when no recorder was installed).
+  /// Postmortem context only -- excluded from determinism comparisons.
+  const std::vector<std::string>& flight_dumps() const { return flight_dumps_; }
   const FaultPlan& plan() const { return plan_; }
 
  private:
@@ -68,6 +72,7 @@ class ChaosEngine {
   InvariantChecker checker_;
   std::vector<ExecutedEvent> log_;
   std::vector<std::string> violations_;
+  std::vector<std::string> flight_dumps_;
 };
 
 }  // namespace gpuvm::chaos

@@ -9,7 +9,10 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "core/frontend.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace gpuvm::chaos {
@@ -35,6 +38,15 @@ void run_tenant(const ScenarioConfig& config, cluster::Cluster& cluster, int i,
                 TenantOutcome* out, vt::TimePoint* done_at) {
   vt::Domain& dom = cluster.domain();
   out->tenant = i;
+  // Each tenant is one causal trace: minted from (seed, tenant ordinal), so
+  // replays of the same scenario mint bit-identical trace ids. The root
+  // span covers the tenant's whole pipeline; daemon-side spans nest under
+  // it via the Hello handshake.
+  const obs::TraceContext trace{
+      obs::mint_trace_id(config.plan.seed, static_cast<u64>(i) + 1), 0};
+  obs::ScopedTraceContext scoped_trace(trace);
+  obs::SpanScope tenant_span("tenant", "chaos", obs::kRuntimePid,
+                             obs::kJobTidBase + static_cast<u64>(i) + 1);
   // Staggered arrival: distinct per-tenant virtual times keep connection
   // (and thus channel stream-id) order deterministic across replays.
   dom.sleep_for(vt::from_micros(static_cast<double>(i + 1) * 173.0));
@@ -160,6 +172,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     recorder = std::make_unique<obs::TraceRecorder>(dom);
     tracing = std::make_unique<obs::ScopedTracer>(*recorder);
   }
+  // Always-on postmortem ring: when an invariant breaks mid-plan, the
+  // engine dumps the last few thousand events for every involved process.
+  // Recording costs no virtual time, so outcomes are unchanged.
+  obs::FlightRecorder flight_recorder(dom);
+  obs::ScopedFlightRecorder scoped_flight(flight_recorder);
   sim::SimParams params;  // mem_scale=1024, kernel bodies executed
 
   std::vector<cluster::NodeSpec> specs;
@@ -237,8 +254,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // Quiesce every daemon, then check the stronger invariant set.
   for (const NodeTarget& target : targets) target.runtime->drain();
   result.violations = engine.violations();
+  result.flight_dumps = engine.flight_dumps();
   for (std::string& v : check_quiescent(targets)) {
     result.violations.push_back("at quiescence: " + std::move(v));
+  }
+  if (result.flight_dumps.empty() && !result.violations.empty()) {
+    // Quiescence-only violations still deserve a postmortem dump.
+    result.flight_dumps.push_back("flight dump at quiescence:\n" +
+                                  flight_recorder.dump_text());
   }
 
   vt::TimePoint last = t0;
@@ -250,11 +273,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     os << "t=" << ev.at.count() << "ns " << ev.description;
     result.event_log.push_back(os.str());
   }
-  result.chaos_events = counter_value("chaos.events");
-  result.recoveries = counter_value("runtime.recoveries");
-  result.transport_retries = counter_value("transport.retries");
-  result.transport_dropped = counter_value("transport.dropped_messages");
-  result.requeues = counter_value("sched.requeues");
+  result.chaos_events = counter_value(obs::names::kChaosEvents);
+  result.recoveries = counter_value(obs::names::kRuntimeRecoveries);
+  result.transport_retries = counter_value(obs::names::kTransportRetries);
+  result.transport_dropped = counter_value(obs::names::kTransportDroppedMessages);
+  result.requeues = counter_value(obs::names::kSchedRequeues);
 
   if (recorder != nullptr) {
     tracing.reset();  // stop recording before export

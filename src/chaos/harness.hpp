@@ -64,6 +64,10 @@ struct ScenarioResult {
   double makespan_seconds = 0.0;             ///< last tenant completion (virtual)
   std::vector<std::string> event_log;        ///< "t=<ns> <event>" per fault applied
   std::vector<std::string> violations;       ///< invariant violations (want: empty)
+  /// Flight-recorder postmortems, one per violating fault event (see
+  /// ChaosEngine::flight_dumps). Diagnostic context only: excluded from
+  /// deterministic_equal/diff, which compare observable outcomes.
+  std::vector<std::string> flight_dumps;
   u64 chaos_events = 0;                      ///< counter chaos.events
   u64 recoveries = 0;                        ///< counter runtime.recoveries
   u64 transport_retries = 0;                 ///< counter transport.retries

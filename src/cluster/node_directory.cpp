@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 
 namespace gpuvm::cluster {
@@ -13,12 +14,12 @@ using transport::Opcode;
 namespace {
 
 obs::Counter& hysteresis_rejections_counter() {
-  static obs::Counter& c = obs::metrics().counter("cluster.offload_hysteresis_rejections");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kClusterOffloadHysteresisRejections);
   return c;
 }
 
 obs::Counter& stale_reports_counter() {
-  static obs::Counter& c = obs::metrics().counter("cluster.directory_stale_reports");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kClusterDirectoryStaleReports);
   return c;
 }
 

@@ -1,10 +1,15 @@
 #include "cluster/torque.hpp"
 
+#include <optional>
+
 #include "cluster/dispatch_policy.hpp"
 #include "cluster/node_directory.hpp"
 #include "common/log.hpp"
 #include "core/direct_api.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::cluster {
 
@@ -74,7 +79,7 @@ size_t TorqueScheduler::pick_node_for(const Job& job) {
     if (pick >= candidates.size()) pick = 0;
   }
   obs::metrics()
-      .counter(std::string("cluster.dispatch.") + options_.policy->name())
+      .counter(std::string(obs::names::kClusterDispatchPrefix) + options_.policy->name())
       .add(1);
   return candidates[pick].index;
 }
@@ -108,6 +113,22 @@ BatchResult TorqueScheduler::run_to_completion() {
                                            static_cast<double>(j)));
         }
         const vt::TimePoint submit = dom_->now();
+        // Admit: mint the job's causal identity and open its root span on
+        // the per-job track. Every span recorded while this context is
+        // installed -- head-node queueing, the wire handshake, daemon
+        // dispatch, kernels, swaps -- joins the job's cross-process trace.
+        const obs::TraceContext admit{
+            obs::mint_trace_id(options_.trace_seed, job.id.value), 0};
+        obs::ScopedTraceContext scoped_trace(admit);
+        const u64 job_tid = obs::kJobTidBase + job.id.value;
+        if (obs::TraceRecorder* tr = obs::tracer()) {
+          tr->set_thread_name(obs::kRuntimePid, job_tid,
+                              "job " + std::to_string(job.id.value));
+        }
+        obs::SpanScope job_span(job.name.empty() ? "job" : job.name, "cluster",
+                                obs::kRuntimePid, job_tid);
+        std::optional<obs::SpanScope> queue_span;
+        queue_span.emplace("head-queue", "cluster", obs::kRuntimePid, job_tid);
         size_t node_index = 0;
         int gpu_index = 0;
         if (options_.mode == Mode::GpuAware) {
@@ -142,8 +163,11 @@ BatchResult TorqueScheduler::run_to_completion() {
         } else {
           node_index = pick_node_for(job);
         }
+        queue_span.reset();  // queue wait ends at the dispatch decision
 
         Node* node = nodes_[node_index];
+        obs::emit_instant("dispatch", "cluster", obs::kRuntimePid, job_tid,
+                          node->id().value);
         if (options_.mode == Mode::GpuAware) {
           {
             core::DirectApi api(node->cuda());
@@ -156,6 +180,9 @@ BatchResult TorqueScheduler::run_to_completion() {
         } else {
           core::ConnectOptions options;
           options.job_cost_hint_seconds = job.cost_hint_seconds;
+          // Hand the daemon the job's trace with the root span as parent,
+          // so daemon-side spans nest under the job in the merged trace.
+          options.trace = obs::current_trace();
           core::FrontendApi api(node->runtime().connect(), options);
           job.body(api);
         }

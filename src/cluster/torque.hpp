@@ -69,6 +69,10 @@ class TorqueScheduler {
     /// heartbeats reflect earlier placements before the next pick -- a real
     /// batch scheduler's dispatch loop, not an instantaneous burst).
     double dispatch_interval_seconds = 0.0;
+    /// Seed mixed into each job's causal trace id (obs/span.hpp): trace ids
+    /// are mint_trace_id(trace_seed, job id), so two runs of the same batch
+    /// and seed mint bit-identical traces.
+    u64 trace_seed = 0;
   };
 
   TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode);

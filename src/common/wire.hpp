@@ -46,9 +46,15 @@ inline constexpr u32 kCheckpoint = 1u << 2;      ///< Opcode::Checkpoint
 inline constexpr u32 kOffload = 1u << 3;         ///< connection may be proxied
 inline constexpr u32 kQueryLoad = 1u << 4;       ///< Opcode::QueryLoad + LoadReport
                                                  ///< heartbeats (protocol v3)
+/// The Hello payload carries a causal TraceContext (trailing trace_id +
+/// parent_span words) and the daemon stamps the connection's obs events
+/// with it. Peers without the bit decode the same frames -- the trailing
+/// fields are simply ignored -- so no version bump: spans degrade to a
+/// per-process trace with an annotated gap.
+inline constexpr u32 kTraceContext = 1u << 5;
 
 inline constexpr u32 kAll =
-    kQueryStats | kRegisterNested | kCheckpoint | kOffload | kQueryLoad;
+    kQueryStats | kRegisterNested | kCheckpoint | kOffload | kQueryLoad | kTraceContext;
 }  // namespace caps
 
 }  // namespace protocol

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace gpuvm::core {
 
@@ -19,6 +20,10 @@ FrontendApi::FrontendApi(std::unique_ptr<transport::MessageChannel> channel,
   hello.forwarded = false;
   hello.app_id = options.application_id;
   hello.deadline_seconds = options.deadline_seconds;
+  const obs::TraceContext trace =
+      options.trace.valid() ? options.trace : obs::current_trace();
+  hello.trace_id = trace.trace_id;
+  hello.parent_span = trace.parent_span;
   auto reply = roundtrip(Opcode::Hello, transport::encode_hello(hello));
   if (reply && ok(transport::reply_status(reply.value()))) {
     auto hr = transport::decode_hello_reply(transport::reply_payload(reply.value()));
@@ -26,6 +31,13 @@ FrontendApi::FrontendApi(std::unique_ptr<transport::MessageChannel> channel,
       connection_ = ConnectionId{hr->context_id};
       caps_ = hr->caps;
       handshake_status_ = Status::Ok;
+      if (trace.valid() && (caps_ & protocol::caps::kTraceContext) == 0) {
+        // Daemon predates caps::kTraceContext: its events won't carry our
+        // trace. Mark the causal gap on the client side so the exported
+        // trace says why the daemon's spans are missing.
+        obs::emit_instant("trace-gap: peer lacks kTraceContext", "trace",
+                          obs::kRuntimePid, connection_.value, connection_.value);
+      }
     } else {
       handshake_status_ = hr.status();
       log::warn("frontend: Hello reply malformed (%s)", to_string(hr.status()));

@@ -12,6 +12,7 @@
 #include "common/wire.hpp"
 #include "core/gpu_api.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "transport/channel.hpp"
 
 namespace gpuvm::core {
@@ -32,6 +33,11 @@ struct ConnectOptions {
   /// daemon intersects them with its own; optional ops outside the
   /// negotiated set fail with ErrorNotSupported without a round trip.
   u32 caps = protocol::caps::kAll;
+  /// Causal trace to hand the daemon (caps::kTraceContext): the daemon
+  /// stamps this connection's obs events with it so client and daemon
+  /// export as one trace. Defaults to the calling thread's ambient
+  /// context at construction time when left invalid.
+  obs::TraceContext trace{};
 };
 
 class FrontendApi : public GpuApi {

@@ -8,6 +8,7 @@
 
 #include "common/log.hpp"
 #include "common/wire.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -17,33 +18,33 @@ namespace {
 
 obs::Histogram& swap_bytes_hist() {
   static obs::Histogram& h =
-      obs::metrics().histogram("mm.swap_bytes", obs::default_bytes_edges());
+      obs::metrics().histogram(obs::names::kMmSwapBytes, obs::default_bytes_edges());
   return h;
 }
 
 obs::Counter& async_writebacks_counter() {
-  static obs::Counter& c = obs::metrics().counter("mm.async_writebacks");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmAsyncWritebacks);
   return c;
 }
 
 obs::Counter& writeback_fences_counter() {
-  static obs::Counter& c = obs::metrics().counter("mm.writeback_fences");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmWritebackFences);
   return c;
 }
 
 obs::Counter& dirty_bytes_saved_counter() {
-  static obs::Counter& c = obs::metrics().counter("mm.dirty_bytes_saved");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmDirtyBytesSaved);
   return c;
 }
 
 obs::Counter& swap_in_bytes_counter() {
-  static obs::Counter& c = obs::metrics().counter("mm.swap_in_bytes");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmSwapInBytes);
   return c;
 }
 
 obs::Histogram& bulk_h2d_bytes_hist() {
   static obs::Histogram& h =
-      obs::metrics().histogram("mm.bulk_h2d_bytes", obs::default_bytes_edges());
+      obs::metrics().histogram(obs::names::kMmBulkH2dBytes, obs::default_bytes_edges());
   return h;
 }
 
@@ -547,9 +548,7 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       if (!counted_intra) {
         stats_.intra_app_swaps.fetch_add(1, std::memory_order_relaxed);
         counted_intra = true;
-        if (obs::TraceRecorder* tr = obs::tracer()) {
-          tr->instant("intra-app-swap", "swap", obs::kRuntimePid, ctx.value, ctx.value);
-        }
+        obs::emit_instant("intra-app-swap", "swap", obs::kRuntimePid, ctx.value, ctx.value);
       }
     }
     lru_touch(*mem, *pte, now_stamp);

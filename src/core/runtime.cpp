@@ -6,7 +6,9 @@
 
 #include "common/log.hpp"
 #include "common/wire.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace gpuvm::core {
@@ -18,28 +20,28 @@ namespace {
 
 obs::Histogram& launch_seconds_hist() {
   static obs::Histogram& h =
-      obs::metrics().histogram("runtime.launch_seconds", obs::default_seconds_edges());
+      obs::metrics().histogram(obs::names::kRuntimeLaunchSeconds, obs::default_seconds_edges());
   return h;
 }
 
 obs::Counter& recoveries_counter() {
-  static obs::Counter& c = obs::metrics().counter("runtime.recoveries");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kRuntimeRecoveries);
   return c;
 }
 
 obs::Counter& offload_fallbacks_counter() {
-  static obs::Counter& c = obs::metrics().counter("runtime.offload_fallbacks");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kRuntimeOffloadFallbacks);
   return c;
 }
 
 obs::Counter& dispatch_lock_contended_counter() {
-  static obs::Counter& c = obs::metrics().counter("runtime.dispatch_lock_contended");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kRuntimeDispatchLockContended);
   return c;
 }
 
 obs::Histogram& dispatch_lock_wait_hist() {
-  static obs::Histogram& h = obs::metrics().histogram("runtime.dispatch_lock_wait_seconds",
-                                                      obs::default_seconds_edges());
+  static obs::Histogram& h = obs::metrics().histogram(
+      obs::names::kRuntimeDispatchLockWaitSeconds, obs::default_seconds_edges());
   return h;
 }
 
@@ -182,6 +184,20 @@ transport::LoadSnapshot Runtime::load_snapshot() const {
     }
     snap.devices.push_back(dev);
   }
+  // Tenant table (gpuvm_top): reads only immutable ids and atomic state --
+  // a context mid-construction or mid-teardown snapshots race-free. Sorted
+  // so snapshots are independent of shard hashing.
+  contexts_.for_each([&](const ContextId& id, const std::shared_ptr<Context>& ctx) {
+    if (ctx == nullptr) return;
+    transport::TenantLoad tenant;
+    tenant.ctx = id.value;
+    tenant.state = static_cast<i32>(ctx->state.load(std::memory_order_acquire));
+    snap.tenants.push_back(tenant);
+  });
+  std::sort(snap.tenants.begin(), snap.tenants.end(),
+            [](const transport::TenantLoad& a, const transport::TenantLoad& b) {
+              return a.ctx < b.ctx;
+            });
   return snap;
 }
 
@@ -240,14 +256,15 @@ void Runtime::publish_metrics() const {
   const auto gauge = [&](const std::string& name, double v) { reg.gauge(name).set(v); };
 
   const RuntimeStats rs = stats();
-  gauge("stats.runtime.connections", static_cast<double>(rs.connections));
-  gauge("stats.runtime.offloaded_connections", static_cast<double>(rs.offloaded_connections));
-  gauge("stats.runtime.launches", static_cast<double>(rs.launches));
-  gauge("stats.runtime.recoveries", static_cast<double>(rs.recoveries));
-  gauge("stats.runtime.auto_checkpoints", static_cast<double>(rs.auto_checkpoints));
-  gauge("stats.runtime.swap_retry_backoffs", static_cast<double>(rs.swap_retry_backoffs));
-  gauge("stats.runtime.offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
-  gauge("stats.runtime.dispatch_lock_contended",
+  const std::string rt_prefix = obs::names::kStatsRuntimePrefix;
+  gauge(rt_prefix + "connections", static_cast<double>(rs.connections));
+  gauge(rt_prefix + "offloaded_connections", static_cast<double>(rs.offloaded_connections));
+  gauge(rt_prefix + "launches", static_cast<double>(rs.launches));
+  gauge(rt_prefix + "recoveries", static_cast<double>(rs.recoveries));
+  gauge(rt_prefix + "auto_checkpoints", static_cast<double>(rs.auto_checkpoints));
+  gauge(rt_prefix + "swap_retry_backoffs", static_cast<double>(rs.swap_retry_backoffs));
+  gauge(rt_prefix + "offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
+  gauge(rt_prefix + "dispatch_lock_contended",
         static_cast<double>(rs.dispatch_lock_contended));
 
   // Per-node offload-health breakdown: with several daemons co-hosted in
@@ -255,7 +272,7 @@ void Runtime::publish_metrics() const {
   // gauges above reflect whichever node published last; these keep each
   // node's numbers visible through a single QueryStats.
   if (!node_name_.empty()) {
-    const std::string prefix = "stats.node." + node_name_ + ".";
+    const std::string prefix = obs::names::kStatsNodePrefix + node_name_ + ".";
     gauge(prefix + "offloaded_connections", static_cast<double>(rs.offloaded_connections));
     gauge(prefix + "offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
     gauge(prefix + "recoveries", static_cast<double>(rs.recoveries));
@@ -263,26 +280,28 @@ void Runtime::publish_metrics() const {
   }
 
   const SchedulerStats ss = scheduler_->stats();
-  gauge("stats.sched.binds", static_cast<double>(ss.binds));
-  gauge("stats.sched.unbinds", static_cast<double>(ss.unbinds));
-  gauge("stats.sched.migrations", static_cast<double>(ss.migrations));
-  gauge("stats.sched.requeues", static_cast<double>(ss.requeues));
+  const std::string sched_prefix = obs::names::kStatsSchedPrefix;
+  gauge(sched_prefix + "binds", static_cast<double>(ss.binds));
+  gauge(sched_prefix + "unbinds", static_cast<double>(ss.unbinds));
+  gauge(sched_prefix + "migrations", static_cast<double>(ss.migrations));
+  gauge(sched_prefix + "requeues", static_cast<double>(ss.requeues));
 
   const MemStats ms = mm_->stats();
-  gauge("stats.mm.swapped_entries", static_cast<double>(ms.swapped_entries));
-  gauge("stats.mm.swap_bytes", static_cast<double>(ms.swap_bytes));
-  gauge("stats.mm.intra_app_swaps", static_cast<double>(ms.intra_app_swaps));
-  gauge("stats.mm.inter_app_swaps", static_cast<double>(ms.inter_app_swaps));
-  gauge("stats.mm.bulk_transfers", static_cast<double>(ms.bulk_transfers));
-  gauge("stats.mm.peer_copies", static_cast<double>(ms.peer_copies));
-  gauge("stats.mm.bounds_rejections", static_cast<double>(ms.bounds_rejections));
-  gauge("stats.mm.async_writebacks", static_cast<double>(ms.async_writebacks));
-  gauge("stats.mm.writeback_fences", static_cast<double>(ms.writeback_fences));
-  gauge("stats.mm.swap_out_bytes", static_cast<double>(ms.swap_out_bytes));
-  gauge("stats.mm.swap_in_bytes", static_cast<double>(ms.swap_in_bytes));
-  gauge("stats.mm.dirty_bytes_saved", static_cast<double>(ms.dirty_bytes_saved));
-  gauge("stats.mm.clean_swap_skips", static_cast<double>(ms.clean_swap_skips));
-  gauge("stats.mm.shard_contention", static_cast<double>(mm_->shard_contention()));
+  const std::string mm_prefix = obs::names::kStatsMmPrefix;
+  gauge(mm_prefix + "swapped_entries", static_cast<double>(ms.swapped_entries));
+  gauge(obs::names::kStatsMmSwapBytes, static_cast<double>(ms.swap_bytes));
+  gauge(obs::names::kStatsMmIntraAppSwaps, static_cast<double>(ms.intra_app_swaps));
+  gauge(obs::names::kStatsMmInterAppSwaps, static_cast<double>(ms.inter_app_swaps));
+  gauge(mm_prefix + "bulk_transfers", static_cast<double>(ms.bulk_transfers));
+  gauge(mm_prefix + "peer_copies", static_cast<double>(ms.peer_copies));
+  gauge(mm_prefix + "bounds_rejections", static_cast<double>(ms.bounds_rejections));
+  gauge(mm_prefix + "async_writebacks", static_cast<double>(ms.async_writebacks));
+  gauge(mm_prefix + "writeback_fences", static_cast<double>(ms.writeback_fences));
+  gauge(mm_prefix + "swap_out_bytes", static_cast<double>(ms.swap_out_bytes));
+  gauge(mm_prefix + "swap_in_bytes", static_cast<double>(ms.swap_in_bytes));
+  gauge(mm_prefix + "dirty_bytes_saved", static_cast<double>(ms.dirty_bytes_saved));
+  gauge(mm_prefix + "clean_swap_skips", static_cast<double>(ms.clean_swap_skips));
+  gauge(mm_prefix + "shard_contention", static_cast<double>(mm_->shard_contention()));
 
   for (const GpuId gpu : rt_->machine().all_gpus()) {
     const sim::SimGpu* dev = rt_->machine().gpu(gpu);
@@ -334,6 +353,17 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
   // and deployments emulate an older daemon by withholding bits).
   const u32 caps = hello->caps & protocol::caps::kAll & config_.caps_mask;
 
+  // Causal trace propagation: when both sides speak kTraceContext, the
+  // client's trace identity is installed on this servicing thread for the
+  // connection's lifetime -- every span/instant recorded below joins the
+  // job's cross-process timeline. Without the bit (masked daemon, old
+  // peer) the fields are ignored and events stay unstamped.
+  obs::TraceContext trace;
+  if ((caps & protocol::caps::kTraceContext) != 0 && hello->trace_id != 0) {
+    trace = obs::TraceContext{hello->trace_id, hello->parent_span};
+  }
+  obs::ScopedTraceContext scoped_trace(trace);
+
   // Inter-node offloading: if this node is overloaded and a peer exists,
   // the whole connection is proxied there (section 4.7). Only the CUDA
   // calls move; the application's CPU phases stay where the job runs. A
@@ -363,12 +393,30 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
       });
       bool proxied = false;
       if (!peer.closed()) {
+        // Offload session span: covers the whole proxied connection. Its
+        // span id replaces the forwarded Hello's parent, so the destination
+        // daemon's spans nest under the hop in the merged cluster trace.
+        obs::SpanScope session("offload-session", "offload", obs::kRuntimePid,
+                               obs::kOffloadTidBase + hello_msg->connection.value);
         transport::Message fwd = *hello_msg;
         transport::HelloPayload fwd_hello = *hello;
         fwd_hello.forwarded = true;  // the peer must not shed it again
+        if (session.span_id() != 0) fwd_hello.parent_span = session.span_id();
         fwd.payload = transport::encode_hello(fwd_hello);
         if (peer.send(std::move(fwd))) {
           if (auto reply = peer.receive(); reply.has_value()) {
+            if (trace.valid()) {
+              // Destination without kTraceContext ignores the forwarded
+              // trace; annotate the causal gap so the merged trace says why
+              // the remote half is missing.
+              auto hr = transport::decode_hello_reply(transport::reply_payload(*reply));
+              if (hr.has_value() &&
+                  (hr->caps & protocol::caps::kTraceContext) == 0) {
+                obs::emit_instant("trace-gap: offload peer lacks kTraceContext",
+                                  "trace", obs::kRuntimePid,
+                                  obs::kOffloadTidBase + hello_msg->connection.value);
+              }
+            }
             stats_.offloaded_connections.fetch_add(1, std::memory_order_relaxed);
             channel.send(std::move(*reply));
             offload_proxy_loop(channel, peer);
@@ -417,8 +465,8 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     if (obs::TraceRecorder* tr = obs::tracer()) {
       tr->set_thread_name(obs::kRuntimePid, ctx->id.value,
                           "ctx " + std::to_string(ctx->id.value));
-      tr->instant("connect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
     }
+    obs::emit_instant("connect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
     mm_->add_context(ctx->id);
     ctx->arrival = rt_->machine().domain().now();
     ctx->job_cost_hint_seconds = hello->job_cost_hint_seconds;
@@ -486,9 +534,7 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
       mm_->remove_context(ctx->id);
     }
     ctx->state.store(ContextState::Done, std::memory_order_release);
-    if (obs::TraceRecorder* tr = obs::tracer()) {
-      tr->instant("disconnect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
-    }
+    obs::emit_instant("disconnect", "conn", obs::kRuntimePid, ctx->id.value, ctx->id.value);
     contexts_.take(ctx->id);
     if (shared) {
       std::unique_lock lk(mu_);
@@ -772,10 +818,8 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
     if (binding.recovered_from_failure) {
       stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
       recoveries_counter().add(1);
-      if (obs::TraceRecorder* tr = obs::tracer()) {
-        tr->instant("recovery-replay", "recover", obs::kRuntimePid, ctx.id.value,
-                    ctx.id.value);
-      }
+      obs::emit_instant("recovery-replay", "recover", obs::kRuntimePid, ctx.id.value,
+                        ctx.id.value);
     }
 
     enum class Next { Done, RebindAfterFailure, BackoffRetry };
@@ -814,10 +858,8 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
             mm_->on_device_lost(ctx.id, binding.gpu);
             next = Next::RebindAfterFailure;
             ++recovery_attempts;
-            if (obs::TraceRecorder* tr = obs::tracer()) {
-              tr->instant("kernel-lost", "recover", obs::kRuntimePid, ctx.id.value,
-                          ctx.id.value);
-            }
+            obs::emit_instant("kernel-lost", "recover", obs::kRuntimePid, ctx.id.value,
+                              ctx.id.value);
             recoveries_counter().add(1);
             stats_.recoveries.fetch_add(1, std::memory_order_relaxed);
             break;

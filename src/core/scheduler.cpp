@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -12,8 +13,8 @@ namespace gpuvm::core {
 namespace {
 
 obs::Histogram& queue_wait_hist() {
-  static obs::Histogram& h =
-      obs::metrics().histogram("sched.queue_wait_seconds", obs::default_seconds_edges());
+  static obs::Histogram& h = obs::metrics().histogram(obs::names::kSchedQueueWaitSeconds,
+                                                      obs::default_seconds_edges());
   return h;
 }
 
@@ -63,7 +64,7 @@ void Scheduler::remove_device(GpuId gpu) {
       bindings_.erase(slot->bound);
       slot->bound = ContextId{};
       ++stats_.requeues;
-      obs::metrics().counter("sched.requeues").add(1);
+      obs::metrics().counter(obs::names::kSchedRequeues).add(1);
     }
   }
   match_locked();
@@ -233,12 +234,10 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   const vt::Duration waited = dom.now() - wait_start;
   queue_wait_hist().observe(vt::to_seconds(waited));
   queue_wait_local_.observe(vt::to_seconds(waited));
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    // On the per-context track: a slot track could show overlapping spans
-    // (the previous holder's kernel vs. this waiter), which breaks nesting.
-    tr->span("queue-wait", "sched", obs::kRuntimePid, ctx.id.value, wait_start, waited,
-             ctx.id.value);
-  }
+  // On the per-context track: a slot track could show overlapping spans
+  // (the previous holder's kernel vs. this waiter), which breaks nesting.
+  obs::emit_span("queue-wait", "sched", obs::kRuntimePid, ctx.id.value, wait_start, waited,
+                 ctx.id.value);
   if (waiter.hopeless) {
     ctx.state.store(ContextState::Failed, std::memory_order_release);
     return Status::ErrorDeviceUnavailable;
@@ -247,13 +246,11 @@ Result<Scheduler::Binding> Scheduler::acquire(Context& ctx) {
   ++stats_.binds;
   if (waiter.granted->migrated && !recovered) {
     ++stats_.migrations;
-    obs::metrics().counter("sched.migrations").add(1);
+    obs::metrics().counter(obs::names::kSchedMigrations).add(1);
   }
   waiter.granted->recovered_from_failure = recovered;
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->instant(waiter.granted->migrated ? "bind (migrated)" : "bind", "sched",
-                obs::kRuntimePid, ctx.id.value, ctx.id.value);
-  }
+  obs::emit_instant(waiter.granted->migrated ? "bind (migrated)" : "bind", "sched",
+                    obs::kRuntimePid, ctx.id.value, ctx.id.value);
   return *waiter.granted;
 }
 
@@ -266,9 +263,7 @@ void Scheduler::release(Context& ctx) {
   bindings_.erase(it);
   ctx.state.store(ContextState::Detached, std::memory_order_release);
   ++stats_.unbinds;
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->instant("unbind", "sched", obs::kRuntimePid, ctx.id.value, ctx.id.value);
-  }
+  obs::emit_instant("unbind", "sched", obs::kRuntimePid, ctx.id.value, ctx.id.value);
   match_locked();
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -11,7 +12,7 @@ namespace gpuvm::cudart {
 namespace {
 
 obs::Counter& calls_counter() {
-  static obs::Counter& c = obs::metrics().counter("cudart.calls");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kCudartCalls);
   return c;
 }
 

@@ -1,0 +1,61 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metric_names.hpp"
+
+namespace gpuvm::obs {
+
+namespace {
+
+/// Adds `v` into the rollup entry `into` (same name, possibly different
+/// node). First contribution copies wholesale.
+void merge_value(MetricValue& into, const MetricValue& v) {
+  switch (v.kind) {
+    case MetricKind::Counter:
+      into.counter += v.counter;
+      break;
+    case MetricKind::Gauge:
+      // Summing is right for the additive gauges the runtime publishes
+      // (stats.* are counts and byte totals). Non-additive gauges remain
+      // inspectable through their node.<name>.* entries.
+      into.gauge += v.gauge;
+      break;
+    case MetricKind::Histogram:
+      into.count += v.count;
+      into.sum += v.sum;
+      if (into.edges == v.edges && into.buckets.size() == v.buckets.size()) {
+        for (size_t i = 0; i < v.buckets.size(); ++i) into.buckets[i] += v.buckets[i];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot aggregate_cluster(std::span<const NodeStats> nodes) {
+  MetricsSnapshot out;
+  std::map<std::string, MetricValue> rollup;
+  for (const NodeStats& node : nodes) {
+    for (const MetricValue& v : node.snapshot.values) {
+      MetricValue namespaced = v;
+      namespaced.name = std::string(names::kAggregateNodePrefix) + node.name + "." + v.name;
+      out.values.push_back(std::move(namespaced));
+
+      const std::string key = std::string(names::kAggregateClusterPrefix) + v.name;
+      auto [it, fresh] = rollup.try_emplace(key, v);
+      if (fresh) {
+        it->second.name = key;
+      } else if (it->second.kind == v.kind) {
+        merge_value(it->second, v);
+      }
+    }
+  }
+  for (auto& [key, v] : rollup) out.values.push_back(std::move(v));
+  std::sort(out.values.begin(), out.values.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,87 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gpuvm::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_flight{nullptr};
+
+}  // namespace
+
+FlightRecorder* flight() { return g_flight.load(std::memory_order_relaxed); }
+
+void set_flight(FlightRecorder* recorder) {
+  g_flight.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder::FlightRecorder(vt::Domain& dom, size_t capacity)
+    : dom_(&dom), capacity_(std::max<size_t>(capacity, 16)) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::record(const TraceEvent& ev) {
+  std::scoped_lock lock(mu_);
+  ring_[next_ % capacity_] = ev;
+  ++next_;
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<TraceEvent> out;
+  const u64 retained = std::min<u64>(next_, capacity_);
+  out.reserve(retained);
+  for (u64 i = next_ - retained; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+u64 FlightRecorder::total_recorded() const {
+  std::scoped_lock lock(mu_);
+  return next_;
+}
+
+std::string FlightRecorder::dump_text() const {
+  const std::vector<TraceEvent> events = snapshot();
+  const u64 total = total_recorded();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder: %zu of %llu events retained (ring %zu)\n", events.size(),
+                static_cast<unsigned long long>(total), capacity_);
+  out += buf;
+  for (const TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf), "  t=%lldns %-10s %-28s pid=%llu tid=%llu",
+                  static_cast<long long>(ev.ts_ns), ev.cat, ev.name,
+                  static_cast<unsigned long long>(ev.pid),
+                  static_cast<unsigned long long>(ev.tid));
+    out += buf;
+    if (ev.dur_ns >= 0) {
+      std::snprintf(buf, sizeof(buf), " dur=%lldns", static_cast<long long>(ev.dur_ns));
+      out += buf;
+    }
+    if (ev.ctx != 0) {
+      std::snprintf(buf, sizeof(buf), " ctx=%llu", static_cast<unsigned long long>(ev.ctx));
+      out += buf;
+    }
+    if (ev.bytes != 0) {
+      std::snprintf(buf, sizeof(buf), " bytes=%llu",
+                    static_cast<unsigned long long>(ev.bytes));
+      out += buf;
+    }
+    if (ev.trace != 0) {
+      std::snprintf(buf, sizeof(buf), " trace=%016llx span=%016llx parent=%016llx",
+                    static_cast<unsigned long long>(ev.trace),
+                    static_cast<unsigned long long>(ev.span),
+                    static_cast<unsigned long long>(ev.parent));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,76 @@
+// FlightRecorder: a bounded ring of the most recent trace events, kept for
+// postmortems.
+//
+// The full TraceRecorder is an opt-in artifact (it retains up to a million
+// events and is only installed when someone asked for a trace file). The
+// flight recorder is the opposite trade: always cheap enough to leave on --
+// a fixed-size ring overwritten in a circle, guarded by one short-hold
+// mutex around a 144-byte copy -- and read exactly once, when something
+// already went wrong. The chaos engine installs one per scenario and dumps
+// its contents the moment an invariant checker reports a violation, so
+// every 20-seed soak failure arrives with the last few thousand spans of
+// context (which tenant was mid-swap, which channel was retrying) instead
+// of a bare counter diff.
+//
+// Events reach the ring through the same emit paths as the tracer (see
+// obs::emit_instant / emit_span / SpanScope): sites pay one extra relaxed
+// load when the recorder is absent. Recording costs no virtual time, so a
+// scenario's outcome is bit-identical with or without it.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/vt.hpp"
+#include "obs/trace.hpp"
+
+namespace gpuvm::obs {
+
+class FlightRecorder {
+ public:
+  /// `capacity` is the ring size in events; older events are overwritten.
+  explicit FlightRecorder(vt::Domain& dom, size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  vt::TimePoint now() const { return dom_->now(); }
+
+  /// Appends one event, overwriting the oldest when the ring is full.
+  void record(const TraceEvent& ev);
+
+  /// Events still in the ring, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total events ever recorded (>= snapshot().size()).
+  u64 total_recorded() const;
+
+  /// Human-readable postmortem: one line per retained event, oldest first,
+  /// with trace/span identities where stamped.
+  std::string dump_text() const;
+
+ private:
+  vt::Domain* dom_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // slot i holds event number (next_ - ...)
+  u64 next_ = 0;                  // total appended; next_ % capacity_ = write slot
+};
+
+/// Process-global flight recorder, mirroring obs::tracer(). Null (default)
+/// means disabled.
+FlightRecorder* flight();
+void set_flight(FlightRecorder* recorder);
+
+/// Installs a flight recorder for the guard's lifetime.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder& recorder) { set_flight(&recorder); }
+  ~ScopedFlightRecorder() { set_flight(nullptr); }
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+};
+
+}  // namespace gpuvm::obs

@@ -1,0 +1,79 @@
+// Canonical metric names, centralized so producers and consumers share one
+// spelling.
+//
+// Every counter/gauge/histogram registered in the MetricsRegistry is keyed
+// by a string; a typo'd string at any call site silently creates a second,
+// forever-empty metric. Referencing these constants instead turns the typo
+// into a build error and gives grep one place to find who owns a name.
+//
+// Naming scheme: `<layer>.<what>[_unit]` for live instruments updated on
+// the hot path, and `stats.<layer>.<field>` for the gauges published from
+// the per-layer stats structs at snapshot time (see
+// Runtime::publish_metrics, which also emits per-node
+// `stats.node.<name>.*` and per-device `stats.gpu<N>.*` families -- those
+// names are data-dependent and stay dynamic, assembled from the prefixes
+// below).
+#pragma once
+
+namespace gpuvm::obs::names {
+
+// ---- cudart / sim ----------------------------------------------------------
+inline constexpr char kCudartCalls[] = "cudart.calls";
+inline constexpr char kGpuKernelSeconds[] = "gpu.kernel_seconds";
+inline constexpr char kGpuTransferBytes[] = "gpu.transfer_bytes";
+
+// ---- transport -------------------------------------------------------------
+inline constexpr char kTransportMessagesSent[] = "transport.messages_sent";
+inline constexpr char kTransportBytesSent[] = "transport.bytes_sent";
+inline constexpr char kTransportRetries[] = "transport.retries";
+inline constexpr char kTransportDroppedMessages[] = "transport.dropped_messages";
+inline constexpr char kTransportBrokenChannels[] = "transport.broken_channels";
+inline constexpr char kTransportReconnects[] = "transport.reconnects";
+
+// ---- core runtime ----------------------------------------------------------
+inline constexpr char kRuntimeLaunchSeconds[] = "runtime.launch_seconds";
+inline constexpr char kRuntimeRecoveries[] = "runtime.recoveries";
+inline constexpr char kRuntimeOffloadFallbacks[] = "runtime.offload_fallbacks";
+inline constexpr char kRuntimeDispatchLockContended[] = "runtime.dispatch_lock_contended";
+inline constexpr char kRuntimeDispatchLockWaitSeconds[] =
+    "runtime.dispatch_lock_wait_seconds";
+
+// ---- scheduler -------------------------------------------------------------
+inline constexpr char kSchedQueueWaitSeconds[] = "sched.queue_wait_seconds";
+inline constexpr char kSchedRequeues[] = "sched.requeues";
+inline constexpr char kSchedMigrations[] = "sched.migrations";
+
+// ---- memory manager --------------------------------------------------------
+inline constexpr char kMmSwapBytes[] = "mm.swap_bytes";
+inline constexpr char kMmSwapInBytes[] = "mm.swap_in_bytes";
+inline constexpr char kMmAsyncWritebacks[] = "mm.async_writebacks";
+inline constexpr char kMmWritebackFences[] = "mm.writeback_fences";
+inline constexpr char kMmDirtyBytesSaved[] = "mm.dirty_bytes_saved";
+inline constexpr char kMmBulkH2dBytes[] = "mm.bulk_h2d_bytes";
+
+// ---- cluster control plane -------------------------------------------------
+inline constexpr char kClusterOffloadHysteresisRejections[] =
+    "cluster.offload_hysteresis_rejections";
+inline constexpr char kClusterDirectoryStaleReports[] = "cluster.directory_stale_reports";
+/// + DispatchPolicy::name(): one counter per placement policy.
+inline constexpr char kClusterDispatchPrefix[] = "cluster.dispatch.";
+
+// ---- chaos -----------------------------------------------------------------
+inline constexpr char kChaosEvents[] = "chaos.events";
+
+// ---- published stats gauges (fixed names; see header comment) --------------
+inline constexpr char kStatsMmIntraAppSwaps[] = "stats.mm.intra_app_swaps";
+inline constexpr char kStatsMmInterAppSwaps[] = "stats.mm.inter_app_swaps";
+inline constexpr char kStatsMmSwapBytes[] = "stats.mm.swap_bytes";
+inline constexpr char kStatsRuntimePrefix[] = "stats.runtime.";
+inline constexpr char kStatsSchedPrefix[] = "stats.sched.";
+inline constexpr char kStatsMmPrefix[] = "stats.mm.";
+inline constexpr char kStatsNodePrefix[] = "stats.node.";
+
+// ---- cluster aggregation (obs/aggregate.hpp) -------------------------------
+/// Aggregated snapshots namespace per-node views as `node.<name>.<metric>`
+/// and cluster-wide rollups as `cluster.total.<metric>`.
+inline constexpr char kAggregateNodePrefix[] = "node.";
+inline constexpr char kAggregateClusterPrefix[] = "cluster.total.";
+
+}  // namespace gpuvm::obs::names

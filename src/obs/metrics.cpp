@@ -217,7 +217,7 @@ std::optional<MetricsSnapshot> MetricsSnapshot::decode(WireReader& r) {
 
 std::string MetricsSnapshot::to_text() const {
   std::string out;
-  char buf[160];
+  char buf[256];
   for (const MetricValue& v : values) {
     switch (v.kind) {
       case MetricKind::Counter:
@@ -231,8 +231,13 @@ std::string MetricsSnapshot::to_text() const {
         break;
       case MetricKind::Histogram: {
         const double avg = v.count > 0 ? v.sum / static_cast<double>(v.count) : 0.0;
-        std::snprintf(buf, sizeof(buf), "%-44s count=%llu sum=%.6g avg=%.6g\n", v.name.c_str(),
-                      static_cast<unsigned long long>(v.count), v.sum, avg);
+        const double p50 = histogram_quantile(v.edges, v.buckets, 0.50);
+        const double p95 = histogram_quantile(v.edges, v.buckets, 0.95);
+        const double p99 = histogram_quantile(v.edges, v.buckets, 0.99);
+        std::snprintf(buf, sizeof(buf),
+                      "%-44s count=%llu sum=%.6g avg=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+                      v.name.c_str(), static_cast<unsigned long long>(v.count), v.sum, avg, p50,
+                      p95, p99);
         out += buf;
         break;
       }

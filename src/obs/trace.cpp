@@ -1,11 +1,18 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <tuple>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
 
 namespace gpuvm::obs {
 
@@ -113,15 +120,34 @@ size_t TraceRecorder::size() const {
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
+  // Take every shard lock before copying anything: a dump racing in-flight
+  // appends (the SIGUSR1 path) must not see shard 0's state from before an
+  // event and shard 7's from after it. Lock order is fixed (shard index),
+  // so concurrent dumpers can't deadlock; appenders take one shard at a
+  // time and simply wait their turn.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock(shards_[i].mu);
+  }
   std::vector<TraceEvent> out;
   for (const Shard& shard : shards_) {
-    std::scoped_lock lock(shard.mu);
     for (const auto& chunk : shard.chunks) {
       out.insert(out.end(), chunk.begin(), chunk.end());
     }
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_ns < b.ts_ns; });
+  for (auto& lock : locks) lock.unlock();
+  // Shard assignment hashes host thread ids, so the concatenation order
+  // above is not reproducible across runs. Sort by a total order over every
+  // field to make the export deterministic for deterministic workloads.
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    const auto key = [](const TraceEvent& e) {
+      return std::make_tuple(e.ts_ns, e.pid, e.tid, e.dur_ns, e.trace, e.parent, e.span, e.ctx,
+                             e.bytes);
+    };
+    if (key(a) != key(b)) return key(a) < key(b);
+    if (const int c = std::strcmp(a.name, b.name); c != 0) return c < 0;
+    return std::strcmp(a.cat, b.cat) < 0;
+  });
   return out;
 }
 
@@ -174,13 +200,27 @@ void TraceRecorder::export_chrome_json(std::ostream& out) const {
     }
     line += ",\"args\":{";
     bool first_arg = true;
-    if (ev.ctx != 0) {
-      line += "\"ctx\":" + std::to_string(ev.ctx);
-      first_arg = false;
-    }
-    if (ev.bytes != 0) {
+    const auto arg = [&](const char* key, const std::string& value) {
       if (!first_arg) line += ",";
-      line += "\"bytes\":" + std::to_string(ev.bytes);
+      first_arg = false;
+      line += "\"";
+      line += key;
+      line += "\":";
+      line += value;
+    };
+    const auto hex = [&](u64 v) {
+      char h[24];
+      std::snprintf(h, sizeof(h), "\"%016llx\"", static_cast<unsigned long long>(v));
+      return std::string(h);
+    };
+    if (ev.ctx != 0) arg("ctx", std::to_string(ev.ctx));
+    if (ev.bytes != 0) arg("bytes", std::to_string(ev.bytes));
+    // Causal identity as hex strings (Perfetto renders u64 args lossily as
+    // doubles; strings survive and stay greppable across processes).
+    if (ev.trace != 0) {
+      arg("trace", hex(ev.trace));
+      if (ev.span != 0) arg("span", hex(ev.span));
+      if (ev.parent != 0) arg("parent", hex(ev.parent));
     }
     line += "}}";
     emit(line);
@@ -199,6 +239,81 @@ bool TraceRecorder::export_chrome_json_file(const std::string& path) const {
   if (!out.is_open()) return false;
   export_chrome_json(out);
   return out.good();
+}
+
+void emit_instant(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx,
+                  u64 bytes) {
+  TraceRecorder* rec = tracer();
+  FlightRecorder* fr = flight();
+  if (rec == nullptr && fr == nullptr) return;
+  TraceEvent ev;
+  ev.set_name(name);
+  ev.set_cat(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = (rec != nullptr ? rec->now() : fr->now()).count();
+  ev.dur_ns = -1;
+  ev.ctx = ctx;
+  ev.bytes = bytes;
+  const TraceContext tc = current_trace();
+  ev.trace = tc.trace_id;
+  ev.parent = tc.parent_span;
+  if (rec != nullptr) rec->record(ev);
+  if (fr != nullptr) fr->record(ev);
+}
+
+void emit_span(std::string_view name, std::string_view cat, u64 pid, u64 tid,
+               vt::TimePoint start, vt::Duration dur, u64 ctx, u64 bytes) {
+  TraceRecorder* rec = tracer();
+  FlightRecorder* fr = flight();
+  if (rec == nullptr && fr == nullptr) return;
+  TraceEvent ev;
+  ev.set_name(name);
+  ev.set_cat(cat);
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_ns = start.count();
+  ev.dur_ns = std::max<i64>(dur.count(), 0);
+  ev.ctx = ctx;
+  ev.bytes = bytes;
+  // A complete span: claim an id, then pop it immediately (nothing records
+  // "inside" an already-finished interval).
+  const SpanIds ids = begin_span();
+  ev.trace = ids.trace_id;
+  ev.span = ids.span;
+  ev.parent = ids.parent;
+  end_span(ids.parent);
+  if (rec != nullptr) rec->record(ev);
+  if (fr != nullptr) fr->record(ev);
+}
+
+SpanScope::SpanScope(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx,
+                     u64 bytes)
+    : rec_(tracer()), flight_(flight()) {
+  if (!enabled()) return;
+  ev_.set_name(name);
+  ev_.set_cat(cat);
+  ev_.pid = pid;
+  ev_.tid = tid;
+  ev_.ctx = ctx;
+  ev_.bytes = bytes;
+  ev_.ts_ns = (rec_ != nullptr ? rec_->now() : flight_->now()).count();
+  const SpanIds ids = begin_span();
+  if (ids.trace_id != 0) {
+    ev_.trace = ids.trace_id;
+    ev_.span = ids.span;
+    ev_.parent = ids.parent;
+    saved_parent_ = ids.parent;
+    pushed_ = true;  // everything recorded until destruction nests under us
+  }
+}
+
+SpanScope::~SpanScope() {
+  if (!enabled()) return;
+  if (pushed_) end_span(saved_parent_);
+  ev_.dur_ns = (rec_ != nullptr ? rec_->now() : flight_->now()).count() - ev_.ts_ns;
+  if (rec_ != nullptr) rec_->record(ev_);
+  if (flight_ != nullptr) flight_->record(ev_);
 }
 
 }  // namespace gpuvm::obs

@@ -45,6 +45,7 @@ inline constexpr u64 kRuntimePid = 0;
 inline constexpr u64 kComputeEngineTid = 1;
 inline constexpr u64 kCopyEngineTid = 2;
 inline constexpr u64 kClientTidBase = 100;      ///< + ClientId.value
+inline constexpr u64 kJobTidBase = 300000;      ///< + cluster JobId.value
 inline constexpr u64 kOffloadTidBase = 400000;  ///< + ConnectionId.value
 inline constexpr u64 kChannelTidBase = 500000;  ///< + channel serial
 
@@ -59,6 +60,10 @@ struct TraceEvent {
   i64 dur_ns = -1;
   u64 ctx = 0;    ///< ContextId.value, 0 = not attributed
   u64 bytes = 0;  ///< payload size where meaningful, else 0
+  // Causal identity (obs/span.hpp): 0 = recorded outside any trace context.
+  u64 trace = 0;   ///< TraceContext.trace_id of the owning job
+  u64 span = 0;    ///< this span's id (0 for instants: they borrow `parent`)
+  u64 parent = 0;  ///< enclosing span's id, 0 = trace root
 
   void set_name(std::string_view n) {
     const size_t len = std::min(n.size(), sizeof(name) - 1);
@@ -103,7 +108,11 @@ class TraceRecorder {
   size_t size() const;
   u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
-  /// Snapshot of every retained event, sorted by timestamp.
+  /// Consistent snapshot of every retained event: all shard locks are held
+  /// while copying (so a concurrent append can't land between shards), and
+  /// the result is sorted by a total order over every field -- two runs
+  /// that recorded the same events export byte-identical JSON regardless
+  /// of which threads appended to which shards.
   std::vector<TraceEvent> events() const;
 
   /// Chrome trace_event JSON ("traceEvents" array form, ts/dur in
@@ -148,34 +157,36 @@ class ScopedTracer {
   ScopedTracer& operator=(const ScopedTracer&) = delete;
 };
 
-/// RAII span: captures the start stamp if tracing is enabled, records on
-/// destruction. Track/attribution may be filled in late (queue-wait learns
-/// its GPU only when the vGPU is granted).
+class FlightRecorder;
+
+/// Emit helpers: deliver one event to every installed sink (the tracer and
+/// the flight recorder), stamped with the calling thread's trace context
+/// (obs/span.hpp). Instants carry trace + enclosing parent; spans also
+/// claim a span id of their own. Instrumentation sites should prefer these
+/// over talking to the recorder directly, so postmortem rings see the same
+/// stream as trace files.
+void emit_instant(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx = 0,
+                  u64 bytes = 0);
+void emit_span(std::string_view name, std::string_view cat, u64 pid, u64 tid,
+               vt::TimePoint start, vt::Duration dur, u64 ctx = 0, u64 bytes = 0);
+
+/// RAII span: captures the start stamp if any sink is enabled, records on
+/// destruction to both the tracer and the flight recorder. Claims a causal
+/// span id from the thread's trace context and acts as the parent of
+/// everything recorded inside the scope. Track/attribution may be filled
+/// in late (queue-wait learns its GPU only when the vGPU is granted).
 class SpanScope {
  public:
   SpanScope(std::string_view name, std::string_view cat, u64 pid, u64 tid, u64 ctx = 0,
-            u64 bytes = 0)
-      : rec_(tracer()) {
-    if (rec_ == nullptr) return;
-    ev_.set_name(name);
-    ev_.set_cat(cat);
-    ev_.pid = pid;
-    ev_.tid = tid;
-    ev_.ctx = ctx;
-    ev_.bytes = bytes;
-    ev_.ts_ns = rec_->now().count();
-  }
-
-  ~SpanScope() {
-    if (rec_ == nullptr) return;
-    ev_.dur_ns = rec_->now().count() - ev_.ts_ns;
-    rec_->record(ev_);
-  }
+            u64 bytes = 0);
+  ~SpanScope();
 
   SpanScope(const SpanScope&) = delete;
   SpanScope& operator=(const SpanScope&) = delete;
 
-  bool enabled() const { return rec_ != nullptr; }
+  bool enabled() const { return rec_ != nullptr || flight_ != nullptr; }
+  /// Causal id claimed at construction (0 when no trace context/sink).
+  u64 span_id() const { return ev_.span; }
   void set_track(u64 pid, u64 tid) {
     ev_.pid = pid;
     ev_.tid = tid;
@@ -183,11 +194,14 @@ class SpanScope {
   void set_ctx(u64 ctx) { ev_.ctx = ctx; }
   void set_bytes(u64 bytes) { ev_.bytes = bytes; }
   void set_name(std::string_view name) {
-    if (rec_ != nullptr) ev_.set_name(name);
+    if (enabled()) ev_.set_name(name);
   }
 
  private:
   TraceRecorder* rec_;
+  FlightRecorder* flight_;
+  bool pushed_ = false;
+  u64 saved_parent_ = 0;
   TraceEvent ev_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -16,13 +17,13 @@ constexpr u64 kAddressStride = 1ull << 40;
 
 obs::Histogram& kernel_seconds_hist() {
   static obs::Histogram& h =
-      obs::metrics().histogram("gpu.kernel_seconds", obs::default_seconds_edges());
+      obs::metrics().histogram(obs::names::kGpuKernelSeconds, obs::default_seconds_edges());
   return h;
 }
 
 obs::Histogram& transfer_bytes_hist() {
   static obs::Histogram& h =
-      obs::metrics().histogram("gpu.transfer_bytes", obs::default_bytes_edges());
+      obs::metrics().histogram(obs::names::kGpuTransferBytes, obs::default_bytes_edges());
   return h;
 }
 
@@ -131,9 +132,8 @@ Status SimGpu::copy_to_device(DevicePtr dst, std::span<const std::byte> src) {
   vt::TimePoint start{};
   const vt::TimePoint done =
       copy_.occupy(transfer_time(spec_, params_, src.size()), 1, 0.0, nullptr, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span("h2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, src.size());
-  }
+  obs::emit_span("h2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0,
+                 src.size());
   transfer_bytes_hist().observe(static_cast<double>(src.size()));
   dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;  // failed mid-transfer
@@ -155,9 +155,7 @@ Status SimGpu::copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 siz
   vt::TimePoint start{};
   const vt::TimePoint done =
       copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span("d2h", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
-  }
+  obs::emit_span("d2h", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
   transfer_bytes_hist().observe(static_cast<double>(size));
   dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
@@ -180,9 +178,8 @@ Result<vt::TimePoint> SimGpu::copy_from_device_async(std::span<std::byte> dst, D
   vt::TimePoint start{};
   const vt::TimePoint done =
       copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span("d2h-async", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
-  }
+  obs::emit_span("d2h-async", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0,
+                 size);
   transfer_bytes_hist().observe(static_cast<double>(size));
   return done;  // no sleep: the caller overlaps the drain
 }
@@ -208,9 +205,7 @@ Status SimGpu::copy_device_to_device(DevicePtr dst, DevicePtr src, u64 size) {
   vt::TimePoint start{};
   const vt::TimePoint done =
       copy_.occupy(vt::from_seconds(seconds), 1, 0.0, nullptr, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span("d2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
-  }
+  obs::emit_span("d2d", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
   transfer_bytes_hist().observe(static_cast<double>(size));
   dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
@@ -236,9 +231,7 @@ Status SimGpu::copy_from_peer(DevicePtr dst, SimGpu& peer, DevicePtr src, u64 si
   vt::TimePoint start{};
   const vt::TimePoint done =
       copy_.occupy(transfer_time(spec_, params_, size), 1, 0.0, nullptr, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span("peer", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
-  }
+  obs::emit_span("peer", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0, size);
   transfer_bytes_hist().observe(static_cast<double>(size));
   dom_->sleep_until(done);
   if (!healthy()) return Status::ErrorDeviceUnavailable;
@@ -312,10 +305,7 @@ Status SimGpu::launch(const KernelDef& def, const LaunchConfig& config,
   const vt::TimePoint done =
       compute_.occupy(kernel_time(spec_, cost), spec_.max_concurrent_kernels,
                       spec_.consolidation_interference, &co_ran, &start);
-  if (obs::TraceRecorder* tr = obs::tracer()) {
-    tr->span(def.name.c_str(), "kernel", id_.value, obs::kComputeEngineTid, start,
-             done - start, 0, 0);
-  }
+  obs::emit_span(def.name, "kernel", id_.value, obs::kComputeEngineTid, start, done - start);
   kernel_seconds_hist().observe(vt::to_seconds(done - start));
   dom_->sleep_until(done);
   if (co_ran) {

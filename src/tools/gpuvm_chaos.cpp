@@ -3,6 +3,7 @@
 //   gpuvm_chaos --seed 7 [--nodes 2] [--gpus 2] [--vgpus 2] [--tenants 6]
 //               [--events 10] [--horizon-ms 30] [--plan FILE] [--print-plan]
 //               [--verify-determinism] [--trace-out FILE.json]
+//               [--offload] [--no-load-reports]
 //
 // Builds a multi-tenant cluster scenario, executes a FaultPlan against it
 // (seed-generated, or loaded from a plan file) and reports per-tenant
@@ -18,6 +19,8 @@
 #include <string>
 
 #include "chaos/harness.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -27,7 +30,8 @@ void usage() {
                "usage: gpuvm_chaos [--seed N] [--plan FILE] [--print-plan]\n"
                "                   [--nodes N] [--gpus N] [--vgpus N] [--tenants N]\n"
                "                   [--events N] [--horizon-ms MS]\n"
-               "                   [--verify-determinism] [--trace-out FILE.json]\n");
+               "                   [--verify-determinism] [--trace-out FILE.json]\n"
+               "                   [--offload] [--no-load-reports]\n");
 }
 
 }  // namespace
@@ -39,6 +43,8 @@ int main(int argc, char** argv) {
   std::string plan_file;
   bool print_plan = false;
   bool verify_determinism = false;
+  bool offload = false;
+  bool load_reports = true;
   std::string trace_out;
   int nodes = 2;
   int gpus = 2;
@@ -61,6 +67,8 @@ int main(int argc, char** argv) {
     else if (arg == "--print-plan") print_plan = true;
     else if (arg == "--verify-determinism") verify_determinism = true;
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--offload") offload = true;
+    else if (arg == "--no-load-reports") load_reports = false;
     else if (arg == "--nodes") nodes = std::atoi(next());
     else if (arg == "--gpus") gpus = std::atoi(next());
     else if (arg == "--vgpus") vgpus = std::atoi(next());
@@ -78,6 +86,13 @@ int main(int argc, char** argv) {
   config.gpus_per_node = gpus;
   config.vgpus_per_device = vgpus;
   config.tenants = tenants;
+  config.enable_offloading = offload;
+  // With load reports on, offload runs in mesh mode: the directory's
+  // hysteresis only sheds to a *less* loaded peer, so evenly loaded nodes
+  // serve locally. --no-load-reports forces the legacy fixed-peer shed
+  // (any admit at load >= threshold is proxied) -- the shape the cross-node
+  // trace walkthrough uses.
+  config.enable_load_reports = load_reports;
 
   if (!plan_file.empty()) {
     std::ifstream in(plan_file);
@@ -125,9 +140,32 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.transport_retries),
               static_cast<unsigned long long>(result.transport_dropped));
 
+  // Latency distributions from the run's registry (run_scenario resets it
+  // at entry, so these cover exactly this scenario).
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  bool hist_header = false;
+  for (const auto& v : snap.values) {
+    if (v.kind != obs::MetricKind::Histogram || v.count == 0) continue;
+    if (!hist_header) {
+      std::printf("latency percentiles:\n");
+      hist_header = true;
+    }
+    std::printf("  %-40s count %llu p50 %.6f p95 %.6f p99 %.6f\n", v.name.c_str(),
+                static_cast<unsigned long long>(v.count),
+                obs::histogram_quantile(v.edges, v.buckets, 0.50),
+                obs::histogram_quantile(v.edges, v.buckets, 0.95),
+                obs::histogram_quantile(v.edges, v.buckets, 0.99));
+  }
+
   bool ok = result.violations.empty();
   for (const std::string& v : result.violations) {
     std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+  }
+  // Postmortems captured by the chaos engine at each violating event: the
+  // flight recorder's recent-span ring for every involved process.
+  for (const std::string& dump : result.flight_dumps) {
+    std::fprintf(stderr, "---- flight recorder ----\n%s", dump.c_str());
+    if (!dump.empty() && dump.back() != '\n') std::fputc('\n', stderr);
   }
   for (const auto& t : result.outcomes) {
     if (t.final_status == Status::Ok && !t.data_ok) {

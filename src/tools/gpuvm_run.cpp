@@ -6,13 +6,18 @@
 // Each job is one application thread with its own connection (the paper's
 // thread/connection/context correspondence). Exit code 0 iff every job
 // completed with verified results. --stats polls the daemon's metrics
-// registry (QueryStats) after the jobs finish and prints it.
+// registry (QueryStats) after the jobs finish and prints it. With
+// --cluster, the query fans out to the primary socket plus every
+// --peer NAME=PATH daemon and prints the merged node.<name>.* /
+// cluster.total.* view (obs/aggregate.hpp) instead of one registry.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/frontend.hpp"
+#include "obs/aggregate.hpp"
 #include "transport/unix_socket.hpp"
 #include "workloads/workload.hpp"
 
@@ -22,6 +27,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpuvm_run --socket PATH --workload NAME [--cpu-fraction F]\n"
                "                 [--seed N] [--jobs N] [--no-verify] [--mem-scale N] [--stats]\n"
+               "                 [--cluster] [--peer NAME=PATH]...\n"
                "workloads: ");
   for (const auto& name : gpuvm::workloads::all_workload_names()) {
     std::fprintf(stderr, "%s ", name.c_str());
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool verify = true;
   bool stats = false;
+  bool cluster = false;
+  std::vector<std::pair<std::string, std::string>> peers;  // name, socket
   sim::SimParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +70,16 @@ int main(int argc, char** argv) {
     else if (arg == "--jobs") jobs = std::atoi(next());
     else if (arg == "--no-verify") verify = false;
     else if (arg == "--stats") stats = true;
+    else if (arg == "--cluster") { cluster = true; stats = true; }
+    else if (arg == "--peer") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "gpuvm_run: --peer wants NAME=PATH, got '%s'\n", spec.c_str());
+        return 2;
+      }
+      peers.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    }
     else if (arg == "--mem-scale") params.mem_scale = static_cast<u64>(std::atoll(next()));
     else {
       usage();
@@ -70,7 +88,9 @@ int main(int argc, char** argv) {
   }
   const workloads::Workload* app = workloads::find_workload(workload_name);
   if (app == nullptr) app = workloads::find_extended_workload(workload_name);
-  if (socket_path.empty() || app == nullptr) {
+  // A stats/cluster poll with no --workload is a pure metrics query; running
+  // jobs still requires a valid workload name.
+  if (socket_path.empty() || (app == nullptr && !(stats && workload_name.empty()))) {
     usage();
     return 2;
   }
@@ -79,7 +99,7 @@ int main(int argc, char** argv) {
   vt::Domain dom(vt::Mode::ScaledReal, /*real_scale=*/1e-3);
 
   std::atomic<int> failures{0};
-  {
+  if (app != nullptr) {
     std::vector<vt::Thread> threads;
     for (int j = 0; j < jobs; ++j) {
       threads.emplace_back(dom, [&, j] {
@@ -116,7 +136,36 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (stats) {
+  if (cluster) {
+    // Head-node view: poll every daemon's registry and merge. The primary
+    // socket is node "local" unless the caller named it via a --peer entry
+    // that points at the same path.
+    std::vector<obs::NodeStats> nodes;
+    const auto poll = [&](const std::string& name, const std::string& path) {
+      auto ch = transport::unix_connect(path);
+      if (!ch.has_value()) {
+        std::fprintf(stderr, "gpuvm_run: --cluster cannot connect to %s (%s)\n", name.c_str(),
+                     path.c_str());
+        return;
+      }
+      core::FrontendApi api(std::move(ch.value()));
+      if (auto snap = api.query_stats()) {
+        nodes.push_back(obs::NodeStats{name, std::move(snap.value())});
+      } else {
+        std::fprintf(stderr, "gpuvm_run: QueryStats to %s failed (%s)\n", name.c_str(),
+                     to_string(snap.status()));
+      }
+    };
+    bool primary_named = false;
+    for (const auto& [name, path] : peers) primary_named = primary_named || path == socket_path;
+    if (!primary_named) poll("local", socket_path);
+    for (const auto& [name, path] : peers) poll(name, path);
+    const obs::MetricsSnapshot merged = obs::aggregate_cluster(nodes);
+    std::printf("---- cluster metrics (%zu node%s) ----\n%s", nodes.size(),
+                nodes.size() == 1 ? "" : "s", merged.to_text().c_str());
+  }
+
+  if (stats && !cluster) {
     auto channel = transport::unix_connect(socket_path);
     if (channel.has_value()) {
       core::FrontendApi api(std::move(channel.value()));

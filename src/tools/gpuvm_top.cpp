@@ -1,0 +1,200 @@
+// gpuvm_top: live cluster observability console.
+//
+//   gpuvm_top --peer NAME=PATH [--peer NAME=PATH]... [--interval S]
+//             [--iterations N] [--once]
+//
+// Each refresh polls every named daemon socket twice -- QueryStats for the
+// metrics registry, QueryLoad for the scheduler/tenant view -- and renders:
+//
+//   * a per-node table: pending/bound/active contexts, alive vGPUs,
+//     recent queue-wait p50, device free memory;
+//   * a per-tenant table: every live context across the cluster with its
+//     lifecycle state (the LoadSnapshot tenant rows);
+//   * the cluster.total.* rollups from obs::aggregate_cluster, with
+//     p50/p95/p99 for every merged histogram.
+//
+// Connections are re-established per poll, so daemons may restart between
+// refreshes; an unreachable node renders as "down" rather than aborting.
+// --once (or --iterations N) bounds the loop for scripts and CI smoke runs.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/frontend.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "transport/message.hpp"
+#include "transport/unix_socket.hpp"
+
+namespace {
+
+using namespace gpuvm;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: gpuvm_top --peer NAME=PATH [--peer NAME=PATH]...\n"
+               "                 [--interval SECONDS] [--iterations N] [--once]\n");
+}
+
+const char* tenant_state_name(i32 state) {
+  if (state < 0 || state > static_cast<i32>(core::ContextState::Done)) return "?";
+  return core::to_string(static_cast<core::ContextState>(state));
+}
+
+struct NodePoll {
+  std::string name;
+  bool up = false;
+  std::optional<transport::LoadSnapshot> load;
+  std::optional<obs::MetricsSnapshot> stats;
+};
+
+NodePoll poll_node(const std::string& name, const std::string& path) {
+  NodePoll out;
+  out.name = name;
+  auto ch = transport::unix_connect(path);
+  if (!ch.has_value()) return out;
+  core::FrontendApi api(std::move(ch.value()));
+  if (!api.connected()) return out;
+  out.up = true;
+  if (auto snap = api.query_stats()) out.stats = std::move(snap.value());
+  if (auto load = api.query_load()) out.load = std::move(load.value());
+  return out;
+}
+
+void render(const std::vector<NodePoll>& polls, int iteration) {
+  std::printf("==== gpuvm_top poll %d ====\n", iteration);
+
+  // Per-node scheduler view.
+  std::printf("%-12s %-6s %8s %8s %8s %8s %14s\n", "node", "state", "pending", "bound",
+              "active", "vgpus", "qwait-p50(s)");
+  for (const NodePoll& p : polls) {
+    if (!p.up || !p.load.has_value()) {
+      std::printf("%-12s %-6s\n", p.name.c_str(), "down");
+      continue;
+    }
+    const auto& l = *p.load;
+    std::printf("%-12s %-6s %8d %8d %8d %8d %14.6f\n", p.name.c_str(), "up", l.pending_contexts,
+                l.bound_contexts, l.active_contexts, l.vgpu_count, l.queue_wait_p50_seconds);
+    for (const auto& dev : l.devices) {
+      std::printf("  gpu %-4llu vgpus %-3d bound %-3d free %llu/%llu bytes\n",
+                  static_cast<unsigned long long>(dev.gpu), dev.vgpus, dev.bound,
+                  static_cast<unsigned long long>(dev.free_bytes),
+                  static_cast<unsigned long long>(dev.total_bytes));
+    }
+  }
+
+  // Per-tenant table across the cluster (LoadSnapshot tenant rows; empty
+  // from pre-v4 daemons that don't ship the trailing field).
+  bool tenant_header = false;
+  for (const NodePoll& p : polls) {
+    if (!p.load.has_value()) continue;
+    for (const auto& t : p.load->tenants) {
+      if (!tenant_header) {
+        std::printf("---- tenants ----\n%-12s %10s %-10s\n", "node", "ctx", "state");
+        tenant_header = true;
+      }
+      std::printf("%-12s %10llu %-10s\n", p.name.c_str(),
+                  static_cast<unsigned long long>(t.ctx), tenant_state_name(t.state));
+    }
+  }
+
+  // Cluster rollups: counters plus histogram percentiles.
+  std::vector<obs::NodeStats> nodes;
+  for (const NodePoll& p : polls) {
+    if (p.stats.has_value()) nodes.push_back(obs::NodeStats{p.name, *p.stats});
+  }
+  if (nodes.empty()) return;
+  const obs::MetricsSnapshot merged = obs::aggregate_cluster(nodes);
+  std::printf("---- cluster totals ----\n");
+  for (const auto& v : merged.values) {
+    if (v.name.rfind(obs::names::kAggregateClusterPrefix, 0) != 0) continue;
+    switch (v.kind) {
+      case obs::MetricKind::Counter:
+        std::printf("%-56s %llu\n", v.name.c_str(), static_cast<unsigned long long>(v.counter));
+        break;
+      case obs::MetricKind::Gauge:
+        std::printf("%-56s %.3f\n", v.name.c_str(), v.gauge);
+        break;
+      case obs::MetricKind::Histogram: {
+        const double p50 = obs::histogram_quantile(v.edges, v.buckets, 0.50);
+        const double p95 = obs::histogram_quantile(v.edges, v.buckets, 0.95);
+        const double p99 = obs::histogram_quantile(v.edges, v.buckets, 0.99);
+        std::printf("%-56s count %llu p50 %.6f p95 %.6f p99 %.6f\n", v.name.c_str(),
+                    static_cast<unsigned long long>(v.count), p50, p95, p99);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> peers;  // name, socket
+  double interval_seconds = 1.0;
+  int iterations = 0;  // 0 = until interrupted
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--peer") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+        std::fprintf(stderr, "gpuvm_top: --peer wants NAME=PATH, got '%s'\n", spec.c_str());
+        return 2;
+      }
+      peers.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--interval") {
+      interval_seconds = std::atof(next());
+    } else if (arg == "--iterations") {
+      iterations = std::atoi(next());
+    } else if (arg == "--once") {
+      iterations = 1;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (peers.empty()) {
+    usage();
+    return 2;
+  }
+
+  // Same scaled-real mode as the daemons we poll, so the FrontendApi
+  // handshake timing machinery behaves as in gpuvm_run.
+  vt::Domain dom(vt::Mode::ScaledReal, /*real_scale=*/1e-3);
+
+  int iteration = 0;
+  while (true) {
+    ++iteration;
+    std::vector<NodePoll> polls;
+    polls.reserve(peers.size());
+    {
+      // One vt::Thread per poll so a slow/dead socket doesn't serialize
+      // the refresh; the block joins them all before rendering.
+      std::vector<vt::Thread> threads;
+      polls.resize(peers.size());
+      for (size_t p = 0; p < peers.size(); ++p) {
+        threads.emplace_back(dom, [&, p] { polls[p] = poll_node(peers[p].first, peers[p].second); });
+      }
+    }
+    render(polls, iteration);
+    std::fflush(stdout);
+    if (iterations > 0 && iteration >= iterations) break;
+    vt::Thread ticker(dom, [&] { dom.sleep_for(vt::from_seconds(interval_seconds)); });
+    ticker.join();
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/rng.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -13,32 +14,32 @@ namespace gpuvm::transport {
 namespace {
 
 obs::Counter& messages_sent_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.messages_sent");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportMessagesSent);
   return c;
 }
 
 obs::Counter& bytes_sent_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.bytes_sent");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportBytesSent);
   return c;
 }
 
 obs::Counter& retries_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.retries");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportRetries);
   return c;
 }
 
 obs::Counter& dropped_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.dropped_messages");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportDroppedMessages);
   return c;
 }
 
 obs::Counter& broken_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.broken_channels");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportBrokenChannels);
   return c;
 }
 
 obs::Counter& reconnects_counter() {
-  static obs::Counter& c = obs::metrics().counter("transport.reconnects");
+  static obs::Counter& c = obs::metrics().counter(obs::names::kTransportReconnects);
   return c;
 }
 
@@ -111,10 +112,10 @@ class Pipe {
     lk.unlock();
     // Model transit: the message is visible only once its latency elapsed.
     dom_->sleep_until(entry.deliver_at);
-    if (obs::TraceRecorder* tr = obs::tracer()) {
-      tr->span("msg-transit", "transport", obs::kRuntimePid, trace_tid_, entry.sent_at,
-               entry.deliver_at - entry.sent_at, 0, entry.msg.payload.size());
-    }
+    // Stamped with the *receiving* thread's trace context: transit time is
+    // part of whichever causal chain consumes the message.
+    obs::emit_span("msg-transit", "transport", obs::kRuntimePid, trace_tid_, entry.sent_at,
+                   entry.deliver_at - entry.sent_at, 0, entry.msg.payload.size());
     return std::move(entry.msg);
   }
 

@@ -83,6 +83,10 @@ std::vector<u8> encode_hello(const HelloPayload& hello) {
   w.put<u8>(hello.forwarded ? 1 : 0);
   w.put<u64>(hello.app_id);
   w.put<double>(hello.deadline_seconds);
+  // Trailing trace context (caps::kTraceContext). Decoders that predate it
+  // stop reading before these words; everyone else reads them iff present.
+  w.put<u64>(hello.trace_id);
+  w.put<u64>(hello.parent_span);
   return w.take();
 }
 
@@ -105,6 +109,14 @@ StatusOr<HelloPayload> decode_hello(std::span<const u8> payload) {
   hello.app_id = r.get<u64>();
   hello.deadline_seconds = r.get<double>();
   if (!r.ok()) return Status::ErrorProtocol;
+  // Optional trailing trace context: absent from peers that predate
+  // caps::kTraceContext (their payload ends here), zero when the client
+  // has no trace installed.
+  if (r.remaining() >= 2 * sizeof(u64)) {
+    hello.trace_id = r.get<u64>();
+    hello.parent_span = r.get<u64>();
+    if (!r.ok()) return Status::ErrorProtocol;
+  }
   return hello;
 }
 
@@ -156,6 +168,12 @@ std::vector<u8> encode_load(const LoadSnapshot& load) {
     w.put<i32>(dev.vgpus);
     w.put<i32>(dev.bound);
   }
+  // Trailing tenant table: older decoders stop at the device list.
+  w.put<u64>(load.tenants.size());
+  for (const TenantLoad& tenant : load.tenants) {
+    w.put<u64>(tenant.ctx);
+    w.put<i32>(tenant.state);
+  }
   return w.take();
 }
 
@@ -183,6 +201,19 @@ StatusOr<LoadSnapshot> decode_load(std::span<const u8> payload) {
     load.devices.push_back(dev);
   }
   if (!r.ok()) return Status::ErrorProtocol;
+  // Optional trailing tenant table (absent from pre-trace daemons).
+  if (r.remaining() > 0) {
+    const u64 tenants = r.get<u64>();
+    if (!r.ok() || tenants > (1u << 20)) return Status::ErrorProtocol;
+    load.tenants.reserve(tenants);
+    for (u64 i = 0; i < tenants; ++i) {
+      TenantLoad tenant;
+      tenant.ctx = r.get<u64>();
+      tenant.state = r.get<i32>();
+      load.tenants.push_back(tenant);
+    }
+    if (!r.ok()) return Status::ErrorProtocol;
+  }
   return load;
 }
 

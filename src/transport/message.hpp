@@ -103,6 +103,12 @@ struct HelloPayload {
   bool forwarded = false;  ///< set by a proxying daemon (offload)
   u64 app_id = 0;
   double deadline_seconds = 0.0;
+  /// Causal trace identity (caps::kTraceContext), trailing so pre-span
+  /// decoders skip it: the daemon stamps the connection's obs events with
+  /// this trace, parenting them under the client-side span that opened the
+  /// connection. 0 = no trace.
+  u64 trace_id = 0;
+  u64 parent_span = 0;
 };
 
 std::vector<u8> encode_hello(const HelloPayload& hello);
@@ -138,6 +144,14 @@ struct DeviceLoad {
   i32 bound = 0;        ///< of which currently bound to a context
 };
 
+/// Per-context (tenant) slice of a LoadSnapshot: which applications a node
+/// is carrying and where each sits in its lifecycle. Built from atomics
+/// only, so snapshots race nothing.
+struct TenantLoad {
+  u64 ctx = 0;    ///< ContextId.value
+  i32 state = 0;  ///< core::ContextState numeric value
+};
+
 struct LoadSnapshot {
   u64 node = 0;    ///< NodeId::value of the reporting daemon (0 = unset)
   u64 seq = 0;     ///< heartbeat sequence number (0 for one-shot polls)
@@ -151,6 +165,10 @@ struct LoadSnapshot {
   /// it is the daemon's lifetime.
   double queue_wait_p50_seconds = 0.0;
   std::vector<DeviceLoad> devices;
+  /// Live contexts by id and lifecycle state (gpuvm_top's tenant table).
+  /// Trailing on the wire: snapshots from older daemons decode with an
+  /// empty list.
+  std::vector<TenantLoad> tenants;
 
   /// Dispatch pressure per vGPU: queued + live contexts over capacity.
   /// Dark nodes (no alive vGPU) rank worse than any loaded node.

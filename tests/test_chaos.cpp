@@ -3,7 +3,9 @@
 // determinism regression, and the chaos metric surfacing.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "chaos/chaos_engine.hpp"
 #include "chaos/fault_plan.hpp"
@@ -215,6 +217,86 @@ TEST(ChaosDeterminism, EightTenantBatchReplaysIdentically) {
   }
   EXPECT_EQ(first.recoveries, second.recoveries);
   EXPECT_EQ(first.requeues, second.requeues);
+}
+
+// ---------------------------------------------------------------------------
+// Causal tracing under chaos: an offloading scenario exports one merged
+// Perfetto trace, and two same-seed runs export bit-identical bytes (span
+// ids are pure hashes of seed/job/ordinal -- no clocks, no addresses).
+
+TEST(ChaosTrace, OffloadedRunExportsBitIdenticalMergedTrace) {
+  ScenarioConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 1;
+  config.vgpus_per_device = 1;  // offload_threshold = 1: second tenant per node sheds
+  config.tenants = 6;
+  config.kernels_per_tenant = 4;
+  config.enable_offloading = true;
+  // Legacy fixed-peer offload (no directory hysteresis): with one vGPU per
+  // node and three tenants landing on each, the third Hello a node admits
+  // arrives at load >= threshold and is always shed to the peer, so the
+  // trace reliably contains a proxied session.
+  config.enable_load_reports = false;
+  config.plan = FaultPlan::random(20260808, 2, 1, 6, vt::from_millis(5));
+
+  const auto read_file = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+
+  config.trace_out = ::testing::TempDir() + "/chaos_trace_a.json";
+  const ScenarioResult first = run_scenario(config);
+  const std::string trace_a = read_file(config.trace_out);
+
+  config.trace_out = ::testing::TempDir() + "/chaos_trace_b.json";
+  const ScenarioResult second = run_scenario(config);
+  const std::string trace_b = read_file(config.trace_out);
+
+  EXPECT_TRUE(first.violations.empty()) << first.violations.front();
+  EXPECT_TRUE(first.deterministic_equal(second)) << first.diff(second);
+
+  ASSERT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b) << "same seed must export bit-identical trace JSON";
+  // The merged timeline really is causal and cross-process: tenant roots,
+  // daemon-side queueing, and the offload hop all carry trace ids.
+  EXPECT_NE(trace_a.find("\"tenant\""), std::string::npos);
+  EXPECT_NE(trace_a.find("queue-wait"), std::string::npos);
+  EXPECT_NE(trace_a.find("offload-session"), std::string::npos)
+      << "the overloaded node must have proxied at least one tenant";
+  EXPECT_NE(trace_a.find("\"trace\":\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: violations produce postmortem dumps; clean runs don't.
+
+TEST(FlightRecorder, ViolationDumpsPostmortemCleanRunDoesNot) {
+  ScenarioConfig config;
+  config.nodes = 2;
+  config.gpus_per_node = 2;
+  config.vgpus_per_device = 2;
+  config.tenants = 4;
+  config.plan = FaultPlan::random(42, 2, 2, 8, vt::from_millis(5));
+  const ScenarioResult clean = run_scenario(config);
+  ASSERT_TRUE(clean.violations.empty());
+  EXPECT_TRUE(clean.flight_dumps.empty()) << "no violation, no postmortem";
+
+  // Force a violation: crash a node with a grace window too short for the
+  // plan's rejoin, so tenants on it fail and the steady check fires... a
+  // surgical plan is simpler: fail every GPU and never heal.
+  ScenarioConfig broken = config;
+  broken.grace_seconds = 0.0005;
+  broken.plan = FaultPlan{};
+  broken.plan.seed = 43;
+  broken.plan.add({vt::from_millis(1), FaultKind::NodeCrash, 0});
+  broken.plan.add({vt::from_millis(1.2), FaultKind::NodeCrash, 1});
+  const ScenarioResult bad = run_scenario(broken);
+  if (!bad.violations.empty()) {
+    ASSERT_FALSE(bad.flight_dumps.empty())
+        << "a violating run must capture a flight-recorder postmortem";
+    EXPECT_NE(bad.flight_dumps.front().find("flight"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

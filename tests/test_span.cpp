@@ -1,0 +1,350 @@
+// Tests for causal trace propagation (obs/span.hpp), the emit helpers'
+// context stamping, the SIGUSR1-style dump-vs-append race, cluster metrics
+// aggregation (obs/aggregate.hpp), and the caps-mask degradation path: a
+// span-capable client against a daemon that doesn't speak kTraceContext
+// still completes its job and annotates the causal gap.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/vt.hpp"
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "cudart/cudart.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+
+namespace gpuvm {
+namespace {
+
+// ---- id minting ------------------------------------------------------------
+
+TEST(Span, MintingIsDeterministicSeedSensitiveAndNeverZero) {
+  EXPECT_EQ(obs::mint_trace_id(7, 3), obs::mint_trace_id(7, 3));
+  EXPECT_NE(obs::mint_trace_id(7, 3), obs::mint_trace_id(7, 4));
+  EXPECT_NE(obs::mint_trace_id(7, 3), obs::mint_trace_id(8, 3));
+  EXPECT_NE(obs::mint_trace_id(0, 0), 0u) << "0 is the no-trace sentinel";
+
+  std::set<u64> ids;
+  for (u64 seed = 0; seed < 16; ++seed) {
+    for (u64 job = 0; job < 16; ++job) ids.insert(obs::mint_trace_id(seed, job));
+  }
+  EXPECT_EQ(ids.size(), 256u) << "small (seed, job) grids must not collide";
+
+  EXPECT_EQ(obs::mint_span_id(1, 2, 3), obs::mint_span_id(1, 2, 3));
+  EXPECT_NE(obs::mint_span_id(1, 2, 3), obs::mint_span_id(1, 2, 4));
+  EXPECT_NE(obs::mint_span_id(1, 2, 3), 0u);
+}
+
+TEST(Span, ScopedContextInstallsNestsAndRestoresOrdinal) {
+  EXPECT_FALSE(obs::current_trace().valid());
+
+  const obs::TraceContext ctx{obs::mint_trace_id(1, 1), 0};
+  std::vector<u64> first_run;
+  {
+    obs::ScopedTraceContext scoped(ctx);
+    EXPECT_EQ(obs::current_trace(), ctx);
+
+    const obs::SpanIds outer = obs::begin_span();
+    EXPECT_EQ(outer.trace_id, ctx.trace_id);
+    EXPECT_EQ(outer.parent, 0u);
+    EXPECT_EQ(obs::current_trace().parent_span, outer.span) << "open span becomes the parent";
+
+    const obs::SpanIds inner = obs::begin_span();
+    EXPECT_EQ(inner.parent, outer.span) << "nested spans chain";
+    obs::end_span(inner.parent);
+    EXPECT_EQ(obs::current_trace().parent_span, outer.span);
+    obs::end_span(outer.parent);
+
+    first_run = {outer.span, inner.span};
+  }
+  EXPECT_FALSE(obs::current_trace().valid()) << "scope exit restores the previous context";
+
+  // Installing the same context again restarts the child ordinal: the same
+  // program replays to bit-identical span ids (the determinism contract).
+  {
+    obs::ScopedTraceContext scoped(ctx);
+    const obs::SpanIds outer = obs::begin_span();
+    const obs::SpanIds inner = obs::begin_span();
+    obs::end_span(inner.parent);
+    obs::end_span(outer.parent);
+    EXPECT_EQ(first_run, (std::vector<u64>{outer.span, inner.span}));
+  }
+
+  // Without a context, begin_span claims nothing.
+  const obs::SpanIds none = obs::begin_span();
+  EXPECT_EQ(none.trace_id, 0u);
+  EXPECT_EQ(none.span, 0u);
+  obs::end_span(none.parent);
+}
+
+// ---- emit helpers stamp the ambient context --------------------------------
+
+TEST(Span, EmitHelpersAndSpanScopeStampTheInstalledContext) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  obs::TraceRecorder rec(dom);
+  obs::ScopedTracer tracing(rec);
+
+  const obs::TraceContext ctx{obs::mint_trace_id(9, 2), 0};
+  {
+    obs::ScopedTraceContext scoped(ctx);
+    obs::SpanScope outer("outer", "test", obs::kRuntimePid, 1);
+    ASSERT_NE(outer.span_id(), 0u);
+    obs::emit_instant("inside", "test", obs::kRuntimePid, 1);
+    {
+      obs::SpanScope inner("inner", "test", obs::kRuntimePid, 1);
+      EXPECT_NE(inner.span_id(), outer.span_id());
+    }
+  }
+  obs::emit_instant("outside", "test", obs::kRuntimePid, 1);  // no context: unstamped
+
+  u64 outer_span = 0;
+  for (const obs::TraceEvent& ev : rec.events()) {
+    if (std::string_view(ev.name) == "outer") outer_span = ev.span;
+  }
+  ASSERT_NE(outer_span, 0u);
+  bool saw_inside = false, saw_inner = false, saw_outside = false;
+  for (const obs::TraceEvent& ev : rec.events()) {
+    const std::string_view name(ev.name);
+    if (name == "outer") {
+      EXPECT_EQ(ev.trace, ctx.trace_id);
+      EXPECT_EQ(ev.parent, 0u);
+    } else if (name == "inside") {
+      saw_inside = true;
+      EXPECT_EQ(ev.trace, ctx.trace_id);
+      EXPECT_EQ(ev.parent, outer_span) << "instants nest under the open span";
+    } else if (name == "inner") {
+      saw_inner = true;
+      EXPECT_EQ(ev.trace, ctx.trace_id);
+      EXPECT_EQ(ev.parent, outer_span);
+    } else if (name == "outside") {
+      saw_outside = true;
+      EXPECT_EQ(ev.trace, 0u);
+      EXPECT_EQ(ev.span, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_inside && saw_inner && saw_outside);
+}
+
+// ---- dump-vs-append race (the SIGUSR1 path) --------------------------------
+
+TEST(Span, SnapshotWhileThreadsAppendSeesConsistentState) {
+  // Regression for the live-dump race: gpuvmd's SIGUSR1 handler exports the
+  // trace while connection threads keep appending. events() must hold every
+  // shard lock for the copy; under TSan this test is the proof.
+  vt::Domain dom;
+  obs::TraceRecorder rec(dom);
+  obs::ScopedTracer tracing(rec);
+  constexpr int kWriters = 4;
+  constexpr int kEach = 500;
+  std::atomic<bool> done{false};
+  std::atomic<int> snapshots{0};
+  {
+    std::vector<vt::Thread> threads;
+    vt::HoldGuard hold(dom);
+    for (int t = 0; t < kWriters; ++t) {
+      threads.emplace_back(dom, [&, t] {
+        const obs::TraceContext ctx{obs::mint_trace_id(3, static_cast<u64>(t) + 1), 0};
+        obs::ScopedTraceContext scoped(ctx);
+        for (int i = 0; i < kEach; ++i) {
+          const vt::TimePoint start = dom.now();
+          dom.sleep_for(vt::from_micros(2));
+          obs::emit_span("work", "test", obs::kRuntimePid, static_cast<u64>(t), start,
+                         dom.now() - start);
+        }
+        done.store(true, std::memory_order_release);
+      });
+    }
+    threads.emplace_back(dom, [&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const auto events = rec.events();  // the dump: must not tear or race
+        for (size_t i = 1; i < events.size(); ++i) {
+          ASSERT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+        }
+        (void)rec.export_chrome_json();
+        snapshots.fetch_add(1);
+        dom.sleep_for(vt::from_micros(20));
+      }
+    });
+  }  // joins
+  EXPECT_GT(snapshots.load(), 0);
+  EXPECT_EQ(rec.size(), static_cast<size_t>(kWriters * kEach));
+}
+
+// ---- cluster aggregation ---------------------------------------------------
+
+obs::MetricsSnapshot make_node_snapshot(u64 count, double wait) {
+  obs::MetricsRegistry reg;
+  reg.counter("transport.retries").add(count);
+  reg.gauge("stats.runtime.launches").set(static_cast<double>(count));
+  obs::Histogram& h = reg.histogram("sched.queue_wait_seconds", obs::default_seconds_edges());
+  h.observe(wait);
+  h.observe(wait * 10);
+  return reg.snapshot();
+}
+
+TEST(Aggregate, NamespacesPerNodeAndRollsUpTotals) {
+  std::vector<obs::NodeStats> nodes;
+  nodes.push_back({"alpha", make_node_snapshot(3, 0.001)});
+  nodes.push_back({"beta", make_node_snapshot(5, 0.004)});
+  const obs::MetricsSnapshot merged = obs::aggregate_cluster(nodes);
+
+  EXPECT_EQ(merged.counter_value("node.alpha.transport.retries"), 3u);
+  EXPECT_EQ(merged.counter_value("node.beta.transport.retries"), 5u);
+  EXPECT_EQ(merged.counter_value("cluster.total.transport.retries"), 8u);
+  EXPECT_DOUBLE_EQ(merged.gauge_value("cluster.total.stats.runtime.launches"), 8.0);
+
+  const obs::MetricValue* hist = merged.find("cluster.total.sched.queue_wait_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, obs::MetricKind::Histogram);
+  EXPECT_EQ(hist->count, 4u) << "bucket-merged across nodes";
+  u64 bucket_total = 0;
+  for (u64 b : hist->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 4u);
+  // Quantiles over the merged buckets are well-defined cluster values.
+  EXPECT_GT(obs::histogram_quantile(hist->edges, hist->buckets, 0.99), 0.0);
+
+  // Output is sorted by name like any registry snapshot.
+  for (size_t i = 1; i < merged.values.size(); ++i) {
+    EXPECT_LT(merged.values[i - 1].name, merged.values[i].name);
+  }
+}
+
+TEST(Aggregate, MismatchedHistogramEdgesFoldIntoCountAndSum) {
+  obs::MetricsRegistry a;
+  a.histogram("h", obs::default_seconds_edges()).observe(0.001);
+  obs::MetricsRegistry b;
+  const std::vector<double> other_edges{1.0, 2.0};
+  obs::Histogram& hb = b.histogram("h", other_edges);
+  hb.observe(1.5);
+  hb.observe(1.5);
+
+  std::vector<obs::NodeStats> nodes;
+  nodes.push_back({"a", a.snapshot()});
+  nodes.push_back({"b", b.snapshot()});
+  const obs::MetricsSnapshot merged = obs::aggregate_cluster(nodes);
+  const obs::MetricValue* hist = merged.find("cluster.total.h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u) << "observations still counted";
+  EXPECT_EQ(hist->edges.size(), obs::default_seconds_edges().size())
+      << "rollup keeps the first node's bucket shape";
+  u64 bucket_total = 0;
+  for (u64 v : hist->buckets) bucket_total += v;
+  EXPECT_EQ(bucket_total, 1u) << "mismatched buckets are not invented";
+}
+
+// ---- caps negotiation: trace propagation and graceful degradation ----------
+
+struct DaemonEnv {
+  explicit DaemonEnv(u32 caps_mask) : guard(dom), machine(dom, sim::SimParams{1}) {
+    machine.add_gpu(sim::test_gpu(8 << 20));
+    sim::KernelDef addone;
+    addone.name = "t_addone";
+    addone.body = [](sim::KernelExecContext& kc) {
+      for (auto& v : kc.buffer<float>(0)) v += 1.0f;
+      return Status::Ok;
+    };
+    addone.cost = sim::per_thread_cost(1.0, 4.0);
+    machine.kernels().add(addone);
+    rt = std::make_unique<cudart::CudaRt>(machine, cudart::CudaRtConfig{4 * 1024, 8});
+    core::RuntimeConfig config;
+    config.caps_mask = caps_mask;
+    runtime = std::make_unique<core::Runtime>(*rt, config);
+  }
+
+  void run_job() {
+    core::FrontendApi api(runtime->connect());
+    ASSERT_TRUE(api.connected());
+    ASSERT_EQ(api.register_kernels({"t_addone"}), Status::Ok);
+    auto buf = api.malloc(32 * sizeof(float));
+    ASSERT_TRUE(buf);
+    std::vector<float> data(32, 1.0f);
+    ASSERT_EQ(api.copy_in(buf.value(), data), Status::Ok);
+    ASSERT_EQ(api.launch("t_addone", {{1, 1, 1}, {32, 1, 1}},
+                         {sim::KernelArg::dev(buf.value())}),
+              Status::Ok);
+    std::vector<float> out(32);
+    ASSERT_EQ(api.copy_out(out, buf.value()), Status::Ok);
+    EXPECT_EQ(out[0], 2.0f);
+    ASSERT_EQ(api.free(buf.value()), Status::Ok);
+  }
+
+  vt::Domain dom;
+  vt::AttachGuard guard;
+  sim::SimMachine machine;
+  std::unique_ptr<cudart::CudaRt> rt;
+  std::unique_ptr<core::Runtime> runtime;
+};
+
+TEST(SpanCaps, CapablePeerJoinsTheJobTrace) {
+  DaemonEnv env(protocol::caps::kAll);
+  obs::TraceRecorder rec(env.dom);
+  obs::ScopedTracer tracing(rec);
+
+  const obs::TraceContext ctx{obs::mint_trace_id(21, 1), 0};
+  {
+    obs::ScopedTraceContext scoped(ctx);
+    obs::SpanScope job("job", "cluster", obs::kRuntimePid, obs::kJobTidBase + 1);
+    env.run_job();
+  }
+  env.runtime->drain();
+
+  // The daemon's connection thread installed the propagated context, so its
+  // spans carry the job's trace id -- one merged causal timeline.
+  bool daemon_stamped = false;
+  for (const obs::TraceEvent& ev : rec.events()) {
+    const std::string_view name(ev.name);
+    if ((name == "queue-wait" || name == "bind" || name == "connect") && ev.trace == ctx.trace_id) {
+      daemon_stamped = true;
+    }
+    EXPECT_NE(std::string_view(ev.name), "trace-gap: peer lacks kTraceContext");
+  }
+  EXPECT_TRUE(daemon_stamped) << "daemon-side events must join the client's trace";
+}
+
+TEST(SpanCaps, MaskedPeerStillCompletesAndAnnotatesTheGap) {
+  // The daemon negotiates like an older build (caps_mask strips the bit):
+  // the client's Hello still carries the ids, the daemon ignores them, the
+  // job completes normally, and the client marks the causal gap.
+  DaemonEnv env(protocol::caps::kAll & ~protocol::caps::kTraceContext);
+  obs::TraceRecorder rec(env.dom);
+  obs::ScopedTracer tracing(rec);
+
+  const obs::TraceContext ctx{obs::mint_trace_id(21, 1), 0};
+  {
+    obs::ScopedTraceContext scoped(ctx);
+    obs::SpanScope job("job", "cluster", obs::kRuntimePid, obs::kJobTidBase + 1);
+    env.run_job();
+  }
+  env.runtime->drain();
+
+  bool saw_gap = false;
+  for (const obs::TraceEvent& ev : rec.events()) {
+    const std::string_view name(ev.name);
+    if (name == "trace-gap: peer lacks kTraceContext") {
+      saw_gap = true;
+      EXPECT_EQ(ev.trace, ctx.trace_id) << "the gap marker belongs to the job's trace";
+    }
+    if (name == "queue-wait" || name == "bind") {
+      EXPECT_EQ(ev.trace, 0u) << "a masked daemon must not stamp the client's ids";
+    }
+  }
+  EXPECT_TRUE(saw_gap);
+  // The local trace is still well-formed JSON for Perfetto.
+  const std::string json = rec.export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("trace-gap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpuvm
