@@ -1,0 +1,202 @@
+// Live-migration traffic benchmark: pre-copy + stop-and-copy vs naive.
+//
+// One tenant with a sparse working set (4 buffers, ~30% populated) keeps
+// launching kernels that dirty a small output buffer while the job is
+// live-migrated to a second daemon over a modeled cluster link. The
+// sparse checkpoint image ships only validated swap ranges, the pre-copy
+// rounds ship only dirty-interval deltas, and the stop-and-copy ships the
+// final delta plus the resume metadata -- so total shipped bytes must come
+// in well under the naive whole-footprint image a stop-the-world migration
+// would move, and the downtime (stop-and-copy window) must be a small
+// fraction of the end-to-end migration.
+//
+// Emits machine-readable JSON (default BENCH_migration.json) with the
+// per-phase byte counts plus the two CI-gated ratios:
+//
+//   stop_copy_over_image  -- stop-and-copy bytes / round-0 image bytes
+//                            (gate <= 0.5: downtime traffic is a fraction
+//                            of the image, the point of pre-copying)
+//   total_over_naive      -- (pre-copy + stop-and-copy) / naive image
+//                            bytes (gate <= 0.5: sparse + incremental
+//                            shipping beats the dense footprint)
+//
+// Flags: --out <path>  --iters <n>  --quick
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+#include "transport/channel.hpp"
+
+namespace {
+
+using namespace gpuvm;
+
+constexpr u64 kDevBytes = 64ull << 20;  // roomy GPUs: no swap churn noise
+constexpr u64 kBufBytes = 8ull << 20;   // working-set buffer footprint
+constexpr int kBuffers = 4;
+constexpr u64 kPopulated = (kBufBytes * 3) / 10;  // ~30% of each buffer is live
+constexpr u64 kOutBytes = 256 * 1024;   // kernel-dirtied output buffer
+constexpr u64 kPatchBytes = 64 * 1024;  // per-iteration host-side update
+
+sim::SimParams bench_params() {
+  sim::SimParams params;
+  params.execute_kernel_bodies = false;  // traffic + modeled time only
+  return params;
+}
+
+void register_kernel(sim::SimMachine& machine) {
+  sim::KernelDef touch;
+  touch.name = "touch";
+  touch.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  touch.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{1e7, 0.0};  // ~100us of modeled compute
+  };
+  machine.kernels().add(touch);
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "bench_migration: %s\n", what);
+  std::exit(1);
+}
+
+struct BenchResult {
+  core::MigrationReport report;
+  double migration_seconds = 0.0;  // modeled end-to-end migrate_context time
+  int iters_done = 0;
+};
+
+BenchResult run_migration(int iters) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  sim::SimMachine source_machine(dom, bench_params());
+  sim::SimMachine target_machine(dom, bench_params());
+  source_machine.add_gpu(sim::test_gpu(kDevBytes));
+  target_machine.add_gpu(sim::test_gpu(kDevBytes));
+  register_kernel(source_machine);
+  register_kernel(target_machine);
+  cudart::CudaRt source_rt(source_machine, cudart::CudaRtConfig{4 * 1024, 8});
+  cudart::CudaRt target_rt(target_machine, cudart::CudaRtConfig{4 * 1024, 8});
+  core::RuntimeConfig config;
+  core::Runtime source(source_rt, config);
+  core::Runtime target(target_rt, config);
+
+  std::atomic<bool> ready{false};
+  std::atomic<int> done{0};
+  BenchResult result;
+  {
+    vt::Thread app(dom, [&] {
+      core::FrontendApi api(source.connect());
+      if (!api.connected()) die("handshake failed");
+      if (!ok(api.register_kernels({"touch"}))) die("register failed");
+      std::vector<VirtualPtr> inputs;
+      std::vector<std::byte> live(kPopulated, std::byte{0x5a});
+      for (int b = 0; b < kBuffers; ++b) {
+        auto ptr = api.malloc(kBufBytes);
+        if (!ptr) die("malloc failed");
+        // Sparse population: the zero tail never validates, so neither the
+        // checkpoint image nor any delta ever ships it.
+        if (!ok(api.memcpy_h2d(ptr.value(), live))) die("init copy failed");
+        inputs.push_back(ptr.value());
+      }
+      auto out = api.malloc(kOutBytes);
+      if (!out) die("out malloc failed");
+      ready.store(true, std::memory_order_release);
+
+      std::vector<std::byte> patch(kPatchBytes, std::byte{0xc3});
+      for (int i = 0; i < iters; ++i) {
+        const VirtualPtr in = inputs[static_cast<size_t>(i) % inputs.size()];
+        const u64 off = (static_cast<u64>(i) * 8192) % (kPopulated - kPatchBytes);
+        if (!ok(api.memcpy_h2d(in + off, patch))) die("patch failed");
+        if (!ok(api.launch("touch", {{64, 1, 1}, {256, 1, 1}},
+                           {sim::KernelArg::dev(in), sim::KernelArg::dev_out(out.value())}))) {
+          die("launch failed");
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+        dom.sleep_for(vt::from_micros(37));
+      }
+    });
+
+    // Migrate once the working set exists and the job is mid-stream.
+    while (!ready.load(std::memory_order_acquire)) dom.sleep_for(vt::from_micros(11));
+    while (done.load(std::memory_order_relaxed) < iters / 3) {
+      dom.sleep_for(vt::from_micros(11));
+    }
+    vt::StopWatch watch(dom);
+    auto report = source.migrate_context(ContextId{1}, [&] {
+      return target.connect_with(transport::ChannelCosts::cluster_link());
+    });
+    if (!report) die("migration failed");
+    result.report = report.value();
+    result.migration_seconds = watch.elapsed_seconds();
+  }
+  source.drain();
+  target.drain();
+  result.iters_done = done.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_migration.json";
+  int iters = 90;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die("missing flag value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::atoi(next());
+      if (iters <= 0) die("bad --iters");
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      iters = 30;
+    } else {
+      die("unknown flag (expected --out/--iters/--quick)");
+    }
+  }
+
+  const BenchResult r = run_migration(iters);
+  const core::MigrationReport& rep = r.report;
+  const u64 total = rep.precopy_bytes + rep.stop_copy_bytes;
+  const double stop_copy_over_image =
+      static_cast<double>(rep.stop_copy_bytes) /
+      static_cast<double>(std::max<u64>(rep.image_bytes, 1));
+  const double total_over_naive =
+      static_cast<double>(total) / static_cast<double>(std::max<u64>(rep.naive_bytes, 1));
+
+  std::printf("image=%llu precopy=%llu (%d rounds) stop_copy=%llu naive=%llu\n",
+              static_cast<unsigned long long>(rep.image_bytes),
+              static_cast<unsigned long long>(rep.precopy_bytes), rep.precopy_rounds,
+              static_cast<unsigned long long>(rep.stop_copy_bytes),
+              static_cast<unsigned long long>(rep.naive_bytes));
+  std::printf("stop_copy %.6fs of %.6fs migration (%d kernels ran through it)\n",
+              rep.stop_copy_seconds, r.migration_seconds, r.iters_done);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) die("cannot open --out file");
+  std::fprintf(f, "{\n  \"bench\": \"migration\",\n  \"iters\": %d,\n", iters);
+  std::fprintf(f, "  \"image_bytes\": %llu,\n  \"precopy_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rep.image_bytes),
+               static_cast<unsigned long long>(rep.precopy_bytes));
+  std::fprintf(f, "  \"precopy_rounds\": %d,\n  \"stop_copy_bytes\": %llu,\n",
+               rep.precopy_rounds, static_cast<unsigned long long>(rep.stop_copy_bytes));
+  std::fprintf(f, "  \"naive_bytes\": %llu,\n  \"total_shipped_bytes\": %llu,\n",
+               static_cast<unsigned long long>(rep.naive_bytes),
+               static_cast<unsigned long long>(total));
+  std::fprintf(f, "  \"stop_copy_seconds\": %.6f,\n  \"migration_seconds\": %.6f,\n",
+               rep.stop_copy_seconds, r.migration_seconds);
+  std::fprintf(f, "  \"stop_copy_over_image\": %.4f,\n  \"total_over_naive\": %.4f\n}\n",
+               stop_copy_over_image, total_over_naive);
+  std::fclose(f);
+  std::printf("stop_copy_over_image=%.4f total_over_naive=%.4f -> %s\n", stop_copy_over_image,
+              total_over_naive, out_path.c_str());
+  return 0;
+}

@@ -28,6 +28,7 @@ ChaosEngine::ChaosEngine(vt::Domain& dom, FaultPlan plan, std::vector<NodeTarget
 
 void ChaosEngine::run() {
   const vt::TimePoint start = dom_->now();
+  migrations_.clear();
   for (const FaultEvent& ev : plan_.events) {
     dom_->sleep_until(start + ev.at);
     apply(ev);
@@ -52,6 +53,9 @@ void ChaosEngine::run() {
       }
     }
   }
+  // Let in-flight migrations finish before declaring the plan executed
+  // (vt::Thread joins on destruction).
+  migrations_.clear();
 }
 
 void ChaosEngine::apply(const FaultEvent& ev) {
@@ -63,6 +67,16 @@ void ChaosEngine::apply(const FaultEvent& ev) {
   }
   if (ev.kind == FaultKind::TransportHeal) {
     if (injector_ != nullptr) injector_->heal();
+    return;
+  }
+  if (ev.kind == FaultKind::Migrate) {
+    if (migrator_) {
+      const int source = ev.node;
+      const int target = ev.count == 0 ? -1 : static_cast<int>(ev.count - 1);
+      // Concurrent with the rest of the plan: a blackout landing mid-copy
+      // is exactly the interleaving the migration protocol must survive.
+      migrations_.emplace_back(*dom_, [this, source, target] { migrator_(source, target); });
+    }
     return;
   }
 
@@ -115,6 +129,7 @@ void ChaosEngine::apply(const FaultEvent& ev) {
     }
     case FaultKind::TransportDegrade:
     case FaultKind::TransportHeal:
+    case FaultKind::Migrate:
       break;  // handled above
   }
 }

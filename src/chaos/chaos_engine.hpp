@@ -39,10 +39,20 @@ class ChaosEngine {
   ChaosEngine(vt::Domain& dom, FaultPlan plan, std::vector<NodeTarget> targets,
               sim::GpuSpec replacement, transport::FaultInjector* injector = nullptr);
 
+  /// Handles FaultKind::Migrate events: `source` is the shedding node
+  /// index, `target` the destination index (-1 = pick the least-loaded
+  /// peer). Installed by the harness, which owns the cluster layer the
+  /// engine deliberately knows nothing about.
+  using Migrator = std::function<void(int source, int target)>;
+
   /// Checked after every executed event; violations accumulate in
   /// `violations()` instead of aborting the run, so a scenario reports all
   /// breakage at once.
   void set_invariant_checker(InvariantChecker checker) { checker_ = std::move(checker); }
+
+  /// Without one, Migrate events are no-ops (plans stay loadable against
+  /// deployments that lack a cluster layer).
+  void set_migrator(Migrator migrator) { migrator_ = std::move(migrator); }
 
   /// Executes the plan. Must run on a vt-attached thread; blocks (in
   /// virtual time) until the last event has been applied. Event times are
@@ -70,6 +80,10 @@ class ChaosEngine {
   sim::GpuSpec replacement_;
   transport::FaultInjector* injector_;
   InvariantChecker checker_;
+  Migrator migrator_;
+  /// Migrations in flight: spawned by apply() so they overlap later plan
+  /// events, joined at the end of run().
+  std::vector<vt::Thread> migrations_;
   std::vector<ExecutedEvent> log_;
   std::vector<std::string> violations_;
   std::vector<std::string> flight_dumps_;

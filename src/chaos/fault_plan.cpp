@@ -54,6 +54,7 @@ std::optional<FaultKind> kind_from_string(const std::string& s) {
   if (s == "transport-degrade") return FaultKind::TransportDegrade;
   if (s == "transport-heal") return FaultKind::TransportHeal;
   if (s == "alloc-pulse") return FaultKind::AllocPulse;
+  if (s == "migrate") return FaultKind::Migrate;
   return std::nullopt;
 }
 
@@ -70,6 +71,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::TransportDegrade: return "transport-degrade";
     case FaultKind::TransportHeal: return "transport-heal";
     case FaultKind::AllocPulse: return "alloc-pulse";
+    case FaultKind::Migrate: return "migrate";
   }
   return "?";
 }
@@ -93,6 +95,7 @@ std::string FaultEvent::describe() const {
       os << " node=" << node;
       break;
     case FaultKind::NodeRejoin:
+    case FaultKind::Migrate:
       os << " node=" << node << " count=" << count;
       break;
     case FaultKind::TransportDegrade: {

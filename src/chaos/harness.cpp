@@ -7,6 +7,7 @@
 #include "chaos/chaos_engine.hpp"
 #include "chaos/invariants.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/migration.hpp"
 #include "common/rng.hpp"
 #include "core/frontend.hpp"
 #include "obs/flight_recorder.hpp"
@@ -155,6 +156,7 @@ std::string ScenarioResult::diff(const ScenarioResult& other) const {
   cmp("transport.retries", transport_retries, other.transport_retries);
   cmp("transport.dropped", transport_dropped, other.transport_dropped);
   cmp("sched.requeues", requeues, other.requeues);
+  cmp("cluster.migrations", migrations, other.migrations);
   return os.str();
 }
 
@@ -227,6 +229,21 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   ChaosEngine engine(dom, config.plan, targets, sim::test_gpu(), &scoped.injector());
   engine.set_invariant_checker([&targets] { return check_steady(targets); });
 
+  // Live migration on demand: plans without Migrate events never touch the
+  // coordinator, so existing seeds replay bit-identically.
+  cluster::MigrationCoordinator migration(cluster);
+  if (cluster.size() >= 2) {
+    engine.set_migrator([&cluster, &migration](int source, int target) {
+      const NodeId from = cluster.node(static_cast<size_t>(source) % cluster.size()).id();
+      if (target < 0) {
+        (void)migration.migrate_from(from);
+        return;
+      }
+      const NodeId to = cluster.node(static_cast<size_t>(target) % cluster.size()).id();
+      (void)migration.migrate(from, to);
+    });
+  }
+
   std::vector<vt::TimePoint> done_at(static_cast<size_t>(config.tenants), vt::kTimeZero);
   const vt::TimePoint t0 = dom.now();
   std::vector<vt::Thread> threads;
@@ -278,6 +295,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.transport_retries = counter_value(obs::names::kTransportRetries);
   result.transport_dropped = counter_value(obs::names::kTransportDroppedMessages);
   result.requeues = counter_value(obs::names::kSchedRequeues);
+  result.migrations = counter_value(obs::names::kClusterMigrations);
 
   if (recorder != nullptr) {
     tracing.reset();  // stop recording before export

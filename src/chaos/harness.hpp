@@ -73,6 +73,7 @@ struct ScenarioResult {
   u64 transport_retries = 0;                 ///< counter transport.retries
   u64 transport_dropped = 0;                 ///< counter transport.dropped_messages
   u64 requeues = 0;                          ///< counter sched.requeues
+  u64 migrations = 0;                        ///< counter cluster.migrations
 
   /// Full replay equality: same outcomes, same makespan (bit-exact), same
   /// fault log, same counter values.

@@ -29,9 +29,11 @@ inline constexpr u32 kHandshakeMagic = 0x47564831;  // "1HVG" little-endian
 /// Current protocol version. Bump when the wire format of any op changes
 /// incompatibly; optional *additions* are negotiated via capability bits
 /// instead, without a version bump. v3 adds the QueryLoad/LoadReport load
-/// telemetry ops behind caps::kQueryLoad; the frames of every v2 op are
-/// unchanged, so v2 peers still interoperate (minus load telemetry).
-inline constexpr u16 kProtocolVersion = 3;
+/// telemetry ops behind caps::kQueryLoad; v4 adds the MigrateChunk/
+/// MigrateResume live-migration ops behind caps::kMigrate. The frames of
+/// every v2/v3 op are unchanged, so older peers still interoperate (minus
+/// the gated ops).
+inline constexpr u16 kProtocolVersion = 4;
 /// Oldest version this build still speaks.
 inline constexpr u16 kMinProtocolVersion = 2;
 
@@ -52,9 +54,14 @@ inline constexpr u32 kQueryLoad = 1u << 4;       ///< Opcode::QueryLoad + LoadRe
 /// fields are simply ignored -- so no version bump: spans degrade to a
 /// per-process trace with an annotated gap.
 inline constexpr u32 kTraceContext = 1u << 5;
+/// Opcode::MigrateChunk + Opcode::MigrateResume (protocol v4): the peer can
+/// receive a live-migrated context (pre-copy image chunks followed by a
+/// stop-and-copy resume). A source never ships state to a peer that did not
+/// negotiate the bit -- it aborts the migration and keeps the job local.
+inline constexpr u32 kMigrate = 1u << 6;
 
-inline constexpr u32 kAll =
-    kQueryStats | kRegisterNested | kCheckpoint | kOffload | kQueryLoad | kTraceContext;
+inline constexpr u32 kAll = kQueryStats | kRegisterNested | kCheckpoint | kOffload | kQueryLoad |
+                            kTraceContext | kMigrate;
 }  // namespace caps
 
 }  // namespace protocol

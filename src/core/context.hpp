@@ -71,7 +71,7 @@ class ContextLock {
 };
 
 struct Context {
-  Context(ContextId id_, vt::Domain& dom) : id(id_), lock(dom) {}
+  Context(ContextId id_, vt::Domain& dom) : id(id_), lock(dom), quiesce_cv(dom) {}
 
   const ContextId id;
   ContextLock lock;
@@ -121,6 +121,35 @@ struct Context {
   /// inter-application swap to ask "any pending requests?" -- an app in a
   /// CPU phase with no pending requests accepts a swap request.
   std::atomic<transport::MessageChannel*> channel{nullptr};
+
+  // ---- Live migration (see Runtime::migrate_context) -----------------------
+
+  /// Requests currently inside handle()/do_launch on the connection thread.
+  /// The migration committer flips `migrated` and then requires this to be
+  /// zero -- since the scheduler handshake runs inside do_launch, a nonzero
+  /// count proves a call could still touch local state, so the committer
+  /// rolls back and waits for the call to retire instead of racing it.
+  std::atomic<int> calls_in_flight{0};
+  /// Signaled (under quiesce_mu) whenever calls_in_flight retires to zero.
+  /// The committer's rollback path waits here rather than sleeping a fixed
+  /// interval: the retry then runs at the exact virtual instant the blocking
+  /// call completed, which keeps the quiesce outcome identical under replay
+  /// (a paced poll samples at instants that can tie with unrelated events).
+  std::mutex quiesce_mu;
+  vt::ConditionVariable quiesce_cv;
+  /// Once true (stop-and-copy committed), the connection thread forwards
+  /// every subsequent request to `fwd` instead of serving it locally.
+  /// Never reset after the resume frame is on the wire: the target owns the
+  /// job from that point, even if the final ack is lost.
+  std::atomic<bool> migrated{false};
+  /// Channel to the migration target, installed under `lock` by the
+  /// committer; the forwarding path sends/receives under `lock` too.
+  std::unique_ptr<transport::MessageChannel> fwd;
+
+  /// Causal trace identity of the connection (from the Hello handshake),
+  /// stored so a migration can re-propagate it to the target.
+  u64 trace_id = 0;
+  u64 parent_span = 0;
 };
 
 inline const char* to_string(ContextState s) {

@@ -149,6 +149,9 @@ StatusOr<VirtualPtr> MemoryManager::on_malloc(ContextId ctx, u64 size) {
   pte->virtual_ptr = vptr;
   mem->entries.emplace(vptr, std::move(pte));
   mem->total_bytes.fetch_add(size, std::memory_order_relaxed);
+  // A migration in flight must ship the new entry's metadata even if no
+  // byte is ever written (an empty recorded set still serializes it).
+  if (mem->epoch.active) mem->epoch.dirty[vptr];
   return vptr;
 }
 
@@ -175,6 +178,7 @@ Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const
     pte->swap_valid.add(offset, offset + src.size());
     pte->host_dirty.clear();  // device and swap are in sync again
     pte->dev_dirty.clear();
+    epoch_mark(*mem, *pte, offset, offset + src.size());
     return Status::Ok;
   }
 
@@ -194,6 +198,7 @@ Status MemoryManager::on_copy_h2d(ContextId ctx, VirtualPtr dst, std::span<const
   pte->dev_dirty.clear();  // partial: synced above; full: superseded by this write
   pte->swap_valid.add(offset, offset + src.size());
   if (pte->is_allocated) pte->host_dirty.add(offset, offset + src.size());
+  epoch_mark(*mem, *pte, offset, offset + src.size());
   return Status::Ok;
 }
 
@@ -290,6 +295,7 @@ Status MemoryManager::on_copy_d2d(ContextId ctx, VirtualPtr dst, VirtualPtr src,
   dpte->dev_dirty.clear();
   dpte->swap_valid.add(dst_off, dst_off + size);
   if (dpte->is_allocated) dpte->host_dirty.add(dst_off, dst_off + size);
+  epoch_mark(*mem, *dpte, dst_off, dst_off + size);
   return Status::Ok;
 }
 
@@ -311,6 +317,10 @@ Status MemoryManager::on_free(ContextId ctx, VirtualPtr ptr) {
     }
   }
   mem->total_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
+  if (mem->epoch.active) {
+    mem->epoch.dirty.erase(ptr);
+    mem->epoch.freed.push_back(ptr);  // tombstone: the target frees it too
+  }
   mem->entries.erase(it);
   return Status::Ok;
 }
@@ -333,6 +343,7 @@ Status MemoryManager::register_nested(ContextId ctx, VirtualPtr parent,
     std::memcpy(pte->swap.data() + ref.offset, &ref.target, sizeof(u64));
     pte->swap_valid.add(ref.offset, ref.offset + sizeof(u64));
     if (pte->is_allocated) pte->host_dirty.add(ref.offset, ref.offset + sizeof(u64));
+    epoch_mark(*mem, *pte, ref.offset, ref.offset + sizeof(u64));
   }
   pte->to_copy_2_dev = true;
   return Status::Ok;
@@ -626,11 +637,13 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
     for (PageTableEntry* pte : nested_closure(*mem, std::move(written_roots))) {
       pte->to_copy_2_swap = true;
       pte->dev_dirty.add(0, pte->size);
+      epoch_mark(*mem, *pte, 0, pte->size);
     }
   } else {
     for (PageTableEntry* pte : closure) {
       pte->to_copy_2_swap = true;
       pte->dev_dirty.add(0, pte->size);
+      epoch_mark(*mem, *pte, 0, pte->size);
     }
   }
 
@@ -764,9 +777,17 @@ std::vector<ContextId> MemoryManager::victim_candidates(GpuId gpu, u64 needed,
 
 namespace {
 constexpr u32 kImageMagic = 0x6d766367;  // "gcvm"
-// v2: carries each entry's swap-validity interval set, so a restored
-// context re-materializes with the same incremental upload ranges.
-constexpr u32 kImageVersion = 2;
+// v2 carried each entry's swap-validity interval set plus the *full* swap
+// buffer. v3 ships bytes only for the validated ranges -- everything
+// outside swap_valid is zero in swap and on any fresh device allocation,
+// so a sparsely populated context costs what it actually holds. This is
+// what makes a migration's round-0 image beat a naive freeze-ship-resume.
+constexpr u32 kImageVersion = 3;
+
+// Position-independent pre-copy delta (collect_migration_delta): entry
+// metadata + only the byte ranges mutated since the previous round.
+constexpr u32 kDeltaMagic = 0x6c646d67;  // "gmdl"
+constexpr u32 kDeltaVersion = 1;
 }  // namespace
 
 StatusOr<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
@@ -795,8 +816,8 @@ StatusOr<std::vector<u8>> MemoryManager::export_image(ContextId ctx) {
     for (const ByteRange& r : pte->swap_valid.ranges()) {
       w.put<u64>(r.begin);
       w.put<u64>(r.end);
+      w.put_bytes({reinterpret_cast<const u8*>(pte->swap.data()) + r.begin, r.size()});
     }
-    w.put_bytes({reinterpret_cast<const u8*>(pte->swap.data()), pte->swap.size()});
   }
   return w.take();
 }
@@ -825,17 +846,21 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
       ref.target = r.get<u64>();
       pte->nested.push_back(ref);
     }
+    try {
+      pte->swap.resize(pte->size);  // zero outside the validated ranges
+    } catch (const std::bad_alloc&) {
+      return Status::ErrorSwapAllocation;
+    }
     const u64 valid_ranges = r.get<u64>();
     for (u64 j = 0; j < valid_ranges && r.ok(); ++j) {
       const u64 begin = r.get<u64>();
       const u64 end = r.get<u64>();
       if (begin > end || end > pte->size) return Status::ErrorCheckpointNotFound;
       pte->swap_valid.add(begin, end);
+      const auto bytes = r.get_span();
+      if (!r.ok() || bytes.size() != end - begin) return Status::ErrorCheckpointNotFound;
+      std::memcpy(pte->swap.data() + begin, bytes.data(), bytes.size());
     }
-    const auto bytes = r.get_span();
-    if (!r.ok() || bytes.size() != pte->size) return Status::ErrorCheckpointNotFound;
-    pte->swap.assign(reinterpret_cast<const std::byte*>(bytes.data()),
-                     reinterpret_cast<const std::byte*>(bytes.data() + bytes.size()));
     pte->to_copy_2_dev = true;  // materialize from swap on next use
     total_bytes += pte->size;
     max_vptr_end = std::max(max_vptr_end, pte->virtual_ptr + pte->size);
@@ -863,6 +888,205 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
          !va_next_.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
   }
   return Status::Ok;
+}
+
+void MemoryManager::epoch_mark(CtxMem& mem, const PageTableEntry& pte, u64 begin, u64 end) {
+  if (!mem.epoch.active) return;
+  IntervalSet& set = mem.epoch.dirty[pte.virtual_ptr];
+  if (end > begin) set.add(begin, end);
+}
+
+Status MemoryManager::begin_migration(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  mem->epoch.active = true;
+  mem->epoch.dirty.clear();
+  mem->epoch.freed.clear();
+  return Status::Ok;
+}
+
+void MemoryManager::end_migration(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return;
+  mem->epoch.active = false;
+  mem->epoch.dirty.clear();
+  mem->epoch.freed.clear();
+}
+
+StatusOr<std::vector<u8>> MemoryManager::collect_migration_delta(ContextId ctx) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  if (!mem->epoch.active) return Status::ErrorInvalidValue;
+
+  WireWriter w;
+  w.put<u32>(kDeltaMagic);
+  w.put<u32>(kDeltaVersion);
+  w.put<u64>(mem->epoch.freed.size());
+  for (const VirtualPtr vptr : mem->epoch.freed) w.put<u64>(vptr);
+
+  // Entries recorded dirty that still exist (freed ones became tombstones).
+  std::vector<std::pair<PageTableEntry*, const IntervalSet*>> live;
+  for (const auto& [vptr, set] : mem->epoch.dirty) {
+    const auto it = mem->entries.find(vptr);
+    if (it != mem->entries.end()) live.emplace_back(it->second.get(), &set);
+  }
+  w.put<u64>(live.size());
+  for (auto& [pte, set] : live) {
+    // Make swap authoritative for the recorded ranges. A device lost mid-
+    // round is not fatal: sync_to_swap recovers the entry to its last swap-
+    // consistent state, which is exactly what the job itself replays from.
+    if (const Status s = sync_to_swap(*pte); !ok(s) && s != Status::ErrorDeviceUnavailable) {
+      return s;
+    }
+    fence_writeback(*pte);
+    if (!pte->nested.empty()) rewrite_nested_to_virtual(*mem, *pte);
+
+    w.put<u64>(pte->virtual_ptr);
+    w.put<u64>(pte->size);
+    w.put<u8>(static_cast<u8>(pte->type));
+    w.put<u8>(pte->is_nested_member ? 1 : 0);
+    w.put<u64>(pte->nested.size());
+    for (const NestedRef& ref : pte->nested) {
+      w.put<u64>(ref.offset);
+      w.put<u64>(ref.target);
+    }
+    w.put<u64>(pte->swap_valid.ranges().size());
+    for (const ByteRange& r : pte->swap_valid.ranges()) {
+      w.put<u64>(r.begin);
+      w.put<u64>(r.end);
+    }
+    // Ship only recorded-dirty ∩ swap-valid: bytes outside swap_valid are
+    // zero on both sides (the target unions the same validity map).
+    std::vector<ByteRange> ship;
+    for (const ByteRange& d : set->ranges()) {
+      for (const ByteRange& v : pte->swap_valid.ranges()) {
+        const u64 begin = std::max(d.begin, v.begin);
+        const u64 end = std::min(std::min(d.end, v.end), pte->size);
+        if (begin < end) ship.push_back(ByteRange{begin, end});
+      }
+    }
+    w.put<u64>(ship.size());
+    for (const ByteRange& r : ship) {
+      w.put<u64>(r.begin);
+      w.put<u64>(r.end);
+      w.put_bytes({reinterpret_cast<const u8*>(pte->swap.data()) + r.begin, r.size()});
+    }
+  }
+  mem->epoch.dirty.clear();
+  mem->epoch.freed.clear();
+  return w.take();
+}
+
+Status MemoryManager::apply_migration_delta(ContextId ctx, std::span<const u8> delta) {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return Status::ErrorNoValidPte;
+  WireReader r(delta);
+  if (r.get<u32>() != kDeltaMagic || r.get<u32>() != kDeltaVersion || !r.ok()) {
+    return Status::ErrorProtocol;
+  }
+  const u64 freed = r.get<u64>();
+  if (!r.ok() || freed > (1u << 24)) return Status::ErrorProtocol;
+  for (u64 i = 0; i < freed && r.ok(); ++i) {
+    const VirtualPtr vptr = r.get<u64>();
+    const auto it = mem->entries.find(vptr);
+    if (it == mem->entries.end()) continue;  // freed before it ever shipped
+    PageTableEntry* pte = it->second.get();
+    if (pte->is_allocated) {
+      (void)rt_->free(pte->owner_client, pte->device_ptr);
+      lru_remove(*mem, *pte);
+      if (mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed) == pte->size) {
+        mem->resident_gpu.store(0, std::memory_order_relaxed);
+        ctx_lru_remove(*mem);
+      }
+    }
+    mem->total_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
+    mem->entries.erase(it);
+  }
+  const u64 count = r.get<u64>();
+  if (!r.ok() || count > (1u << 24)) return Status::ErrorProtocol;
+  u64 max_vptr_end = 0;
+  for (u64 i = 0; i < count && r.ok(); ++i) {
+    const VirtualPtr vptr = r.get<u64>();
+    const u64 size = r.get<u64>();
+    const auto type = static_cast<EntryType>(r.get<u8>());
+    const bool is_nested_member = r.get<u8>() != 0;
+    if (!r.ok()) return Status::ErrorProtocol;
+
+    PageTableEntry* pte = nullptr;
+    if (const auto it = mem->entries.find(vptr); it != mem->entries.end()) {
+      pte = it->second.get();
+      if (pte->size != size) return Status::ErrorProtocol;  // vptrs never resize
+    } else {
+      auto fresh = std::make_unique<PageTableEntry>();
+      fresh->virtual_ptr = vptr;
+      fresh->size = size;
+      try {
+        fresh->swap.resize(size);
+      } catch (const std::bad_alloc&) {
+        return Status::ErrorSwapAllocation;
+      }
+      pte = fresh.get();
+      mem->entries.emplace(vptr, std::move(fresh));
+      mem->total_bytes.fetch_add(size, std::memory_order_relaxed);
+    }
+    pte->type = type;
+    pte->is_nested_member = is_nested_member;
+    const u64 refs = r.get<u64>();
+    if (!r.ok() || refs > (1u << 20)) return Status::ErrorProtocol;
+    pte->nested.clear();
+    for (u64 j = 0; j < refs && r.ok(); ++j) {
+      NestedRef ref;
+      ref.offset = r.get<u64>();
+      ref.target = r.get<u64>();
+      pte->nested.push_back(ref);
+    }
+    const u64 valid_ranges = r.get<u64>();
+    if (!r.ok() || valid_ranges > (1u << 24)) return Status::ErrorProtocol;
+    for (u64 j = 0; j < valid_ranges && r.ok(); ++j) {
+      const u64 begin = r.get<u64>();
+      const u64 end = r.get<u64>();
+      if (begin > end || end > pte->size) return Status::ErrorProtocol;
+      pte->swap_valid.add(begin, end);
+    }
+    const u64 dirty_ranges = r.get<u64>();
+    if (!r.ok() || dirty_ranges > (1u << 24)) return Status::ErrorProtocol;
+    for (u64 j = 0; j < dirty_ranges && r.ok(); ++j) {
+      const u64 begin = r.get<u64>();
+      const u64 end = r.get<u64>();
+      if (begin > end || end > pte->size) return Status::ErrorProtocol;
+      const auto bytes = r.get_span();
+      if (!r.ok() || bytes.size() != end - begin) return Status::ErrorProtocol;
+      std::memcpy(pte->swap.data() + begin, bytes.data(), bytes.size());
+      if (pte->is_allocated) pte->host_dirty.add(begin, end);
+    }
+    pte->to_copy_2_dev = true;  // swap is authoritative after a delta
+    max_vptr_end = std::max(max_vptr_end, vptr + size);
+  }
+  if (!r.ok()) return Status::ErrorProtocol;
+
+  if (max_vptr_end != 0) {
+    const u64 want = (max_vptr_end + 511) / 256 * 256;
+    u64 cur = va_next_.load(std::memory_order_relaxed);
+    while (cur < want &&
+           !va_next_.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+    }
+  }
+  return Status::Ok;
+}
+
+u64 MemoryManager::naive_image_bytes(ContextId ctx) const {
+  CtxMemPtr mem = find(ctx);
+  if (mem == nullptr) return 0;
+  // What the v2 (full-buffer) image serialized: fixed header, per-entry
+  // metadata, and every entry's complete footprint regardless of validity.
+  u64 total = sizeof(u32) * 2 + sizeof(u64);
+  for (const auto& [vptr, pte] : mem->entries) {
+    total += 2 * sizeof(u64) + 2 * sizeof(u8);              // vptr, size, type, member
+    total += sizeof(u64) + pte->nested.size() * 2 * sizeof(u64);
+    total += sizeof(u64) + pte->swap_valid.ranges().size() * 2 * sizeof(u64);
+    total += sizeof(u64) + pte->size;                       // full swap bytes
+  }
+  return total;
 }
 
 void MemoryManager::count_inter_app_swap() {

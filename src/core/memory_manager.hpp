@@ -219,6 +219,31 @@ class MemoryManager {
   /// holds the context's ContextLock.
   void on_device_lost(ContextId ctx, GpuId gpu);
 
+  // ---- Live migration (caller holds the ContextLock) ------------------------
+  //
+  // Pre-copy protocol: the source arms dirty tracking, exports the sparse
+  // image (round 0) and keeps serving the job; each collect call drains the
+  // byte ranges mutated since the previous one into a position-independent
+  // delta. The final collect happens with the connection quiesced (the
+  // stop-and-copy), after which the target holds an exact replica.
+
+  /// Arms pre-copy dirty tracking. Call under the same ContextLock hold as
+  /// the round-0 export_image so no mutation falls between them.
+  Status begin_migration(ContextId ctx);
+  /// Serializes every entry mutated since begin/last collect (syncing its
+  /// device-dirty ranges to swap first -- costed D2H) plus freed-entry
+  /// tombstones, then clears the recorded set. Tracking stays armed.
+  StatusOr<std::vector<u8>> collect_migration_delta(ContextId ctx);
+  /// Disarms pre-copy tracking (migration committed or aborted).
+  void end_migration(ContextId ctx);
+  /// Applies a collected delta on the migration target: creates or
+  /// refreshes entries, processes tombstones. Touched entries re-
+  /// materialize from swap on the next launch.
+  Status apply_migration_delta(ContextId ctx, std::span<const u8> delta);
+  /// Bytes a naive freeze-ship-resume would move: the full (non-sparse)
+  /// footprint of every entry plus headers -- the bench_migration baseline.
+  u64 naive_image_bytes(ContextId ctx) const;
+
   // ---- Queries (thread-safe, no context lock needed) ------------------------
   /// Bytes of `ctx` data currently resident on `gpu`.
   u64 resident_bytes(ContextId ctx, GpuId gpu) const;
@@ -243,6 +268,17 @@ class MemoryManager {
   void set_async_writeback(bool async) { config_.async_writeback = async; }
 
  private:
+  /// Pre-copy dirty tracking for one migration attempt. Guarded -- like
+  /// `entries` -- by the caller's ContextLock: every recording site already
+  /// holds it. Ranges are swap-level: a device write counts when its
+  /// write-set is declared (prepare_launch dirty marking), and the collect
+  /// pass syncs those ranges into swap before reading them.
+  struct MigrationEpoch {
+    bool active = false;
+    std::map<VirtualPtr, IntervalSet> dirty;  ///< keyed by entry base vptr
+    std::vector<VirtualPtr> freed;            ///< tombstones since last collect
+  };
+
   struct CtxMem {
     ContextId self{};  ///< owning context (for the cross-context LRU index)
     std::map<VirtualPtr, std::unique_ptr<PageTableEntry>> entries;
@@ -256,6 +292,7 @@ class MemoryManager {
     std::atomic<u64> resident_bytes{0};
     std::atomic<u64> resident_gpu{0};  // GpuId.value; 0 = none
     std::atomic<i64> last_use_ns{0};
+    MigrationEpoch epoch;  ///< guarded by the caller's ContextLock
   };
 
   using CtxMemPtr = std::shared_ptr<CtxMem>;
@@ -315,6 +352,11 @@ class MemoryManager {
   /// Transitive closure over nested references, children first.
   static std::vector<PageTableEntry*> nested_closure(CtxMem& mem,
                                                      std::vector<PageTableEntry*> roots);
+
+  /// Records `[begin, end)` of `pte` in the armed migration epoch (no-op
+  /// when tracking is off). Call wherever the swap-level content or
+  /// metadata of an entry changes.
+  static void epoch_mark(CtxMem& mem, const PageTableEntry& pte, u64 begin, u64 end);
 
   cudart::CudaRt* rt_;
   Config config_;

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <set>
 
@@ -42,6 +43,37 @@ obs::Counter& dispatch_lock_contended_counter() {
 obs::Histogram& dispatch_lock_wait_hist() {
   static obs::Histogram& h = obs::metrics().histogram(
       obs::names::kRuntimeDispatchLockWaitSeconds, obs::default_seconds_edges());
+  return h;
+}
+
+obs::Counter& cluster_migrations_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kClusterMigrations);
+  return c;
+}
+
+obs::Counter& migration_bytes_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMigrationBytes);
+  return c;
+}
+
+obs::Counter& migration_precopy_bytes_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMigrationPrecopyBytes);
+  return c;
+}
+
+obs::Counter& migration_stop_copy_bytes_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMigrationStopCopyBytes);
+  return c;
+}
+
+obs::Counter& migration_refused_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMigrationRefused);
+  return c;
+}
+
+obs::Histogram& migration_stop_copy_ms_hist() {
+  static obs::Histogram& h = obs::metrics().histogram(obs::names::kMigrationStopCopyMs,
+                                                      obs::default_seconds_edges());
   return h;
 }
 
@@ -239,6 +271,9 @@ RuntimeStats Runtime::stats() const {
   out.swap_retry_backoffs = stats_.swap_retry_backoffs.load(std::memory_order_relaxed);
   out.offload_fallbacks = stats_.offload_fallbacks.load(std::memory_order_relaxed);
   out.dispatch_lock_contended = stats_.dispatch_lock_contended.load(std::memory_order_relaxed);
+  out.migrations_out = stats_.migrations_out.load(std::memory_order_relaxed);
+  out.migrations_in = stats_.migrations_in.load(std::memory_order_relaxed);
+  out.migrations_refused = stats_.migrations_refused.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -266,6 +301,9 @@ void Runtime::publish_metrics() const {
   gauge(rt_prefix + "offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
   gauge(rt_prefix + "dispatch_lock_contended",
         static_cast<double>(rs.dispatch_lock_contended));
+  gauge(rt_prefix + "migrations_out", static_cast<double>(rs.migrations_out));
+  gauge(rt_prefix + "migrations_in", static_cast<double>(rs.migrations_in));
+  gauge(rt_prefix + "migrations_refused", static_cast<double>(rs.migrations_refused));
 
   // Per-node offload-health breakdown: with several daemons co-hosted in
   // one process (cluster tests, gpuvm_run batches) the "stats.runtime.*"
@@ -277,6 +315,9 @@ void Runtime::publish_metrics() const {
     gauge(prefix + "offload_fallbacks", static_cast<double>(rs.offload_fallbacks));
     gauge(prefix + "recoveries", static_cast<double>(rs.recoveries));
     gauge(prefix + "connections", static_cast<double>(rs.connections));
+    gauge(prefix + "migrations_out", static_cast<double>(rs.migrations_out));
+    gauge(prefix + "migrations_in", static_cast<double>(rs.migrations_in));
+    gauge(prefix + "migrations_refused", static_cast<double>(rs.migrations_refused));
   }
 
   const SchedulerStats ss = scheduler_->stats();
@@ -472,6 +513,12 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     ctx->job_cost_hint_seconds = hello->job_cost_hint_seconds;
     ctx->deadline_seconds = hello->deadline_seconds;
     ctx->app_id = app_id;
+    // Remember the trace identity: a later migration of this context
+    // re-propagates it to the target so the job's timeline stays one trace.
+    if (trace.valid()) {
+      ctx->trace_id = trace.trace_id;
+      ctx->parent_span = trace.parent_span;
+    }
     ctx->caps.store(caps, std::memory_order_release);
     ctx->state.store(ContextState::Detached, std::memory_order_release);
     // Shared contexts have several channels; the idle probe used by
@@ -490,6 +537,11 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
   const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
   while (auto msg = channel.receive()) {
     if (msg->op == Opcode::Goodbye) {
+      // A migrated context's teardown must reach the target too, or its
+      // replica would linger there forever.
+      if (ctx->migrated.load(std::memory_order_seq_cst)) {
+        (void)forward_migrated(*ctx, channel, *msg);
+      }
       channel.send(transport::make_reply(msg->connection, Status::Ok));
       break;
     }
@@ -514,14 +566,30 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
       }
       continue;
     }
-    if (global) {
+    // Quiescence handshake with migrate_context: publish "a call is in
+    // flight" before reading `migrated` (both seq_cst). The committer does
+    // the mirror image -- stores `migrated`, then requires the count to be
+    // zero -- so a racing call either sees the flag (and forwards to the
+    // target) or is counted (and the committer rolls back and retries).
+    ctx->calls_in_flight.fetch_add(1, std::memory_order_seq_cst);
+    transport::Message out;
+    if (ctx->migrated.load(std::memory_order_seq_cst)) {
+      out = forward_migrated(*ctx, channel, *msg);
+    } else if (global) {
       // Legacy discipline: one daemon-wide lock across the entire call,
       // including queueing for a vGPU and the kernel itself.
       DispatchGuard g(*global_dispatch_, locker);
-      channel.send(handle(*ctx, channel, *msg));
+      out = handle(*ctx, channel, *msg);
     } else {
-      channel.send(handle(*ctx, channel, *msg));
+      out = handle(*ctx, channel, *msg);
     }
+    if (ctx->calls_in_flight.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      // Wake a quiescing migrator at this exact instant (see migrate_context:
+      // its rollback path waits for the blocking call to retire).
+      std::lock_guard<std::mutex> quiesce_lk(ctx->quiesce_mu);
+      ctx->quiesce_cv.notify_all();
+    }
+    channel.send(std::move(out));
   }
 
   // Teardown: the last connection of the context releases its binding and
@@ -531,6 +599,13 @@ void Runtime::connection_loop(transport::MessageChannel& channel) {
     {
       std::scoped_lock ctx_lock(ctx->lock);
       ctx->channel.store(nullptr, std::memory_order_release);
+      // A migrated context's memory left with the commit; remove_context
+      // tolerates the second call. The forwarding channel closes here --
+      // the target sees the disconnect and tears the replica down.
+      if (ctx->fwd != nullptr) {
+        ctx->fwd->close();
+        ctx->fwd.reset();
+      }
       mm_->remove_context(ctx->id);
     }
     ctx->state.store(ContextState::Done, std::memory_order_release);
@@ -557,6 +632,349 @@ void Runtime::offload_proxy_loop(transport::MessageChannel& client,
     client.send(std::move(*reply));
     if (was_goodbye) break;
   }
+}
+
+Message Runtime::forward_migrated(Context& ctx, transport::MessageChannel& channel,
+                                  const Message& msg) {
+  const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
+  {
+    DispatchGuard ctx_lock(ctx.lock, locker);
+    if (ctx.migrated.load(std::memory_order_seq_cst) && ctx.fwd != nullptr) {
+      obs::SpanScope hop("migrate-hop", "migrate", obs::kRuntimePid,
+                        obs::kOffloadTidBase + ctx.id.value, ctx.id.value,
+                        msg.payload.size());
+      Message copy = msg;
+      if (!ctx.fwd->send(std::move(copy))) {
+        return transport::make_reply(msg.connection, Status::ErrorConnectionClosed);
+      }
+      auto reply = ctx.fwd->receive();
+      if (!reply.has_value()) {
+        return transport::make_reply(msg.connection, Status::ErrorConnectionClosed);
+      }
+      reply->connection = msg.connection;
+      return std::move(*reply);
+    }
+  }
+  // The migration rolled back between the caller's flag check and the lock
+  // acquisition: serve locally. handle() takes ctx.lock itself for memory
+  // ops, so it must run with the lock released.
+  if (config_.dispatch_mode == DispatchMode::GlobalLock) {
+    DispatchGuard g(*global_dispatch_, locker);
+    return handle(ctx, channel, msg);
+  }
+  return handle(ctx, channel, msg);
+}
+
+Status Runtime::apply_migrate_chunk(Context& ctx, const Message& msg) {
+  auto chunk = transport::decode_migrate_chunk(msg.payload);
+  if (!chunk) return chunk.status();
+  if (chunk->round == 0) return mm_->import_image(ctx.id, chunk->image);
+  return mm_->apply_migration_delta(ctx.id, chunk->image);
+}
+
+Status Runtime::apply_migrate_resume(Context& ctx, const Message& msg) {
+  auto resume = transport::decode_migrate_resume(msg.payload);
+  if (!resume) return resume.status();
+  if (!resume->delta.empty()) {
+    const Status s = mm_->apply_migration_delta(ctx.id, resume->delta);
+    if (!ok(s)) return s;
+  }
+  // Execution state: registered symbols, module handles, and any half-built
+  // launch (ConfigureCall + SetupArguments without the Launch yet).
+  for (const transport::MigrateFunction& fn : resume->functions) {
+    ctx.functions[fn.handle] = fn.name;
+  }
+  for (const u64 module : resume->modules) ctx.modules.insert(module);
+  ctx.next_module = std::max(ctx.next_module, resume->next_module);
+  ctx.pinned = ctx.pinned || resume->pinned;
+  ctx.gpu_time_used_seconds += resume->gpu_time_used_seconds;
+  if (resume->has_pending_config) {
+    if (resume->pending_config.size() != sizeof(sim::LaunchConfig)) {
+      return Status::ErrorProtocol;
+    }
+    sim::LaunchConfig config;
+    std::memcpy(&config, resume->pending_config.data(), sizeof(config));
+    ctx.pending_config = config;
+    ctx.pending_args.clear();
+    for (const transport::MigrateArg& arg : resume->pending_args) {
+      sim::KernelArg ka;
+      ka.kind = static_cast<sim::KernelArg::Kind>(arg.kind);
+      ka.bits = arg.bits;
+      ctx.pending_args.push_back(ka);
+    }
+  }
+  stats_.migrations_in.fetch_add(1, std::memory_order_relaxed);
+  obs::emit_instant("migrate-resume", "migrate", obs::kRuntimePid, ctx.id.value,
+                    ctx.id.value);
+  log::info("runtime: resumed migrated ctx %llu (%zu entries of delta)",
+            static_cast<unsigned long long>(ctx.id.value), resume->delta.size());
+  return Status::Ok;
+}
+
+StatusOr<MigrationReport> Runtime::migrate_context(
+    ContextId id, const std::function<std::unique_ptr<transport::MessageChannel>()>& factory,
+    MigrationOptions options) {
+  vt::Domain& dom = rt_->machine().domain();
+  // Callable from unattached threads (tests, tools): channel costs and the
+  // quiesce backoff sleep in virtual time, which must be accounted.
+  std::optional<vt::AttachGuard> attach;
+  if (vt::Domain::current() == nullptr) attach.emplace(dom);
+
+  const auto refuse = [&](Status s) -> StatusOr<MigrationReport> {
+    stats_.migrations_refused.fetch_add(1, std::memory_order_relaxed);
+    migration_refused_counter().add(1);
+    return s;
+  };
+
+  std::shared_ptr<Context> ctx = find_context(id);
+  if (ctx == nullptr) return Status::ErrorInvalidValue;
+  // Pinned contexts are excluded from dynamic scheduling (in-kernel malloc:
+  // device state the swap image cannot capture); shared CUDA-4 contexts
+  // have several connections to quiesce at once -- both stay put.
+  if (ctx->pinned) return refuse(Status::ErrorNotSupported);
+  if (ctx->connection_refs.load(std::memory_order_acquire) > 1) {
+    return refuse(Status::ErrorNotSupported);
+  }
+  if (ctx->migrated.load(std::memory_order_seq_cst)) {
+    return refuse(Status::ErrorNotSupported);
+  }
+
+  // Join the job's causal trace: the migration session span parents both
+  // the local shipping spans and (via the forwarded Hello) the target's.
+  obs::TraceContext trace;
+  if (ctx->trace_id != 0) trace = obs::TraceContext{ctx->trace_id, ctx->parent_span};
+  obs::ScopedTraceContext scoped_trace(trace);
+  obs::SpanScope session("migrate-session", "migrate", obs::kRuntimePid,
+                         obs::kOffloadTidBase + id.value, id.value);
+
+  std::unique_ptr<transport::MessageChannel> peer = factory ? factory() : nullptr;
+  if (peer == nullptr) return refuse(Status::ErrorNotSupported);
+
+  // Handshake with the target daemon. `forwarded` stops it from shedding or
+  // re-migrating the incoming job (no migration ping-pong).
+  const ConnectionId conn{id.value};
+  {
+    transport::HelloPayload hello;
+    hello.version = protocol::kProtocolVersion;
+    hello.caps = protocol::caps::kAll & config_.caps_mask;
+    hello.job_cost_hint_seconds = ctx->job_cost_hint_seconds;
+    hello.forwarded = true;
+    hello.deadline_seconds = ctx->deadline_seconds;
+    hello.trace_id = ctx->trace_id;
+    hello.parent_span = session.span_id() != 0 ? session.span_id() : ctx->parent_span;
+    transport::Message m;
+    m.op = Opcode::Hello;
+    m.connection = conn;
+    m.payload = transport::encode_hello(hello);
+    if (!peer->send(std::move(m))) return refuse(Status::ErrorConnectionClosed);
+  }
+  u32 peer_caps = 0;
+  {
+    auto reply = peer->receive();
+    if (!reply.has_value() || !ok(transport::reply_status(*reply))) {
+      return refuse(Status::ErrorConnectionClosed);
+    }
+    auto hr = transport::decode_hello_reply(transport::reply_payload(*reply));
+    if (!hr.has_value()) return refuse(Status::ErrorProtocol);
+    peer_caps = hr->caps;
+  }
+  if ((peer_caps & protocol::caps::kMigrate) == 0) {
+    // v3 peer (or a daemon masking the bit): refuse gracefully. The job
+    // keeps running here; the target reaps the empty context on Goodbye.
+    transport::Message bye;
+    bye.op = Opcode::Goodbye;
+    bye.connection = conn;
+    if (peer->send(std::move(bye))) (void)peer->receive();
+    peer->close();
+    log::info("runtime: migration refused, peer lacks kMigrate (ctx %llu)",
+              static_cast<unsigned long long>(id.value));
+    return refuse(Status::ErrorNotSupported);
+  }
+
+  MigrationReport report;
+  const auto locker = [this](ContextLock& lk) { timed_lock(lk); };
+  const auto ship = [&](u32 round, std::vector<u8> bytes) -> Status {
+    transport::MigrateChunkPayload chunk;
+    chunk.round = round;
+    chunk.image = std::move(bytes);
+    obs::SpanScope sp(round == 0 ? "migrate-image" : "migrate-precopy", "migrate",
+                      obs::kRuntimePid, obs::kOffloadTidBase + id.value, id.value,
+                      chunk.image.size());
+    transport::Message m;
+    m.op = Opcode::MigrateChunk;
+    m.connection = conn;
+    m.payload = transport::encode_migrate_chunk(chunk);
+    if (!peer->send(std::move(m))) return Status::ErrorConnectionClosed;
+    auto reply = peer->receive();
+    if (!reply.has_value()) return Status::ErrorConnectionClosed;
+    return transport::reply_status(*reply);
+  };
+  const auto abort_migration = [&](Status s) -> StatusOr<MigrationReport> {
+    {
+      DispatchGuard ctx_lock(ctx->lock, locker);
+      mm_->end_migration(id);
+    }
+    peer->close();
+    log::info("runtime: migration of ctx %llu aborted (%s), job continues locally",
+              static_cast<unsigned long long>(id.value), to_string(s));
+    return refuse(s);
+  };
+
+  // Round 0: arm dirty tracking and export the sparse image under one lock
+  // hold (no mutation falls between them), then ship it while the job keeps
+  // running. export_image syncs device-dirty ranges to swap first, so the
+  // image is complete as of this instant; everything written afterwards
+  // lands in the armed epoch.
+  {
+    StatusOr<std::vector<u8>> image = [&]() -> StatusOr<std::vector<u8>> {
+      DispatchGuard ctx_lock(ctx->lock, locker);
+      if (const Status s = mm_->begin_migration(id); !ok(s)) return s;
+      auto img = mm_->export_image(id);
+      if (!img) mm_->end_migration(id);
+      return img;
+    }();
+    if (!image) {
+      peer->close();
+      return refuse(image.status());
+    }
+    report.image_bytes = image.value().size();
+    report.precopy_bytes = image.value().size();
+    if (const Status s = ship(0, std::move(image).value()); !ok(s)) {
+      return abort_migration(s);
+    }
+  }
+
+  // Pre-copy rounds: drain and ship the dirty deltas while the job runs;
+  // converged once a round comes in under the threshold. Every collected
+  // delta must ship (collect clears the epoch), so a transport failure
+  // after a successful collect aborts the whole attempt.
+  for (int round = 1; round <= options.max_precopy_rounds; ++round) {
+    StatusOr<std::vector<u8>> delta = [&] {
+      DispatchGuard ctx_lock(ctx->lock, locker);
+      return mm_->collect_migration_delta(id);
+    }();
+    if (!delta) return abort_migration(delta.status());
+    report.precopy_rounds = round;
+    report.precopy_bytes += delta.value().size();
+    const u64 delta_size = delta.value().size();
+    log::debug("runtime: migration ctx %llu pre-copy round %d, %llu bytes",
+               static_cast<unsigned long long>(id.value), round,
+               static_cast<unsigned long long>(delta_size));
+    if (const Status s = ship(static_cast<u32>(round), std::move(delta).value()); !ok(s)) {
+      return abort_migration(s);
+    }
+    if (delta_size <= options.stop_copy_threshold_bytes) break;
+  }
+
+  // Stop-and-copy. Flip the forwarding flag, then require the connection
+  // idle (see the connection loop's mirror image); a call that slipped in
+  // forces a rollback. The retry does not poll on a fixed pace -- it waits
+  // on the context's quiesce CV, so it reruns at the exact virtual instant
+  // the blocking call retires (its completion instant is part of the
+  // simulation schedule, which keeps the quiesce outcome replay-stable;
+  // a paced poll samples at instants that can tie with unrelated events
+  // and turn the flag flip into a real race). From here the job is frozen:
+  // its next request blocks on the context lock we hold.
+  int attempts = 0;
+  for (;;) {
+    timed_lock(ctx->lock);
+    ctx->migrated.store(true, std::memory_order_seq_cst);
+    if (ctx->calls_in_flight.load(std::memory_order_seq_cst) == 0) break;
+    ctx->migrated.store(false, std::memory_order_seq_cst);
+    ctx->lock.unlock();
+    log::debug("runtime: migration ctx %llu quiesce rollback (attempt %d)",
+               static_cast<unsigned long long>(id.value), attempts + 1);
+    if (++attempts >= options.max_quiesce_attempts) {
+      return abort_migration(Status::ErrorNotSupported);
+    }
+    {
+      std::unique_lock<std::mutex> quiesce_lk(ctx->quiesce_mu);
+      ctx->quiesce_cv.wait(quiesce_lk, [&] {
+        return ctx->calls_in_flight.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+  }
+  // Holding ctx->lock with migrated set and no call in flight. A rollback
+  // from here on must clear the flag before unlocking.
+  vt::StopWatch stop_watch(dom);
+  report.naive_bytes = mm_->naive_image_bytes(id);
+  StatusOr<std::vector<u8>> final_delta = mm_->collect_migration_delta(id);
+  if (!final_delta) {
+    ctx->migrated.store(false, std::memory_order_seq_cst);
+    ctx->lock.unlock();
+    return abort_migration(final_delta.status());
+  }
+
+  transport::MigrateResumePayload resume;
+  resume.delta = std::move(final_delta).value();
+  for (const auto& [handle, name] : ctx->functions) {
+    transport::MigrateFunction fn;
+    fn.handle = handle;
+    fn.name = name;
+    resume.functions.push_back(std::move(fn));
+  }
+  resume.modules.assign(ctx->modules.begin(), ctx->modules.end());
+  resume.next_module = ctx->next_module;
+  resume.pinned = ctx->pinned;
+  resume.gpu_time_used_seconds = ctx->gpu_time_used_seconds;
+  if (ctx->pending_config.has_value()) {
+    resume.has_pending_config = true;
+    resume.pending_config.resize(sizeof(sim::LaunchConfig));
+    std::memcpy(resume.pending_config.data(), &*ctx->pending_config,
+                sizeof(sim::LaunchConfig));
+    for (const sim::KernelArg& arg : ctx->pending_args) {
+      transport::MigrateArg ma;
+      ma.kind = static_cast<u8>(arg.kind);
+      ma.bits = arg.bits;
+      resume.pending_args.push_back(ma);
+    }
+  }
+  transport::Message m;
+  m.op = Opcode::MigrateResume;
+  m.connection = conn;
+  m.payload = transport::encode_migrate_resume(resume);
+  report.stop_copy_bytes = m.payload.size();
+  if (!peer->send(std::move(m))) {
+    // The resume frame never reached the wire: rolling back is safe.
+    ctx->migrated.store(false, std::memory_order_seq_cst);
+    ctx->lock.unlock();
+    return abort_migration(Status::ErrorConnectionClosed);
+  }
+  auto ack = peer->receive();
+  if (ack.has_value() && !ok(transport::reply_status(*ack))) {
+    // Explicit refusal: the target did not resume the job (its half-built
+    // replica dies with the channel). Roll back and keep running here.
+    const Status s = transport::reply_status(*ack);
+    ctx->migrated.store(false, std::memory_order_seq_cst);
+    ctx->lock.unlock();
+    return abort_migration(s);
+  }
+  // Committed -- including on a lost ack: the resume frame may have been
+  // applied, and running the job here as well would duplicate it. The
+  // never-both invariant tolerates a lost job, never a duplicated one.
+  mm_->end_migration(id);
+  scheduler_->release(*ctx);
+  mm_->remove_context(id);
+  ctx->fwd = std::move(peer);
+  report.stop_copy_seconds = stop_watch.elapsed_seconds();
+  ctx->lock.unlock();
+
+  stats_.migrations_out.fetch_add(1, std::memory_order_relaxed);
+  cluster_migrations_counter().add(1);
+  const u64 total = report.precopy_bytes + report.stop_copy_bytes;
+  migration_bytes_counter().add(total);
+  migration_precopy_bytes_counter().add(report.precopy_bytes);
+  migration_stop_copy_bytes_counter().add(report.stop_copy_bytes);
+  migration_stop_copy_ms_hist().observe(report.stop_copy_seconds * 1e3);
+  session.set_bytes(total);
+  obs::emit_instant("migrate-commit", "migrate", obs::kRuntimePid, id.value, id.value);
+  log::info("runtime: migrated ctx %llu (%llu bytes shipped, naive image %llu, "
+            "stop-and-copy %llu bytes)",
+            static_cast<unsigned long long>(id.value),
+            static_cast<unsigned long long>(total),
+            static_cast<unsigned long long>(report.naive_bytes),
+            static_cast<unsigned long long>(report.stop_copy_bytes));
+  return report;
 }
 
 Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const Message& msg) {
@@ -731,6 +1149,20 @@ Message Runtime::handle(Context& ctx, transport::MessageChannel& channel, const 
       const Status s = ctx.last_error;
       ctx.last_error = Status::Ok;
       return transport::make_reply(conn, s);
+    }
+
+    // ---- Live migration (target side; protocol v4) ---------------------------
+    case Opcode::MigrateChunk: {
+      if ((caps & protocol::caps::kMigrate) == 0) return reply(Status::ErrorNotSupported);
+      DispatchGuard ctx_lock(ctx.lock, locker);
+      ctx.last_call = "migrateChunk";
+      return reply(apply_migrate_chunk(ctx, msg));
+    }
+    case Opcode::MigrateResume: {
+      if ((caps & protocol::caps::kMigrate) == 0) return reply(Status::ErrorNotSupported);
+      DispatchGuard ctx_lock(ctx.lock, locker);
+      ctx.last_call = "migrateResume";
+      return reply(apply_migrate_resume(ctx, msg));
     }
 
     // ---- Observability -------------------------------------------------------

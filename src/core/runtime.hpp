@@ -107,6 +107,31 @@ struct RuntimeStats {
   u64 offload_fallbacks = 0;    ///< offload attempts that fell back to local
                                 ///< servicing (peer unreachable mid-handshake)
   u64 dispatch_lock_contended = 0;  ///< dispatch-lock acquisitions that waited
+  u64 migrations_out = 0;      ///< contexts live-migrated to a peer node
+  u64 migrations_in = 0;       ///< contexts resumed from a peer's migration
+  u64 migrations_refused = 0;  ///< attempts aborted before commit (no kMigrate
+                               ///< peer, busy context, transport failure)
+};
+
+/// Knobs for one live-migration attempt (Runtime::migrate_context).
+struct MigrationOptions {
+  /// Pre-copy rounds after the round-0 image before stop-and-copy.
+  int max_precopy_rounds = 3;
+  /// Pre-copy converged: stop early once a round's delta is this small.
+  u64 stop_copy_threshold_bytes = 4096;
+  /// Attempts to catch the connection idle (calls_in_flight == 0) before
+  /// giving up on the stop-and-copy.
+  int max_quiesce_attempts = 50;
+};
+
+/// What one committed migration shipped (Runtime::migrate_context).
+struct MigrationReport {
+  int precopy_rounds = 0;      ///< delta rounds actually run (excl. round 0)
+  u64 image_bytes = 0;         ///< round-0 sparse image size
+  u64 precopy_bytes = 0;       ///< image + all pre-copy deltas
+  u64 stop_copy_bytes = 0;     ///< final (quiesced) delta size
+  u64 naive_bytes = 0;         ///< full freeze-ship-resume baseline
+  double stop_copy_seconds = 0.0;  ///< virtual time the job was frozen
 };
 
 class Runtime {
@@ -169,6 +194,16 @@ class Runtime {
   /// tests and the batch harness between phases).
   void drain();
 
+  /// Live-migrates context `id` to the peer daemon reached via `factory`
+  /// (pre-copy rounds over the channel, then a quiesced stop-and-copy; see
+  /// docs/ARCHITECTURE.md "Live migration"). On success the local context
+  /// becomes a forwarding stub and the report says what was shipped. On any
+  /// failure before the resume frame is sent the migration aborts cleanly
+  /// and the job keeps running here.
+  StatusOr<MigrationReport> migrate_context(
+      ContextId id, const std::function<std::unique_ptr<transport::MessageChannel>()>& factory,
+      MigrationOptions options = {});
+
  private:
   void connection_loop(transport::MessageChannel& channel);
   void offload_proxy_loop(transport::MessageChannel& client,
@@ -183,6 +218,16 @@ class Runtime {
   /// Dispatches one application message; returns the reply.
   transport::Message handle(Context& ctx, transport::MessageChannel& channel,
                             const transport::Message& msg);
+
+  /// Relays one application message of a migrated context to the target
+  /// daemon over ctx.fwd (falls back to local handling if the migration
+  /// rolled back between the caller's check and the lock acquisition).
+  transport::Message forward_migrated(Context& ctx, transport::MessageChannel& channel,
+                                      const transport::Message& msg);
+
+  /// Target-side MigrateChunk/MigrateResume (caps::kMigrate).
+  Status apply_migrate_chunk(Context& ctx, const transport::Message& msg);
+  Status apply_migrate_resume(Context& ctx, const transport::Message& msg);
 
   Status do_launch(Context& ctx, transport::MessageChannel& channel, const std::string& name,
                    const sim::LaunchConfig& config, const std::vector<sim::KernelArg>& args);
@@ -238,6 +283,9 @@ class Runtime {
     std::atomic<u64> swap_retry_backoffs{0};
     std::atomic<u64> offload_fallbacks{0};
     std::atomic<u64> dispatch_lock_contended{0};
+    std::atomic<u64> migrations_out{0};
+    std::atomic<u64> migrations_in{0};
+    std::atomic<u64> migrations_refused{0};
   };
   mutable AtomicRuntimeStats stats_;
 };

@@ -58,6 +58,14 @@ inline constexpr char kClusterDirectoryStaleReports[] = "cluster.directory_stale
 /// + DispatchPolicy::name(): one counter per placement policy.
 inline constexpr char kClusterDispatchPrefix[] = "cluster.dispatch.";
 
+// ---- live migration --------------------------------------------------------
+inline constexpr char kClusterMigrations[] = "cluster.migrations";
+inline constexpr char kMigrationBytes[] = "migration.bytes";
+inline constexpr char kMigrationPrecopyBytes[] = "migration.precopy_bytes";
+inline constexpr char kMigrationStopCopyBytes[] = "migration.stop_copy_bytes";
+inline constexpr char kMigrationStopCopyMs[] = "migration.stop_copy_ms";
+inline constexpr char kMigrationRefused[] = "migration.refused";
+
 // ---- chaos -----------------------------------------------------------------
 inline constexpr char kChaosEvents[] = "chaos.events";
 

@@ -3,7 +3,7 @@
 //   gpuvm_chaos --seed 7 [--nodes 2] [--gpus 2] [--vgpus 2] [--tenants 6]
 //               [--events 10] [--horizon-ms 30] [--plan FILE] [--print-plan]
 //               [--verify-determinism] [--trace-out FILE.json]
-//               [--offload] [--no-load-reports]
+//               [--offload] [--no-load-reports] [--migrations N]
 //
 // Builds a multi-tenant cluster scenario, executes a FaultPlan against it
 // (seed-generated, or loaded from a plan file) and reports per-tenant
@@ -31,7 +31,7 @@ void usage() {
                "                   [--nodes N] [--gpus N] [--vgpus N] [--tenants N]\n"
                "                   [--events N] [--horizon-ms MS]\n"
                "                   [--verify-determinism] [--trace-out FILE.json]\n"
-               "                   [--offload] [--no-load-reports]\n");
+               "                   [--offload] [--no-load-reports] [--migrations N]\n");
 }
 
 }  // namespace
@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   int vgpus = 2;
   int tenants = 6;
   int events = 10;
+  int migrations = 0;
   double horizon_ms = 30.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
     else if (arg == "--vgpus") vgpus = std::atoi(next());
     else if (arg == "--tenants") tenants = std::atoi(next());
     else if (arg == "--events") events = std::atoi(next());
+    else if (arg == "--migrations") migrations = std::atoi(next());
     else if (arg == "--horizon-ms") horizon_ms = std::atof(next());
     else {
       usage();
@@ -112,6 +114,18 @@ int main(int argc, char** argv) {
   } else {
     config.plan =
         chaos::FaultPlan::random(seed, nodes, gpus, events, vt::from_millis(horizon_ms));
+  }
+  // Forced live migrations, layered on after plan generation so the random
+  // fault sequence for a given seed is byte-identical with --migrations 0.
+  // Spread across the fault window at deterministic (seed-derived) times;
+  // sources rotate over the nodes, targets auto-pick the least-loaded peer.
+  for (int m = 0; m < migrations; ++m) {
+    chaos::FaultEvent ev;
+    ev.kind = chaos::FaultKind::Migrate;
+    ev.at = vt::from_millis(horizon_ms * 0.15 + horizon_ms * 0.6 * (m + 0.5) / migrations);
+    ev.node = static_cast<int>((seed + static_cast<u64>(m)) % static_cast<u64>(nodes));
+    ev.count = 0;  // least-loaded peer
+    config.plan.add(ev);
   }
 
   if (print_plan) {

@@ -232,4 +232,83 @@ StatusOr<i64> decode_query_load(std::span<const u8> payload) {
   return interval;
 }
 
+std::vector<u8> encode_migrate_chunk(const MigrateChunkPayload& chunk) {
+  WireWriter w;
+  w.put<u32>(chunk.round);
+  w.put_bytes(chunk.image);
+  return w.take();
+}
+
+StatusOr<MigrateChunkPayload> decode_migrate_chunk(std::span<const u8> payload) {
+  WireReader r(payload);
+  MigrateChunkPayload chunk;
+  chunk.round = r.get<u32>();
+  auto image = r.get_bytes();
+  if (!r.ok()) return Status::ErrorProtocol;
+  chunk.image.assign(image.begin(), image.end());
+  return chunk;
+}
+
+std::vector<u8> encode_migrate_resume(const MigrateResumePayload& resume) {
+  WireWriter w;
+  w.put_bytes(resume.delta);
+  w.put<u64>(resume.functions.size());
+  for (const MigrateFunction& fn : resume.functions) {
+    w.put<u64>(fn.handle);
+    w.put_string(fn.name);
+  }
+  w.put<u64>(resume.modules.size());
+  for (u64 module : resume.modules) w.put<u64>(module);
+  w.put<u64>(resume.next_module);
+  w.put<u8>(resume.pinned ? 1 : 0);
+  w.put<double>(resume.gpu_time_used_seconds);
+  w.put<u8>(resume.has_pending_config ? 1 : 0);
+  w.put_bytes(resume.pending_config);
+  w.put<u64>(resume.pending_args.size());
+  for (const MigrateArg& arg : resume.pending_args) {
+    w.put<u8>(arg.kind);
+    w.put<u64>(arg.bits);
+  }
+  return w.take();
+}
+
+StatusOr<MigrateResumePayload> decode_migrate_resume(std::span<const u8> payload) {
+  WireReader r(payload);
+  MigrateResumePayload resume;
+  auto delta = r.get_bytes();
+  if (!r.ok()) return Status::ErrorProtocol;
+  resume.delta.assign(delta.begin(), delta.end());
+  const u64 functions = r.get<u64>();
+  if (!r.ok() || functions > (1u << 20)) return Status::ErrorProtocol;
+  resume.functions.reserve(functions);
+  for (u64 i = 0; i < functions; ++i) {
+    MigrateFunction fn;
+    fn.handle = r.get<u64>();
+    fn.name = r.get_string();
+    resume.functions.push_back(std::move(fn));
+  }
+  const u64 modules = r.get<u64>();
+  if (!r.ok() || modules > (1u << 20)) return Status::ErrorProtocol;
+  resume.modules.reserve(modules);
+  for (u64 i = 0; i < modules; ++i) resume.modules.push_back(r.get<u64>());
+  resume.next_module = r.get<u64>();
+  resume.pinned = r.get<u8>() != 0;
+  resume.gpu_time_used_seconds = r.get<double>();
+  resume.has_pending_config = r.get<u8>() != 0;
+  auto config = r.get_bytes();
+  if (!r.ok()) return Status::ErrorProtocol;
+  resume.pending_config.assign(config.begin(), config.end());
+  const u64 args = r.get<u64>();
+  if (!r.ok() || args > (1u << 16)) return Status::ErrorProtocol;
+  resume.pending_args.reserve(args);
+  for (u64 i = 0; i < args; ++i) {
+    MigrateArg arg;
+    arg.kind = r.get<u8>();
+    arg.bits = r.get<u64>();
+    resume.pending_args.push_back(arg);
+  }
+  if (!r.ok()) return Status::ErrorProtocol;
+  return resume;
+}
+
 }  // namespace gpuvm::transport

@@ -52,6 +52,9 @@ enum class Opcode : u16 {
   // Load telemetry (protocol v3, gated by caps::kQueryLoad)
   QueryLoad = 71,   ///< returns a LoadSnapshot; interval > 0 subscribes
   LoadReport = 72,  ///< unsolicited daemon->client heartbeat (LoadSnapshot)
+  // Live migration (protocol v4, gated by caps::kMigrate)
+  MigrateChunk = 81,   ///< pre-copy round: sparse image (round 0) or delta
+  MigrateResume = 82,  ///< stop-and-copy: final delta + context metadata
   // Replies
   Reply = 100,
 };
@@ -185,5 +188,51 @@ StatusOr<LoadSnapshot> decode_load(std::span<const u8> payload);
 /// closes).
 std::vector<u8> encode_query_load(i64 interval_ns);
 StatusOr<i64> decode_query_load(std::span<const u8> payload);
+
+// ---- Live migration (MigrateChunk / MigrateResume, protocol v4) ------------
+//
+// A migrating source opens a normal forwarded connection to the target (so
+// admission, tracing and teardown reuse the existing paths), then streams
+// the victim's memory image in rounds. Round 0 carries the sparse
+// checkpoint image (export_image); later rounds carry dirty-interval deltas
+// collected while the job kept running. The final MigrateResume carries the
+// last delta plus everything the target needs to impersonate the context:
+// registered functions, modules, pending launch state and accounting.
+
+struct MigrateChunkPayload {
+  u32 round = 0;          ///< 0 = full sparse image, >= 1 = delta
+  std::vector<u8> image;  ///< export_image (round 0) or migration delta
+};
+
+std::vector<u8> encode_migrate_chunk(const MigrateChunkPayload& chunk);
+StatusOr<MigrateChunkPayload> decode_migrate_chunk(std::span<const u8> payload);
+
+/// One registered kernel symbol of the migrating context.
+struct MigrateFunction {
+  u64 handle = 0;
+  std::string name;
+};
+
+/// One buffered SetupArgument of an in-flight ConfigureCall.
+struct MigrateArg {
+  u8 kind = 0;   ///< sim::KernelArg::Kind numeric value
+  u64 bits = 0;  ///< raw argument bits (pointer value or scalar)
+};
+
+struct MigrateResumePayload {
+  std::vector<u8> delta;  ///< final stop-and-copy migration delta
+  std::vector<MigrateFunction> functions;
+  std::vector<u64> modules;
+  u64 next_module = 1;
+  bool pinned = false;
+  double gpu_time_used_seconds = 0.0;
+  /// In-flight launch configuration (ConfigureCall without a Launch yet).
+  bool has_pending_config = false;
+  std::vector<u8> pending_config;  ///< raw sim::LaunchConfig bytes
+  std::vector<MigrateArg> pending_args;
+};
+
+std::vector<u8> encode_migrate_resume(const MigrateResumePayload& resume);
+StatusOr<MigrateResumePayload> decode_migrate_resume(std::span<const u8> payload);
 
 }  // namespace gpuvm::transport

@@ -323,11 +323,14 @@ TEST(MmDeviceLoss, UncheckpointedDeviceWritesRollBackToSwap) {
 // Drives full application threads through the FrontendApi while transport
 // drops messages (low-rate fault injector) and devices fail and rejoin
 // under them (node-level loss: every GPU of the machine goes dark, then
-// replacements arrive). The host-side mirror is the oracle: any tenant
-// whose calls all returned Ok must read back exactly the mirrored bytes.
+// replacements arrive), and live migrations pull contexts to a peer daemon
+// mid-run -- one while the node is healthy, one inside the dark window
+// (device loss interleaved with the pre-copy). The host-side mirror is the
+// oracle: any tenant whose calls all returned Ok must read back exactly the
+// mirrored bytes, migrated or not.
 class RuntimeChaosFuzz : public ::testing::TestWithParam<u64> {};
 
-TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
+TEST_P(RuntimeChaosFuzz, LossyTransportNodeLossAndMigrationMatchReferenceModel) {
   const u64 seed = GetParam();
   vt::Domain dom;
   vt::AttachGuard guard(dom);
@@ -335,6 +338,12 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
   const GpuId g1 = machine.add_gpu(sim::test_gpu(1 << 20));
   const GpuId g2 = machine.add_gpu(sim::test_gpu(1 << 20));
   cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
+
+  // Peer daemon migrations land on: its own machine, same virtual clock,
+  // same kernel binaries (as a cluster would replicate them).
+  sim::SimMachine peer_machine(dom, sim::SimParams{1});
+  peer_machine.add_gpu(sim::test_gpu(1 << 20));
+  cudart::CudaRt peer_rt(peer_machine, cudart::CudaRtConfig{4 * 1024, 8});
 
   sim::KernelDef step;
   step.name = "fuzz_step";
@@ -346,6 +355,7 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
   };
   step.cost = sim::per_thread_cost(2000.0, 128.0);
   machine.kernels().add(step);
+  peer_machine.kernels().add(step);
 
   RuntimeConfig config;
   config.scheduler.vgpus_per_device = 2;
@@ -353,6 +363,7 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
   config.scheduler.device_wait_grace_seconds = 0.25;  // survive the dark window
   config.auto_checkpoint_after_kernel_seconds = 1e-9;
   Runtime runtime(rt, config);
+  Runtime peer_runtime(peer_rt, config);
 
   transport::ScopedFaultInjector injector(seed);
   injector.injector().degrade(/*drop_rate=*/0.05, vt::from_micros(20));
@@ -407,9 +418,8 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
         r.status = st;
       });
     }
-    // Chaos driver on the main (attached) thread: node-level loss -- both
-    // devices fail mid-run -- then two replacements rejoin inside the grace
-    // window.
+    // Chaos driver: node-level loss -- both devices fail mid-run -- then two
+    // replacements rejoin inside the grace window.
     threads.emplace_back(dom, [&] {
       dom.sleep_for(vt::from_micros(800));
       (void)machine.fail_gpu(g1);
@@ -419,9 +429,25 @@ TEST_P(RuntimeChaosFuzz, LossyTransportAndNodeLossMatchReferenceModel) {
       machine.add_gpu(sim::test_gpu(1 << 20));
       machine.add_gpu(sim::test_gpu(1 << 20));
     });
+    // Migration driver: the `migrate` chaos op. One pull while the node is
+    // healthy, one launched inside the dark window so device loss and
+    // pre-copy interleave. Refusals (busy context, quiesce timeout) are
+    // legal outcomes -- the job then simply keeps running at home; what may
+    // never happen is a lost or duplicated write, which the per-app mirror
+    // comparison below catches.
+    const auto peer_factory = [&] {
+      return peer_runtime.connect_with(transport::ChannelCosts::cluster_link());
+    };
+    threads.emplace_back(dom, [&] {
+      dom.sleep_for(vt::from_micros(600));
+      (void)runtime.migrate_context(ContextId{2}, peer_factory);
+      dom.sleep_for(vt::from_micros(900));  // t=1.5ms: node fully dark
+      (void)runtime.migrate_context(ContextId{3}, peer_factory);
+    });
     dom.unhold();
   }
   runtime.drain();
+  peer_runtime.drain();
 
   for (int i = 0; i < kApps; ++i) {
     const AppResult& r = results[static_cast<size_t>(i)];
