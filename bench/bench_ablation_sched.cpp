@@ -29,7 +29,7 @@ std::vector<workloads::JobSpec> mixed_batch(u64 seed) {
   return jobs;
 }
 
-void AblationSched(benchmark::State& state, core::PolicyKind policy) {
+void AblationSched(benchmark::State& state, const char* policy) {
   u64 seed = 80;
   for (auto _ : state) {
     core::RuntimeConfig config = sharing_config(2);
@@ -45,10 +45,10 @@ void AblationSched(benchmark::State& state, core::PolicyKind policy) {
 int main(int argc, char** argv) {
   using namespace gpuvm::bench;
   const int runs = bench_runs();
-  const std::pair<const char*, gpuvm::core::PolicyKind> policies[] = {
-      {"AblationSched/fcfs", gpuvm::core::PolicyKind::Fcfs},
-      {"AblationSched/sjf", gpuvm::core::PolicyKind::ShortestJobFirst},
-      {"AblationSched/credit", gpuvm::core::PolicyKind::CreditBased},
+  const std::pair<const char*, const char*> policies[] = {
+      {"AblationSched/fcfs", "fcfs"},
+      {"AblationSched/sjf", "sjf"},
+      {"AblationSched/credit", "credit"},
   };
   for (const auto& [label, policy] : policies) {
     benchmark::RegisterBenchmark(label,

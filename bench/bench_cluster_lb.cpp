@@ -47,7 +47,7 @@ struct PolicyRun {
   std::vector<int> jobs_per_node;  // indexed like kGpusPerNode
 };
 
-PolicyRun run_policy(std::unique_ptr<cluster::DispatchPolicy> policy, int jobs, int kernels) {
+PolicyRun run_policy(const std::string& policy, int jobs, int kernels) {
   vt::Domain dom;
   vt::AttachGuard guard(dom);
 
@@ -77,9 +77,9 @@ PolicyRun run_policy(std::unique_ptr<cluster::DispatchPolicy> policy, int jobs, 
   cl.enable_load_reports(dir);
 
   cluster::TorqueScheduler::Options options;
-  options.policy = std::move(policy);
+  options.sched.dispatch_policy = policy;
   options.directory = cl.directory();
-  options.dispatch_interval_seconds = 0.001;
+  options.sched.dispatch_interval_seconds = 0.001;
   cluster::TorqueScheduler torque(dom, cl.node_pointers(), std::move(options));
 
   std::atomic<int> done{0};
@@ -145,15 +145,14 @@ int main(int argc, char** argv) {
 
   struct Entry {
     const char* name;
-    std::unique_ptr<cluster::DispatchPolicy> (*make)();
     PolicyRun run;
   };
   Entry entries[] = {
-      {"round_robin", cluster::make_round_robin_policy, {}},
-      {"least_loaded", cluster::make_least_loaded_policy, {}},
+      {"round_robin", {}},
+      {"least_loaded", {}},
   };
   for (Entry& e : entries) {
-    e.run = run_policy(e.make(), jobs, kernels);
+    e.run = run_policy(e.name, jobs, kernels);
     std::printf("%-12s makespan=%8.4fs avg_job=%8.4fs placement=[%d,%d,%d]\n", e.name,
                 e.run.makespan_seconds, e.run.avg_job_seconds, e.run.jobs_per_node[0],
                 e.run.jobs_per_node[1], e.run.jobs_per_node[2]);

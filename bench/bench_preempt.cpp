@@ -1,0 +1,307 @@
+// Preemptive time-quantum scheduling benchmark (nvshare-style rotation).
+//
+// A memory-oversubscribed bursty-interactive + batch mix on one small GPU:
+//
+//   batch x3      -- 1.375 MiB working set each (4.1 MiB total on a 2 MiB
+//                    device), whole-buffer kernels separated by short CPU
+//                    phases. Working sets cannot co-reside, and a sleeping
+//                    tenant accepts the cooperative inter-application swap
+//                    (section 4.5), so under the non-preemptive FCFS
+//                    baseline peers evict each other's working set between
+//                    launches: most launches re-materialize the full
+//                    buffer, and a tenant that finds no willing victim
+//                    backs off, leaving the device idle.
+//   interactive   -- one tenant firing short kernels on a 64 KiB buffer
+//                    with think-time sleeps between bursts; per-burst
+//                    latency is recorded for p50/p99.
+//
+// The TQ policy serializes device access into exclusive time quanta: the
+// bound tenant's working set stays resident for a whole quantum (no
+// mid-streak eviction), so swap traffic is paid per *rotation* instead of
+// per *launch*. The quantum must be sized to the working-set swap time --
+// this simulation mem-scales a 2 GiB card down to 2 MiB, which amplifies
+// modeled transfer times by the same factor, so a ~0.5 s base quantum here
+// corresponds to nvshare's tens-of-seconds TQ on a real multi-GiB GPU.
+// The benchmark runs the mix under FCFS and TQ, sweeps the quantum
+// (99.7 ms / 499.3 ms / 1.9973 s -- odd values avoid virtual-clock ties;
+// the short quantum shows the anti-thrashing governor escalating until
+// rotations stop thrashing), and also reports the deficit fair-share
+// policy at the headline quantum.
+//
+// Times are modeled (virtual-clock) seconds. Emits machine-readable JSON
+// (default BENCH_preempt.json) with per-policy makespan, interactive
+// latency quantiles, swap traffic, preemption/governor counters, and the
+// headline makespan_ratio (TQ/FCFS, CI gate <= 0.9).
+//
+// Flags: --out <path>  --iters <n>  --quick
+// Debug: BENCH_PREEMPT_TRACE=<path> dumps a Chrome trace of the headline
+// TQ run.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "obs/trace.hpp"
+#include "core/runtime.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace gpuvm;
+
+constexpr u64 kDevBytes = 2ull << 20;          // 2 MiB device
+constexpr u64 kBatchBytes = 1408 * 1024;       // 1.375 MiB per batch tenant
+constexpr u64 kInteractiveBytes = 64 * 1024;   // interactive working set
+constexpr int kBatchTenants = 3;               // ~2.1x oversubscription total
+constexpr double kThinkTimeUs = 497.0;         // interactive inter-burst sleep
+// Headline TQ quantum and governor ceiling, sized to the mem-scaled
+// working-set swap time (~0.3 s to materialize one batch buffer).
+constexpr double kQuantumSeconds = 0.4993;
+constexpr double kMaxQuantumSeconds = 3.9946;
+
+sim::SimParams bench_params() {
+  sim::SimParams params;
+  params.execute_kernel_bodies = false;  // traffic + modeled time only
+  return params;
+}
+
+void register_kernels(sim::SimMachine& machine) {
+  sim::KernelDef crunch;
+  crunch.name = "crunch";  // 1e7 flops: 100us on the 100-GFLOPS test GPU
+  crunch.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  crunch.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{1e7, 0.0};
+  };
+  machine.kernels().add(crunch);
+
+  sim::KernelDef poke;
+  poke.name = "poke";  // 1e6 flops: 10us -- the interactive burst
+  poke.body = [](sim::KernelExecContext&) { return Status::Ok; };
+  poke.cost = [](const sim::LaunchConfig&, const std::vector<sim::KernelArg>&) {
+    return sim::KernelCost{1e6, 0.0};
+  };
+  machine.kernels().add(poke);
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "bench_preempt: %s\n", what);
+  std::exit(1);
+}
+
+struct MixResult {
+  double makespan_seconds = 0.0;
+  double interactive_p50_ms = 0.0;
+  double interactive_p99_ms = 0.0;
+  u64 swap_bytes = 0;
+  u64 preemptions = 0;
+  u64 thrash_trips = 0;
+};
+
+/// Whole-buffer batch churn: every launch writes the full working set, so
+/// an eviction ships the lot back out.
+void batch_tenant(core::Runtime& runtime, vt::Domain& dom, int iters, int tenant) {
+  core::FrontendApi api(runtime.connect());
+  if (!api.connected()) die("handshake failed");
+  if (!ok(api.register_kernels({"crunch"}))) die("register failed");
+  auto buf = api.malloc(kBatchBytes);
+  if (!buf) die("batch malloc failed");
+  std::vector<std::byte> init(kBatchBytes, std::byte{0x6b});
+  if (!ok(api.memcpy_h2d(buf.value(), init))) die("init copy failed");
+  for (int i = 0; i < iters; ++i) {
+    if (!ok(api.launch("crunch", {{64, 1, 1}, {256, 1, 1}},
+                       {sim::KernelArg::dev_out(buf.value())}))) {
+      die("batch launch failed");
+    }
+    // A real CPU phase between launches (distinct odd-valued per-tenant
+    // periods keep virtual wakeups tie-free): the window in which a
+    // non-preemptive peer's inter-application swap can claim the device.
+    dom.sleep_for(vt::from_micros(193.0 + 2.0 * static_cast<double>(tenant)));
+  }
+}
+
+void interactive_tenant(core::Runtime& runtime, vt::Domain& dom, int bursts,
+                        std::vector<double>* latencies_ms) {
+  core::FrontendApi api(runtime.connect());
+  if (!api.connected()) die("handshake failed");
+  if (!ok(api.register_kernels({"poke"}))) die("register failed");
+  auto buf = api.malloc(kInteractiveBytes);
+  if (!buf) die("interactive malloc failed");
+  std::vector<std::byte> init(kInteractiveBytes, std::byte{0x11});
+  if (!ok(api.memcpy_h2d(buf.value(), init))) die("init copy failed");
+  latencies_ms->reserve(static_cast<size_t>(bursts));
+  for (int b = 0; b < bursts; ++b) {
+    const vt::TimePoint t0 = dom.now();
+    if (!ok(api.launch("poke", {{8, 1, 1}, {256, 1, 1}},
+                       {sim::KernelArg::dev_out(buf.value())}))) {
+      die("interactive launch failed");
+    }
+    latencies_ms->push_back(vt::to_seconds(dom.now() - t0) * 1e3);
+    dom.sleep_for(vt::from_micros(kThinkTimeUs));
+  }
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+MixResult run_mix(const std::string& policy, double quantum_seconds, int iters) {
+  vt::Domain dom;
+  vt::AttachGuard guard(dom);
+  std::unique_ptr<obs::TraceRecorder> rec;
+  std::optional<obs::ScopedTracer> scoped;
+  const char* trace_path = std::getenv("BENCH_PREEMPT_TRACE");
+  if (trace_path != nullptr && policy == "tq" && quantum_seconds == kQuantumSeconds) {
+    rec = std::make_unique<obs::TraceRecorder>(dom);
+    scoped.emplace(*rec);
+  }
+  sim::SimMachine machine(dom, bench_params());
+  machine.add_gpu(sim::test_gpu(kDevBytes));
+  register_kernels(machine);
+  cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 16});
+  core::RuntimeConfig config;
+  config.scheduler.vgpus_per_device = kBatchTenants + 1;
+  config.scheduler.policy = policy;
+  if (quantum_seconds > 0.0) {
+    config.scheduler.quantum_seconds = quantum_seconds;
+    config.scheduler.max_quantum_seconds = kMaxQuantumSeconds;
+  }
+  core::Runtime runtime(rt, config);
+
+  std::vector<double> latencies_ms;
+  vt::StopWatch watch(dom);
+  {
+    dom.hold();
+    std::vector<vt::Thread> apps;
+    for (int t = 0; t < kBatchTenants; ++t) {
+      apps.emplace_back(dom, [&runtime, &dom, iters, t] {
+        batch_tenant(runtime, dom, iters, t);
+      });
+    }
+    const int bursts = std::max(8, iters / 2);
+    apps.emplace_back(dom, [&runtime, &dom, bursts, &latencies_ms] {
+      interactive_tenant(runtime, dom, bursts, &latencies_ms);
+    });
+    dom.unhold();
+  }
+  runtime.drain();
+  if (rec != nullptr) {
+    rec->export_chrome_json_file(trace_path);
+    std::printf("trace written to %s\n", trace_path);
+  }
+
+  const core::MemStats ms = runtime.memory().stats();
+  const core::SchedulerStats ss = runtime.scheduler().stats();
+  MixResult result;
+  result.makespan_seconds = watch.elapsed_seconds();
+  result.interactive_p50_ms = percentile(latencies_ms, 0.50);
+  result.interactive_p99_ms = percentile(latencies_ms, 0.99);
+  result.swap_bytes = ms.swap_in_bytes + ms.swap_out_bytes;
+  result.preemptions = ss.preemptions;
+  result.thrash_trips = ss.thrash_trips;
+  return result;
+}
+
+void print_row(const char* label, const MixResult& r) {
+  std::printf("%-16s makespan=%8.4fs p50=%7.3fms p99=%7.3fms swap=%9llu KiB "
+              "preempts=%5llu trips=%llu\n",
+              label, r.makespan_seconds, r.interactive_p50_ms, r.interactive_p99_ms,
+              static_cast<unsigned long long>(r.swap_bytes / 1024),
+              static_cast<unsigned long long>(r.preemptions),
+              static_cast<unsigned long long>(r.thrash_trips));
+}
+
+void emit_json_entry(FILE* f, const char* indent, const MixResult& r, bool trailing_comma) {
+  std::fprintf(f,
+               "%s\"makespan_seconds\": %.6f, \"interactive_p50_ms\": %.6f, "
+               "\"interactive_p99_ms\": %.6f, \"swap_bytes\": %llu, "
+               "\"preemptions\": %llu, \"thrash_trips\": %llu%s\n",
+               indent, r.makespan_seconds, r.interactive_p50_ms, r.interactive_p99_ms,
+               static_cast<unsigned long long>(r.swap_bytes),
+               static_cast<unsigned long long>(r.preemptions),
+               static_cast<unsigned long long>(r.thrash_trips), trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_preempt.json";
+  int iters = 1600;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die("missing flag value");
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      iters = std::atoi(next());
+      if (iters <= 0) die("bad --iters");
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      iters = 800;
+    } else {
+      die("unknown flag (expected --out/--iters/--quick)");
+    }
+  }
+
+  // Baseline and headline comparison at the swap-time-sized quantum.
+  const MixResult fcfs = run_mix("fcfs", 0.0, iters);
+  print_row("fcfs", fcfs);
+  const MixResult tq = run_mix("tq", kQuantumSeconds, iters);
+  print_row("tq", tq);
+  const MixResult fair = run_mix("fair", kQuantumSeconds, iters);
+  print_row("fair", fair);
+
+  // Quantum sweep: a short quantum expires during re-materialization and
+  // thrashes until the governor escalates it (trips > 0); a long quantum
+  // amortizes rotation swaps but holds interactive bursts longer -- the
+  // tradeoff the thrash governor navigates at runtime.
+  const double sweep_us[] = {99700.0, 499300.0, 1997300.0};
+  MixResult sweep[3];
+  for (size_t q = 0; q < 3; ++q) {
+    sweep[q] = run_mix("tq", sweep_us[q] * 1e-6, iters);
+    char label[32];
+    std::snprintf(label, sizeof(label), "tq@%.0fms", sweep_us[q] / 1000.0);
+    print_row(label, sweep[q]);
+  }
+
+  const double makespan_ratio = tq.makespan_seconds / std::max(fcfs.makespan_seconds, 1e-12);
+  const double p99_ratio =
+      tq.interactive_p99_ms / std::max(fcfs.interactive_p99_ms, 1e-12);
+  std::printf("makespan ratio (tq/fcfs) %.4f | interactive p99 ratio %.4f\n", makespan_ratio,
+              p99_ratio);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) die("cannot open --out file");
+  std::fprintf(f, "{\n  \"bench\": \"preempt\",\n  \"batch_tenants\": %d,\n", kBatchTenants);
+  std::fprintf(f, "  \"batch_iters\": %d,\n  \"device_bytes\": %llu,\n", iters,
+               static_cast<unsigned long long>(kDevBytes));
+  std::fprintf(f, "  \"batch_working_set_bytes\": %llu,\n",
+               static_cast<unsigned long long>(kBatchBytes));
+  std::fprintf(f, "  \"quantum_us\": %.0f,\n  \"max_quantum_us\": %.0f,\n",
+               kQuantumSeconds * 1e6, kMaxQuantumSeconds * 1e6);
+  std::fprintf(f, "  \"fcfs\": {\n");
+  emit_json_entry(f, "    ", fcfs, false);
+  std::fprintf(f, "  },\n  \"tq\": {\n");
+  emit_json_entry(f, "    ", tq, false);
+  std::fprintf(f, "  },\n  \"fair\": {\n");
+  emit_json_entry(f, "    ", fair, false);
+  std::fprintf(f, "  },\n  \"quantum_sweep\": [\n");
+  for (size_t q = 0; q < 3; ++q) {
+    std::fprintf(f, "    {\"quantum_us\": %.0f,\n", sweep_us[q]);
+    emit_json_entry(f, "     ", sweep[q], false);
+    std::fprintf(f, "    }%s\n", q + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"makespan_ratio\": %.6f,\n", makespan_ratio);
+  std::fprintf(f, "  \"interactive_p99_ratio\": %.6f\n}\n", p99_ratio);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

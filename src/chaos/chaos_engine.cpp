@@ -82,6 +82,19 @@ void ChaosEngine::apply(const FaultEvent& ev) {
 
   if (targets_.empty()) return;
   NodeTarget& target = targets_[static_cast<size_t>(ev.node) % targets_.size()];
+  if (ev.kind == FaultKind::Preempt) {
+    // Revoke every binding on the node: dirty intervals swap out, contexts
+    // unbind, and the scheduler re-grants by policy priority. A typed
+    // ErrorNotSupported (non-preemptive policy) makes the event a no-op so
+    // plans stay loadable against fcfs baselines.
+    if (target.runtime != nullptr) {
+      const auto swept = target.runtime->preempt_now();
+      if (swept.has_value()) {
+        log::info("chaos: preempt swept %d binding(s) on %s", swept.value(), target.name.c_str());
+      }
+    }
+    return;
+  }
   sim::SimMachine& machine = *target.machine;
   // Device picks index into the ever-installed list so a plan line keeps
   // meaning the same physical device across the run, even after removals.
@@ -130,6 +143,7 @@ void ChaosEngine::apply(const FaultEvent& ev) {
     case FaultKind::TransportDegrade:
     case FaultKind::TransportHeal:
     case FaultKind::Migrate:
+    case FaultKind::Preempt:
       break;  // handled above
   }
 }

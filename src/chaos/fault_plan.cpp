@@ -55,6 +55,7 @@ std::optional<FaultKind> kind_from_string(const std::string& s) {
   if (s == "transport-heal") return FaultKind::TransportHeal;
   if (s == "alloc-pulse") return FaultKind::AllocPulse;
   if (s == "migrate") return FaultKind::Migrate;
+  if (s == "preempt") return FaultKind::Preempt;
   return std::nullopt;
 }
 
@@ -72,6 +73,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::TransportHeal: return "transport-heal";
     case FaultKind::AllocPulse: return "alloc-pulse";
     case FaultKind::Migrate: return "migrate";
+    case FaultKind::Preempt: return "preempt";
   }
   return "?";
 }
@@ -92,6 +94,7 @@ std::string FaultEvent::describe() const {
       os << " node=" << node;
       break;
     case FaultKind::NodeCrash:
+    case FaultKind::Preempt:
       os << " node=" << node;
       break;
     case FaultKind::NodeRejoin:

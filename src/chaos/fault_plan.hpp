@@ -47,6 +47,10 @@ enum class FaultKind : u8 {
                       ///< the target: 0 = least-loaded peer, n = node n-1.
                       ///< Runs concurrently with later events (mid-migration
                       ///< faults are the interesting interleavings).
+  Preempt,            ///< force a preemption sweep on node `node`: every
+                      ///< bound context is swapped out and unbound, then the
+                      ///< scheduler re-grants by policy priority. No-op under
+                      ///< non-preemptive policies (fcfs baseline).
 };
 
 const char* to_string(FaultKind kind);

@@ -157,6 +157,7 @@ std::string ScenarioResult::diff(const ScenarioResult& other) const {
   cmp("transport.dropped", transport_dropped, other.transport_dropped);
   cmp("sched.requeues", requeues, other.requeues);
   cmp("cluster.migrations", migrations, other.migrations);
+  cmp("sched.preemptions", preemptions, other.preemptions);
   return os.str();
 }
 
@@ -193,6 +194,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   rc.scheduler.vgpus_per_device = config.vgpus_per_device;
   rc.max_recovery_attempts = 6;
   rc.scheduler.device_wait_grace_seconds = config.grace_seconds;
+  rc.scheduler.policy = config.sched_policy;
+  if (config.quantum_seconds > 0.0) rc.scheduler.quantum_seconds = config.quantum_seconds;
   // Checkpoint after every completed kernel: an Ok the application saw must
   // survive a later device loss (otherwise recovery would silently replay
   // from stale swap data and the mirror compare would catch it).
@@ -296,6 +299,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.transport_dropped = counter_value(obs::names::kTransportDroppedMessages);
   result.requeues = counter_value(obs::names::kSchedRequeues);
   result.migrations = counter_value(obs::names::kClusterMigrations);
+  result.preemptions = counter_value(obs::names::kSchedPreemptions);
 
   if (recorder != nullptr) {
     tracing.reset();  // stop recording before export

@@ -44,6 +44,12 @@ struct ScenarioConfig {
   /// Non-empty: record an obs trace of the run (chaos instants included)
   /// and export it as Chrome JSON to this path. Does not affect outcomes.
   std::string trace_out;
+  /// Per-node scheduling policy by registered name (core/sched_policy.hpp).
+  /// The "fcfs" default keeps every pre-preemption plan byte-identical;
+  /// "tq" / "fair" turn on quantum preemption under chaos.
+  std::string sched_policy = "fcfs";
+  /// Preemption quantum override in seconds; 0 keeps the scheduler default.
+  double quantum_seconds = 0.0;
   FaultPlan plan;
 };
 
@@ -74,6 +80,7 @@ struct ScenarioResult {
   u64 transport_dropped = 0;                 ///< counter transport.dropped_messages
   u64 requeues = 0;                          ///< counter sched.requeues
   u64 migrations = 0;                        ///< counter cluster.migrations
+  u64 preemptions = 0;                       ///< counter sched.preemptions
 
   /// Full replay equality: same outcomes, same makespan (bit-exact), same
   /// fault log, same counter values.

@@ -51,4 +51,11 @@ std::unique_ptr<DispatchPolicy> make_memory_aware_policy() {
   return std::make_unique<MemoryAwarePolicy>();
 }
 
+StatusOr<std::unique_ptr<DispatchPolicy>> make_dispatch_policy(const std::string& name) {
+  if (name == "round_robin") return make_round_robin_policy();
+  if (name == "least_loaded") return make_least_loaded_policy();
+  if (name == "memory_aware") return make_memory_aware_policy();
+  return Status::ErrorInvalidValue;
+}
+
 }  // namespace gpuvm::cluster

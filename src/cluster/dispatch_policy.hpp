@@ -20,6 +20,7 @@
 #include <string>
 
 #include "cluster/torque.hpp"
+#include "common/status.hpp"
 #include "transport/message.hpp"
 
 namespace gpuvm::cluster {
@@ -75,5 +76,12 @@ class MemoryAwarePolicy : public DispatchPolicy {
 std::unique_ptr<DispatchPolicy> make_round_robin_policy();
 std::unique_ptr<DispatchPolicy> make_least_loaded_policy();
 std::unique_ptr<DispatchPolicy> make_memory_aware_policy();
+
+/// Builds a dispatch policy from its registered name ("round_robin" |
+/// "least_loaded" | "memory_aware") -- the string form selected by
+/// core::SchedulerConfig::dispatch_policy. Unknown names are a typed
+/// ErrorInvalidValue so callers (CLI flag parsing, the TorqueScheduler)
+/// can surface the failure instead of silently scheduling round-robin.
+StatusOr<std::unique_ptr<DispatchPolicy>> make_dispatch_policy(const std::string& name);
 
 }  // namespace gpuvm::cluster

@@ -13,12 +13,37 @@
 
 namespace gpuvm::cluster {
 
+namespace {
+
+TorqueScheduler::Options options_for_mode(TorqueScheduler::Mode mode) {
+  TorqueScheduler::Options options;
+  options.mode = mode;
+  return options;
+}
+
+}  // namespace
+
 TorqueScheduler::TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode)
-    : TorqueScheduler(dom, std::move(nodes), Options{mode, nullptr, nullptr, 0.0}) {}
+    : TorqueScheduler(dom, std::move(nodes), options_for_mode(mode)) {}
 
 TorqueScheduler::TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Options options)
     : dom_(&dom), nodes_(std::move(nodes)), options_(std::move(options)), tokens_cv_(dom) {
-  if (options_.policy == nullptr) options_.policy = make_round_robin_policy();
+  // Deprecated-alias resolution: a pre-built policy object wins (old API),
+  // otherwise the unified config names the policy. Bad names fall back to
+  // the round-robin baseline loudly -- constructors cannot return StatusOr,
+  // so flag parsing (gpuvmd --dispatch-policy) validates eagerly instead.
+  if (options_.policy == nullptr) {
+    auto made = make_dispatch_policy(options_.sched.dispatch_policy);
+    if (!made.has_value()) {
+      log::error("torque: unknown dispatch policy '%s', using round_robin",
+                 options_.sched.dispatch_policy.c_str());
+      made = make_round_robin_policy();
+    }
+    options_.policy = std::move(made).value();
+  }
+  if (options_.sched.dispatch_interval_seconds == 0.0) {
+    options_.sched.dispatch_interval_seconds = options_.dispatch_interval_seconds;
+  }
   tokens_.resize(nodes_.size());
   for (size_t i = 0; i < nodes_.size(); ++i) {
     for (int g = 0; g < nodes_[i]->gpu_count(); ++g) tokens_[i].push_back(g);
@@ -106,10 +131,10 @@ BatchResult TorqueScheduler::run_to_completion() {
     for (size_t j = 0; j < jobs.size(); ++j) {
       workers.emplace_back(*dom_, [this, &jobs, &result, &results_mu, batch_start, j] {
         Job& job = jobs[j];
-        if (options_.dispatch_interval_seconds > 0.0) {
+        if (options_.sched.dispatch_interval_seconds > 0.0) {
           // Emulate the head node's dispatch loop: decisions are spaced so
           // heartbeats can reflect each placement before the next one.
-          dom_->sleep_for(vt::from_seconds(options_.dispatch_interval_seconds *
+          dom_->sleep_for(vt::from_seconds(options_.sched.dispatch_interval_seconds *
                                            static_cast<double>(j)));
         }
         const vt::TimePoint submit = dom_->now();

@@ -22,6 +22,7 @@
 #include "cluster/node.hpp"
 #include "core/frontend.hpp"
 #include "core/gpu_api.hpp"
+#include "core/scheduler.hpp"
 
 namespace gpuvm::cluster {
 
@@ -59,20 +60,31 @@ class TorqueScheduler {
 
   struct Options {
     Mode mode = Mode::Oblivious;
-    /// Oblivious placement policy; nullptr = RoundRobin (paper baseline).
-    std::unique_ptr<DispatchPolicy> policy;
+    /// The one scheduling config: owns the dispatch policy name
+    /// (sched.dispatch_policy), the dispatch stagger
+    /// (sched.dispatch_interval_seconds), the node-level preemption policy
+    /// and quantum, and the offload watermarks. Forward it to the per-node
+    /// RuntimeConfig so head-node and node-level scheduling read one source
+    /// of truth.
+    core::SchedulerConfig sched;
     /// Live cluster view: suspect/dark nodes are routed around (both
     /// modes), and policies rank candidates by its LoadSnapshots. nullptr
     /// keeps the directory-less legacy behaviour.
     NodeDirectory* directory = nullptr;
-    /// Stagger between consecutive Oblivious dispatch decisions (> 0 lets
-    /// heartbeats reflect earlier placements before the next pick -- a real
-    /// batch scheduler's dispatch loop, not an instantaneous burst).
-    double dispatch_interval_seconds = 0.0;
     /// Seed mixed into each job's causal trace id (obs/span.hpp): trace ids
     /// are mint_trace_id(trace_seed, job id), so two runs of the same batch
     /// and seed mint bit-identical traces.
     u64 trace_seed = 0;
+
+    // -- Deprecated aliases (one release; prefer the `sched` fields) --
+
+    /// DEPRECATED: pre-built Oblivious placement policy. Overrides
+    /// sched.dispatch_policy when non-null; prefer naming the policy via
+    /// sched.dispatch_policy instead.
+    std::unique_ptr<DispatchPolicy> policy;
+    /// DEPRECATED alias for sched.dispatch_interval_seconds; honoured only
+    /// while the sched field is 0.
+    double dispatch_interval_seconds = 0.0;
   };
 
   TorqueScheduler(vt::Domain& dom, std::vector<Node*> nodes, Mode mode);

@@ -1093,6 +1093,12 @@ void MemoryManager::count_inter_app_swap() {
   stats_.inter_app_swaps.fetch_add(1, std::memory_order_relaxed);
 }
 
+Status MemoryManager::preempt_swap_out(ContextId ctx) {
+  const Status s = swap_context(ctx);
+  if (ok(s)) stats_.preempt_swaps.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
 MemStats MemoryManager::stats() const {
   MemStats out;
   out.intra_app_swaps = stats_.intra_app_swaps.load(std::memory_order_relaxed);
@@ -1108,6 +1114,7 @@ MemStats MemoryManager::stats() const {
   out.swap_in_bytes = stats_.swap_in_bytes.load(std::memory_order_relaxed);
   out.dirty_bytes_saved = stats_.dirty_bytes_saved.load(std::memory_order_relaxed);
   out.clean_swap_skips = stats_.clean_swap_skips.load(std::memory_order_relaxed);
+  out.preempt_swaps = stats_.preempt_swaps.load(std::memory_order_relaxed);
   return out;
 }
 

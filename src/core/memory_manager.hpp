@@ -124,6 +124,7 @@ struct MemStats {
   u64 swap_in_bytes = 0;     ///< bytes actually shipped H2D re-materializing
   u64 dirty_bytes_saved = 0; ///< bytes the incremental engine did not move
   u64 clean_swap_skips = 0;  ///< evictions that skipped the D2H entirely
+  u64 preempt_swaps = 0;     ///< whole-context swap-outs on quantum expiry
 };
 
 class MemoryManager {
@@ -199,6 +200,12 @@ class MemoryManager {
   /// swap victim path, migration, and the paper's Swap internal call).
   /// Caller holds the victim's ContextLock.
   Status swap_context(ContextId ctx);
+
+  /// Preemptive swap-out (quantum expiry): the same dirty-interval
+  /// write-back as swap_context, counted separately so rotation traffic is
+  /// distinguishable from OOM-driven inter-application swap. Caller holds
+  /// the victim's ContextLock.
+  Status preempt_swap_out(ContextId ctx);
 
   /// Synchronizes all dirty entries to swap but keeps them resident:
   /// afterwards the swap area is a consistent checkpoint.
@@ -381,6 +388,7 @@ class MemoryManager {
     std::atomic<u64> swap_in_bytes{0};
     std::atomic<u64> dirty_bytes_saved{0};
     std::atomic<u64> clean_swap_skips{0};
+    std::atomic<u64> preempt_swaps{0};
   };
   mutable AtomicMemStats stats_;
 

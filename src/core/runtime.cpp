@@ -113,6 +113,9 @@ Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
   }
   rt_->machine().subscribe(
       [this](sim::TopologyEvent event, GpuId gpu) { on_topology_event(event, gpu); });
+  // The scheduler's quantum pump knows *when* to preempt; the runtime owns
+  // *how* (the ContextLock discipline around the swap engine).
+  scheduler_->set_preempt_executor([this](ContextId id) { return preempt_context(id); });
 }
 
 Runtime::~Runtime() {
@@ -326,6 +329,9 @@ void Runtime::publish_metrics() const {
   gauge(sched_prefix + "unbinds", static_cast<double>(ss.unbinds));
   gauge(sched_prefix + "migrations", static_cast<double>(ss.migrations));
   gauge(sched_prefix + "requeues", static_cast<double>(ss.requeues));
+  gauge(sched_prefix + "preemptions", static_cast<double>(ss.preemptions));
+  gauge(sched_prefix + "thrash_trips", static_cast<double>(ss.thrash_trips));
+  gauge(sched_prefix + "quantum_ns", scheduler_->current_quantum_seconds() * 1e9);
 
   const MemStats ms = mm_->stats();
   const std::string mm_prefix = obs::names::kStatsMmPrefix;
@@ -342,6 +348,7 @@ void Runtime::publish_metrics() const {
   gauge(mm_prefix + "swap_in_bytes", static_cast<double>(ms.swap_in_bytes));
   gauge(mm_prefix + "dirty_bytes_saved", static_cast<double>(ms.dirty_bytes_saved));
   gauge(mm_prefix + "clean_swap_skips", static_cast<double>(ms.clean_swap_skips));
+  gauge(mm_prefix + "preempt_swaps", static_cast<double>(ms.preempt_swaps));
   gauge(mm_prefix + "shard_contention", static_cast<double>(mm_->shard_contention()));
 
   for (const GpuId gpu : rt_->machine().all_gpus()) {
@@ -1213,6 +1220,31 @@ bool Runtime::evict_one_victim(GpuId gpu, u64 needed, ContextId requester) {
   return false;
 }
 
+bool Runtime::preempt_context(ContextId id) {
+  // Mirrors the evict_one_victim discipline: never block on a busy victim
+  // (its servicing thread yields at the kernel boundary instead, via
+  // Scheduler::quantum_expired), and do all memory work under the
+  // ContextLock so the swap cannot race a call.
+  auto victim = find_context(id);
+  if (victim == nullptr || victim->pinned) return false;
+  if (!victim->lock.try_lock()) return false;  // mid-call: refuses; never block
+  if (!scheduler_->context_bound(id)) {
+    victim->lock.unlock();  // released/preempted while we were acquiring
+    return true;
+  }
+  {
+    obs::SpanScope span("preempt", "sched", obs::kRuntimePid, id.value, id.value);
+    (void)mm_->preempt_swap_out(id);
+  }
+  (void)scheduler_->preempt(*victim);
+  victim->lock.unlock();
+  log::debug("preempt: quantum expired, ctx %llu swapped out",
+             static_cast<unsigned long long>(id.value));
+  return true;
+}
+
+StatusOr<int> Runtime::preempt_now() { return scheduler_->force_preempt_sweep(); }
+
 Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
                           const std::string& name, const sim::LaunchConfig& config,
                           const std::vector<sim::KernelArg>& args) {
@@ -1267,6 +1299,16 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
             result = Status::Ok;
             break;
           }
+          if (log::enabled(log::Level::Debug)) {
+            const sim::SimGpu* dev = rt_->machine().gpu(binding.gpu);
+            log::debug("swap backoff: ctx %llu needs %llu bytes on gpu %llu "
+                       "(free %llu, largest hole %llu)",
+                       static_cast<unsigned long long>(ctx.id.value),
+                       static_cast<unsigned long long>(prep.needed_bytes),
+                       static_cast<unsigned long long>(binding.gpu.value),
+                       static_cast<unsigned long long>(dev ? dev->free_bytes() : 0),
+                       static_cast<unsigned long long>(dev ? dev->largest_free_block() : 0));
+          }
           next = Next::BackoffRetry;
           break;
         }
@@ -1316,8 +1358,20 @@ Status Runtime::do_launch(Context& ctx, transport::MessageChannel& channel,
         // vGPU, execution is strictly serialized even across CPU phases).
         // The only voluntary release is migration: the application is in a
         // CPU phase and a strictly faster device sits idle (Figure 9).
-        // Involuntary unbinding happens through inter-application swap.
-        if (!ctx.pinned && !channel.pending() && scheduler_->faster_gpu_idle(binding.gpu)) {
+        // Involuntary unbinding happens through inter-application swap --
+        // or, under a preemptive policy, through quantum expiry: the pump
+        // cannot preempt a context mid-call, so a holder whose quantum ran
+        // out during the kernel yields here, at the kernel boundary.
+        if (!ctx.pinned && scheduler_->quantum_expired(ctx.id)) {
+          {
+            DispatchGuard ctx_lock(ctx.lock, locker);
+            obs::SpanScope preempt_span("preempt", "sched", obs::kRuntimePid, ctx.id.value,
+                                        ctx.id.value);
+            (void)mm_->preempt_swap_out(ctx.id);
+          }
+          (void)scheduler_->preempt(ctx);
+        } else if (!ctx.pinned && !channel.pending() &&
+                   scheduler_->faster_gpu_idle(binding.gpu)) {
           scheduler_->release(ctx);
         }
         launch_seconds_hist().observe(launch_watch.elapsed_seconds());

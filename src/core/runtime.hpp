@@ -204,6 +204,12 @@ class Runtime {
       ContextId id, const std::function<std::unique_ptr<transport::MessageChannel>()>& factory,
       MigrationOptions options = {});
 
+  /// Preempts every bound context immediately, regardless of quantum
+  /// (chaos "preempt" events). Returns the number of contexts preempted;
+  /// 0 under a non-preemptive policy. Typed errors instead of a silent
+  /// no-op (ErrorNotSupported when no executor is installed).
+  StatusOr<int> preempt_now();
+
  private:
   void connection_loop(transport::MessageChannel& channel);
   void offload_proxy_loop(transport::MessageChannel& client,
@@ -235,6 +241,13 @@ class Runtime {
   /// Inter-application swap: evicts one unbound victim with enough resident
   /// bytes on `gpu`. Returns true if a victim was swapped.
   bool evict_one_victim(GpuId gpu, u64 needed, ContextId requester);
+
+  /// Preempt executor installed into the Scheduler: swaps the victim's
+  /// dirty intervals out under its ContextLock and revokes the binding.
+  /// Returns false when the victim was mid-call (try_lock refused); the
+  /// quantum pump retries and the victim's own launch loop yields at the
+  /// next kernel boundary.
+  bool preempt_context(ContextId id);
 
   void on_topology_event(sim::TopologyEvent event, GpuId gpu);
 

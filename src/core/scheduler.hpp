@@ -11,15 +11,20 @@
 // burst and releases it during CPU phases, enabling time-sharing, inter-
 // application swap, migration between devices of different speeds, and
 // recovery from device failure. The binding discipline is pluggable
-// (first-come-first-served, shortest-job-first, credit-based), satisfying
-// the paper's "configurable scheduling" objective.
+// through the SchedulingPolicy registry (core/sched_policy.hpp); policies
+// with preemptive() == true additionally rotate device access on a time
+// quantum: a vt-timer pump swaps the expired holder's dirty intervals out
+// and unbinds it, and an anti-thrashing governor widens the quantum when
+// the rotation itself becomes the bottleneck (nvshare's TQ escalation).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
@@ -27,33 +32,36 @@
 #include "common/vt.hpp"
 #include "core/context.hpp"
 #include "core/memory_manager.hpp"
+#include "core/sched_policy.hpp"
 #include "cudart/cudart.hpp"
 #include "obs/metrics.hpp"
 
 namespace gpuvm::core {
 
-enum class PolicyKind {
-  Fcfs,              ///< arrival order, round-robin across devices
-  ShortestJobFirst,  ///< by the frontend's job-cost hint (unknown = last)
-  CreditBased,       ///< least GPU time consumed first (fair sharing)
-  DeadlineAware,     ///< earliest QoS deadline first (paper section 2:
-                     ///< "expected quality of service requirements")
-};
-
 struct SchedulerStats {
   u64 binds = 0;
   u64 unbinds = 0;
-  u64 migrations = 0;  ///< bind moved a context's data to a different GPU
-  u64 requeues = 0;    ///< bindings force-unbound by a device loss (context
-                       ///< re-queues instead of aborting)
+  u64 migrations = 0;   ///< bind moved a context's data to a different GPU
+  u64 requeues = 0;     ///< bindings force-unbound by a device loss (context
+                        ///< re-queues instead of aborting)
+  u64 preemptions = 0;  ///< bindings revoked by quantum expiry (victim's
+                        ///< dirty intervals swapped out, context re-queues)
+  u64 thrash_trips = 0; ///< anti-thrashing governor quantum escalations
 };
 
-/// The scheduling knobs, in one place. RuntimeConfig embeds this struct and
-/// hands it to the Scheduler verbatim, so a setting can no longer be set on
-/// the runtime and silently ignored by the scheduler (or vice versa).
+/// The scheduling knobs, in one place: node-level binding policy, the
+/// preemption quantum and its governor, and the cluster-level dispatch
+/// policy and offload watermarks the head node consumes (the former
+/// TorqueScheduler::Options fields -- one struct owns the whole scheduling
+/// surface, so a knob can no longer be set on one layer and silently
+/// ignored by another). RuntimeConfig embeds this struct and hands it to
+/// the Scheduler verbatim.
 struct SchedulerConfig {
   int vgpus_per_device = 4;
-  PolicyKind policy = PolicyKind::Fcfs;
+  /// Named SchedulingPolicy (core/sched_policy.hpp): "fcfs", "sjf",
+  /// "credit", "deadline", "tq", "fair", or anything registered via
+  /// register_scheduling_policy. Replaces the closed PolicyKind enum.
+  std::string policy = "fcfs";
   /// Allow re-binding a context whose data lives on a slower device to a
   /// strictly faster idle device (Figure 9's load balancing).
   bool enable_migration = false;
@@ -63,6 +71,70 @@ struct SchedulerConfig {
   /// contexts ride out a node going dark and rejoining (chaos scenarios,
   /// rolling restarts) by re-queuing instead of aborting.
   double device_wait_grace_seconds = 0.0;
+
+  // ---- Preemption (policies with preemptive() == true) ---------------------
+  /// Base time quantum. Deliberately off any round number: an expiry
+  /// landing on the same virtual instant as a workload sleep would create
+  /// a clock tie, whose wake order is not guaranteed.
+  double quantum_seconds = 0.004993;
+  /// Governor ceiling for adaptive quantum escalation.
+  double max_quantum_seconds = 0.159776;
+  /// Swap traffic per bind above which a rotation window counts as
+  /// thrashing and the governor escalates the quantum.
+  double thrash_bytes_per_bind = 256.0 * 1024.0;
+  /// Multiplier applied per escalation (and divided out per decay).
+  double quantum_escalation = 2.0;
+  /// Consecutive calm windows before the quantum decays one step back
+  /// toward the base.
+  int calm_windows_before_decay = 2;
+
+  // ---- Cluster-level dispatch (head node; consumed by TorqueScheduler) -----
+  /// Named DispatchPolicy (cluster/dispatch_policy.hpp): "round_robin",
+  /// "least_loaded" or "memory_aware".
+  std::string dispatch_policy = "round_robin";
+  /// Hold jobs at the head node and dispatch in periodic sweeps instead of
+  /// immediately (0 disables batching).
+  double dispatch_interval_seconds = 0.0;
+  /// Offload hysteresis watermarks: a node sheds connections only above
+  /// `offload_high_watermark`, and only onto a peer below
+  /// `offload_low_watermark` (the dead band prevents ping-pong).
+  double offload_high_watermark = 1.0;
+  double offload_low_watermark = 0.5;
+};
+
+/// Anti-thrashing governor (nvshare's TQ escalation): watches swap traffic
+/// per bind across rotation windows and widens the quantum when the
+/// rotation itself dominates -- each preemption re-ships a working set, so
+/// if swap-bytes/bind stays above the threshold, doubling the quantum
+/// halves that overhead. Calm windows decay the quantum back toward the
+/// base so an interactive mix regains its short rotation. Pure state
+/// machine, no locking or clock access: the Scheduler feeds it windows
+/// under its own lock, and tests drive it directly.
+class ThrashGovernor {
+ public:
+  struct Config {
+    double base_quantum_seconds = 0.004993;
+    double max_quantum_seconds = 0.159776;
+    double bytes_per_bind_threshold = 256.0 * 1024.0;
+    double escalation = 2.0;
+    int calm_windows_before_decay = 2;
+  };
+
+  explicit ThrashGovernor(Config config)
+      : config_(config), quantum_(config.base_quantum_seconds) {}
+
+  /// Feeds one observation window (swap-byte and bind deltas since the
+  /// previous window) and returns the quantum to use from here on.
+  double on_window(u64 swap_bytes_delta, u64 binds_delta);
+
+  double quantum_seconds() const { return quantum_; }
+  u64 trips() const { return trips_; }
+
+ private:
+  Config config_;
+  double quantum_;
+  u64 trips_ = 0;
+  int calm_windows_ = 0;
 };
 
 class Scheduler {
@@ -74,6 +146,13 @@ class Scheduler {
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Ok when config.policy named a registered SchedulingPolicy; the typed
+  /// construction error otherwise (the constructor falls back to "fcfs" so
+  /// the daemon stays schedulable, but callers that can refuse -- gpuvmd
+  /// flag parsing, the chaos harness -- surface this instead).
+  Status policy_status() const { return policy_status_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
 
   // ---- Topology -------------------------------------------------------------
   /// Creates vGPUs for the device at `device_index` (cudart numbering).
@@ -101,6 +180,30 @@ class Scheduler {
 
   /// Releases the context's vGPU (end of GPU phase); wakes waiters.
   void release(Context& ctx);
+
+  /// Revokes the context's vGPU because its time quantum expired (the
+  /// caller has already swapped the victim's dirty intervals out under its
+  /// ContextLock). Counts the preemption, feeds the thrash governor one
+  /// rotation window and re-matches waiters. ErrorInvalidValue when the
+  /// context holds no binding.
+  Status preempt(Context& ctx);
+
+  /// True when `ctx` is bound under a preemptive policy, its quantum has
+  /// expired and another context is waiting -- the launch loop's cue to
+  /// yield at the kernel boundary (the pump cannot preempt mid-call).
+  bool quantum_expired(ContextId ctx) const;
+
+  /// The preempt executor swaps one context out and calls preempt(); the
+  /// Runtime installs it (it owns the ContextLock discipline). Returns
+  /// true when the victim was preempted or already unbound, false when the
+  /// victim was mid-call and refused.
+  using PreemptExecutor = std::function<bool(ContextId)>;
+  void set_preempt_executor(PreemptExecutor executor);
+
+  /// Chaos hook: preempt every bound context now, regardless of quantum.
+  /// Returns the number preempted; 0 under a non-preemptive policy;
+  /// ErrorNotSupported when no executor is installed.
+  StatusOr<int> force_preempt_sweep();
 
   std::optional<Binding> binding_of(ContextId ctx) const;
   bool context_bound(ContextId ctx) const;
@@ -132,6 +235,8 @@ class Scheduler {
   /// its CPU phase so it can migrate (Figure 9's load balancing).
   bool faster_gpu_idle(GpuId current) const;
   SchedulerStats stats() const;
+  /// The governor's current quantum (== config quantum until a trip).
+  double current_quantum_seconds() const;
 
   /// Consistent snapshot of every vGPU slot (chaos invariant checking).
   struct SlotSnapshot {
@@ -151,6 +256,9 @@ class Scheduler {
     double speed = 0.0;  ///< GpuSpec::compute_power of the device
     bool alive = true;
     ContextId bound{};
+    vt::TimePoint bound_at{};    ///< when `bound` was granted
+    vt::TimePoint expires{};     ///< quantum deadline; kTimeZero = none
+    vt::TimePoint next_sweep{};  ///< pump retry after a refused preemption
   };
 
   struct Waiter {
@@ -159,21 +267,42 @@ class Scheduler {
     bool hopeless = false;  // no alive slot can ever serve this context
   };
 
+  /// pick_slot_locked result: the chosen slot plus whether taking it moves
+  /// the context's data off another device.
+  struct SlotPick {
+    Slot* slot = nullptr;
+    bool migrated = false;
+  };
+
   /// Greedy assignment of free slots to waiters in policy-priority order.
   /// Called with mu_ held whenever slots or the waiting set change.
   void match_locked();
 
-  /// Priority key: smaller = scheduled earlier.
-  double priority_of(const Context& ctx) const;
-
   /// Picks the slot a context should get, honoring residency affinity,
-  /// load balancing and (optionally) slow->fast migration. Returns nullptr
-  /// when nothing suitable is free.
-  Slot* pick_slot_locked(Context& ctx, bool* migrated);
+  /// load balancing, (optionally) slow->fast migration and the policy's
+  /// device exclusivity. slot == nullptr when nothing suitable is free.
+  SlotPick pick_slot_locked(Context& ctx);
+
+  /// Clears binding state on `slot` (shared by release/preempt/requeue).
+  void unbind_slot_locked(Slot* slot);
+
+  /// Earliest instant the quantum pump must wake at; nullopt when no bound
+  /// slot carries a deadline.
+  std::optional<vt::TimePoint> next_pump_wake_locked() const;
+
+  /// Body of the quantum-expiry pump thread (preemptive policies only).
+  void pump_loop();
+
+  /// Feeds the governor one rotation window (mu_ held); updates the
+  /// quantum gauge and trip counter.
+  void governor_window_locked();
 
   cudart::CudaRt* rt_;
   MemoryManager* mm_;
   Config config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  Status policy_status_ = Status::Ok;
+  ThrashGovernor governor_;
 
   mutable std::mutex mu_;
   vt::ConditionVariable cv_;
@@ -185,6 +314,16 @@ class Scheduler {
   std::set<ContextId> recovering_;
   SchedulerStats stats_;
   obs::Histogram queue_wait_local_;
+
+  // ---- Quantum pump (preemptive policies only) ------------------------------
+  PreemptExecutor preempt_executor_;
+  vt::ConditionVariable pump_cv_;
+  bool stop_pump_ = false;
+  /// Governor window baseline (swap traffic / binds at the last window).
+  u64 window_swap_bytes_ = 0;
+  u64 window_binds_ = 0;
+  u64 governor_trips_seen_ = 0;
+  vt::Thread pump_;  // last member: joins before the rest tears down
 };
 
 }  // namespace gpuvm::core

@@ -42,6 +42,14 @@ inline constexpr char kRuntimeDispatchLockWaitSeconds[] =
 inline constexpr char kSchedQueueWaitSeconds[] = "sched.queue_wait_seconds";
 inline constexpr char kSchedRequeues[] = "sched.requeues";
 inline constexpr char kSchedMigrations[] = "sched.migrations";
+/// Bindings revoked by quantum expiry (preemptive policies).
+inline constexpr char kSchedPreemptions[] = "sched.preemptions";
+/// Current preemption quantum (gauge, nanoseconds) after governor trips.
+inline constexpr char kSchedQuantumNs[] = "sched.quantum_ns";
+/// Anti-thrashing governor quantum escalations.
+inline constexpr char kSchedThrashTrips[] = "sched.thrash_trips";
+/// How long bindings were held before release or preemption (histogram).
+inline constexpr char kSchedHeldSeconds[] = "sched.held_seconds";
 
 // ---- memory manager --------------------------------------------------------
 inline constexpr char kMmSwapBytes[] = "mm.swap_bytes";

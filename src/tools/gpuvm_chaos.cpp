@@ -4,6 +4,7 @@
 //               [--events 10] [--horizon-ms 30] [--plan FILE] [--print-plan]
 //               [--verify-determinism] [--trace-out FILE.json]
 //               [--offload] [--no-load-reports] [--migrations N]
+//               [--preempt N] [--sched-policy NAME] [--quantum-us N]
 //
 // Builds a multi-tenant cluster scenario, executes a FaultPlan against it
 // (seed-generated, or loaded from a plan file) and reports per-tenant
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "chaos/harness.hpp"
+#include "core/sched_policy.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +33,8 @@ void usage() {
                "                   [--nodes N] [--gpus N] [--vgpus N] [--tenants N]\n"
                "                   [--events N] [--horizon-ms MS]\n"
                "                   [--verify-determinism] [--trace-out FILE.json]\n"
-               "                   [--offload] [--no-load-reports] [--migrations N]\n");
+               "                   [--offload] [--no-load-reports] [--migrations N]\n"
+               "                   [--preempt N] [--sched-policy NAME] [--quantum-us N]\n");
 }
 
 }  // namespace
@@ -52,6 +55,9 @@ int main(int argc, char** argv) {
   int tenants = 6;
   int events = 10;
   int migrations = 0;
+  int preempts = 0;
+  std::string sched_policy;
+  double quantum_us = 0.0;
   double horizon_ms = 30.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +82,9 @@ int main(int argc, char** argv) {
     else if (arg == "--tenants") tenants = std::atoi(next());
     else if (arg == "--events") events = std::atoi(next());
     else if (arg == "--migrations") migrations = std::atoi(next());
+    else if (arg == "--preempt") preempts = std::atoi(next());
+    else if (arg == "--sched-policy") sched_policy = next();
+    else if (arg == "--quantum-us") quantum_us = std::atof(next());
     else if (arg == "--horizon-ms") horizon_ms = std::atof(next());
     else {
       usage();
@@ -95,6 +104,22 @@ int main(int argc, char** argv) {
   // (any admit at load >= threshold is proxied) -- the shape the cross-node
   // trace walkthrough uses.
   config.enable_load_reports = load_reports;
+  // Forced preemption sweeps need a preemptive policy to bite; default to
+  // time-quantum round-robin unless the user named one explicitly.
+  if (sched_policy.empty() && preempts > 0) sched_policy = "tq";
+  if (!sched_policy.empty()) {
+    if (!gpuvm::core::make_scheduling_policy(sched_policy).has_value()) {
+      std::fprintf(stderr, "gpuvm_chaos: unknown scheduling policy '%s' (registered:",
+                   sched_policy.c_str());
+      for (const std::string& name : gpuvm::core::scheduling_policy_names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    config.sched_policy = sched_policy;
+  }
+  config.quantum_seconds = quantum_us * 1e-6;
 
   if (!plan_file.empty()) {
     std::ifstream in(plan_file);
@@ -127,6 +152,17 @@ int main(int argc, char** argv) {
     ev.count = 0;  // least-loaded peer
     config.plan.add(ev);
   }
+  // Forced preemption sweeps, layered on like --migrations so a given
+  // seed's random fault sequence stays byte-identical with --preempt 0.
+  // Nodes rotate (offset from migrations so the two overlays interleave
+  // rather than shadow each other when both are requested).
+  for (int p = 0; p < preempts; ++p) {
+    chaos::FaultEvent ev;
+    ev.kind = chaos::FaultKind::Preempt;
+    ev.at = vt::from_millis(horizon_ms * 0.2 + horizon_ms * 0.55 * (p + 0.5) / preempts);
+    ev.node = static_cast<int>((seed + 1 + static_cast<u64>(p)) % static_cast<u64>(nodes));
+    config.plan.add(ev);
+  }
 
   if (print_plan) {
     std::fputs(config.plan.to_text().c_str(), stdout);
@@ -147,10 +183,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.kernels_failed),
                 t.final_status == Status::Ok ? (t.data_ok ? "verified" : "MISMATCH") : "n/a");
   }
-  std::printf("makespan %.6f s | recoveries %llu | requeues %llu | transport retries %llu "
-              "(dropped %llu)\n",
+  std::printf("makespan %.6f s | recoveries %llu | requeues %llu | preemptions %llu | "
+              "transport retries %llu (dropped %llu)\n",
               result.makespan_seconds, static_cast<unsigned long long>(result.recoveries),
               static_cast<unsigned long long>(result.requeues),
+              static_cast<unsigned long long>(result.preemptions),
               static_cast<unsigned long long>(result.transport_retries),
               static_cast<unsigned long long>(result.transport_dropped));
 

@@ -187,6 +187,32 @@ int main(int argc, char** argv) {
           }
           std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
         }
+        // Scheduler health: dispatch + preemption counters (binds, unbinds,
+        // preemptions, thrash-governor trips, the current quantum) and the
+        // latency quantiles (queue wait, binding hold) that preemptive
+        // policies trade against each other.
+        bool sched_header = false;
+        const auto sched_section = [&] {
+          if (!sched_header) {
+            std::printf("---- scheduler ----\n");
+            sched_header = true;
+          }
+        };
+        for (const auto& v : snap.value().values) {
+          if (v.name.rfind("stats.sched.", 0) != 0) continue;
+          sched_section();
+          std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
+        }
+        for (const auto& v : snap.value().values) {
+          if (v.kind != obs::MetricKind::Histogram || v.count == 0) continue;
+          if (v.name.rfind("sched.", 0) != 0) continue;
+          sched_section();
+          std::printf("%-48s count %llu p50 %.6f p95 %.6f p99 %.6f\n", v.name.c_str(),
+                      static_cast<unsigned long long>(v.count),
+                      obs::histogram_quantile(v.edges, v.buckets, 0.50),
+                      obs::histogram_quantile(v.edges, v.buckets, 0.95),
+                      obs::histogram_quantile(v.edges, v.buckets, 0.99));
+        }
         // Offload health: the per-node "stats.node.<name>.*" gauges a
         // cluster daemon publishes (offloaded connections, local fallbacks,
         // recoveries). A stand-alone daemon with no node identity has none.

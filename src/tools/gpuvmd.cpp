@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/dispatch_policy.hpp"
 #include "core/runtime.hpp"
+#include "core/sched_policy.hpp"
 #include "cudart/cudart.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -63,9 +65,9 @@ std::vector<std::string> split(const std::string& s, char sep) {
 void usage() {
   std::fprintf(stderr,
                "usage: gpuvmd --socket PATH [--node-name NAME] [--gpus LIST] [--vgpus N] "
-               "[--policy fcfs|sjf|credit|deadline] [--migration] [--cuda4]\n"
-               "              [--eager-transfers] [--mem-scale N] [--serve-seconds N] "
-               "[--trace-out FILE]\n");
+               "[--policy fcfs|sjf|credit|deadline|tq|fair] [--quantum-us N] [--migration]\n"
+               "              [--dispatch-policy NAME] [--cuda4] [--eager-transfers] "
+               "[--mem-scale N] [--serve-seconds N] [--trace-out FILE]\n");
 }
 
 }  // namespace
@@ -99,13 +101,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--vgpus") {
       config.scheduler.vgpus_per_device = std::atoi(next());
     } else if (arg == "--policy") {
-      const std::string p = next();
-      if (p == "fcfs") config.scheduler.policy = core::PolicyKind::Fcfs;
-      else if (p == "sjf") config.scheduler.policy = core::PolicyKind::ShortestJobFirst;
-      else if (p == "credit") config.scheduler.policy = core::PolicyKind::CreditBased;
-      else if (p == "deadline") config.scheduler.policy = core::PolicyKind::DeadlineAware;
-      else {
-        usage();
+      // Any registered SchedulingPolicy name; validated eagerly so a typo
+      // fails the command instead of silently scheduling FCFS.
+      config.scheduler.policy = next();
+      if (!core::make_scheduling_policy(config.scheduler.policy).has_value()) {
+        std::fprintf(stderr, "gpuvmd: unknown policy '%s' (registered:",
+                     config.scheduler.policy.c_str());
+        for (const std::string& name : core::scheduling_policy_names()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    } else if (arg == "--quantum-us") {
+      config.scheduler.quantum_seconds = std::atof(next()) * 1e-6;
+    } else if (arg == "--dispatch-policy") {
+      config.scheduler.dispatch_policy = next();
+      if (!cluster::make_dispatch_policy(config.scheduler.dispatch_policy).has_value()) {
+        std::fprintf(stderr,
+                     "gpuvmd: unknown dispatch policy '%s' "
+                     "(round_robin|least_loaded|memory_aware)\n",
+                     config.scheduler.dispatch_policy.c_str());
         return 2;
       }
     } else if (arg == "--migration") {

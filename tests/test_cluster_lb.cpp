@@ -162,7 +162,7 @@ TEST_F(ClusterLbTest, ProtocolV2PeersStayDispatchableWithoutLoadData) {
   }
 
   TorqueScheduler::Options options;
-  options.policy = make_least_loaded_policy();
+  options.sched.dispatch_policy = "least_loaded";
   options.directory = dir;
   TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
   std::atomic<int> done{0};
@@ -175,10 +175,25 @@ TEST_F(ClusterLbTest, ProtocolV2PeersStayDispatchableWithoutLoadData) {
   cluster.stop_load_reports();
 }
 
+TEST_F(ClusterLbTest, DispatchPolicyFactoryReportsTypedErrors) {
+  // The unified SchedulerConfig names dispatch policies as strings; the
+  // factory resolves them with typed errors for unknown names.
+  for (const char* name : {"round_robin", "least_loaded", "memory_aware"}) {
+    auto made = make_dispatch_policy(name);
+    ASSERT_TRUE(made.has_value()) << name;
+    EXPECT_STREQ(made.value()->name(), name);
+  }
+  EXPECT_EQ(make_dispatch_policy("no_such_policy").status(), Status::ErrorInvalidValue);
+}
+
 TEST_F(ClusterLbTest, OffloadHysteresisRefusesBelowWatermarks) {
-  DirectoryConfig config = fast_directory();
-  config.high_watermark = 1.0;
-  config.low_watermark = 0.5;
+  // Watermarks flow from the unified scheduler config into the directory.
+  core::SchedulerConfig sched;
+  sched.offload_high_watermark = 1.0;
+  sched.offload_low_watermark = 0.5;
+  DirectoryConfig config = directory_config_from(sched);
+  config.heartbeat_interval = fast_directory().heartbeat_interval;
+  config.suspect_after_missed = fast_directory().suspect_after_missed;
   Cluster cluster = make_cluster(two_test_nodes(), 2);
   cluster.enable_load_reports(config);
   NodeDirectory* dir = cluster.directory();
@@ -210,18 +225,18 @@ TEST_F(ClusterLbTest, LeastLoadedBeatsRoundRobinOnHeterogeneousCluster) {
   // weaker Quadro node (345 vs 160 effective GFLOPS). Round-robin divides
   // jobs equally and the Quadro node dominates the makespan; least-loaded
   // sees its queue build up in the heartbeats and shifts work to the C2050.
-  const auto run = [&](std::unique_ptr<DispatchPolicy> policy) {
+  const auto run = [&](const std::string& policy) {
     sim::SimParams params{1024};
     std::vector<NodeSpec> specs = {{"tesla", {sim::tesla_c2050(params)}},
                                    {"quadro", {sim::quadro_2000(params)}}};
     Cluster cluster = make_cluster(specs, 2);
     cluster.enable_load_reports(fast_directory());
     TorqueScheduler::Options options;
-    options.policy = std::move(policy);
+    options.sched.dispatch_policy = policy;
     options.directory = cluster.directory();
     // Dispatch slower than the heartbeat period so each placement is
     // visible to the next decision.
-    options.dispatch_interval_seconds = 0.001;
+    options.sched.dispatch_interval_seconds = 0.001;
     TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
     std::atomic<int> done{0};
     for (int i = 0; i < 12; ++i) torque.submit(make_job(dom_, 8, 0.1, &done));
@@ -230,8 +245,8 @@ TEST_F(ClusterLbTest, LeastLoadedBeatsRoundRobinOnHeterogeneousCluster) {
     cluster.stop_load_reports();
     return result.total_seconds;
   };
-  const double rr = run(make_round_robin_policy());
-  const double ll = run(make_least_loaded_policy());
+  const double rr = run("round_robin");
+  const double ll = run("least_loaded");
   EXPECT_LT(ll, rr);
 }
 
@@ -246,7 +261,7 @@ TEST_F(ClusterLbTest, MemoryAwareBestFitsTheFootprintHint) {
   dom_.sleep_for(vt::from_millis(1.0));
 
   TorqueScheduler::Options options;
-  options.policy = make_memory_aware_policy();
+  options.sched.dispatch_policy = "memory_aware";
   options.directory = cluster.directory();
   TorqueScheduler torque(dom_, cluster.node_pointers(), std::move(options));
   std::atomic<int> done{0};
@@ -275,9 +290,9 @@ TEST_F(ClusterLbTest, NodeBlackoutMidBatchStillCompletesEveryJob) {
   patient.enable_load_reports(fast_directory());
 
   TorqueScheduler::Options options;
-  options.policy = make_least_loaded_policy();
+  options.sched.dispatch_policy = "least_loaded";
   options.directory = patient.directory();
-  options.dispatch_interval_seconds = 0.002;
+  options.sched.dispatch_interval_seconds = 0.002;
   TorqueScheduler torque(dom_, patient.node_pointers(), std::move(options));
   std::atomic<int> done{0};
   for (int i = 0; i < 10; ++i) torque.submit(make_job(dom_, 3, 1.0, &done));

@@ -1,6 +1,7 @@
 // Unit tests for the vGPU scheduler (core/scheduler.hpp): slot creation,
 // policy ordering (FCFS / SJF / credit-based), residency affinity,
-// migration rules, and topology changes.
+// migration rules, topology changes, the SchedulingPolicy registry and
+// time-quantum preemption (exclusive rotation, pump-driven expiry).
 #include "core/scheduler.hpp"
 
 #include <gtest/gtest.h>
@@ -26,10 +27,13 @@ class SchedulerTest : public ::testing::Test {
     return id;
   }
 
-  std::unique_ptr<Scheduler> make(int vgpus, PolicyKind policy = PolicyKind::Fcfs,
+  std::unique_ptr<Scheduler> make(int vgpus, const std::string& policy = "fcfs",
                                   bool migration = false) {
-    auto sched = std::make_unique<Scheduler>(*rt_, *mm_,
-                                             Scheduler::Config{vgpus, policy, migration});
+    Scheduler::Config config;
+    config.vgpus_per_device = vgpus;
+    config.policy = policy;
+    config.enable_migration = migration;
+    auto sched = std::make_unique<Scheduler>(*rt_, *mm_, config);
     const auto all = machine_.all_gpus();
     for (size_t i = 0; i < all.size(); ++i) {
       sched->add_device(static_cast<int>(i), all[i]);
@@ -136,7 +140,7 @@ TEST_F(SchedulerTest, FcfsGrantsInArrivalOrder) {
 
 TEST_F(SchedulerTest, SjfPrefersShorterHints) {
   add_gpu();
-  auto sched = make(1, PolicyKind::ShortestJobFirst);
+  auto sched = make(1, "sjf");
   auto holder = make_ctx(1, 0.0, 1.0);
   auto long_job = make_ctx(2, 1.0, 100.0);
   auto short_job = make_ctx(3, 2.0, 5.0);  // arrives later but is shorter
@@ -172,7 +176,7 @@ TEST_F(SchedulerTest, SjfPrefersShorterHints) {
 
 TEST_F(SchedulerTest, CreditBasedFavorsLeastServedContext) {
   add_gpu();
-  auto sched = make(1, PolicyKind::CreditBased);
+  auto sched = make(1, "credit");
   auto holder = make_ctx(1);
   auto heavy = make_ctx(2, 1.0);
   heavy->gpu_time_used_seconds = 50.0;  // already consumed a lot
@@ -210,7 +214,7 @@ TEST_F(SchedulerTest, CreditBasedFavorsLeastServedContext) {
 
 TEST_F(SchedulerTest, DeadlineAwarePrefersEarliestDeadline) {
   add_gpu();
-  auto sched = make(1, PolicyKind::DeadlineAware);
+  auto sched = make(1, "deadline");
   auto holder = make_ctx(1);
   auto relaxed = make_ctx(2, 1.0);
   relaxed.get()->deadline_seconds = 100.0;
@@ -283,7 +287,7 @@ TEST_F(SchedulerTest, ResidencyAffinityWinsOverLoadBalance) {
 TEST_F(SchedulerTest, MigrationOnlyToStrictlyFasterDevice) {
   const GpuId fast = add_gpu(200.0);
   const GpuId slow = add_gpu(50.0);
-  auto sched = make(1, PolicyKind::Fcfs, /*migration=*/true);
+  auto sched = make(1, "fcfs", /*migration=*/true);
 
   // Context with residency on the slow device.
   auto ctx = make_ctx(1);
@@ -308,7 +312,7 @@ TEST_F(SchedulerTest, MigrationOnlyToStrictlyFasterDevice) {
 TEST_F(SchedulerTest, NoMigrationWhenDisabled) {
   add_gpu(200.0);
   const GpuId slow = add_gpu(50.0);
-  auto sched = make(1, PolicyKind::Fcfs, /*migration=*/false);
+  auto sched = make(1, "fcfs", /*migration=*/false);
   auto ctx = make_ctx(1);
   ClientId client = rt_->create_client();
   (void)rt_->set_device(client, 1);
@@ -342,6 +346,143 @@ TEST_F(SchedulerTest, AllDevicesGoneFailsWaiters) {
     dom_.unhold();
   }
   EXPECT_EQ(result, Status::ErrorDeviceUnavailable);
+}
+
+TEST_F(SchedulerTest, PolicyRegistryReportsTypedErrors) {
+  EXPECT_EQ(make_scheduling_policy("no-such-policy").status(), Status::ErrorInvalidValue);
+  for (const char* name : {"fcfs", "sjf", "credit", "deadline", "tq", "fair"}) {
+    auto policy = make_scheduling_policy(name);
+    ASSERT_TRUE(policy.has_value()) << name;
+    EXPECT_STREQ(policy.value()->name(), name);
+  }
+  EXPECT_FALSE(make_scheduling_policy("fcfs").value()->preemptive());
+  EXPECT_TRUE(make_scheduling_policy("tq").value()->preemptive());
+  EXPECT_TRUE(make_scheduling_policy("fair").value()->preemptive());
+
+  add_gpu();
+  auto bad = make(1, "no-such-policy");
+  EXPECT_EQ(bad->policy_status(), Status::ErrorInvalidValue);
+  EXPECT_STREQ(bad->policy().name(), "fcfs");  // daemon stays schedulable
+  auto good = make(1, "tq");
+  EXPECT_EQ(good->policy_status(), Status::Ok);
+}
+
+TEST_F(SchedulerTest, ExclusiveRotationHoldsBackSecondTenant) {
+  add_gpu();
+  auto sched = make(2, "tq");  // two vGPU slots on one physical device
+  auto first = make_ctx(1, 0.0);
+  auto second = make_ctx(2, 1.0);
+  ASSERT_TRUE(sched->acquire(*first).has_value());
+
+  bool second_bound = false;
+  {
+    dom_.hold();
+    vt::Thread tw(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*second).has_value());
+      second_bound = true;
+      sched->release(*second);
+    });
+    vt::Thread checker(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(1));
+      // The device still has a free vGPU slot, but exclusive rotation
+      // refuses to co-schedule a second tenant on the same physical GPU.
+      EXPECT_EQ(sched->waiting_count(), 1);
+      EXPECT_FALSE(second_bound);
+      sched->release(*first);
+    });
+    dom_.unhold();
+  }
+  EXPECT_TRUE(second_bound);
+}
+
+TEST_F(SchedulerTest, TqServesNeverScheduledContextFirst) {
+  add_gpu();
+  auto sched = make(1, "tq");
+  auto served = make_ctx(1, 0.0);
+  ASSERT_TRUE(sched->acquire(*served).has_value());
+  sched->release(*served);  // now carries a last-service stamp
+
+  auto holder = make_ctx(2, 1.0);
+  auto fresh = make_ctx(3, 2.0);  // latest arrival, but never served
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+
+  std::vector<u64> order;
+  std::mutex order_mu;
+  {
+    dom_.hold();
+    vt::Thread ts(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*served).has_value());
+      std::scoped_lock lock(order_mu);
+      order.push_back(1);
+    });
+    vt::Thread tf(dom_, [&] {
+      dom_.sleep_for(vt::from_micros(10));  // the served context waits first
+      ASSERT_TRUE(sched->acquire(*fresh).has_value());
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(3);
+      }
+      sched->release(*fresh);
+    });
+    vt::Thread releaser(dom_, [&] {
+      dom_.sleep_for(vt::from_millis(1));
+      sched->release(*holder);
+    });
+    dom_.unhold();
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);  // round-robin: least recently served first
+}
+
+TEST_F(SchedulerTest, QuantumPumpPreemptsExpiredHolder) {
+  add_gpu();
+  auto sched = make(1, "tq");
+  auto holder = make_ctx(1, 0.0);
+  auto waiter = make_ctx(2, 1.0);
+  // A stand-in for the Runtime's executor: no memory to swap in this
+  // fixture, so preemption is just the binding revocation.
+  std::map<u64, Context*> by_id{{1, holder.get()}, {2, waiter.get()}};
+  sched->set_preempt_executor([&](ContextId id) {
+    return sched->preempt(*by_id.at(id.value)) == Status::Ok;
+  });
+
+  ASSERT_TRUE(sched->acquire(*holder).has_value());
+  bool waiter_bound = false;
+  {
+    dom_.hold();
+    vt::Thread tw(dom_, [&] {
+      ASSERT_TRUE(sched->acquire(*waiter).has_value());
+      waiter_bound = true;
+      sched->release(*waiter);
+    });
+    dom_.unhold();
+  }
+  // The pump preempted the idle holder one quantum after its bind; the
+  // waiter never needed an explicit release from the holder.
+  EXPECT_TRUE(waiter_bound);
+  EXPECT_FALSE(sched->context_bound(holder->id));
+  EXPECT_GE(sched->stats().preemptions, 1u);
+}
+
+TEST_F(SchedulerTest, ForcePreemptSweepRevokesAllBindings) {
+  add_gpu();
+  add_gpu();
+  auto sched = make(1, "tq");
+  auto a = make_ctx(1, 0.0);
+  auto b = make_ctx(2, 1.0);
+  std::map<u64, Context*> by_id{{1, a.get()}, {2, b.get()}};
+  sched->set_preempt_executor([&](ContextId id) {
+    return sched->preempt(*by_id.at(id.value)) == Status::Ok;
+  });
+  ASSERT_TRUE(sched->acquire(*a).has_value());
+  ASSERT_TRUE(sched->acquire(*b).has_value());
+  auto swept = sched->force_preempt_sweep();
+  ASSERT_TRUE(swept.has_value());
+  EXPECT_EQ(swept.value(), 2);
+  EXPECT_EQ(sched->bound_count(), 0);
+
+  auto fcfs = make(1, "fcfs");
+  EXPECT_EQ(fcfs->force_preempt_sweep().value(), 0);  // non-preemptive no-op
 }
 
 TEST_F(SchedulerTest, HotAddUnblocksWaiters) {
