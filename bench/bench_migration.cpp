@@ -20,7 +20,12 @@
 //                            bytes (gate <= 0.5: sparse + incremental
 //                            shipping beats the dense footprint)
 //
-// Flags: --out <path>  --iters <n>  --quick
+// With --paging the same migration also runs with the page-granular memory
+// engine on both daemons and its per-phase byte counts land in a
+// non-gating "paged" object -- evidence that checkpoints and pre-copy
+// deltas survive page-scoped dirty tracking, not a second gate.
+//
+// Flags: --out <path>  --iters <n>  --quick  --paging
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -71,7 +76,7 @@ struct BenchResult {
   int iters_done = 0;
 };
 
-BenchResult run_migration(int iters) {
+BenchResult run_migration(int iters, bool paged) {
   vt::Domain dom;
   vt::AttachGuard guard(dom);
   sim::SimMachine source_machine(dom, bench_params());
@@ -83,6 +88,7 @@ BenchResult run_migration(int iters) {
   cudart::CudaRt source_rt(source_machine, cudart::CudaRtConfig{4 * 1024, 8});
   cudart::CudaRt target_rt(target_machine, cudart::CudaRtConfig{4 * 1024, 8});
   core::RuntimeConfig config;
+  config.paging = paged;
   core::Runtime source(source_rt, config);
   core::Runtime target(target_rt, config);
 
@@ -146,6 +152,7 @@ BenchResult run_migration(int iters) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_migration.json";
   int iters = 90;
+  bool with_paging = false;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) die("missing flag value");
@@ -158,12 +165,14 @@ int main(int argc, char** argv) {
       if (iters <= 0) die("bad --iters");
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       iters = 30;
+    } else if (std::strcmp(argv[i], "--paging") == 0) {
+      with_paging = true;
     } else {
-      die("unknown flag (expected --out/--iters/--quick)");
+      die("unknown flag (expected --out/--iters/--quick/--paging)");
     }
   }
 
-  const BenchResult r = run_migration(iters);
+  const BenchResult r = run_migration(iters, false);
   const core::MigrationReport& rep = r.report;
   const u64 total = rep.precopy_bytes + rep.stop_copy_bytes;
   const double stop_copy_over_image =
@@ -193,8 +202,25 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(total));
   std::fprintf(f, "  \"stop_copy_seconds\": %.6f,\n  \"migration_seconds\": %.6f,\n",
                rep.stop_copy_seconds, r.migration_seconds);
-  std::fprintf(f, "  \"stop_copy_over_image\": %.4f,\n  \"total_over_naive\": %.4f\n}\n",
+  std::fprintf(f, "  \"stop_copy_over_image\": %.4f,\n  \"total_over_naive\": %.4f",
                stop_copy_over_image, total_over_naive);
+  if (with_paging) {
+    const BenchResult p = run_migration(iters, true);
+    const core::MigrationReport& prep = p.report;
+    std::printf("paged: image=%llu precopy=%llu stop_copy=%llu migration=%.6fs\n",
+                static_cast<unsigned long long>(prep.image_bytes),
+                static_cast<unsigned long long>(prep.precopy_bytes),
+                static_cast<unsigned long long>(prep.stop_copy_bytes), p.migration_seconds);
+    std::fprintf(f,
+                 ",\n  \"paged\": {\"image_bytes\": %llu, \"precopy_bytes\": %llu, "
+                 "\"precopy_rounds\": %d, \"stop_copy_bytes\": %llu, "
+                 "\"stop_copy_seconds\": %.6f, \"migration_seconds\": %.6f}",
+                 static_cast<unsigned long long>(prep.image_bytes),
+                 static_cast<unsigned long long>(prep.precopy_bytes), prep.precopy_rounds,
+                 static_cast<unsigned long long>(prep.stop_copy_bytes), prep.stop_copy_seconds,
+                 p.migration_seconds);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("stop_copy_over_image=%.4f total_over_naive=%.4f -> %s\n", stop_copy_over_image,
               total_over_naive, out_path.c_str());

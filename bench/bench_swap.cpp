@@ -24,7 +24,13 @@
 // bytes moved and ops/sec for both engines plus the aggregate bytes_ratio
 // (incremental/naive, CI gate <= 0.5) and ops_speedup (>= 1.5).
 //
-// Flags: --out <path>  --iters <n>  --quick
+// With --paging a third, non-gating row runs each scenario under the
+// page-granular engine (64 KiB pages, page-lru, stride prefetch). The
+// loop's launches carry no AccessHints, so this measures the paged
+// engine's conservative whole-entry fallback -- a sanity row, not the
+// engine's best case (bench_paging covers that).
+//
+// Flags: --out <path>  --iters <n>  --quick  --paging
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -110,7 +116,8 @@ void tenant_loop(core::Runtime& runtime, vt::Domain& dom, int buffers, int iters
   }
 }
 
-RunResult run_scenario(bool incremental, int tenants, int buffers_per_tenant, int iters) {
+RunResult run_scenario(bool incremental, bool paged, int tenants, int buffers_per_tenant,
+                       int iters) {
   vt::Domain dom;
   vt::AttachGuard guard(dom);
   sim::SimMachine machine(dom, bench_params());
@@ -119,6 +126,7 @@ RunResult run_scenario(bool incremental, int tenants, int buffers_per_tenant, in
   cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 16});
   core::RuntimeConfig config;
   config.incremental_swap = incremental;
+  config.paging = paged;
   config.scheduler.vgpus_per_device = tenants > 1 ? tenants : 1;
   core::Runtime runtime(rt, config);
 
@@ -152,6 +160,7 @@ RunResult run_scenario(bool incremental, int tenants, int buffers_per_tenant, in
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_swap.json";
   int iters = 60;
+  bool with_paging = false;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) die("missing flag value");
@@ -164,8 +173,10 @@ int main(int argc, char** argv) {
       if (iters <= 0) die("bad --iters");
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       iters = 16;
+    } else if (std::strcmp(argv[i], "--paging") == 0) {
+      with_paging = true;
     } else {
-      die("unknown flag (expected --out/--iters/--quick)");
+      die("unknown flag (expected --out/--iters/--quick/--paging)");
     }
   }
 
@@ -181,12 +192,23 @@ int main(int argc, char** argv) {
 
   RunResult naive[2];
   RunResult incr[2];
+  RunResult paged[2];
   for (size_t s = 0; s < 2; ++s) {
-    naive[s] = run_scenario(false, scenarios[s].tenants, scenarios[s].buffers_per_tenant, iters);
-    incr[s] = run_scenario(true, scenarios[s].tenants, scenarios[s].buffers_per_tenant, iters);
-    for (const auto* r : {&naive[s], &incr[s]}) {
+    naive[s] =
+        run_scenario(false, false, scenarios[s].tenants, scenarios[s].buffers_per_tenant, iters);
+    incr[s] =
+        run_scenario(true, false, scenarios[s].tenants, scenarios[s].buffers_per_tenant, iters);
+    if (with_paging) {
+      paged[s] =
+          run_scenario(true, true, scenarios[s].tenants, scenarios[s].buffers_per_tenant, iters);
+    }
+    for (const auto* r : {&naive[s], &incr[s], with_paging ? &paged[s] : nullptr}) {
+      if (r == nullptr) continue;
       std::printf("%-14s %-12s bytes=%10llu swaps=%6llu ops/sec=%9.1f modeled_s=%.4f\n",
-                  scenarios[s].name, r == &naive[s] ? "naive" : "incremental",
+                  scenarios[s].name,
+                  r == &naive[s]  ? "naive"
+                  : r == &incr[s] ? "incremental"
+                                  : "paged",
                   static_cast<unsigned long long>(r->bytes_moved),
                   static_cast<unsigned long long>(r->swap_ops), r->ops_per_sec,
                   r->elapsed_seconds);
@@ -210,8 +232,11 @@ int main(int argc, char** argv) {
     const struct {
       const char* name;
       const RunResult* r;
-    } rows[] = {{"naive", &naive[s]}, {"incremental", &incr[s]}};
-    for (size_t m = 0; m < 2; ++m) {
+    } rows[] = {{"naive", &naive[s]},
+                {"incremental", &incr[s]},
+                {"paged", with_paging ? &paged[s] : nullptr}};
+    const size_t row_count = with_paging ? 3 : 2;
+    for (size_t m = 0; m < row_count; ++m) {
       const RunResult& r = *rows[m].r;
       std::fprintf(f,
                    "      \"%s\": {\"bytes_moved\": %llu, \"swap_ops\": %llu, "
@@ -220,7 +245,8 @@ int main(int argc, char** argv) {
                    rows[m].name, static_cast<unsigned long long>(r.bytes_moved),
                    static_cast<unsigned long long>(r.swap_ops), r.ops_per_sec,
                    r.elapsed_seconds, static_cast<unsigned long long>(r.dirty_bytes_saved),
-                   static_cast<unsigned long long>(r.clean_swap_skips), m == 0 ? "," : "");
+                   static_cast<unsigned long long>(r.clean_swap_skips),
+                   m + 1 == row_count ? "" : ",");
     }
     std::fprintf(f, "    }%s\n", s == 0 ? "," : "");
   }

@@ -196,6 +196,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   rc.scheduler.device_wait_grace_seconds = config.grace_seconds;
   rc.scheduler.policy = config.sched_policy;
   if (config.quantum_seconds > 0.0) rc.scheduler.quantum_seconds = config.quantum_seconds;
+  rc.paging = config.paging;
   // Checkpoint after every completed kernel: an Ok the application saw must
   // survive a later device loss (otherwise recovery would silently replay
   // from stale swap data and the mirror compare would catch it).

@@ -50,6 +50,11 @@ struct ScenarioConfig {
   std::string sched_policy = "fcfs";
   /// Preemption quantum override in seconds; 0 keeps the scheduler default.
   double quantum_seconds = 0.0;
+  /// Page-granular memory engine on every node (RuntimeConfig::paging).
+  /// Tenant pipelines are unhinted, so results must stay byte-identical to
+  /// the entry-granular engine -- only modeled costs shift; determinism
+  /// must hold either way.
+  bool paging = false;
   FaultPlan plan;
 };
 

@@ -28,6 +28,11 @@ struct ByteRange {
   friend bool operator==(const ByteRange&, const ByteRange&) = default;
 };
 
+/// Largest multiple of `page` at or below `x` (page > 0).
+constexpr u64 page_floor(u64 x, u64 page) { return x / page * page; }
+/// Smallest multiple of `page` at or above `x` (page > 0).
+constexpr u64 page_ceil(u64 x, u64 page) { return (x + page - 1) / page * page; }
+
 class IntervalSet {
  public:
   /// Adds [begin, end), merging with any overlapping or adjacent range.
@@ -98,6 +103,54 @@ class IntervalSet {
         out.back().end = r.end;
       } else {
         out.push_back(r);
+      }
+    }
+    return out;
+  }
+
+  /// Set intersection: the bytes covered by both sets.
+  IntervalSet intersected(const IntervalSet& other) const {
+    IntervalSet out;
+    auto a = ranges_.begin();
+    auto b = other.ranges_.begin();
+    while (a != ranges_.end() && b != other.ranges_.end()) {
+      const u64 begin = std::max(a->begin, b->begin);
+      const u64 end = std::min(a->end, b->end);
+      if (begin < end) out.add(begin, end);
+      // Advance whichever range ends first; the other may still overlap
+      // the next one.
+      if (a->end < b->end) ++a;
+      else ++b;
+    }
+    return out;
+  }
+
+  /// Page-granular rounding: every range expanded outward to `page_bytes`
+  /// boundaries and clamped to `limit` (the entry size, so the final
+  /// partial page never rounds past the allocation). Adjacent pages that
+  /// meet after rounding coalesce into one range. The paged swap engine
+  /// moves data at this granularity.
+  IntervalSet page_rounded(u64 page_bytes, u64 limit) const {
+    IntervalSet out;
+    for (const ByteRange& r : ranges_) {
+      const u64 begin = page_floor(std::min(r.begin, limit), page_bytes);
+      const u64 end = std::min(page_ceil(r.end, page_bytes), limit);
+      out.add(begin, end);
+    }
+    return out;
+  }
+
+  /// Indices of every `page_bytes`-sized page (of a `limit`-byte entry)
+  /// this set touches, ascending. The TLB model and the per-page last-use
+  /// stamps key on these indices.
+  std::vector<u64> pages(u64 page_bytes, u64 limit) const {
+    std::vector<u64> out;
+    for (const ByteRange& r : ranges_) {
+      if (r.begin >= limit) continue;
+      const u64 first = r.begin / page_bytes;
+      const u64 last = (std::min(r.end, limit) - 1) / page_bytes;
+      for (u64 p = first; p <= last; ++p) {
+        if (out.empty() || out.back() != p) out.push_back(p);
       }
     }
     return out;

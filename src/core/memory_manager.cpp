@@ -4,6 +4,7 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <numeric>
 #include <set>
 
 #include "common/log.hpp"
@@ -48,13 +49,56 @@ obs::Histogram& bulk_h2d_bytes_hist() {
   return h;
 }
 
+obs::Counter& page_faults_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmPageFaults);
+  return c;
+}
+
+obs::Counter& tlb_hits_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmTlbHits);
+  return c;
+}
+
+obs::Counter& tlb_misses_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmTlbMisses);
+  return c;
+}
+
+obs::Counter& prefetched_pages_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmPrefetchedPages);
+  return c;
+}
+
+obs::Counter& page_evictions_counter() {
+  static obs::Counter& c = obs::metrics().counter(obs::names::kMmPageEvictions);
+  return c;
+}
+
+obs::Histogram& page_fault_seconds_hist() {
+  static obs::Histogram& h =
+      obs::metrics().histogram(obs::names::kMmPageFaultSeconds, obs::default_seconds_edges());
+  return h;
+}
+
 }  // namespace
 
-MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {}
+MemoryManager::MemoryManager(cudart::CudaRt& rt, Config config) : rt_(&rt), config_(config) {
+  if (config_.page_bytes == 0) config_.page_bytes = 64 * 1024;
+}
 
 void MemoryManager::add_context(ContextId ctx) {
   auto mem = std::make_shared<CtxMem>();
   mem->self = ctx;
+  if (config_.paging) {
+    // Per-context policy instances: stateful prefetchers learn one
+    // tenant's access pattern, never a neighbour's. Unknown names fall
+    // back to the defaults (the config is validated at the CLI boundary;
+    // here a typo must not strand a context without a victim ranking).
+    auto evict = make_eviction_policy(config_.eviction_policy);
+    mem->evict = evict ? std::move(evict).value() : make_eviction_policy("page-lru").value();
+    auto prefetch = make_prefetch_policy(config_.prefetch_policy);
+    mem->prefetch = prefetch ? std::move(prefetch).value() : make_prefetch_policy("none").value();
+  }
   contexts_.emplace(ctx, std::move(mem));
 }
 
@@ -248,6 +292,55 @@ void MemoryManager::fence_writeback(PageTableEntry& pte) {
   pte.writeback_done = vt::TimePoint{};
 }
 
+void MemoryManager::fence_upload(PageTableEntry& pte) {
+  if (pte.upload_done == vt::TimePoint{}) return;
+  vt::Domain& dom = rt_->machine().domain();
+  if (pte.upload_done > dom.now()) dom.sleep_until(pte.upload_done);
+  pte.upload_done = vt::TimePoint{};
+}
+
+void MemoryManager::tlb_flush_entry(CtxMem& mem, const PageTableEntry& pte) {
+  auto it = mem.tlb.slot.lower_bound({pte.virtual_ptr, 0});
+  while (it != mem.tlb.slot.end() && it->first.first == pte.virtual_ptr) {
+    mem.tlb.order.erase(it->second);
+    it = mem.tlb.slot.erase(it);
+  }
+}
+
+bool MemoryManager::tlb_access(CtxMem& mem, const PageTableEntry& pte, u64 page) {
+  CtxMem::Tlb& tlb = mem.tlb;
+  const std::pair<u64, u64> key{pte.virtual_ptr, page};
+  const u64 tick = ++tlb.tick;
+  if (const auto it = tlb.slot.find(key); it != tlb.slot.end()) {
+    tlb.order.erase(it->second);
+    it->second = tick;
+    tlb.order.emplace(tick, key);
+    return true;
+  }
+  if (config_.tlb_entries > 0 && tlb.slot.size() >= config_.tlb_entries) {
+    const auto lru = tlb.order.begin();
+    tlb.slot.erase(lru->second);
+    tlb.order.erase(lru);
+  }
+  tlb.slot.emplace(key, tick);
+  tlb.order.emplace(tick, key);
+  return false;
+}
+
+u64 MemoryManager::page_count_of(const PageTableEntry& pte) const {
+  return (pte.size + config_.page_bytes - 1) / config_.page_bytes;
+}
+
+void MemoryManager::stamp_pages(PageTableEntry& pte, const std::vector<u64>& pages,
+                                i64 now_ns) {
+  if (pages.empty()) return;
+  const u64 count = page_count_of(pte);
+  if (pte.page_use_ns.size() < count) pte.page_use_ns.resize(count, 0);
+  for (const u64 p : pages) {
+    if (p < pte.page_use_ns.size()) pte.page_use_ns[p] = now_ns;
+  }
+}
+
 Status MemoryManager::on_copy_d2h(ContextId ctx, std::span<std::byte> dst, VirtualPtr src,
                                   u64 size) {
   CtxMemPtr mem = find(ctx);
@@ -308,6 +401,7 @@ Status MemoryManager::on_free(ContextId ctx, VirtualPtr ptr) {
   if (pte->is_allocated) {
     // Table 1: "If (PTE.isAllocated) cudaFree".
     (void)rt_->free(pte->owner_client, pte->device_ptr);
+    if (config_.paging) tlb_flush_entry(*mem, *pte);
     lru_remove(*mem, *pte);
     // Decide "all resident bytes gone" from the fetch_sub return value: a
     // separate load could observe a concurrent query's interleaving.
@@ -447,6 +541,15 @@ Status MemoryManager::swap_entry(CtxMem& mem, PageTableEntry& pte) {
   pte.to_copy_2_dev = true;  // next use re-materializes from swap
   pte.dev_dirty.clear();     // the device copy is gone
   pte.host_dirty.clear();    // recomputed from swap_valid at re-materialization
+  if (config_.paging) {
+    // Translations die with the device copy; an in-flight prefetch into it
+    // is moot (content already landed in the block we just freed). The
+    // page-use stamps survive: they still describe the entry's heat.
+    tlb_flush_entry(mem, pte);
+    pte.upload_done = vt::TimePoint{};
+    stats_.page_evictions.fetch_add(page_count_of(pte), std::memory_order_relaxed);
+    page_evictions_counter().add(page_count_of(pte));
+  }
   lru_remove(mem, pte);
   // fetch_sub's return value decides "all resident bytes gone": a separate
   // load could race with a concurrent materialization elsewhere.
@@ -490,6 +593,57 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
   }
   std::vector<PageTableEntry*> closure = nested_closure(*mem, std::move(roots));
   const std::set<PageTableEntry*> needed(closure.begin(), closure.end());
+
+  // Paged engine: scope this launch's data movement to the pages its
+  // AccessHint annotations declare (page-rounded byte ranges per hinted
+  // entry). An entry referenced by any unhinted pointer argument -- or one
+  // carrying nested pointers, whose image is patched whole, or one reached
+  // only through the nested closure -- moves at entry granularity exactly
+  // like the baseline. These maps are pointer-keyed for lookup only: every
+  // order-sensitive walk below iterates `closure`, whose order is
+  // deterministic (heap addresses are not).
+  std::map<PageTableEntry*, IntervalSet> hint_needed;
+  std::map<PageTableEntry*, IntervalSet> hint_written;
+  if (config_.paging) {
+    std::map<u64, std::vector<const sim::KernelArg*>> hints_by_arg;
+    for (const sim::KernelArg& a : args) {
+      if (a.is_access_hint()) hints_by_arg[a.hint_arg()].push_back(&a);
+    }
+    std::set<PageTableEntry*> whole;
+    for (size_t i = 0; i < args.size(); ++i) {
+      PageTableEntry* pte = refs[i].pte;
+      if (pte == nullptr) continue;
+      const auto h = hints_by_arg.find(i);
+      if (h == hints_by_arg.end() || !pte->nested.empty() || pte->is_nested_member) {
+        whole.insert(pte);
+        continue;
+      }
+      IntervalSet& need = hint_needed[pte];
+      IntervalSet& written = hint_written[pte];
+      for (const sim::KernelArg* hint : h->second) {
+        // Hint ranges are relative to the (possibly interior) pointer the
+        // argument carries; rebase onto the entry and clamp.
+        const u64 begin = std::min(refs[i].offset + hint->hint_offset(), pte->size);
+        const u64 end = std::min(begin + hint->hint_length(), pte->size);
+        if (begin >= end) continue;
+        need.add(begin, end);
+        if (hint->hint_written()) written.add(begin, end);
+      }
+    }
+    for (PageTableEntry* pte : closure) {
+      if (hint_needed.find(pte) == hint_needed.end()) whole.insert(pte);
+    }
+    for (PageTableEntry* pte : whole) {
+      hint_needed.erase(pte);
+      hint_written.erase(pte);
+    }
+    for (auto& [pte, set] : hint_needed) {
+      set = set.page_rounded(config_.page_bytes, pte->size);
+    }
+    for (auto& [pte, set] : hint_written) {
+      set = set.page_rounded(config_.page_bytes, pte->size);
+    }
+  }
 
   bool counted_intra = false;
   for (PageTableEntry* pte : closure) {
@@ -544,11 +698,31 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       // The indexed LRU walks in (last_use, vptr) order, so the first
       // eligible entry is the one the old O(entries) scan picked.
       PageTableEntry* victim = nullptr;
-      for (const auto& [key, candidate] : mem->lru) {
-        if (needed.count(candidate) != 0) continue;
-        if (GpuId{candidate->resident_gpu} != gpu) continue;
-        victim = candidate;
-        break;
+      if (config_.paging && mem->evict != nullptr) {
+        // Policy-scored victim ranking over every evictable candidate;
+        // smallest score evicts. Strict less-than keeps the first-seen
+        // candidate on ties, and the (last_use, vptr) walk order is
+        // deterministic, so identical runs pick identical victims.
+        double best = 0.0;
+        for (const auto& [key, candidate] : mem->lru) {
+          if (needed.count(candidate) != 0) continue;
+          if (GpuId{candidate->resident_gpu} != gpu) continue;
+          const EvictionCandidate c{candidate->virtual_ptr, candidate->size,
+                                    config_.page_bytes, candidate->last_use.count(),
+                                    std::span<const i64>(candidate->page_use_ns)};
+          const double score = mem->evict->score(c, now_stamp.count());
+          if (victim == nullptr || score < best) {
+            victim = candidate;
+            best = score;
+          }
+        }
+      } else {
+        for (const auto& [key, candidate] : mem->lru) {
+          if (needed.count(candidate) != 0) continue;
+          if (GpuId{candidate->resident_gpu} != gpu) continue;
+          victim = candidate;
+          break;
+        }
       }
       if (victim == nullptr) {
         result.outcome = PrepareOutcome::WouldBlock;
@@ -565,6 +739,43 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
     lru_touch(*mem, *pte, now_stamp);
   }
 
+  // Paged engine: the launch's page walk. Every page the kernel touches
+  // (its hinted pages; all pages for entry-granular references) costs one
+  // TLB access; the misses charge the modeled walk latency once, up front.
+  // In-flight prefetch page-ins must land before the kernel consumes the
+  // bytes -- the H2D mirror of the writeback fence.
+  std::map<PageTableEntry*, std::vector<u64>> touched;
+  if (config_.paging) {
+    u64 hits = 0;
+    u64 misses = 0;
+    for (PageTableEntry* pte : closure) {
+      fence_upload(*pte);
+      std::vector<u64> pages;
+      if (const auto h = hint_needed.find(pte); h != hint_needed.end()) {
+        pages = h->second.pages(config_.page_bytes, pte->size);
+      } else {
+        pages.resize(page_count_of(*pte));
+        std::iota(pages.begin(), pages.end(), u64{0});
+      }
+      for (const u64 p : pages) {
+        if (tlb_access(*mem, *pte, p)) {
+          ++hits;
+        } else {
+          ++misses;
+        }
+      }
+      stamp_pages(*pte, pages, now_stamp.count());
+      touched.emplace(pte, std::move(pages));
+    }
+    stats_.tlb_hits.fetch_add(hits, std::memory_order_relaxed);
+    stats_.tlb_misses.fetch_add(misses, std::memory_order_relaxed);
+    if (hits > 0) tlb_hits_counter().add(hits);
+    if (misses > 0) {
+      tlb_misses_counter().add(misses);
+      rt_->machine().domain().sleep_for(vt::Duration{misses * config_.tlb_miss_ns});
+    }
+  }
+
   // Bulk transfers for deferred data, then nested pointer patching
   // (children were materialized first). Only the dirty/validated ranges
   // ship (whole entries in naive mode); consolidation bridges small gaps.
@@ -577,12 +788,24 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
   std::vector<Upload> uploads;
   for (PageTableEntry* pte : closure) {
     if (!pte->to_copy_2_dev) continue;
+    Upload up{pte, {}};
+    if (const auto h = hint_needed.find(pte); h != hint_needed.end()) {
+      // Demand paging: only the pages this launch declared, of the ranges
+      // swap actually holds newer data for. Undeclared host-dirty pages
+      // stay behind and page in when a later launch names them. All hinted
+      // pages already resident: nothing to ship, no writeback fence, and no
+      // bulk transfer counted (the entry stays flagged for its cold pages).
+      up.ranges = pte->host_dirty.intersected(h->second).coalesced(config_.coalesce_gap_bytes);
+      if (up.ranges.empty()) continue;
+    } else {
+      up.ranges = upload_ranges(*pte);
+    }
     flagged_bytes += pte->size;
-    Upload up{pte, upload_ranges(*pte)};
     for (const ByteRange& r : up.ranges) bulk_bytes += r.size();
     uploads.push_back(std::move(up));
   }
   if (!uploads.empty()) {
+    const vt::TimePoint fault_start = rt_->machine().domain().now();
     obs::SpanScope sp("bulk-h2d", "swap", obs::kRuntimePid, ctx.value, ctx.value, bulk_bytes);
     for (const Upload& up : uploads) {
       PageTableEntry* pte = up.pte;
@@ -596,8 +819,13 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
           return result;
         }
       }
-      pte->to_copy_2_dev = false;
-      pte->host_dirty.clear();
+      if (const auto h = hint_needed.find(pte); h != hint_needed.end()) {
+        for (const ByteRange& r : h->second.ranges()) pte->host_dirty.erase(r.begin, r.end);
+        pte->to_copy_2_dev = !pte->host_dirty.empty();
+      } else {
+        pte->to_copy_2_dev = false;
+        pte->host_dirty.clear();
+      }
       stats_.bulk_transfers.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.swap_in_bytes.fetch_add(bulk_bytes, std::memory_order_relaxed);
@@ -607,6 +835,22 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       dirty_bytes_saved_counter().add(flagged_bytes - bulk_bytes);
     }
     bulk_h2d_bytes_hist().observe(static_cast<double>(bulk_bytes));
+    if (config_.paging) {
+      // Every synchronously uploaded page was a demand fault this launch
+      // stalled on; the histogram records the modeled service time.
+      u64 faults = 0;
+      for (const Upload& up : uploads) {
+        IntervalSet shipped;
+        for (const ByteRange& r : up.ranges) shipped.add(r.begin, r.end);
+        faults += shipped.pages(config_.page_bytes, up.pte->size).size();
+      }
+      if (faults > 0) {
+        stats_.page_faults.fetch_add(faults, std::memory_order_relaxed);
+        page_faults_counter().add(faults);
+      }
+      page_fault_seconds_hist().observe(
+          vt::to_seconds(rt_->machine().domain().now() - fault_start));
+    }
   }
   for (PageTableEntry* pte : closure) {
     if (pte->nested.empty()) continue;
@@ -635,15 +879,80 @@ MemoryManager::PrepareResult MemoryManager::prepare_launch(
       if (args[i].is_written() && refs[i].pte != nullptr) written_roots.push_back(refs[i].pte);
     }
     for (PageTableEntry* pte : nested_closure(*mem, std::move(written_roots))) {
+      if (hint_needed.find(pte) != hint_needed.end()) continue;  // hints govern below
       pte->to_copy_2_swap = true;
       pte->dev_dirty.add(0, pte->size);
       epoch_mark(*mem, *pte, 0, pte->size);
     }
   } else {
     for (PageTableEntry* pte : closure) {
+      if (hint_needed.find(pte) != hint_needed.end()) continue;  // hints govern below
       pte->to_copy_2_swap = true;
       pte->dev_dirty.add(0, pte->size);
       epoch_mark(*mem, *pte, 0, pte->size);
+    }
+  }
+  // Hinted entries: the declared written pages are the exact write-set,
+  // subsuming the coarse dev/dev_out annotation. Written pages are a
+  // subset of the needed pages uploaded (and host-undirtied) above, so
+  // marking them device-dirty never violates the one-direction-dirty
+  // invariant. A read-only hinted launch dirties nothing.
+  if (config_.paging) {
+    for (PageTableEntry* pte : closure) {
+      const auto w = hint_written.find(pte);
+      if (w == hint_written.end() || w->second.empty()) continue;
+      for (const ByteRange& r : w->second.ranges()) {
+        pte->dev_dirty.add(r.begin, r.end);
+        epoch_mark(*mem, *pte, r.begin, r.end);
+      }
+      pte->to_copy_2_swap = true;
+    }
+  }
+
+  // Prefetch: predicted pages ride the async copy engine and overlap the
+  // kernel that triggered the prediction; the next launch referencing the
+  // entry fences on upload_done. Content lands immediately -- predictions
+  // can only move modeled time, never change results. Only pages swap
+  // holds newer data for actually ship.
+  if (config_.paging && mem->prefetch != nullptr) {
+    for (PageTableEntry* pte : closure) {
+      if (hint_needed.find(pte) == hint_needed.end()) continue;
+      const auto t = touched.find(pte);
+      if (t == touched.end() || t->second.empty()) continue;
+      const PrefetchQuery q{pte->virtual_ptr, config_.page_bytes, page_count_of(*pte),
+                            std::span<const u64>(t->second)};
+      std::vector<u64> predicted;
+      mem->prefetch->predict(q, config_.prefetch_lookahead, &predicted);
+      u64 shipped_pages = 0;
+      u64 shipped_bytes = 0;
+      for (const u64 p : predicted) {
+        const u64 begin = p * config_.page_bytes;
+        if (begin >= pte->size) continue;  // out-of-range prediction: dropped
+        const u64 end = std::min(begin + config_.page_bytes, pte->size);
+        IntervalSet want;
+        want.add(begin, end);
+        const IntervalSet ship = pte->host_dirty.intersected(want);
+        if (ship.empty()) continue;  // already resident (or never populated)
+        bool landed = false;
+        for (const ByteRange& r : ship.ranges()) {
+          auto done = rt_->memcpy_h2d_async(
+              pte->owner_client, pte->device_ptr + r.begin,
+              std::span<const std::byte>(pte->swap).subspan(r.begin, r.size()));
+          if (!done.has_value()) break;  // prefetch is best-effort
+          pte->upload_done = std::max(pte->upload_done, done.value());
+          pte->host_dirty.erase(r.begin, r.end);
+          shipped_bytes += r.size();
+          landed = true;
+        }
+        if (landed) ++shipped_pages;
+      }
+      if (shipped_pages > 0) {
+        pte->to_copy_2_dev = !pte->host_dirty.empty();
+        stats_.prefetched_pages.fetch_add(shipped_pages, std::memory_order_relaxed);
+        prefetched_pages_counter().add(shipped_pages);
+        stats_.swap_in_bytes.fetch_add(shipped_bytes, std::memory_order_relaxed);
+        swap_in_bytes_counter().add(shipped_bytes);
+      }
     }
   }
 
@@ -725,6 +1034,10 @@ void MemoryManager::on_device_lost(ContextId ctx, GpuId gpu) {
                                  // checkpoint is lost
     pte->dev_dirty.clear();      // lost with the device
     pte->host_dirty.clear();     // recomputed from swap_valid on re-materialization
+    if (config_.paging) {
+      tlb_flush_entry(*mem, *pte);
+      pte->upload_done = vt::TimePoint{};
+    }
     lru_remove(*mem, *pte);
     mem->resident_bytes.fetch_sub(pte->size, std::memory_order_relaxed);
   }
@@ -875,6 +1188,7 @@ Status MemoryManager::import_image(ContextId ctx, std::span<const u8> image) {
   }
   mem->entries = std::move(restored);
   mem->lru.clear();  // nothing in the image is device-resident
+  mem->tlb = CtxMem::Tlb{};  // every old translation points at dead entries
   ctx_lru_remove(*mem);
   mem->total_bytes.store(total_bytes, std::memory_order_relaxed);
   mem->resident_bytes.store(0, std::memory_order_relaxed);
@@ -1115,6 +1429,11 @@ MemStats MemoryManager::stats() const {
   out.dirty_bytes_saved = stats_.dirty_bytes_saved.load(std::memory_order_relaxed);
   out.clean_swap_skips = stats_.clean_swap_skips.load(std::memory_order_relaxed);
   out.preempt_swaps = stats_.preempt_swaps.load(std::memory_order_relaxed);
+  out.page_faults = stats_.page_faults.load(std::memory_order_relaxed);
+  out.tlb_hits = stats_.tlb_hits.load(std::memory_order_relaxed);
+  out.tlb_misses = stats_.tlb_misses.load(std::memory_order_relaxed);
+  out.prefetched_pages = stats_.prefetched_pages.load(std::memory_order_relaxed);
+  out.page_evictions = stats_.page_evictions.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -51,6 +51,7 @@
 #include "common/types.hpp"
 #include "common/vt.hpp"
 #include "core/gpu_api.hpp"
+#include "core/paging_policy.hpp"
 #include "cudart/cudart.hpp"
 
 namespace gpuvm::core {
@@ -107,6 +108,19 @@ struct PageTableEntry {
   /// uploads only the validated ranges and never-touched tails travel for
   /// free. Survives swap-out, device loss and checkpoint/restore.
   IntervalSet swap_valid;
+
+  // ---- Paged-engine state (Config::paging) --------------------------------
+  // Pure performance metadata: never serialized (checkpoint images and
+  // migration deltas are engine-agnostic) and never consulted for content
+  // decisions -- losing it costs extra transfers, not correctness.
+
+  /// Per-page last-use stamps (ns), sized to the entry's page count on
+  /// first paged touch; 0 = never touched. Feeds EvictionPolicy ranking.
+  std::vector<i64> page_use_ns;
+  /// Modeled completion time of an in-flight asynchronous prefetch page-in
+  /// (H2D). Bytes land immediately; the next launch referencing the entry
+  /// fences on this point -- the mirror of writeback_done. Zero = none.
+  vt::TimePoint upload_done{};
 };
 
 /// Counters for the experiments (Figures 7-9 annotate swap counts).
@@ -125,6 +139,12 @@ struct MemStats {
   u64 dirty_bytes_saved = 0; ///< bytes the incremental engine did not move
   u64 clean_swap_skips = 0;  ///< evictions that skipped the D2H entirely
   u64 preempt_swaps = 0;     ///< whole-context swap-outs on quantum expiry
+  // Paged engine (Config::paging); all zero in entry-granular mode.
+  u64 page_faults = 0;       ///< pages uploaded synchronously at launch
+  u64 tlb_hits = 0;
+  u64 tlb_misses = 0;
+  u64 prefetched_pages = 0;  ///< pages paged in asynchronously
+  u64 page_evictions = 0;    ///< pages freed by victim eviction
 };
 
 class MemoryManager {
@@ -152,6 +172,30 @@ class MemoryManager {
     /// clean gap of at most this many bytes ship as one transfer, trading a
     /// few redundant bytes for one less per-transfer PCIe latency.
     u64 coalesce_gap_bytes = 4096;
+
+    // ---- Paged engine -----------------------------------------------------
+
+    /// Page-granular residency: launch-path uploads, dirty marking, victim
+    /// ranking and prefetch operate on fixed-size pages scoped by the
+    /// launch's AccessHint annotations, with a per-context TLB model
+    /// charging miss costs on prepare_launch. Device allocations stay
+    /// whole-entry contiguous (kernel bodies address one span); pages
+    /// govern what *moves* and what *ages*, not where bytes live. False
+    /// keeps the entry-granular engine, byte-identical to pre-paging
+    /// behaviour (hints are ignored entirely).
+    bool paging = false;
+    /// Fixed page size of the paged engine.
+    u64 page_bytes = 64 * 1024;
+    /// Per-context TLB capacity in (entry, page) translations.
+    u64 tlb_entries = 64;
+    /// Modeled charge per TLB miss on the prepare_launch path (ns).
+    u64 tlb_miss_ns = 600;
+    /// Victim-ranking policy (core/paging_policy.hpp registry).
+    std::string eviction_policy = "page-lru";
+    /// Page-in prediction policy; "none" = demand paging only.
+    std::string prefetch_policy = "stride";
+    /// Pages the prefetch policy may queue per entry per launch.
+    u64 prefetch_lookahead = 2;
   };
 
   explicit MemoryManager(cudart::CudaRt& rt) : MemoryManager(rt, Config{}) {}
@@ -300,6 +344,25 @@ class MemoryManager {
     std::atomic<u64> resident_gpu{0};  // GpuId.value; 0 = none
     std::atomic<i64> last_use_ns{0};
     MigrationEpoch epoch;  ///< guarded by the caller's ContextLock
+
+    // ---- Paged-engine per-context state (Config::paging) --------------------
+    // Guarded -- like `entries` -- by the caller's ContextLock. Deterministic
+    // by construction: the LRU order is a tick counter bumped per access,
+    // never wall-clock, so identical launch sequences replay identical
+    // hit/miss streams (the chaos determinism suite holds us to it).
+
+    /// Software TLB over (entry vptr, page index) translations.
+    struct Tlb {
+      std::map<std::pair<u64, u64>, u64> slot;  ///< key -> tick of last access
+      std::map<u64, std::pair<u64, u64>> order; ///< tick -> key (LRU = begin)
+      u64 tick = 0;
+    };
+    Tlb tlb;
+    /// Per-context policy instances (stateful prefetchers must not share
+    /// observations across tenants). Null when paging is off or the
+    /// prefetch policy is "none".
+    std::unique_ptr<EvictionPolicy> evict;
+    std::unique_ptr<PrefetchPolicy> prefetch;
   };
 
   using CtxMemPtr = std::shared_ptr<CtxMem>;
@@ -365,6 +428,23 @@ class MemoryManager {
   /// metadata of an entry changes.
   static void epoch_mark(CtxMem& mem, const PageTableEntry& pte, u64 begin, u64 end);
 
+  // ---- Paged engine (caller holds the ContextLock) -------------------------
+  /// Blocks until any in-flight asynchronous prefetch page-in of this entry
+  /// has landed (modeled time; bytes are already in place). Call before a
+  /// launch consumes the entry's device bytes.
+  void fence_upload(PageTableEntry& pte);
+  /// Drops every TLB translation of the entry (eviction, free, device loss,
+  /// image import -- any point its device residency dissolves).
+  static void tlb_flush_entry(CtxMem& mem, const PageTableEntry& pte);
+  /// One TLB access for (entry, page); returns true on hit. Evicts the
+  /// least-recently-ticked translation at capacity.
+  bool tlb_access(CtxMem& mem, const PageTableEntry& pte, u64 page);
+  /// Entry page count under the configured page size (>= 1 for size > 0).
+  u64 page_count_of(const PageTableEntry& pte) const;
+  /// Stamps page-use recency for the touched pages (grows page_use_ns
+  /// lazily on first paged touch).
+  void stamp_pages(PageTableEntry& pte, const std::vector<u64>& pages, i64 now_ns);
+
   cudart::CudaRt* rt_;
   Config config_;
 
@@ -389,6 +469,11 @@ class MemoryManager {
     std::atomic<u64> dirty_bytes_saved{0};
     std::atomic<u64> clean_swap_skips{0};
     std::atomic<u64> preempt_swaps{0};
+    std::atomic<u64> page_faults{0};
+    std::atomic<u64> tlb_hits{0};
+    std::atomic<u64> tlb_misses{0};
+    std::atomic<u64> prefetched_pages{0};
+    std::atomic<u64> page_evictions{0};
   };
   mutable AtomicMemStats stats_;
 

@@ -97,9 +97,18 @@ class DispatchGuard {
 Runtime::Runtime(cudart::CudaRt& rt, RuntimeConfig config)
     : rt_(&rt),
       config_(config),
-      mm_(std::make_unique<MemoryManager>(
-          rt, MemoryManager::Config{config.defer_transfers, config.cuda4_semantics,
-                                    config.async_writeback, config.incremental_swap})),
+      mm_(std::make_unique<MemoryManager>(rt, [&config] {
+        MemoryManager::Config mc;
+        mc.defer_transfers = config.defer_transfers;
+        mc.direct_peer_transfers = config.cuda4_semantics;
+        mc.async_writeback = config.async_writeback;
+        mc.incremental_swap = config.incremental_swap;
+        mc.paging = config.paging;
+        mc.page_bytes = config.page_bytes;
+        mc.eviction_policy = config.eviction_policy;
+        mc.prefetch_policy = config.prefetch_policy;
+        return mc;
+      }())),
       scheduler_(std::make_unique<Scheduler>(rt, *mm_, config.scheduler)),
       global_dispatch_(std::make_unique<ContextLock>(rt.machine().domain())),
       drained_cv_(rt.machine().domain()) {
@@ -349,6 +358,11 @@ void Runtime::publish_metrics() const {
   gauge(mm_prefix + "dirty_bytes_saved", static_cast<double>(ms.dirty_bytes_saved));
   gauge(mm_prefix + "clean_swap_skips", static_cast<double>(ms.clean_swap_skips));
   gauge(mm_prefix + "preempt_swaps", static_cast<double>(ms.preempt_swaps));
+  gauge(mm_prefix + "page_faults", static_cast<double>(ms.page_faults));
+  gauge(mm_prefix + "tlb_hits", static_cast<double>(ms.tlb_hits));
+  gauge(mm_prefix + "tlb_misses", static_cast<double>(ms.tlb_misses));
+  gauge(mm_prefix + "prefetched_pages", static_cast<double>(ms.prefetched_pages));
+  gauge(mm_prefix + "page_evictions", static_cast<double>(ms.page_evictions));
   gauge(mm_prefix + "shard_contention", static_cast<double>(mm_->shard_contention()));
 
   for (const GpuId gpu : rt_->machine().all_gpus()) {

@@ -70,6 +70,17 @@ struct RuntimeConfig {
   /// the naive whole-buffer baseline.
   bool incremental_swap = true;
 
+  /// Page-granular memory engine: fixed-size pages, AccessHint-scoped
+  /// launch transfers, a per-context TLB cost model, and pluggable
+  /// eviction/prefetch policies (see MemoryManager::Config::paging). False
+  /// keeps the entry-granular engine, bit-identical to prior behaviour.
+  bool paging = false;
+  u64 page_bytes = 64 * 1024;
+  /// Paging policy names (core/paging_policy.hpp registries); validated at
+  /// the CLI boundary, unknown names fall back to defaults inside the MM.
+  std::string eviction_policy = "page-lru";
+  std::string prefetch_policy = "stride";
+
   /// Node load (contexts waiting for a vGPU) above which newly arriving
   /// connections are offloaded to the peer node. <0 disables offloading.
   int offload_threshold = -1;

@@ -140,14 +140,4 @@ std::vector<std::string> scheduling_policy_names() {
   return names;
 }
 
-const char* policy_name(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::Fcfs: return "fcfs";
-    case PolicyKind::ShortestJobFirst: return "sjf";
-    case PolicyKind::CreditBased: return "credit";
-    case PolicyKind::DeadlineAware: return "deadline";
-  }
-  return "fcfs";
-}
-
 }  // namespace gpuvm::core

@@ -76,17 +76,4 @@ StatusOr<std::unique_ptr<SchedulingPolicy>> make_scheduling_policy(const std::st
 /// Registered policy names, sorted (CLI help / error messages).
 std::vector<std::string> scheduling_policy_names();
 
-/// DEPRECATED -- the closed pre-PR8 policy enum, kept one release so old
-/// call sites can spell `policy_name(PolicyKind::Fcfs)` while they migrate
-/// to registry names.
-enum class PolicyKind {
-  Fcfs,
-  ShortestJobFirst,
-  CreditBased,
-  DeadlineAware,
-};
-
-/// DEPRECATED -- maps the legacy enum to its registry name.
-const char* policy_name(PolicyKind kind);
-
 }  // namespace gpuvm::core

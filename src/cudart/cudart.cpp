@@ -186,6 +186,26 @@ Status CudaRt::memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte>
   return s;
 }
 
+StatusOr<vt::TimePoint> CudaRt::memcpy_h2d_async(ClientId id, DevicePtr dst,
+                                                 std::span<const std::byte> src) {
+  calls_counter().add(1);
+  sim::SimGpu* gpu = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    Client* client = find_client_locked(id);
+    if (client == nullptr) return Status::ErrorInvalidValue;
+    auto ensured = ensure_context_locked(*client);
+    if (!ensured) return record(*client, ensured.status());
+    gpu = ensured.value();
+  }
+  obs::SpanScope sp("cudaMemcpyAsync H2D", "cudart", gpu->id().value,
+                    obs::kClientTidBase + id.value, 0, src.size());
+  auto done = gpu->copy_to_device_async(dst, src);
+  std::scoped_lock lock(mu_);
+  if (Client* client = find_client_locked(id)) (void)record(*client, done.status());
+  return done;
+}
+
 Status CudaRt::memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, u64 size) {
   calls_counter().add(1);
   sim::SimGpu* gpu = nullptr;

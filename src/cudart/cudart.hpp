@@ -92,6 +92,11 @@ class CudaRt {
   StatusOr<PitchedAlloc> malloc_pitch(ClientId id, u64 width, u64 height);
   Status free(ClientId id, DevicePtr ptr);
   Status memcpy_h2d(ClientId id, DevicePtr dst, std::span<const std::byte> src);
+  /// Host->device without blocking for the modeled transfer: the bytes are
+  /// placed immediately and the returned time point is when the copy
+  /// engine finishes the page-in (see SimGpu::copy_to_device_async).
+  StatusOr<vt::TimePoint> memcpy_h2d_async(ClientId id, DevicePtr dst,
+                                           std::span<const std::byte> src);
   Status memcpy_d2h(ClientId id, std::span<std::byte> dst, DevicePtr src, u64 size);
   /// Device->host without blocking for the modeled transfer: the bytes land
   /// in `dst` immediately and the returned time point is when the copy

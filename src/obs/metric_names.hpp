@@ -59,6 +59,18 @@ inline constexpr char kMmWritebackFences[] = "mm.writeback_fences";
 inline constexpr char kMmDirtyBytesSaved[] = "mm.dirty_bytes_saved";
 inline constexpr char kMmBulkH2dBytes[] = "mm.bulk_h2d_bytes";
 
+// ---- paged memory engine (MmConfig::paging) --------------------------------
+/// Pages uploaded synchronously on the launch path (demand paging).
+inline constexpr char kMmPageFaults[] = "mm.page_faults";
+inline constexpr char kMmTlbHits[] = "mm.tlb_hits";
+inline constexpr char kMmTlbMisses[] = "mm.tlb_misses";
+/// Pages paged in asynchronously by the prefetch policy.
+inline constexpr char kMmPrefetchedPages[] = "mm.prefetched_pages";
+/// Pages freed by paged-engine victim eviction.
+inline constexpr char kMmPageEvictions[] = "mm.page_evictions";
+/// Modeled seconds a launch spent servicing its page faults (histogram).
+inline constexpr char kMmPageFaultSeconds[] = "mm.page_fault_seconds";
+
 // ---- cluster control plane -------------------------------------------------
 inline constexpr char kClusterOffloadHysteresisRejections[] =
     "cluster.offload_hysteresis_rejections";

@@ -43,7 +43,8 @@ struct LaunchConfig {
   u64 total_threads() const { return grid.total() * block.total(); }
 };
 
-/// One marshaled kernel argument: a device pointer or a 64-bit scalar.
+/// One marshaled kernel argument: a device pointer, a 64-bit scalar, or an
+/// access-hint annotation.
 ///
 /// Device pointers come in two kinds: `dev` (the kernel may only read
 /// through this argument) and `dev_out` (the kernel writes through it).
@@ -54,8 +55,19 @@ struct LaunchConfig {
 /// kernels stay correct without changes. Encoding the annotation as an
 /// argument kind keeps the wire and trace formats unchanged (kind byte +
 /// 64 payload bits).
+///
+/// `AccessHint` refines the annotation to byte ranges for the paged memory
+/// engine: appended after the real arguments (so body argument indices are
+/// untouched), each hint declares that the kernel only touches
+/// [offset, offset+length) through pointer argument `arg` -- with `written`
+/// set, that it writes that range. The paged engine uploads and dirties
+/// only the hinted pages; the entry-granular engine (and unhinted entries)
+/// ignore hints entirely, so a wrong hint can only mislead a run that opted
+/// into paging. Payload packing: arg index [63:57], written flag [56],
+/// offset [55:28], length [27:0] (offsets/lengths cap at 256 MiB, far
+/// beyond any scaled simulation buffer).
 struct KernelArg {
-  enum class Kind : u8 { DevPtr = 0, I64 = 1, F64 = 2, DevPtrOut = 3 };
+  enum class Kind : u8 { DevPtr = 0, I64 = 1, F64 = 2, DevPtrOut = 3, AccessHint = 4 };
 
   Kind kind = Kind::I64;
   u64 bits = 0;
@@ -68,11 +80,18 @@ struct KernelArg {
     std::memcpy(&a.bits, &v, sizeof v);
     return a;
   }
+  static KernelArg access_hint(u64 arg, u64 offset, u64 length, bool written = false) {
+    KernelArg a{Kind::AccessHint, 0};
+    a.bits = (arg & 0x7f) << 57 | (written ? 1ull << 56 : 0) |
+             (offset & 0xfffffff) << 28 | (length & 0xfffffff);
+    return a;
+  }
 
   /// Any device-pointer kind (read-only or written).
   bool is_dev_ptr() const { return kind == Kind::DevPtr || kind == Kind::DevPtrOut; }
   /// Annotated as written by the kernel.
   bool is_written() const { return kind == Kind::DevPtrOut; }
+  bool is_access_hint() const { return kind == Kind::AccessHint; }
 
   DevicePtr as_ptr() const { return bits; }
   i64 as_i64() const { return static_cast<i64>(bits); }
@@ -81,6 +100,11 @@ struct KernelArg {
     std::memcpy(&v, &bits, sizeof v);
     return v;
   }
+
+  u64 hint_arg() const { return bits >> 57 & 0x7f; }
+  bool hint_written() const { return (bits >> 56 & 1) != 0; }
+  u64 hint_offset() const { return bits >> 28 & 0xfffffff; }
+  u64 hint_length() const { return bits & 0xfffffff; }
 };
 
 /// Resolved view a body receives: device-pointer args become writable byte

@@ -140,6 +140,27 @@ Status SimGpu::copy_to_device(DevicePtr dst, std::span<const std::byte> src) {
   return Status::Ok;
 }
 
+Result<vt::TimePoint> SimGpu::copy_to_device_async(DevicePtr dst,
+                                                   std::span<const std::byte> src) {
+  if (const Status s = check_healthy_and_count(); !ok(s)) return s;
+  {
+    std::scoped_lock lock(mem_mu_);
+    u64 offset = 0;
+    Block* block = locate_locked(dst, &offset);
+    if (block == nullptr) return Status::ErrorInvalidDevicePointer;
+    if (offset + src.size() > block->data.size()) return Status::ErrorInvalidValue;
+    std::memcpy(block->data.data() + offset, src.data(), src.size());
+    stats_.bytes_to_device += src.size();
+  }
+  vt::TimePoint start{};
+  const vt::TimePoint done =
+      copy_.occupy(transfer_time(spec_, params_, src.size()), 1, 0.0, nullptr, &start);
+  obs::emit_span("h2d-async", "xfer", id_.value, obs::kCopyEngineTid, start, done - start, 0,
+                 src.size());
+  transfer_bytes_hist().observe(static_cast<double>(src.size()));
+  return done;  // no sleep: the caller overlaps the page-in
+}
+
 Status SimGpu::copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 size) {
   if (const Status s = check_healthy_and_count(); !ok(s)) return s;
   if (dst.size() < size) return Status::ErrorInvalidValue;

@@ -65,6 +65,13 @@ class SimGpu {
   /// Transfer host->device. `dst` may point into the interior of an
   /// allocation. Blocks the caller for the modeled PCIe time.
   Status copy_to_device(DevicePtr dst, std::span<const std::byte> src);
+  /// Asynchronous host->device transfer: places the bytes in device memory
+  /// immediately (staging snapshot), reserves the copy engine for the
+  /// modeled PCIe time, and returns the virtual completion time without
+  /// blocking. The mirror of copy_from_device_async -- the page-in overlap
+  /// behind the paged engine's prefetch path. Consumers of the device copy
+  /// fence on the returned completion point.
+  Result<vt::TimePoint> copy_to_device_async(DevicePtr dst, std::span<const std::byte> src);
   /// Transfer device->host.
   Status copy_from_device(std::span<std::byte> dst, DevicePtr src, u64 size);
   /// Asynchronous device->host transfer: copies the bytes into `dst`

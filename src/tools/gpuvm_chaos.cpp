@@ -5,6 +5,7 @@
 //               [--verify-determinism] [--trace-out FILE.json]
 //               [--offload] [--no-load-reports] [--migrations N]
 //               [--preempt N] [--sched-policy NAME] [--quantum-us N]
+//               [--paging]
 //
 // Builds a multi-tenant cluster scenario, executes a FaultPlan against it
 // (seed-generated, or loaded from a plan file) and reports per-tenant
@@ -34,7 +35,8 @@ void usage() {
                "                   [--events N] [--horizon-ms MS]\n"
                "                   [--verify-determinism] [--trace-out FILE.json]\n"
                "                   [--offload] [--no-load-reports] [--migrations N]\n"
-               "                   [--preempt N] [--sched-policy NAME] [--quantum-us N]\n");
+               "                   [--preempt N] [--sched-policy NAME] [--quantum-us N]\n"
+               "                   [--paging]\n");
 }
 
 }  // namespace
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   std::string sched_policy;
   double quantum_us = 0.0;
   double horizon_ms = 30.0;
+  bool paging = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
     else if (arg == "--sched-policy") sched_policy = next();
     else if (arg == "--quantum-us") quantum_us = std::atof(next());
     else if (arg == "--horizon-ms") horizon_ms = std::atof(next());
+    else if (arg == "--paging") paging = true;
     else {
       usage();
       return 2;
@@ -120,6 +124,7 @@ int main(int argc, char** argv) {
     config.sched_policy = sched_policy;
   }
   config.quantum_seconds = quantum_us * 1e-6;
+  config.paging = paging;
 
   if (!plan_file.empty()) {
     std::ifstream in(plan_file);

@@ -213,6 +213,49 @@ int main(int argc, char** argv) {
                       obs::histogram_quantile(v.edges, v.buckets, 0.95),
                       obs::histogram_quantile(v.edges, v.buckets, 0.99));
         }
+        // Paging health (MmConfig::paging): fault/TLB/prefetch counters, the
+        // computed TLB hit-rate, and the per-launch fault-service quantiles.
+        // A daemon running the entry-granular engine publishes all-zero
+        // gauges; suppress the section entirely then.
+        {
+          double tlb_hits = 0.0;
+          double tlb_misses = 0.0;
+          bool paging_any = false;
+          for (const auto& v : snap.value().values) {
+            if (v.name == "stats.mm.tlb_hits") tlb_hits = v.gauge;
+            if (v.name == "stats.mm.tlb_misses") tlb_misses = v.gauge;
+            if ((v.name.rfind("stats.mm.page", 0) == 0 ||
+                 v.name.rfind("stats.mm.tlb", 0) == 0 ||
+                 v.name.rfind("stats.mm.prefetch", 0) == 0) &&
+                v.gauge != 0.0) {
+              paging_any = true;
+            }
+          }
+          if (paging_any) {
+            std::printf("---- paging ----\n");
+            for (const auto& v : snap.value().values) {
+              if (v.name.rfind("stats.mm.page", 0) != 0 &&
+                  v.name.rfind("stats.mm.tlb", 0) != 0 &&
+                  v.name.rfind("stats.mm.prefetch", 0) != 0) {
+                continue;
+              }
+              std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
+            }
+            if (tlb_hits + tlb_misses > 0.0) {
+              std::printf("%-48s %.1f%%\n", "tlb hit-rate",
+                          100.0 * tlb_hits / (tlb_hits + tlb_misses));
+            }
+            for (const auto& v : snap.value().values) {
+              if (v.kind != obs::MetricKind::Histogram || v.count == 0) continue;
+              if (v.name != "mm.page_fault_seconds") continue;
+              std::printf("%-48s count %llu p50 %.6f p95 %.6f p99 %.6f\n", v.name.c_str(),
+                          static_cast<unsigned long long>(v.count),
+                          obs::histogram_quantile(v.edges, v.buckets, 0.50),
+                          obs::histogram_quantile(v.edges, v.buckets, 0.95),
+                          obs::histogram_quantile(v.edges, v.buckets, 0.99));
+            }
+          }
+        }
         // Offload health: the per-node "stats.node.<name>.*" gauges a
         // cluster daemon publishes (offloaded connections, local fallbacks,
         // recoveries). A stand-alone daemon with no node identity has none.

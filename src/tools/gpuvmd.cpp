@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/dispatch_policy.hpp"
+#include "core/paging_policy.hpp"
 #include "core/runtime.hpp"
 #include "core/sched_policy.hpp"
 #include "cudart/cudart.hpp"
@@ -67,7 +68,8 @@ void usage() {
                "usage: gpuvmd --socket PATH [--node-name NAME] [--gpus LIST] [--vgpus N] "
                "[--policy fcfs|sjf|credit|deadline|tq|fair] [--quantum-us N] [--migration]\n"
                "              [--dispatch-policy NAME] [--cuda4] [--eager-transfers] "
-               "[--mem-scale N] [--serve-seconds N] [--trace-out FILE]\n");
+               "[--mem-scale N] [--serve-seconds N] [--trace-out FILE]\n"
+               "              [--paging] [--page-kb N] [--evict NAME] [--prefetch NAME]\n");
 }
 
 }  // namespace
@@ -130,6 +132,32 @@ int main(int argc, char** argv) {
       config.cuda4_semantics = true;
     } else if (arg == "--eager-transfers") {
       config.defer_transfers = false;
+    } else if (arg == "--paging") {
+      config.paging = true;
+    } else if (arg == "--page-kb") {
+      config.page_bytes = static_cast<u64>(std::atoll(next())) * 1024;
+    } else if (arg == "--evict") {
+      config.eviction_policy = next();
+      if (!core::make_eviction_policy(config.eviction_policy).has_value()) {
+        std::fprintf(stderr, "gpuvmd: unknown eviction policy '%s' (registered:",
+                     config.eviction_policy.c_str());
+        for (const std::string& name : core::eviction_policy_names()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    } else if (arg == "--prefetch") {
+      config.prefetch_policy = next();
+      if (!core::make_prefetch_policy(config.prefetch_policy).has_value()) {
+        std::fprintf(stderr, "gpuvmd: unknown prefetch policy '%s' (registered:",
+                     config.prefetch_policy.c_str());
+        for (const std::string& name : core::prefetch_policy_names()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
     } else if (arg == "--mem-scale") {
       params.mem_scale = static_cast<u64>(std::atoll(next()));
     } else if (arg == "--serve-seconds") {

@@ -110,16 +110,14 @@ struct RefBuffer {
   std::vector<std::byte> bytes;
 };
 
-class MmFuzz : public ::testing::TestWithParam<u64> {};
-
-TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
+void run_mm_fuzz(u64 seed, const MemoryManager::Config& cfg) {
   vt::Domain dom;
   vt::AttachGuard guard(dom);
   sim::SimMachine machine(dom, sim::SimParams{1});
   const GpuId g1 = machine.add_gpu(sim::test_gpu(256 * 1024));
   const GpuId g2 = machine.add_gpu(sim::test_gpu(256 * 1024));
   cudart::CudaRt rt(machine, cudart::CudaRtConfig{4 * 1024, 8});
-  MemoryManager mm(rt);
+  MemoryManager mm(rt, cfg);
 
   // Healthy devices the fuzz can target; device loss removes entries and
   // hot-add appends fresh ones (the chaos-extension of the fuzz).
@@ -139,7 +137,7 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   const ContextId ctx{1};
   mm.add_context(ctx);
 
-  Rng rng(GetParam());
+  Rng rng(seed);
   std::map<VirtualPtr, RefBuffer> model;
 
   const auto random_live = [&]() {
@@ -149,7 +147,7 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   };
 
   for (int step = 0; step < 600; ++step) {
-    const u64 op = rng.below(13);
+    const u64 op = rng.below(15);
     if (model.empty() || op == 0) {
       if (model.size() >= 8) continue;
       const u64 size = rng.below(24 * 1024) + 64;
@@ -267,6 +265,50 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
                   wr->second.bytes.begin() + static_cast<long>(offset));
         break;
       }
+      case 13: {  // page-hinted read-only launch (paged engine: demand faults)
+        auto it = random_live();
+        const Device& dev = devices[rng.below(devices.size())];
+        const u64 size = it->second.bytes.size();
+        const u64 offset = rng.below(size);
+        const u64 len = rng.below(size - offset) + 1;
+        auto prep = mm.prepare_launch(ctx, dev.gpu, dev.client,
+                                      {sim::KernelArg::dev(it->first),
+                                       sim::KernelArg::access_hint(0, offset, len)});
+        // Under the entry-granular engine the hint is ignored; under the
+        // paged engine only the hinted pages move. Either way the model is
+        // untouched (read-only) and later reads must still match.
+        if (prep.outcome == MemoryManager::PrepareOutcome::Ready) {
+          ASSERT_EQ(prep.translated.size(), 2u);
+        } else {
+          ASSERT_EQ(prep.outcome, MemoryManager::PrepareOutcome::WouldBlock);
+        }
+        break;
+      }
+      case 14: {  // page-hinted write: poke only inside the declared range
+        auto it = random_live();
+        const Device& dev = devices[rng.below(devices.size())];
+        const u64 size = it->second.bytes.size();
+        const u64 offset = rng.below(size);
+        const u64 len = rng.below(size - offset) + 1;
+        auto prep = mm.prepare_launch(
+            ctx, dev.gpu, dev.client,
+            {sim::KernelArg::dev(it->first),
+             sim::KernelArg::access_hint(0, offset, len, /*written=*/true)});
+        if (prep.outcome != MemoryManager::PrepareOutcome::Ready) {
+          ASSERT_EQ(prep.outcome, MemoryManager::PrepareOutcome::WouldBlock);
+          break;
+        }
+        // The hint contract: the kernel's writes stay inside the declared
+        // written range. The paged engine dirties exactly those pages, so
+        // any leak outside would surface as a model mismatch.
+        std::vector<std::byte> data(len);
+        for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+        ASSERT_EQ(machine.gpu(dev.gpu)->poke(prep.translated[0].as_ptr() + offset, data),
+                  Status::Ok);
+        std::copy(data.begin(), data.end(),
+                  it->second.bytes.begin() + static_cast<long>(offset));
+        break;
+      }
       default:
         break;
     }
@@ -280,7 +322,43 @@ TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
   for (const Device& dev : devices) rt.destroy_client(dev.client);
 }
 
+class MmFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MmFuzz, RandomOpsMatchReferenceModel) {
+  run_mm_fuzz(GetParam(), MemoryManager::Config{});
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MmFuzz, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// The same model-based fuzz against the page-granular engine: hinted ops
+// move data at page granularity, unhinted ops take the whole-entry path,
+// and the host-side oracle must still match at every read.
+class MmFuzzPaged : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MmFuzzPaged, RandomOpsMatchReferenceModel) {
+  MemoryManager::Config cfg;
+  cfg.paging = true;
+  cfg.page_bytes = 4 * 1024;
+  cfg.prefetch_policy = "stride";
+  run_mm_fuzz(GetParam(), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmFuzzPaged, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// And once more under the working-set eviction policy with sequential
+// readahead -- different victim ranking and prefetch traffic, same bytes.
+class MmFuzzWorkingSet : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MmFuzzWorkingSet, RandomOpsMatchReferenceModel) {
+  MemoryManager::Config cfg;
+  cfg.paging = true;
+  cfg.page_bytes = 4 * 1024;
+  cfg.eviction_policy = "working-set";
+  cfg.prefetch_policy = "sequential";
+  run_mm_fuzz(GetParam(), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmFuzzWorkingSet, ::testing::Values(7, 19, 31));
 
 // Directed companion to the fuzz's checkpoint-then-fail discipline: without
 // the checkpoint, device-side writes since the last sync are genuinely lost
