@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "cluster/cluster.hpp"
+#include "common/tuning.hpp"
 #include "common/vt.hpp"
 
 namespace gpuvm::cluster {
@@ -22,9 +23,9 @@ namespace gpuvm::cluster {
 struct MigrationPolicy {
   /// Per-attempt knobs forwarded to Runtime::migrate_context.
   core::MigrationOptions options;
-  /// Watcher poll period (start()). Off round numbers so the wakeups never
-  /// tie with heartbeats or workload sleeps on the same virtual instant.
-  vt::Duration poll_interval = vt::from_micros(4993.0);
+  /// Watcher poll period (start()). See common/tuning.hpp for the
+  /// tie-avoidance rationale behind the default.
+  vt::Duration poll_interval = tuning::kMigrationWatchInterval;
   /// A node sheds a job when its load score reaches the directory's high
   /// watermark (reuses DirectoryConfig::high_watermark) or when the
   /// directory marks it suspect. At most one migration fires per poll tick.

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "common/tuning.hpp"
 #include "transport/channel.hpp"
 #include "transport/message.hpp"
 
@@ -51,11 +52,9 @@ struct DirectoryConfig;
 DirectoryConfig directory_config_from(const core::SchedulerConfig& sched);
 
 struct DirectoryConfig {
-  /// Heartbeat period requested from each subscribed daemon. Deliberately
-  /// off any round number: heartbeat wakeups landing on the same virtual
-  /// instant as workload sleeps would create clock ties, whose wake order
-  /// is not guaranteed.
-  vt::Duration heartbeat_interval = vt::from_micros(997.0);
+  /// Heartbeat period requested from each subscribed daemon. See
+  /// common/tuning.hpp for the tie-avoidance rationale behind the default.
+  vt::Duration heartbeat_interval = tuning::kHeartbeatInterval;
   /// Consecutive missed intervals before a subscribed node turns suspect.
   int suspect_after_missed = 3;
   /// Offload hysteresis: a node sheds only while its own load score is >=

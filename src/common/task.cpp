@@ -1,0 +1,120 @@
+#include "common/task.hpp"
+
+#include <cassert>
+
+namespace gpuvm::vt {
+
+TaskRunner::TaskRunner(Domain& dom)
+    : dom_(&dom),
+      alarm_(dom),
+      idle_cv_(dom),
+      drained_cv_(dom),
+      pump_(dom, [this] { pump_loop(); }) {}
+
+TaskRunner::~TaskRunner() { stop(); }
+
+void TaskRunner::spawn(Task::Step step) {
+  post([this, s = std::move(step)]() mutable {
+    Task t(*this);
+    s(t);
+  });
+}
+
+void TaskRunner::post(std::function<void()> fn) {
+  post_at(dom_->now_relaxed(), std::move(fn));
+}
+
+void TaskRunner::post_after(Duration d, std::function<void()> fn) {
+  post_at(dom_->now_relaxed() + std::max(d, Duration::zero()), std::move(fn));
+}
+
+void TaskRunner::post_at(TimePoint t, std::function<void()> fn) {
+  std::scoped_lock lk(mu_);
+  if (stop_) return;  // shutting down: drop, the pump is abandoning timers
+  q_.insert(t.count(), std::move(fn));
+  // Wake the pump only when it cannot observe this insert on its own:
+  //  - IdleWait: parked on the empty-queue cv;
+  //  - AlarmPark on a *later* deadline: cancel so it re-evaluates. (cancel()
+  //    latches if the pump has not reached the alarm yet -- that window is
+  //    exactly why Alarm::cancel latches.)
+  // A Running pump re-reads the queue before parking, so no signal needed --
+  // the common single-threaded actor case (posts from callbacks) stays
+  // signal-free.
+  if (state_ == PumpState::IdleWait) {
+    idle_cv_.notify_one();
+  } else if (state_ == PumpState::AlarmPark && t.count() < armed_deadline_) {
+    alarm_.cancel();
+  }
+}
+
+size_t TaskRunner::pending() const {
+  std::scoped_lock lk(mu_);
+  return q_.size();
+}
+
+void TaskRunner::drain() {
+  auto wait_drained = [this] {
+    std::unique_lock lk(mu_);
+    drained_cv_.wait(lk, [this] { return stop_ || (q_.empty() && in_flight_ == 0); });
+  };
+  Domain* current = Domain::current();
+  assert(current == nullptr || current == dom_);
+  if (current == dom_) {
+    wait_drained();
+  } else {
+    AttachGuard attach(*dom_);
+    wait_drained();
+  }
+}
+
+void TaskRunner::stop() {
+  {
+    std::scoped_lock lk(mu_);
+    if (joined_) return;
+    stop_ = true;
+    idle_cv_.notify_one();
+    if (state_ == PumpState::AlarmPark) alarm_.cancel();
+  }
+  pump_.join();
+  std::scoped_lock lk(mu_);
+  joined_ = true;
+}
+
+void TaskRunner::pump_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (stop_) break;
+    if (q_.empty()) {
+      state_ = PumpState::IdleWait;
+      drained_cv_.notify_all();  // queue empty, batch done: drained
+      idle_cv_.wait(lk, [this] { return stop_ || !q_.empty(); });
+      state_ = PumpState::Running;
+      continue;
+    }
+    const i64 next = *q_.earliest();
+    const i64 current = dom_->now().count();  // pump is attached: exact
+    if (current < next) {
+      state_ = PumpState::AlarmPark;
+      armed_deadline_ = next;
+      lk.unlock();
+      // Sleeps like any other vt actor; a post with an earlier deadline
+      // cancels. Either way we re-evaluate the queue from the top.
+      alarm_.wait_until(TimePoint{Duration{next}});
+      lk.lock();
+      state_ = PumpState::Running;
+      continue;
+    }
+    batch_.clear();
+    q_.pop_due(current, batch_);  // (deadline, seq) order: deterministic
+    in_flight_ = batch_.size();
+    lk.unlock();
+    for (auto& entry : batch_) entry.value();
+    executed_.fetch_add(batch_.size(), std::memory_order_relaxed);
+    dom_->add_dispatched(batch_.size());
+    lk.lock();
+    in_flight_ = 0;
+  }
+  drained_cv_.notify_all();  // release drain() waiters on shutdown
+}
+
+}  // namespace gpuvm::vt

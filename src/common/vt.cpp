@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/calendar_queue.hpp"
 #include "common/log.hpp"
 
 namespace gpuvm::vt {
@@ -14,8 +16,122 @@ thread_local Domain* tl_current_domain = nullptr;
 
 Domain* Domain::current() { return tl_current_domain; }
 
-Domain::Domain(Mode mode, double real_scale)
-    : mode_(mode), real_scale_(real_scale), real_start_(std::chrono::steady_clock::now()) {}
+// ---- Sleeper queues ---------------------------------------------------------
+//
+// Both implementations honor the same contract: pop_due removes every entry
+// with deadline <= t and appends them sorted by (deadline, insertion order).
+// That makes the engines interchangeable without reordering same-instant
+// wakeups -- the chaos determinism suite replays both and diffs the output.
+
+class Domain::SleeperQueue {
+ public:
+  virtual ~SleeperQueue() = default;
+  virtual void insert(Sleeper* s) = 0;  ///< assigns s->seq
+  virtual bool erase(Sleeper* s) = 0;   ///< cancellation path only
+  virtual std::optional<TimePoint> earliest() const = 0;
+  virtual void pop_due(TimePoint t, std::vector<Sleeper*>& out) = 0;
+  virtual size_t size() const = 0;
+};
+
+/// Engine::Legacy -- the original std::multimap, O(log n) per op. Kept as the
+/// baseline the calendar fast path is diffed against.
+class MultimapSleeperQueueImpl final : public Domain::SleeperQueue {
+ public:
+  void insert(Domain::Sleeper* s) override {
+    s->seq = next_seq_++;
+    map_.emplace(s->deadline, s);
+  }
+
+  bool erase(Domain::Sleeper* s) override {
+    auto [lo, hi] = map_.equal_range(s->deadline);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == s) {
+        map_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<TimePoint> earliest() const override {
+    if (map_.empty()) return std::nullopt;
+    return map_.begin()->first;
+  }
+
+  void pop_due(TimePoint t, std::vector<Domain::Sleeper*>& out) override {
+    // Equal keys come out in insertion order (multimap guarantee).
+    while (!map_.empty() && map_.begin()->first <= t) {
+      out.push_back(map_.begin()->second);
+      map_.erase(map_.begin());
+    }
+  }
+
+  size_t size() const override { return map_.size(); }
+
+ private:
+  std::multimap<TimePoint, Domain::Sleeper*> map_;
+  u64 next_seq_ = 0;
+};
+
+/// Engine::Calendar -- two-level timer wheel, amortized O(1) per op.
+class CalendarSleeperQueueImpl final : public Domain::SleeperQueue {
+ public:
+  void insert(Domain::Sleeper* s) override { s->seq = q_.insert(s->deadline.count(), s); }
+
+  bool erase(Domain::Sleeper* s) override { return q_.erase(s->deadline.count(), s->seq); }
+
+  std::optional<TimePoint> earliest() const override {
+    const std::optional<i64> e = q_.earliest();
+    if (!e) return std::nullopt;
+    return TimePoint{*e};
+  }
+
+  void pop_due(TimePoint t, std::vector<Domain::Sleeper*>& out) override {
+    scratch_.clear();
+    q_.pop_due(t.count(), scratch_);
+    for (auto& e : scratch_) out.push_back(e.value);
+  }
+
+  size_t size() const override { return q_.size(); }
+
+ private:
+  CalendarQueue<Domain::Sleeper*> q_;
+  std::vector<CalendarQueue<Domain::Sleeper*>::Entry> scratch_;
+};
+
+// ---- Engine selection -------------------------------------------------------
+
+std::optional<Domain::Engine> Domain::parse_engine(std::string_view name) {
+  if (name == "calendar") return Engine::Calendar;
+  if (name == "legacy" || name == "multimap") return Engine::Legacy;
+  return std::nullopt;
+}
+
+const char* Domain::engine_name(Engine engine) {
+  return engine == Engine::Calendar ? "calendar" : "legacy";
+}
+
+Domain::Engine Domain::default_engine() {
+  if (const char* env = std::getenv("GPUVM_VT_ENGINE")) {
+    if (const auto parsed = parse_engine(env)) return *parsed;
+    log::warn("GPUVM_VT_ENGINE=%s not recognized (want calendar|legacy); using calendar", env);
+  }
+  return Engine::Calendar;
+}
+
+// ---- Domain -----------------------------------------------------------------
+
+Domain::Domain(Mode mode, double real_scale, Engine engine)
+    : mode_(mode),
+      engine_(engine),
+      real_scale_(real_scale),
+      real_start_(std::chrono::steady_clock::now()) {
+  if (engine_ == Engine::Legacy) {
+    queue_ = std::make_unique<MultimapSleeperQueueImpl>();
+  } else {
+    queue_ = std::make_unique<CalendarSleeperQueueImpl>();
+  }
+}
 
 Domain::~Domain() {
   std::scoped_lock lock(mu_);
@@ -31,8 +147,11 @@ TimePoint Domain::now() const {
     return TimePoint{static_cast<std::int64_t>(
         static_cast<double>(std::chrono::duration_cast<Duration>(real).count()) / real_scale_)};
   }
-  std::scoped_lock lock(mu_);
-  return now_;
+  // Lock-free: the clock advances only at quiescence, and the caller -- if it
+  // is an attached running thread -- pins activity_ > 0, so the mirror is
+  // exact for it. Unattached observers may read a value at most one advance
+  // stale, which is the same race they already had against the advance.
+  return TimePoint{now_mirror_.load(std::memory_order_acquire)};
 }
 
 TimePoint Domain::now_relaxed() const {
@@ -45,7 +164,7 @@ void Domain::attach_current_thread() {
   if (mode_ == Mode::ScaledReal) return;
   std::scoped_lock lock(mu_);
   ++attached_;
-  ++running_;
+  activity_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Domain::detach_current_thread() {
@@ -53,14 +172,21 @@ void Domain::detach_current_thread() {
   if (mode_ == Mode::ScaledReal) return;
   std::scoped_lock lock(mu_);
   --attached_;
-  --running_;
-  maybe_advance_locked();
+  dec_activity_locked();
 }
 
 int Domain::attached_threads() const {
   if (mode_ == Mode::ScaledReal) return 0;
   std::scoped_lock lock(mu_);
   return attached_;
+}
+
+Domain::ClockStats Domain::clock_stats() const {
+  ClockStats stats;
+  stats.advances = advances_.load(std::memory_order_relaxed);
+  stats.events_dispatched = dispatched_.load(std::memory_order_relaxed);
+  stats.sleepers_peak = sleepers_peak_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void Domain::sleep_for(Duration d) {
@@ -89,74 +215,180 @@ void Domain::sleep_until_locked(std::unique_lock<std::mutex>& lock, TimePoint t)
   if (t <= now_) return;
   Sleeper sleeper;
   sleeper.deadline = t;
-  const auto it = sleepers_.emplace(t, &sleeper);
-  --running_;
-  maybe_advance_locked();
+  queue_->insert(&sleeper);
+  const u64 population = queue_->size();
+  if (population > sleepers_peak_.load(std::memory_order_relaxed)) {
+    sleepers_peak_.store(population, std::memory_order_relaxed);
+  }
+  // Leave the running set; if we were the last activity, advance inline --
+  // in which case the wait below returns immediately (due already set).
+  dec_activity_locked();
   sleeper.wake.wait(lock, [&] { return sleeper.due; });
-  sleepers_.erase(it);
-  ++running_;
-  assert(wakes_in_flight_ > 0);
-  --wakes_in_flight_;
+  // The advance popped our queue entry and transferred its wake-in-flight
+  // activity credit to us; we resume running with it, so net zero here.
 }
 
 void Domain::hold() {
   if (mode_ == Mode::ScaledReal) return;
   std::scoped_lock lock(mu_);
   ++holds_;
+  activity_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Domain::unhold() {
   if (mode_ == Mode::ScaledReal) return;
   std::scoped_lock lock(mu_);
   --holds_;
-  maybe_advance_locked();
+  dec_activity_locked();
 }
 
 void Domain::maybe_advance_locked() {
-  if (running_ != 0 || holds_ != 0 || wakes_in_flight_ != 0 || sleepers_.empty()) return;
-  // Quiescent: jump the clock to the earliest deadline and wake every
-  // sleeper that is now due. Woken sleepers count as wakes in flight until
-  // they resume, so the clock cannot skip past them.
-  now_ = std::max(now_, sleepers_.begin()->first);
-  now_mirror_.store(now_.count(), std::memory_order_relaxed);
-  for (auto it = sleepers_.begin(); it != sleepers_.end() && it->first <= now_; ++it) {
-    if (it->second->due) continue;
-    it->second->due = true;
-    ++wakes_in_flight_;
-    it->second->wake.notify_one();
+  if (activity_.load(std::memory_order_acquire) != 0) return;
+  const std::optional<TimePoint> earliest = queue_->earliest();
+  if (!earliest) return;
+  // Quiescent: jump the clock to the earliest deadline and wake every due
+  // sleeper. Each woken sleeper counts as a wake in flight (folded into
+  // activity_) until it resumes, so the clock cannot skip past it.
+  const TimePoint target = std::max(now_, *earliest);
+  due_scratch_.clear();
+  queue_->pop_due(target, due_scratch_);
+  assert(!due_scratch_.empty());
+  now_ = target;
+  now_mirror_.store(now_.count(), std::memory_order_release);
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  dispatched_.fetch_add(due_scratch_.size(), std::memory_order_relaxed);
+  activity_.fetch_add(static_cast<i64>(due_scratch_.size()), std::memory_order_relaxed);
+  for (Sleeper* s : due_scratch_) {
+    s->due = true;
+    s->wake.notify_one();
   }
+}
+
+void Domain::dec_activity() {
+  if (activity_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::scoped_lock lock(mu_);
+    maybe_advance_locked();
+  }
+}
+
+void Domain::dec_activity_locked() {
+  if (activity_.fetch_sub(1, std::memory_order_acq_rel) == 1) maybe_advance_locked();
 }
 
 void Domain::idle_begin() {
   if (mode_ == Mode::ScaledReal) return;
-  std::scoped_lock lock(mu_);
-  --running_;
-  maybe_advance_locked();
+  dec_activity();
 }
 
 void Domain::idle_end(int consumed_wakes) {
   if (mode_ == Mode::ScaledReal) return;
-  std::scoped_lock lock(mu_);
-  ++running_;
-  wakes_in_flight_ -= std::min(consumed_wakes, wakes_in_flight_);
+  // Rejoin the running set (+1) while settling the wake tokens this thread
+  // consumed (-consumed): one atomic on the net.
+  const i64 net = 1 - static_cast<i64>(consumed_wakes);
+  if (net > 0) {
+    activity_.fetch_add(net, std::memory_order_relaxed);
+  } else if (net < 0) {
+    if (activity_.fetch_sub(-net, std::memory_order_acq_rel) == -net) {
+      std::scoped_lock lock(mu_);
+      maybe_advance_locked();
+    }
+  }
 }
 
 void Domain::note_wakes(int count) {
   if (mode_ == Mode::ScaledReal || count <= 0) return;
+  if (tl_current_domain == this) {
+    // Fast path: an attached notifier is itself running, so activity_ > 0
+    // already and no advance can conclude concurrently -- a plain increment
+    // cannot be missed.
+    activity_.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+  // Unattached notifier (e.g. a test's main thread): serialize against any
+  // in-flight advance so the token cannot slip past the quiescence check.
   std::scoped_lock lock(mu_);
-  wakes_in_flight_ += count;
+  activity_.fetch_add(count, std::memory_order_relaxed);
 }
 
 std::string Domain::debug_state() const {
   std::scoped_lock lock(mu_);
   std::ostringstream out;
-  out << "vt::Domain{now=" << now_.count() << "ns attached=" << attached_
-      << " running=" << running_ << " wakes_in_flight=" << wakes_in_flight_
-      << " sleepers=" << sleepers_.size();
-  if (!sleepers_.empty()) out << " next_deadline=" << sleepers_.begin()->first.count() << "ns";
-  out << "}";
+  out << "vt::Domain{engine=" << engine_name(engine_) << " now=" << now_.count()
+      << "ns attached=" << attached_ << " activity=" << activity_.load(std::memory_order_relaxed)
+      << " holds=" << holds_ << " sleepers=" << queue_->size();
+  if (const auto e = queue_->earliest()) out << " next_deadline=" << e->count() << "ns";
+  out << " advances=" << advances_.load(std::memory_order_relaxed)
+      << " dispatched=" << dispatched_.load(std::memory_order_relaxed) << "}";
   return out.str();
 }
+
+// ---- Alarm ------------------------------------------------------------------
+
+bool Alarm::wait_until(TimePoint t) {
+  if (dom_->mode() == Mode::ScaledReal) {
+    std::unique_lock lk(real_mu_);
+    if (pending_cancel_) {
+      pending_cancel_ = false;
+      return false;
+    }
+    const TimePoint current = dom_->now();
+    if (t <= current) return true;
+    const auto real_ns = static_cast<std::int64_t>(
+        static_cast<double>((t - current).count()) * dom_->real_scale_);
+    const bool cancelled =
+        real_cv_.wait_for(lk, std::chrono::nanoseconds{std::max<std::int64_t>(real_ns, 0)},
+                          [&] { return pending_cancel_; });
+    if (cancelled) {
+      pending_cancel_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::unique_lock lock(dom_->mu_);
+  if (pending_cancel_) {
+    pending_cancel_ = false;
+    return false;
+  }
+  if (t <= dom_->now_) return true;
+  Domain::Sleeper sleeper;
+  sleeper.deadline = t;
+  dom_->queue_->insert(&sleeper);
+  const u64 population = dom_->queue_->size();
+  if (population > dom_->sleepers_peak_.load(std::memory_order_relaxed)) {
+    dom_->sleepers_peak_.store(population, std::memory_order_relaxed);
+  }
+  parked_ = &sleeper;
+  dom_->dec_activity_locked();
+  sleeper.wake.wait(lock, [&] { return sleeper.due; });
+  parked_ = nullptr;
+  return !sleeper.cancelled;
+}
+
+void Alarm::cancel() {
+  if (dom_->mode() == Mode::ScaledReal) {
+    std::scoped_lock lk(real_mu_);
+    pending_cancel_ = true;
+    real_cv_.notify_one();
+    return;
+  }
+  std::scoped_lock lock(dom_->mu_);
+  if (parked_ == nullptr) {
+    pending_cancel_ = true;  // latch for the next wait_until
+    return;
+  }
+  Domain::Sleeper* s = parked_;
+  if (s->due) return;  // deadline wake already delivered; waiter is resuming
+  // Substitute for the advance: pull the sleeper out of the queue, hand it a
+  // wake-in-flight activity credit, and wake it at the *current* instant.
+  dom_->queue_->erase(s);
+  s->due = true;
+  s->cancelled = true;
+  dom_->activity_.fetch_add(1, std::memory_order_relaxed);
+  s->wake.notify_one();
+}
+
+// ---- Thread / guards / ConditionVariable ------------------------------------
 
 void Thread::join() {
   IdleGuard idle;

@@ -18,6 +18,24 @@
 // quiescence-based conservative discrete-event advance; virtual durations
 // are exact regardless of host load, and a simulation runs at CPU speed.
 //
+// Internally the quiescence state is one atomic "activity" count
+// (running threads + holds + wakes in flight): the hot paths -- reading the
+// clock, condition-variable waits and notifies from attached threads --
+// never take the domain mutex, which now guards only the sleeper queue and
+// the advance itself. The sleeper queue is pluggable (Domain::Engine):
+//   - Calendar (default): a two-level calendar queue / timer wheel
+//     (common/calendar_queue.hpp), amortized O(1) per sleep;
+//   - Legacy: the original std::multimap, kept as a bit-identical baseline
+//     that the chaos determinism suite replays against the fast path.
+// Both engines wake same-deadline sleepers in insertion order, so replacing
+// one with the other cannot reorder events.
+//
+// For simulations with very many logical actors (thousands of tenants,
+// millions of jobs) a thread per actor stops scaling; vt::TaskRunner
+// (common/task.hpp) multiplexes lightweight callback actors onto one
+// attached thread and drives its own calendar queue, interacting with the
+// Domain only at distinct virtual instants.
+//
 // A Domain can instead run in ScaledReal mode, where sleeps map to real
 // nanosleep calls scaled by a factor; this is used as a cross-check that the
 // virtual clock does not distort experiment shapes.
@@ -36,9 +54,13 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -67,25 +89,50 @@ enum class Mode {
 };
 
 class ConditionVariable;
+class Alarm;
 
 class Domain {
  public:
-  explicit Domain(Mode mode = Mode::Virtual, double real_scale = 1e-3);
+  /// Sleeper-queue implementation (Virtual mode only).
+  enum class Engine {
+    Calendar,  ///< calendar-queue fast path (default)
+    Legacy,    ///< original std::multimap quiescence clock (baseline)
+  };
+
+  /// Clock-engine counters (monotone since construction; lock-free reads).
+  struct ClockStats {
+    u64 advances = 0;           ///< quiescence advances performed
+    u64 events_dispatched = 0;  ///< sleepers woken + task callbacks executed
+    u64 sleepers_peak = 0;      ///< peak concurrent sleeper-queue population
+  };
+
+  /// Engine named by $GPUVM_VT_ENGINE ("calendar" | "legacy"); Calendar
+  /// when unset or unrecognized.
+  static Engine default_engine();
+  /// "calendar"/"legacy" -> engine; nullopt on anything else.
+  static std::optional<Engine> parse_engine(std::string_view name);
+  static const char* engine_name(Engine engine);
+
+  explicit Domain(Mode mode = Mode::Virtual, double real_scale = 1e-3,
+                  Engine engine = default_engine());
   ~Domain();
 
   Domain(const Domain&) = delete;
   Domain& operator=(const Domain&) = delete;
 
   Mode mode() const { return mode_; }
+  Engine engine() const { return engine_; }
 
-  /// Current virtual time.
+  /// Current virtual time. Lock-free in Virtual mode: the clock only moves
+  /// at quiescence points, so any attached running thread reads an exact
+  /// value (the clock cannot advance while it runs).
   TimePoint now() const;
 
   /// Lock-free read of the virtual clock, safe from code that may already
   /// hold mu_ indirectly (e.g. log lines emitted during domain teardown).
-  /// In Virtual mode this reads an atomic mirror of the clock -- exact,
-  /// since the clock only changes at quiescence points; in ScaledReal it is
-  /// the same wall-clock computation as now().
+  /// Same implementation as now(); kept as a distinct name for call sites
+  /// that must document they tolerate a stale-by-one-advance read from
+  /// unattached threads.
   TimePoint now_relaxed() const;
 
   /// Block the calling (attached) thread for `d` of virtual time.
@@ -111,38 +158,70 @@ class Domain {
   /// Domain the calling thread is attached to, or nullptr.
   static Domain* current();
 
+  /// Snapshot of the clock-engine counters (published as stats.vt.* gauges).
+  ClockStats clock_stats() const;
+
+  /// Event pumps (vt::TaskRunner) fold their dispatched-callback counts into
+  /// ClockStats::events_dispatched so "events/sec" covers both actor models.
+  void add_dispatched(u64 n) { dispatched_.fetch_add(n, std::memory_order_relaxed); }
+
   /// Dump scheduler state to the log (diagnosing a stuck simulation).
   std::string debug_state() const;
 
  private:
   friend class ConditionVariable;
   friend class IdleGuard;
+  friend class Alarm;
+  friend class MultimapSleeperQueueImpl;
+  friend class CalendarSleeperQueueImpl;
 
   struct Sleeper {
-    TimePoint deadline;
+    TimePoint deadline{};
+    u64 seq = 0;          // assigned by the queue at insert (erase key)
     std::condition_variable wake;
-    bool due = false;  // set by the advancing thread before notifying
+    bool due = false;       // set by the advancing thread before notifying
+    bool cancelled = false; // set by Alarm::cancel instead of the advance
   };
 
-  // All fields below are guarded by mu_.
+  /// Deadline-ordered sleeper store; implementations must pop same-deadline
+  /// sleepers in insertion order (the determinism contract).
+  class SleeperQueue;
+
+  // ---- Quiescence accounting -------------------------------------------------
+  // activity_ == running threads + outstanding holds + wakes in flight.
+  // The clock may advance only while it is zero. Attached threads mutate it
+  // with plain atomics (they are themselves part of the count, so an
+  // advance cannot race them); the transitions that can *reach* zero take
+  // mu_ to perform the advance, and unattached mutators serialize through
+  // mu_ so a wake token cannot slip past an in-flight advance decision.
+  std::atomic<i64> activity_{0};
+
+  // mu_ guards: queue_, now_, attached_, holds_, and the advance itself.
   mutable std::mutex mu_;
   Mode mode_;
+  Engine engine_;
   double real_scale_;
   std::chrono::steady_clock::time_point real_start_;
   TimePoint now_{0};
   std::atomic<std::int64_t> now_mirror_{0};  // lock-free copy of now_ (ns)
   int attached_ = 0;
-  int running_ = 0;            // attached threads not sleeping and not idle
-  int holds_ = 0;              // outstanding hold() calls block advances
-  int wakes_in_flight_ = 0;    // sleepers marked due but not yet resumed,
-                               // plus cv notifications not yet consumed
-  std::multimap<TimePoint, Sleeper*> sleepers_;
+  int holds_ = 0;
+  std::unique_ptr<SleeperQueue> queue_;
+  std::vector<Sleeper*> due_scratch_;  // advance working set (avoids allocs)
+
+  std::atomic<u64> advances_{0};
+  std::atomic<u64> dispatched_{0};
+  std::atomic<u64> sleepers_peak_{0};
 
   void sleep_until_locked(std::unique_lock<std::mutex>& lock, TimePoint t);
 
   // Called with mu_ held. If the domain is quiescent, advances the clock to
-  // the earliest deadline and marks/wakes the due sleepers.
+  // the earliest deadline and wakes the due sleepers (popping them).
   void maybe_advance_locked();
+
+  // activity_ decrements; an observed drop to zero triggers an advance.
+  void dec_activity();         // takes mu_ only on the zero transition
+  void dec_activity_locked();  // caller already holds mu_
 
   // ConditionVariable integration: a thread entering an idle wait leaves the
   // running set (and can trigger an advance); notifications register an
@@ -207,6 +286,39 @@ class ConditionVariable {
   // Guarded by the waiters' mutex (see the convention above).
   int waiters_ = 0;  // threads parked in wait_once
   int tokens_ = 0;   // undelivered wake tokens; invariant: tokens_ <= waiters_
+};
+
+/// A cancellable one-shot virtual-time alarm: exactly one thread may block
+/// in wait_until() at a time; any thread may cancel(). The primitive event
+/// pumps need -- a deadline sleep that a cross-thread post can interrupt.
+///
+/// cancel() latches: if no wait is in progress, the *next* wait_until
+/// returns false immediately. A cancel that lands after the deadline wake
+/// was already delivered is dropped (the waiter is about to recheck its
+/// work queue anyway).
+class Alarm {
+ public:
+  explicit Alarm(Domain& dom) : dom_(&dom) {}
+
+  Alarm(const Alarm&) = delete;
+  Alarm& operator=(const Alarm&) = delete;
+
+  /// Blocks the calling (attached) thread until virtual time `t` or until
+  /// cancelled. Returns true when the deadline was reached, false when
+  /// cancelled early (virtual time then reflects the cancel instant).
+  bool wait_until(TimePoint t);
+
+  /// Wakes a concurrent wait_until immediately, or latches so the next
+  /// wait_until returns false. Thread-safe.
+  void cancel();
+
+ private:
+  Domain* dom_;
+  // Virtual mode: guarded by dom_->mu_. ScaledReal mode: guarded by real_mu_.
+  Domain::Sleeper* parked_ = nullptr;
+  bool pending_cancel_ = false;
+  std::mutex real_mu_;
+  std::condition_variable real_cv_;
 };
 
 /// RAII thread that attaches to a Domain for its whole body and joins on

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/tuning.hpp"
+
 namespace gpuvm::core {
 
 namespace {
@@ -33,10 +35,9 @@ class PageLruEviction : public EvictionPolicy {
 /// recent. Page-LRU breaks ties.
 class WorkingSetEviction : public EvictionPolicy {
  public:
-  /// Virtual-time working-set window. Chaos scenarios run tens of
-  /// milliseconds; 5 ms spans a handful of launches without degenerating
-  /// into "everything is in the working set".
-  static constexpr i64 kWindowNs = 5'000'000;
+  /// Virtual-time working-set window; see common/tuning.hpp for how the
+  /// default was chosen.
+  static constexpr i64 kWindowNs = tuning::kWorkingSetWindowNs;
 
   const char* name() const override { return "working-set"; }
   double score(const EvictionCandidate& c, i64 now_ns) const override {

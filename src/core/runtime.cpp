@@ -365,6 +365,11 @@ void Runtime::publish_metrics() const {
   gauge(mm_prefix + "page_evictions", static_cast<double>(ms.page_evictions));
   gauge(mm_prefix + "shard_contention", static_cast<double>(mm_->shard_contention()));
 
+  const vt::Domain::ClockStats cs = rt_->machine().domain().clock_stats();
+  gauge(obs::names::kStatsVtAdvances, static_cast<double>(cs.advances));
+  gauge(obs::names::kStatsVtEventsDispatched, static_cast<double>(cs.events_dispatched));
+  gauge(obs::names::kStatsVtSleepersPeak, static_cast<double>(cs.sleepers_peak));
+
   for (const GpuId gpu : rt_->machine().all_gpus()) {
     const sim::SimGpu* dev = rt_->machine().gpu(gpu);
     if (dev == nullptr) continue;

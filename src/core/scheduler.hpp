@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/tuning.hpp"
 #include "common/types.hpp"
 #include "common/vt.hpp"
 #include "core/context.hpp"
@@ -73,12 +74,11 @@ struct SchedulerConfig {
   double device_wait_grace_seconds = 0.0;
 
   // ---- Preemption (policies with preemptive() == true) ---------------------
-  /// Base time quantum. Deliberately off any round number: an expiry
-  /// landing on the same virtual instant as a workload sleep would create
-  /// a clock tie, whose wake order is not guaranteed.
-  double quantum_seconds = 0.004993;
+  /// Base time quantum. See common/tuning.hpp for the tie-avoidance
+  /// rationale behind the default.
+  double quantum_seconds = tuning::kBaseQuantumSeconds;
   /// Governor ceiling for adaptive quantum escalation.
-  double max_quantum_seconds = 0.159776;
+  double max_quantum_seconds = tuning::kMaxQuantumSeconds;
   /// Swap traffic per bind above which a rotation window counts as
   /// thrashing and the governor escalates the quantum.
   double thrash_bytes_per_bind = 256.0 * 1024.0;
@@ -113,8 +113,8 @@ struct SchedulerConfig {
 class ThrashGovernor {
  public:
   struct Config {
-    double base_quantum_seconds = 0.004993;
-    double max_quantum_seconds = 0.159776;
+    double base_quantum_seconds = tuning::kBaseQuantumSeconds;
+    double max_quantum_seconds = tuning::kMaxQuantumSeconds;
     double bytes_per_bind_threshold = 256.0 * 1024.0;
     double escalation = 2.0;
     int calm_windows_before_decay = 2;

@@ -89,6 +89,14 @@ inline constexpr char kMigrationRefused[] = "migration.refused";
 // ---- chaos -----------------------------------------------------------------
 inline constexpr char kChaosEvents[] = "chaos.events";
 
+// ---- virtual clock engine (vt::Domain::clock_stats) ------------------------
+/// Quiescence advances performed by the domain clock.
+inline constexpr char kStatsVtAdvances[] = "stats.vt.advances";
+/// Sleepers woken + task-runner callbacks executed.
+inline constexpr char kStatsVtEventsDispatched[] = "stats.vt.events_dispatched";
+/// Peak concurrent sleeper-queue population.
+inline constexpr char kStatsVtSleepersPeak[] = "stats.vt.sleepers_peak";
+
 // ---- published stats gauges (fixed names; see header comment) --------------
 inline constexpr char kStatsMmIntraAppSwaps[] = "stats.mm.intra_app_swaps";
 inline constexpr char kStatsMmInterAppSwaps[] = "stats.mm.inter_app_swaps";

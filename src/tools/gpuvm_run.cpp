@@ -256,6 +256,18 @@ int main(int argc, char** argv) {
             }
           }
         }
+        // Virtual clock engine health: advance count, dispatched events and
+        // peak sleeper population (vt::Domain::clock_stats). An advance-rate
+        // regression (e.g. a timer storm) shows up here first.
+        bool vt_header = false;
+        for (const auto& v : snap.value().values) {
+          if (v.name.rfind("stats.vt.", 0) != 0) continue;
+          if (!vt_header) {
+            std::printf("---- virtual clock ----\n");
+            vt_header = true;
+          }
+          std::printf("%-48s %.0f\n", v.name.c_str(), v.gauge);
+        }
         // Offload health: the per-node "stats.node.<name>.*" gauges a
         // cluster daemon publishes (offloaded connections, local fallbacks,
         // recoveries). A stand-alone daemon with no node identity has none.

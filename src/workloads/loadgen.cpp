@@ -1,0 +1,94 @@
+#include "workloads/loadgen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gpuvm::workloads {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Exponential draw with the given rate, guarding uniform() == 0.
+double exp_draw(Rng& rng, double rate) {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return -std::log(u) / rate;
+}
+
+/// Bounded Pareto [lo, hi] with shape alpha, by inverse CDF:
+///   x = lo / (1 - U * (1 - (lo/hi)^alpha))^(1/alpha)
+double bounded_pareto(Rng& rng, double lo, double hi, double alpha) {
+  const double u = rng.uniform();
+  const double ratio = std::pow(lo / hi, alpha);
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+}  // namespace
+
+std::vector<GeneratedJob> generate_tenant_jobs(const LoadGenConfig& config, int tenant) {
+  assert(config.arrivals_per_second > 0.0);
+  assert(config.footprint_min_bytes > 0 &&
+         config.footprint_min_bytes <= config.footprint_max_bytes);
+  assert(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude <= 1.0);
+
+  // One independent stream per (seed, tenant): mixing through splitmix64
+  // decorrelates the xoshiro states of adjacent tenants.
+  u64 mix = config.seed ^ (0x7e3aD15EULL + static_cast<u64>(tenant) * 0x9e3779b97f4a7c15ULL);
+  Rng rng(splitmix64(mix));
+
+  const double base = config.arrivals_per_second;
+  const double amp = config.diurnal_amplitude;
+  // Lewis-Shedler thinning: draw a homogeneous candidate process at the
+  // peak rate, accept each candidate with probability lambda(t)/lambda_max.
+  // With amp == 0 every candidate is accepted -- plain Poisson.
+  const double peak = base * (1.0 + amp);
+
+  std::vector<GeneratedJob> jobs;
+  double t = 0.0;
+  while (true) {
+    t += exp_draw(rng, peak);
+    if (t >= config.horizon_seconds) break;
+    if (amp > 0.0) {
+      const double lambda =
+          base * (1.0 + amp * std::sin(2.0 * kPi * t / config.diurnal_period_seconds));
+      if (!rng.chance(lambda / peak)) continue;  // thinned out
+    }
+    GeneratedJob job;
+    job.tenant = tenant;
+    job.index_in_tenant = jobs.size();
+    job.arrival_seconds = t;
+    job.footprint_bytes = static_cast<u64>(
+        bounded_pareto(rng, static_cast<double>(config.footprint_min_bytes),
+                       static_cast<double>(config.footprint_max_bytes),
+                       config.footprint_alpha));
+    job.footprint_bytes = std::min(job.footprint_bytes, config.footprint_max_bytes);
+    job.service_seconds =
+        exp_draw(rng, 1.0 / config.service_mean_seconds) +
+        config.service_seconds_per_byte * static_cast<double>(job.footprint_bytes);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<GeneratedJob> generate_trace(const LoadGenConfig& config) {
+  std::vector<GeneratedJob> trace;
+  for (int tenant = 0; tenant < config.tenants; ++tenant) {
+    const std::vector<GeneratedJob> jobs = generate_tenant_jobs(config, tenant);
+    trace.insert(trace.end(), jobs.begin(), jobs.end());
+  }
+  std::sort(trace.begin(), trace.end(), [](const GeneratedJob& a, const GeneratedJob& b) {
+    if (a.arrival_seconds != b.arrival_seconds) return a.arrival_seconds < b.arrival_seconds;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return a.index_in_tenant < b.index_in_tenant;
+  });
+  if (config.max_jobs != 0 && trace.size() > config.max_jobs) {
+    trace.resize(config.max_jobs);
+  }
+  return trace;
+}
+
+}  // namespace gpuvm::workloads

@@ -1,0 +1,83 @@
+// Trace-driven synthetic job-stream generator.
+//
+// The paper evaluates multi-tenancy on a handful of hand-built batches; the
+// at-scale experiments (bench_scale, future cluster studies) need *job
+// streams*: thousands of tenants submitting over hours of virtual time with
+// realistic statistics. This generator produces them from three standard
+// models (the shapes the GPU-cluster trace literature reports):
+//
+//   - arrivals: per-tenant Poisson (exponential gaps), optionally modulated
+//     by a diurnal sinusoid via Lewis-Shedler thinning -- a non-homogeneous
+//     Poisson process with rate lambda(t) = base * (1 + amp*sin(2*pi*t/T));
+//   - memory footprints: bounded Pareto (heavy-tailed -- most jobs small,
+//     rare giants), by inverse-CDF sampling;
+//   - service times: exponential around a mean, plus a per-byte term so big
+//     footprints cost proportionally more (transfer-bound jobs).
+//
+// Determinism and order-independence: each tenant's stream is drawn from an
+// Rng seeded by splitmix64(seed ^ tenant), so tenant k's jobs are identical
+// no matter how many other tenants exist or in what order streams are
+// generated. A whole trace is therefore reproducible from (config) alone,
+// and two drivers (threaded vs task-based) consuming the same trace see
+// bit-identical job parameters.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpuvm::workloads {
+
+struct LoadGenConfig {
+  u64 seed = 1;
+  int tenants = 8;
+  /// Generation window: arrivals beyond this virtual horizon are dropped.
+  double horizon_seconds = 1.0;
+  /// Hard cap across all tenants (0 = horizon only). Applied after the
+  /// merge, cutting the latest arrivals first, so a capped trace is a
+  /// prefix of the uncapped one.
+  u64 max_jobs = 0;
+
+  // -- arrivals --
+  /// Mean arrival rate per tenant (jobs/second of virtual time).
+  double arrivals_per_second = 100.0;
+  /// 0 = homogeneous Poisson. In (0, 1]: diurnal modulation depth; the
+  /// instantaneous rate swings between base*(1-amp) and base*(1+amp).
+  double diurnal_amplitude = 0.0;
+  /// Period of the diurnal cycle ("a day" in virtual seconds).
+  double diurnal_period_seconds = 1.0;
+
+  // -- memory footprint: bounded Pareto [min_bytes, max_bytes], shape alpha --
+  u64 footprint_min_bytes = u64{1} << 20;
+  u64 footprint_max_bytes = u64{256} << 20;
+  /// Tail exponent; smaller = heavier tail. 1.5 is the classic choice for
+  /// job-size distributions.
+  double footprint_alpha = 1.5;
+
+  // -- service time --
+  /// Exponential mean for the compute part (virtual seconds).
+  double service_mean_seconds = 0.01;
+  /// Footprint-proportional term (e.g. models staging the working set over
+  /// a link); 0 disables.
+  double service_seconds_per_byte = 0.0;
+};
+
+/// One generated job. Times are virtual seconds from trace start.
+struct GeneratedJob {
+  int tenant = 0;
+  u64 index_in_tenant = 0;  ///< k-th job of this tenant (0-based)
+  double arrival_seconds = 0.0;
+  u64 footprint_bytes = 0;
+  double service_seconds = 0.0;
+};
+
+/// Tenant `tenant`'s stream under `config`, in arrival order. Independent
+/// of every other tenant (see header comment).
+std::vector<GeneratedJob> generate_tenant_jobs(const LoadGenConfig& config, int tenant);
+
+/// All tenants' streams merged into one trace sorted by arrival time
+/// (ties -- measure-zero with continuous draws -- break by tenant then
+/// index, so the order is total and deterministic).
+std::vector<GeneratedJob> generate_trace(const LoadGenConfig& config);
+
+}  // namespace gpuvm::workloads

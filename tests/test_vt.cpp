@@ -1,13 +1,18 @@
-// Tests for the virtual-time threading substrate (common/vt.hpp).
+// Tests for the virtual-time threading substrate (common/vt.hpp): the
+// quiescence clock under both sleeper-queue engines, the calendar queue
+// itself, the cancellable Alarm, and the ScaledReal cross-check.
 #include "common/vt.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <vector>
 
+#include "common/calendar_queue.hpp"
 #include "common/queue.hpp"
+#include "common/rng.hpp"
 
 namespace gpuvm::vt {
 namespace {
@@ -363,6 +368,296 @@ TEST(VtDomain, ScaledRealModeMatchesVirtualOrdering) {
     ASSERT_EQ(seen.size(), 10u) << (mode == Mode::Virtual ? "virtual" : "scaled-real");
     for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
   }
+}
+
+// ---------------------------------------------------------------------------
+// CalendarQueue: the two-level timer wheel behind the fast-path engines.
+
+TEST(CalendarQueue, PopDueSortsByDeadlineThenInsertionOrder) {
+  CalendarQueue<int> q(/*bucket_width_ns=*/100, /*buckets=*/16);
+  q.insert(500, 1);
+  q.insert(200, 2);
+  q.insert(500, 3);
+  q.insert(200, 4);
+  std::vector<CalendarQueue<int>::Entry> out;
+  q.pop_due(500, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].value, 2);  // deadline 200, inserted first
+  EXPECT_EQ(out[1].value, 4);  // deadline 200, inserted second
+  EXPECT_EQ(out[2].value, 1);  // deadline 500, inserted first
+  EXPECT_EQ(out[3].value, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PopDueLeavesLaterEntries) {
+  CalendarQueue<int> q(100, 16);
+  q.insert(150, 1);
+  q.insert(151, 2);  // same bucket as 150, not yet due
+  std::vector<CalendarQueue<int>::Entry> out;
+  q.pop_due(150, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.earliest().value(), 151);
+}
+
+TEST(CalendarQueue, OverflowMigratesAsFrontierAdvances) {
+  CalendarQueue<int> q(100, 4);  // horizon = 400ns
+  q.insert(50, 1);
+  q.insert(10'000, 2);  // far beyond the horizon: parked in overflow
+  EXPECT_EQ(q.earliest().value(), 50);
+  std::vector<CalendarQueue<int>::Entry> out;
+  q.pop_due(50, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 1);
+  EXPECT_EQ(q.earliest().value(), 10'000);
+  out.clear();
+  q.pop_due(10'000, out);  // frontier jumps a full horizon; entry migrates in
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, EraseCancelsInRingAndOverflow) {
+  CalendarQueue<int> q(100, 4);
+  const u64 near = q.insert(120, 1);
+  const u64 far = q.insert(50'000, 2);
+  EXPECT_TRUE(q.erase(120, near));
+  EXPECT_TRUE(q.erase(50'000, far));
+  EXPECT_FALSE(q.erase(120, near));  // already gone: no-op
+  EXPECT_TRUE(q.empty());
+  std::vector<CalendarQueue<int>::Entry> out;
+  q.pop_due(100'000, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CalendarQueue, PastDeadlineInsertIsStillPopped) {
+  CalendarQueue<int> q(100, 4);
+  std::vector<CalendarQueue<int>::Entry> out;
+  q.insert(900, 1);
+  q.pop_due(900, out);  // frontier now at 900
+  out.clear();
+  q.insert(10, 2);  // behind the frontier: clamped, must not be lost
+  EXPECT_EQ(q.earliest().value(), 10);
+  q.pop_due(900, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 2);
+  EXPECT_EQ(out[0].deadline, 10);
+}
+
+TEST(CalendarQueue, MatchesMultimapReferenceOnRandomOps) {
+  // Drive identical random insert/pop sequences into the wheel and a
+  // multimap; every pop must yield the same (deadline, seq) sequence. This
+  // is the determinism contract the chaos replay suite leans on.
+  CalendarQueue<int> q(64, 8);  // tiny wheel: maximum overflow churn
+  std::multimap<std::pair<i64, u64>, int> ref;
+  Rng rng(20260809);
+  i64 now = 0;
+  u64 next_seq = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const int inserts = static_cast<int>(rng.below(4));
+    for (int i = 0; i < inserts; ++i) {
+      // Mix near-future, same-instant, and far-overflow deadlines.
+      const i64 deadline = now + static_cast<i64>(rng.below(3) == 0 ? rng.below(20'000)
+                                                                    : rng.below(300));
+      const u64 seq = q.insert(deadline, round);
+      EXPECT_EQ(seq, next_seq);
+      ref.emplace(std::make_pair(std::max(deadline, i64{0}), next_seq), round);
+      ++next_seq;
+    }
+    now += static_cast<i64>(rng.below(400));
+    std::vector<CalendarQueue<int>::Entry> out;
+    q.pop_due(now, out);
+    std::vector<std::pair<i64, u64>> expect;
+    while (!ref.empty() && ref.begin()->first.first <= now) {
+      expect.push_back(ref.begin()->first);
+      ref.erase(ref.begin());
+    }
+    ASSERT_EQ(out.size(), expect.size()) << "round " << round;
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].seq, expect[i].second) << "round " << round;
+    }
+  }
+  EXPECT_EQ(q.size(), ref.size());
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection and parity: every clock behavior must hold under both the
+// calendar fast path and the legacy multimap baseline.
+
+TEST(VtEngineSelect, ParseNames) {
+  EXPECT_EQ(Domain::parse_engine("calendar"), Domain::Engine::Calendar);
+  EXPECT_EQ(Domain::parse_engine("legacy"), Domain::Engine::Legacy);
+  EXPECT_EQ(Domain::parse_engine("multimap"), Domain::Engine::Legacy);
+  EXPECT_FALSE(Domain::parse_engine("bogus").has_value());
+  EXPECT_FALSE(Domain::parse_engine("").has_value());
+  EXPECT_STREQ(Domain::engine_name(Domain::Engine::Calendar), "calendar");
+  EXPECT_STREQ(Domain::engine_name(Domain::Engine::Legacy), "legacy");
+}
+
+class VtEngineParity : public ::testing::TestWithParam<Domain::Engine> {};
+
+TEST_P(VtEngineParity, SleepsSpanningWheelHorizonWakeInOrder) {
+  // Durations straddle the calendar's ~67ms ring horizon, so the calendar
+  // engine exercises overflow parking + migration while legacy just sorts.
+  Domain dom(Mode::Virtual, 1e-3, GetParam());
+  const double millis[] = {100.0, 1.0, 500.0, 0.01, 67.0, 200.0, 3.5, 1000.0};
+  std::mutex mu;
+  std::vector<double> order;
+  {
+    std::vector<Thread> threads;
+    HoldGuard hold(dom);
+    for (double ms : millis) {
+      threads.emplace_back(dom, [&, ms] {
+        dom.sleep_for(from_millis(ms));
+        std::scoped_lock lock(mu);
+        order.push_back(ms);
+      });
+    }
+  }
+  std::vector<double> expect(std::begin(millis), std::end(millis));
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(dom.now(), from_millis(1000.0));
+}
+
+TEST_P(VtEngineParity, ClockStatsCountAdvancesAndWakes) {
+  Domain dom(Mode::Virtual, 1e-3, GetParam());
+  AttachGuard guard(dom);
+  for (int i = 0; i < 5; ++i) dom.sleep_for(from_millis(1));
+  const Domain::ClockStats stats = dom.clock_stats();
+  EXPECT_EQ(stats.advances, 5u);
+  EXPECT_EQ(stats.events_dispatched, 5u);
+  EXPECT_EQ(stats.sleepers_peak, 1u);
+}
+
+TEST_P(VtEngineParity, StressManyThreadsHorizonCrossingSleeps) {
+  // TSan target: concurrent sleeps whose durations are scattered across the
+  // wheel ring, the overflow map, and same-instant collisions.
+  Domain dom(Mode::Virtual, 1e-3, GetParam());
+  std::atomic<int> completed{0};
+  {
+    std::vector<Thread> threads;
+    HoldGuard hold(dom);
+    for (int t = 0; t < 12; ++t) {
+      threads.emplace_back(dom, [&dom, &completed, t] {
+        Rng rng(static_cast<u64>(t) + 977);
+        for (int i = 0; i < 40; ++i) {
+          switch (rng.below(3)) {
+            case 0: dom.sleep_for(from_micros(static_cast<double>(rng.below(500) + 1))); break;
+            case 1: dom.sleep_for(from_millis(static_cast<double>(rng.below(60) + 1))); break;
+            default: dom.sleep_for(from_millis(static_cast<double>(rng.below(300) + 67))); break;
+          }
+        }
+        completed.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(completed.load(), 12);
+  const Domain::ClockStats stats = dom.clock_stats();
+  EXPECT_GE(stats.events_dispatched, 12u * 40u);
+  EXPECT_GE(stats.sleepers_peak, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, VtEngineParity,
+                         ::testing::Values(Domain::Engine::Calendar, Domain::Engine::Legacy),
+                         [](const auto& info) { return Domain::engine_name(info.param); });
+
+// ---------------------------------------------------------------------------
+// Alarm: the cancellable one-shot deadline the TaskRunner pump parks on.
+
+TEST(VtAlarm, DeadlineReachedReturnsTrue) {
+  Domain dom;
+  AttachGuard guard(dom);
+  Alarm alarm(dom);
+  EXPECT_TRUE(alarm.wait_until(from_millis(5)));
+  EXPECT_EQ(dom.now(), from_millis(5));
+}
+
+TEST(VtAlarm, PastDeadlineReturnsImmediately) {
+  Domain dom;
+  AttachGuard guard(dom);
+  dom.sleep_for(from_millis(2));
+  Alarm alarm(dom);
+  EXPECT_TRUE(alarm.wait_until(from_millis(1)));
+  EXPECT_EQ(dom.now(), from_millis(2));
+}
+
+TEST(VtAlarm, CancelLatchesForNextWait) {
+  Domain dom;
+  AttachGuard guard(dom);
+  Alarm alarm(dom);
+  alarm.cancel();
+  EXPECT_FALSE(alarm.wait_until(from_seconds(100)));
+  EXPECT_EQ(dom.now(), kTimeZero);  // returned without sleeping
+  // The latch is one-shot: the next wait runs to its deadline.
+  EXPECT_TRUE(alarm.wait_until(from_millis(1)));
+}
+
+TEST(VtAlarm, CancelWhileParkedWakesAtCancelInstant) {
+  Domain dom;
+  Alarm alarm(dom);
+  bool reached = true;
+  TimePoint woke{};
+  {
+    dom.hold();
+    Thread waiter(dom, [&] {
+      reached = alarm.wait_until(from_seconds(100));
+      woke = dom.now();
+    });
+    Thread canceller(dom, [&] {
+      dom.sleep_for(from_millis(2));
+      alarm.cancel();
+    });
+    dom.unhold();
+  }
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(woke, from_millis(2));
+  // The 100s deadline was erased from the queue, not left to fire.
+  EXPECT_EQ(dom.now(), from_millis(2));
+}
+
+TEST(VtAlarm, ScaledRealDeadlineAndLatchedCancel) {
+  Domain dom(Mode::ScaledReal, /*real_scale=*/1e-6);
+  AttachGuard guard(dom);
+  Alarm alarm(dom);
+  EXPECT_TRUE(alarm.wait_until(dom.now() + from_millis(1)));
+  alarm.cancel();
+  EXPECT_FALSE(alarm.wait_until(dom.now() + from_seconds(1000)));
+}
+
+TEST(VtAlarm, StressWaitCancelRaces) {
+  // A waiter loops short alarm waits while a canceller fires at random
+  // virtual offsets: every wait must terminate with a coherent verdict
+  // (cancelled => before the deadline). TSan target.
+  Domain dom;
+  Alarm alarm(dom);
+  int cancelled = 0;
+  int reached = 0;
+  {
+    dom.hold();
+    Thread waiter(dom, [&] {
+      for (int i = 0; i < 200; ++i) {
+        const TimePoint deadline = dom.now() + from_micros(120);
+        if (alarm.wait_until(deadline)) {
+          ++reached;
+          EXPECT_GE(dom.now(), deadline);
+        } else {
+          ++cancelled;
+          EXPECT_LT(dom.now(), deadline);
+        }
+      }
+    });
+    Thread canceller(dom, [&] {
+      Rng rng(31337);
+      for (int i = 0; i < 150; ++i) {
+        dom.sleep_for(from_micros(static_cast<double>(rng.below(200) + 1)));
+        alarm.cancel();
+      }
+    });
+    dom.unhold();
+  }
+  EXPECT_EQ(cancelled + reached, 200);
 }
 
 }  // namespace
